@@ -1,0 +1,83 @@
+// Command examserver runs the on-line exam delivery service: learners take
+// exams with a browser against the HTTP API, SCO content talks to the SCORM
+// RTE bridge, and administrators watch sessions through the monitor
+// endpoint (the paper's §5 architecture).
+//
+// Usage:
+//
+//	examserver -bank bank.json -addr :8080 [-monitor 64]
+//
+// The bank file must already hold at least one exam (see `assessctl seed`).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"mineassess/internal/bank"
+	"mineassess/internal/delivery"
+	"mineassess/internal/scorm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal("examserver: ", err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("examserver", flag.ContinueOnError)
+	bankPath := fs.String("bank", "bank.json", "bank file holding problems and exams")
+	addr := fs.String("addr", ":8080", "listen address")
+	monitorCap := fs.Int("monitor", 64, "snapshots retained per session (0 disables)")
+	contentExam := fs.String("content", "", "exam ID to package and serve under /package/ (empty = first exam)")
+	readTimeout := fs.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
+	writeTimeout := fs.Duration("write-timeout", 10*time.Second, "HTTP write timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, err := bank.Load(*bankPath)
+	if err != nil {
+		return err
+	}
+	exams := store.ExamIDs()
+	if len(exams) == 0 {
+		return fmt.Errorf("bank %s holds no exams; seed one with assessctl", *bankPath)
+	}
+	engine := delivery.NewEngine(store, nil, *monitorCap)
+	handler := delivery.NewServer(engine)
+
+	examID := *contentExam
+	if examID == "" {
+		examID = exams[0]
+	}
+	rec, err := store.Exam(examID)
+	if err != nil {
+		return err
+	}
+	problems, err := store.Problems(rec.ProblemIDs)
+	if err != nil {
+		return err
+	}
+	pkg, err := scorm.BuildPackage(rec, problems)
+	if err != nil {
+		return err
+	}
+	handler.MountPackage(pkg)
+	log.Printf("examserver: serving SCORM package for exam %q (%d files) under /package/",
+		examID, len(pkg.Files))
+
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      handler,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+	}
+	log.Printf("examserver: serving %d problem(s), exams %v on %s",
+		store.ProblemCount(), exams, *addr)
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,7 @@
+// Package mineassess is the root of the MINE Assess library, a
+// reproduction of "A Cognition Assessment Authoring System for E-Learning"
+// (Hung et al., 2004). The implementation lives under internal/ (see
+// DESIGN.md for the system inventory); runnable tools are under cmd/ and
+// examples under examples/. The benchmarks in bench_test.go regenerate
+// every table and figure of the paper (EXPERIMENTS.md maps them).
+package mineassess

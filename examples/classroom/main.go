@@ -1,0 +1,93 @@
+// Classroom replays the paper's own evaluation data: the §4.1.2 example
+// matrices for Rules 1-4 and the two worked questions of Figure 2 (class of
+// 44, groups of 11), printing the identical indices, rules and signals the
+// paper derives by hand.
+package main
+
+import (
+	"fmt"
+
+	"mineassess/internal/analysis"
+	"mineassess/internal/report"
+)
+
+func main() {
+	fmt.Println("Replaying the paper's worked examples")
+	fmt.Println()
+
+	examples := []struct {
+		name    string
+		correct string
+		high    map[string]int
+		low     map[string]int
+		size    int
+	}{
+		{"Example 1 (Rule 1)", "A",
+			map[string]int{"A": 12, "B": 2, "C": 0, "D": 3, "E": 3},
+			map[string]int{"A": 6, "B": 4, "C": 0, "D": 5, "E": 5}, 20},
+		{"Example 2 (Rule 2)", "C",
+			map[string]int{"A": 1, "B": 2, "C": 10, "D": 0, "E": 7},
+			map[string]int{"A": 2, "B": 2, "C": 13, "D": 1, "E": 2}, 20},
+		{"Example 3 (Rule 3)", "A",
+			map[string]int{"A": 15, "B": 2, "C": 2, "D": 0, "E": 1},
+			map[string]int{"A": 5, "B": 4, "C": 5, "D": 4, "E": 2}, 20},
+		{"Example 4 (Rule 4)", "E",
+			map[string]int{"A": 4, "B": 4, "C": 4, "D": 2, "E": 6},
+			map[string]int{"A": 5, "B": 4, "C": 5, "D": 4, "E": 2}, 20},
+	}
+	for _, ex := range examples {
+		table := analysis.FromCounts(ex.name, ex.correct,
+			[]string{"A", "B", "C", "D", "E"}, ex.high, ex.low, ex.size, ex.size)
+		fmt.Println(ex.name)
+		fmt.Print(report.OptionTable(table))
+		for _, res := range analysis.EvaluateRules(table) {
+			if !res.Matched {
+				continue
+			}
+			line := "  " + res.Rule.String() + " matched"
+			if len(res.Options) > 0 {
+				line += " on option(s) "
+				for i, k := range res.Options {
+					if i > 0 {
+						line += ", "
+					}
+					line += k
+				}
+			}
+			fmt.Println(line)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Figure 2 worked questions (class 44, groups of 11)")
+	worked := []struct {
+		name    string
+		correct string
+		high    map[string]int
+		low     map[string]int
+	}{
+		{"no2", "C",
+			map[string]int{"A": 0, "B": 0, "C": 10, "D": 1},
+			map[string]int{"A": 3, "B": 2, "C": 4, "D": 2}},
+		{"no6", "D",
+			map[string]int{"A": 1, "B": 1, "C": 4, "D": 5},
+			map[string]int{"A": 0, "B": 2, "C": 4, "D": 4}},
+	}
+	for _, w := range worked {
+		table := analysis.FromCounts(w.name, w.correct,
+			[]string{"A", "B", "C", "D"}, w.high, w.low, 11, 11)
+		rules := analysis.EvaluateRules(table)
+		sig := analysis.EvaluateSignal(table.Discrimination(), rules)
+		fmt.Printf("question %s: PH=%.2f PL=%.2f D=%.2f P=%.3f -> %s (%s)\n",
+			w.name, table.PH(), table.PL(), table.Discrimination(),
+			table.Difficulty(), sig, sig.Advice())
+		for _, st := range analysis.StatusesFor(rules) {
+			fmt.Printf("  status: %s\n", st)
+		}
+		for _, d := range analysis.AnalyzeDistraction(table) {
+			if !d.Functioning {
+				fmt.Printf("  distractor %s attracts nobody in the low group (allure is low)\n", d.Key)
+			}
+		}
+	}
+}

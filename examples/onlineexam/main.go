@@ -1,0 +1,188 @@
+// Onlineexam runs the whole §5 delivery architecture in one process: it
+// seeds a bank, starts the HTTP LMS with a mounted SCORM package, drives a
+// class of learners through the exam as HTTP clients (with one pause/resume
+// and one manual essay grade), pulls the monitor snapshots and the exported
+// results, and analyzes them.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"mineassess/internal/analysis"
+	"mineassess/internal/authoring"
+	"mineassess/internal/bank"
+	"mineassess/internal/cognition"
+	"mineassess/internal/delivery"
+	"mineassess/internal/item"
+	"mineassess/internal/report"
+	"mineassess/internal/scorm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Author a small exam: 5 MC questions + 1 essay, all resumable.
+	store := bank.New()
+	var ids []string
+	for i := 1; i <= 5; i++ {
+		p, err := item.NewMultipleChoice(fmt.Sprintf("q%d", i),
+			fmt.Sprintf("Online question %d", i),
+			[]string{"right", "wrong", "also wrong", "nope"}, 0)
+		if err != nil {
+			return err
+		}
+		p.Level = cognition.Levels()[i%3]
+		p.Resumable = true
+		if err := store.AddProblem(p); err != nil {
+			return err
+		}
+		ids = append(ids, p.ID)
+	}
+	essay := &item.Problem{ID: "essay", Style: item.Essay,
+		Question: "Why does assessment close the learning cycle?",
+		Level:    cognition.Evaluation, Resumable: true}
+	if err := store.AddProblem(essay); err != nil {
+		return err
+	}
+	ids = append(ids, essay.ID)
+	draft := authoring.NewExamDraft("online", "Online exam")
+	if err := draft.Add(ids...); err != nil {
+		return err
+	}
+	rec, err := draft.Finalize(store)
+	if err != nil {
+		return err
+	}
+	if err := store.AddExam(rec); err != nil {
+		return err
+	}
+
+	// Start the LMS with the SCORM package mounted.
+	engine := delivery.NewEngine(store, nil, 16)
+	handler := delivery.NewServer(engine)
+	problems, err := store.Problems(rec.ProblemIDs)
+	if err != nil {
+		return err
+	}
+	pkg, err := scorm.BuildPackage(rec, problems)
+	if err != nil {
+		return err
+	}
+	handler.MountPackage(pkg)
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+	fmt.Printf("LMS serving at %s with %d-file SCORM package\n", srv.URL, len(pkg.Files))
+
+	post := func(url string, body any, out any) error {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST %s: %s", url, resp.Status)
+		}
+		if out != nil {
+			return json.NewDecoder(resp.Body).Decode(out)
+		}
+		return nil
+	}
+
+	// Eight learners: learner i answers the first i questions correctly.
+	var firstSession string
+	for i := 0; i < 8; i++ {
+		var started struct {
+			SessionID string   `json:"sessionId"`
+			Order     []string `json:"order"`
+		}
+		if err := post(srv.URL+"/api/session/start", map[string]any{
+			"examId": "online", "studentId": fmt.Sprintf("learner%02d", i),
+		}, &started); err != nil {
+			return err
+		}
+		if firstSession == "" {
+			firstSession = started.SessionID
+			// Demonstrate pause/resume on the first learner.
+			if err := post(srv.URL+"/api/session/"+started.SessionID+"/pause", nil, nil); err != nil {
+				return err
+			}
+			if err := post(srv.URL+"/api/session/"+started.SessionID+"/resume", nil, nil); err != nil {
+				return err
+			}
+		}
+		for qi, pid := range started.Order {
+			response := "B"
+			if pid == "essay" {
+				response = "Assessment reveals what teaching missed."
+			} else if qi < i {
+				response = "A"
+			}
+			if err := post(srv.URL+"/api/session/"+started.SessionID+"/answer",
+				map[string]string{"problemId": pid, "response": response}, nil); err != nil {
+				return err
+			}
+		}
+		if err := post(srv.URL+"/api/session/"+started.SessionID+"/finish", nil, nil); err != nil {
+			return err
+		}
+	}
+
+	// Instructor grades every pending essay over the admin API.
+	var pending []delivery.PendingGrade
+	if err := getInto(srv.URL+"/api/admin/grades?exam=online", &pending); err != nil {
+		return err
+	}
+	fmt.Printf("%d essays awaiting manual grades\n", len(pending))
+	for _, pg := range pending {
+		if err := post(srv.URL+"/api/admin/grades", map[string]any{
+			"sessionId": pg.SessionID, "problemId": pg.ProblemID, "credit": 1.0,
+		}, nil); err != nil {
+			return err
+		}
+	}
+
+	// Monitor evidence for the first learner.
+	var snaps []delivery.Snapshot
+	if err := getInto(srv.URL+"/api/monitor/"+firstSession, &snaps); err != nil {
+		return err
+	}
+	fmt.Printf("monitor captured %d snapshots of %s\n", len(snaps), firstSession)
+
+	// Export the results and analyze.
+	var res analysis.ExamResult
+	if err := getInto(srv.URL+"/api/admin/results?exam=online", &res); err != nil {
+		return err
+	}
+	a, err := analysis.Analyze(&res, analysis.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(report.SignalBoard(a))
+	return nil
+}
+
+func getInto(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,144 @@
+// Scormexport authors an exam, packages it as a SCORM 1.2 content package
+// (imsmanifest.xml, per-file descriptors, API adapter), writes the PIF zip,
+// reads it back, and then drives a learner attempt through the SCORM RTE
+// API — the paper's §5.5 output path end to end.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"mineassess/internal/authoring"
+	"mineassess/internal/bank"
+	"mineassess/internal/cognition"
+	"mineassess/internal/item"
+	"mineassess/internal/scorm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	store := bank.New()
+	var ids []string
+	for i := 0; i < 5; i++ {
+		p, err := item.NewMultipleChoice(fmt.Sprintf("q%d", i+1),
+			fmt.Sprintf("SCORM question %d", i+1),
+			[]string{"first", "second", "third", "fourth"}, i%4)
+		if err != nil {
+			return err
+		}
+		p.Level = cognition.Knowledge
+		p.Hint = "consult the course notes"
+		if err := store.AddProblem(p); err != nil {
+			return err
+		}
+		ids = append(ids, p.ID)
+	}
+	draft := authoring.NewExamDraft("scormdemo", "SCORM demo exam")
+	if err := draft.Add(ids...); err != nil {
+		return err
+	}
+	rec, err := draft.Finalize(store)
+	if err != nil {
+		return err
+	}
+	problems, err := store.Problems(rec.ProblemIDs)
+	if err != nil {
+		return err
+	}
+
+	// Build and persist the package.
+	pkg, err := scorm.BuildPackage(rec, problems)
+	if err != nil {
+		return err
+	}
+	out := filepath.Join(os.TempDir(), "scormdemo.zip")
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := pkg.WriteZip(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s with %d files\n", out, len(pkg.Files))
+
+	// Read it back the way a receiving LMS would.
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		return err
+	}
+	back, err := scorm.ReadZip(raw)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("parsed manifest %s: organization %q with %d items, %d resources\n",
+		back.Manifest.Identifier,
+		back.Manifest.Organizations.Organizations[0].Title,
+		len(back.Manifest.Organizations.Organizations[0].Items),
+		len(back.Manifest.Resources.Resources))
+	if missing := back.MissingFiles(); len(missing) > 0 {
+		return fmt.Errorf("package incomplete: %v", missing)
+	}
+
+	// Inspect one descriptor.
+	descRaw := back.Files[scorm.DescriptorPath("content/problem_001.html")]
+	desc, err := scorm.ParseDescriptor(descRaw)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("descriptor for %s: title %q, mime %s\n", desc.Href, desc.Title, desc.MimeType)
+
+	// Drive a learner attempt through the RTE API, as launched SCO content
+	// would via the adapter script.
+	var committed map[string]string
+	api := scorm.NewAPI(scorm.NewDataModel("learner-1", "Ada Lovelace"),
+		func(snap map[string]string) { committed = snap })
+	mustTrue := func(op, got string) error {
+		if got != "true" {
+			return fmt.Errorf("%s failed: error %s (%s)", op, api.LMSGetLastError(),
+				api.LMSGetErrorString(api.LMSGetLastError()))
+		}
+		return nil
+	}
+	if err := mustTrue("LMSInitialize", api.LMSInitialize("")); err != nil {
+		return err
+	}
+	fmt.Printf("student: %s\n", api.LMSGetValue("cmi.core.student_name"))
+	if err := mustTrue("set status", api.LMSSetValue("cmi.core.lesson_status", "incomplete")); err != nil {
+		return err
+	}
+	if err := mustTrue("set score", api.LMSSetValue("cmi.core.score.raw", "80")); err != nil {
+		return err
+	}
+	if err := mustTrue("set time", api.LMSSetValue("cmi.core.session_time", "0000:12:30")); err != nil {
+		return err
+	}
+	if err := mustTrue("LMSCommit", api.LMSCommit("")); err != nil {
+		return err
+	}
+	if err := mustTrue("LMSFinish", api.LMSFinish("")); err != nil {
+		return err
+	}
+	fmt.Printf("committed attempt: score=%s status=%s total_time=%s\n",
+		committed["cmi.core.score.raw"], committed["cmi.core.lesson_status"],
+		committed["cmi.core.total_time"])
+
+	// Show the round trip is byte-stable.
+	var again bytes.Buffer
+	if err := back.WriteZip(&again); err != nil {
+		return err
+	}
+	fmt.Printf("re-zipped package: %d bytes (original %d)\n", again.Len(), len(raw))
+	return nil
+}

@@ -1,0 +1,357 @@
+package mineassess
+
+// Integration tests: the complete learning cycle across modules — author
+// into the bank, deliver over the HTTP LMS, collect the response matrix,
+// run the analysis model, generate feedback, fix a flagged problem, and
+// exchange the exam via SCORM and QTI.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mineassess/internal/analysis"
+	"mineassess/internal/authoring"
+	"mineassess/internal/bank"
+	"mineassess/internal/cognition"
+	"mineassess/internal/core"
+	"mineassess/internal/delivery"
+	"mineassess/internal/feedback"
+	"mineassess/internal/item"
+	"mineassess/internal/qti"
+	"mineassess/internal/scorm"
+	"mineassess/internal/simulate"
+	"mineassess/internal/stats"
+)
+
+// authorCourse builds a bank with 8 problems over 2 concepts and one exam.
+func authorCourse(t *testing.T) (*bank.Store, string) {
+	t.Helper()
+	store := bank.New()
+	var ids []string
+	for i := 0; i < 8; i++ {
+		p, err := item.NewMultipleChoice(fmt.Sprintf("q%d", i+1),
+			fmt.Sprintf("Integration question %d", i+1),
+			[]string{"w", "x", "y", "z"}, 0) // correct A
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.ConceptID = fmt.Sprintf("c%d", i%2+1)
+		p.Level = cognition.Levels()[i%3]
+		if err := store.AddProblem(p); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, p.ID)
+	}
+	draft := authoring.NewExamDraft("integ", "Integration exam")
+	if err := draft.Add(ids...); err != nil {
+		t.Fatal(err)
+	}
+	draft.TestTime = time.Hour
+	rec, err := draft.Finalize(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AddExam(rec); err != nil {
+		t.Fatal(err)
+	}
+	return store, rec.ID
+}
+
+type httpClock struct{ t time.Time }
+
+func (c *httpClock) now() time.Time { return c.t }
+
+// TestFullLoopOverHTTP drives 12 students through the HTTP LMS, collects
+// results, analyzes them, and produces feedback.
+func TestFullLoopOverHTTP(t *testing.T) {
+	store, examID := authorCourse(t)
+	clock := &httpClock{t: time.Date(2004, 4, 1, 9, 0, 0, 0, time.UTC)}
+	engine := delivery.NewEngine(store, clock.now, 8)
+	srv := httptest.NewServer(delivery.NewServer(engine))
+	defer srv.Close()
+
+	post := func(url string, body any, out any) int {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	// Student s answers the first s questions correctly (A), the rest B.
+	for s := 0; s < 12; s++ {
+		var started struct {
+			SessionID string   `json:"sessionId"`
+			Order     []string `json:"order"`
+		}
+		if code := post(srv.URL+"/api/session/start", map[string]any{
+			"examId": examID, "studentId": fmt.Sprintf("s%02d", s),
+		}, &started); code != http.StatusOK {
+			t.Fatalf("start %d: code %d", s, code)
+		}
+		for qi, pid := range started.Order {
+			opt := "B"
+			if qi < s {
+				opt = "A"
+			}
+			clock.t = clock.t.Add(30 * time.Second)
+			if code := post(srv.URL+"/api/session/"+started.SessionID+"/answer",
+				map[string]string{"problemId": pid, "response": opt}, nil); code != http.StatusOK {
+				t.Fatalf("answer: code %d", code)
+			}
+		}
+		if code := post(srv.URL+"/api/session/"+started.SessionID+"/finish", nil, nil); code != http.StatusOK {
+			t.Fatalf("finish: code %d", code)
+		}
+	}
+
+	res, err := engine.CollectResults(examID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Students) != 12 {
+		t.Fatalf("students = %d", len(res.Students))
+	}
+	a, err := analysis.Analyze(res, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ladder answering pattern makes later questions harder: their
+	// group-difficulty must be non-increasing question over question.
+	for i := 1; i < len(a.Questions); i++ {
+		if a.Questions[i].P > a.Questions[i-1].P+1e-9 {
+			t.Errorf("P should not increase: q%d %.2f -> q%d %.2f",
+				i, a.Questions[i-1].P, i+1, a.Questions[i].P)
+		}
+	}
+
+	st, err := stats.Compute(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scores.N != 12 {
+		t.Errorf("stats N = %d", st.Scores.N)
+	}
+	fb, err := feedback.Build(res, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb.Students) != 12 {
+		t.Errorf("feedback students = %d", len(fb.Students))
+	}
+	// Students s08..s11 all answered every question; the tie breaks by ID.
+	if fb.Students[0].Score != 8 || fb.Students[0].StudentID != "s08" {
+		t.Errorf("top student = %s (%.0f), want s08 with 8",
+			fb.Students[0].StudentID, fb.Students[0].Score)
+	}
+}
+
+// TestFixLoopWithHistory: analysis flags a problem, the instructor fixes
+// it, the bank keeps the previous version.
+func TestFixLoopWithHistory(t *testing.T) {
+	store, examID := authorCourse(t)
+	pipe := core.New()
+	// Transplant the authored bank into a pipeline by re-adding.
+	for _, id := range store.ProblemIDs() {
+		p, err := store.Problem(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pipe.Store().AddProblem(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, err := store.Exam(examID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Store().AddExam(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := pipe.RunSimulated(examID, core.SimulationConfig{
+		Class: simulate.PopulationConfig{N: 44, SD: 1, Seed: 12},
+		Seed:  13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := pipe.Analyze(res, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.ApplyMeasurements(a); err != nil {
+		t.Fatal(err)
+	}
+	// ApplyMeasurements is an update: every problem gained a revision.
+	if got := pipe.Store().Version("q1"); got != 2 {
+		t.Errorf("version after measurement = %d, want 2", got)
+	}
+	// Fix a question's wording, then roll it back.
+	p, err := pipe.Store().Problem("q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Question = "Clarified wording"
+	if err := pipe.Store().UpdateProblem(p); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := pipe.Store().Rollback("q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Question == "Clarified wording" {
+		t.Error("rollback should restore the earlier wording")
+	}
+}
+
+// TestExchangeRoundTrip: SCORM out, QTI out, QTI back in, and the imported
+// problems survive a simulated administration.
+func TestExchangeRoundTrip(t *testing.T) {
+	store, examID := authorCourse(t)
+	rec, err := store.Exam(examID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems, err := store.Problems(rec.ProblemIDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// SCORM.
+	pkg, err := scorm.BuildPackage(rec, problems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zipBuf bytes.Buffer
+	if err := pkg.WriteZip(&zipBuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scorm.ReadZip(zipBuf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	// QTI round trip into a fresh bank.
+	var items []qti.QTIItem
+	for _, p := range problems {
+		qi, err := qti.Export(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items = append(items, *qi)
+	}
+	raw, err := qti.EncodeDocument(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := qti.ParseDocument(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := bank.New()
+	for i := range doc.Items {
+		p, err := qti.Import(&doc.Items[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.AddProblem(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fresh.ProblemCount() != len(problems) {
+		t.Fatalf("imported = %d, want %d", fresh.ProblemCount(), len(problems))
+	}
+	// The imported problems administer and analyze cleanly.
+	imported, err := fresh.Problems(fresh.ProblemIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := simulate.NewPopulation(simulate.PopulationConfig{N: 30, SD: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := simulate.Run(simulate.ExamConfig{
+		ExamID: "imported",
+		Items:  simulate.UniformSpecs(imported, simulate.IRTParams{A: 1.5}),
+		Seed:   10,
+	}, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := analysis.Analyze(simRes, analysis.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResultPersistenceAcrossPipeline: save a sitting, reload it, and the
+// analysis is unchanged.
+func TestResultPersistenceAcrossPipeline(t *testing.T) {
+	store, examID := authorCourse(t)
+	engine := delivery.NewEngine(store, nil, 0)
+	sess, err := engine.Start(examID, "solo", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pid := range sess.Order {
+		if err := engine.Answer(sess.ID, pid, "A"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := engine.Finish(sess.ID); err != nil {
+		t.Fatal(err)
+	}
+	// A single student cannot be split; add a weaker second sitting.
+	sess2, err := engine.Start(examID, "second", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pid := range sess2.Order {
+		if err := engine.Answer(sess2.ID, pid, "B"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := engine.Finish(sess2.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := engine.CollectResults(examID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := analysis.WriteResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := analysis.ReadResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := analysis.Analyze(res, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := analysis.Analyze(back, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1.Questions {
+		if a1.Questions[i].D != a2.Questions[i].D || a1.Questions[i].P != a2.Questions[i].P {
+			t.Errorf("question %d indices changed across persistence", i+1)
+		}
+	}
+}

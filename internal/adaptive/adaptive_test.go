@@ -1,0 +1,283 @@
+package adaptive
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mineassess/internal/simulate"
+)
+
+func responsesFor(truth float64, n int, seed int64) []ResponseRecord {
+	rng := rand.New(rand.NewSource(seed))
+	var out []ResponseRecord
+	for i := 0; i < n; i++ {
+		b := -2 + 4*float64(i)/float64(n-1)
+		p := simulate.IRTParams{A: 1.5, B: b}
+		out = append(out, ResponseRecord{
+			Params:  p,
+			Correct: rng.Float64() < p.ProbCorrect(truth),
+		})
+	}
+	return out
+}
+
+func TestEstimateMLERecoversAbility(t *testing.T) {
+	for _, truth := range []float64{-1.5, 0, 1.2} {
+		rs := responsesFor(truth, 200, 42)
+		got, err := EstimateMLE(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-truth) > 0.45 {
+			t.Errorf("MLE for truth %v = %v", truth, got)
+		}
+	}
+}
+
+func TestEstimateMLEDegenerate(t *testing.T) {
+	p := simulate.IRTParams{A: 1, B: 0}
+	allRight := []ResponseRecord{{Params: p, Correct: true}, {Params: p, Correct: true}}
+	got, err := EstimateMLE(allRight)
+	if err != nil || got != 4 {
+		t.Errorf("all-right MLE = %v, %v; want +4", got, err)
+	}
+	allWrong := []ResponseRecord{{Params: p}, {Params: p}}
+	got, err = EstimateMLE(allWrong)
+	if err != nil || got != -4 {
+		t.Errorf("all-wrong MLE = %v, %v; want -4", got, err)
+	}
+	if _, err := EstimateMLE(nil); err != ErrNoResponses {
+		t.Errorf("empty MLE err = %v", err)
+	}
+}
+
+func TestEstimateEAPRecoversAbilityAndShrinks(t *testing.T) {
+	truth := 1.0
+	rs := responsesFor(truth, 80, 7)
+	theta, sd, err := EstimateEAP(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(theta-truth) > 0.5 {
+		t.Errorf("EAP = %v, want near %v", theta, truth)
+	}
+	if sd <= 0 || sd > 0.5 {
+		t.Errorf("posterior SD = %v, want small positive", sd)
+	}
+	// Fewer responses → larger SD.
+	_, sdSmall, err := EstimateEAP(rs[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sdSmall <= sd {
+		t.Errorf("SD with 5 items (%v) should exceed SD with 80 (%v)", sdSmall, sd)
+	}
+	if _, _, err := EstimateEAP(nil); err != ErrNoResponses {
+		t.Errorf("empty EAP err = %v", err)
+	}
+}
+
+func TestEAPDefinedForDegeneratePatterns(t *testing.T) {
+	p := simulate.IRTParams{A: 1.5, B: 0}
+	theta, _, err := EstimateEAP([]ResponseRecord{{Params: p, Correct: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if theta <= 0 || theta > 4 {
+		t.Errorf("one-correct EAP = %v, want small positive", theta)
+	}
+}
+
+func TestTestInformationAndSE(t *testing.T) {
+	params := []simulate.IRTParams{{A: 1.5, B: 0}, {A: 1.5, B: 0.2}}
+	info := TestInformation(params, 0.1)
+	if info <= 0 {
+		t.Fatalf("info = %v", info)
+	}
+	se := StandardError(info)
+	if math.Abs(se-1/math.Sqrt(info)) > 1e-12 {
+		t.Errorf("SE = %v", se)
+	}
+	if !math.IsInf(StandardError(0), 1) {
+		t.Error("SE of zero information should be +Inf")
+	}
+}
+
+func TestMaxInformationPicksNearTheta(t *testing.T) {
+	pool := UniformPool(41, 1.5, 3)
+	idx := MaxInformation(nil, pool, 1.5)
+	picked := pool[idx].Params.B
+	if math.Abs(picked-1.5) > 0.3 {
+		t.Errorf("picked b=%v for theta=1.5", picked)
+	}
+}
+
+func TestRunAdaptiveSession(t *testing.T) {
+	pool := UniformPool(100, 1.8, 3)
+	truth := 0.8
+	oracle := SimulatedOracle(rand.New(rand.NewSource(3)), truth)
+	out, err := Run(Config{MaxItems: 30}, pool, oracle, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Administered) != 30 || len(out.Trace) != 30 {
+		t.Fatalf("administered %d, trace %d", len(out.Administered), len(out.Trace))
+	}
+	if math.Abs(out.Theta-truth) > 0.6 {
+		t.Errorf("final estimate %v, truth %v", out.Theta, truth)
+	}
+	// No item repeats.
+	seen := make(map[string]bool)
+	for _, id := range out.Administered {
+		if seen[id] {
+			t.Fatalf("item %s administered twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRunStopsAtTargetSE(t *testing.T) {
+	pool := UniformPool(100, 2.0, 3)
+	oracle := SimulatedOracle(rand.New(rand.NewSource(5)), 0)
+	out, err := Run(Config{MaxItems: 100, TargetSE: 0.4}, pool, oracle, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Administered) >= 100 {
+		t.Errorf("TargetSE should stop early, used %d items", len(out.Administered))
+	}
+	if out.SE > 0.4 {
+		t.Errorf("final SE %v exceeds target", out.SE)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	pool := UniformPool(5, 1, 2)
+	oracle := func(PoolItem) bool { return true }
+	if _, err := Run(Config{MaxItems: 0}, pool, oracle, 1); err == nil {
+		t.Error("MaxItems 0 should fail")
+	}
+	if _, err := Run(Config{MaxItems: 3}, nil, oracle, 1); err == nil {
+		t.Error("empty pool should fail")
+	}
+	if _, err := Run(Config{MaxItems: 9}, pool, oracle, 1); err == nil {
+		t.Error("MaxItems > pool should fail")
+	}
+}
+
+func TestFixedForm(t *testing.T) {
+	pool := UniformPool(20, 1.5, 2)
+	oracle := SimulatedOracle(rand.New(rand.NewSource(9)), 0.5)
+	out, err := FixedForm(10, pool, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Administered) != 10 {
+		t.Errorf("administered = %d", len(out.Administered))
+	}
+	if _, err := FixedForm(0, pool, oracle); err == nil {
+		t.Error("size 0 should fail")
+	}
+	if _, err := FixedForm(21, pool, oracle); err == nil {
+		t.Error("oversize should fail")
+	}
+}
+
+// E17: the ablation — adaptive selection beats random/fixed at equal length.
+func TestCompareAdaptiveBeatsFixed(t *testing.T) {
+	pool := UniformPool(200, 1.8, 3)
+	rng := rand.New(rand.NewSource(11))
+	abilities := make([]float64, 60)
+	for i := range abilities {
+		abilities[i] = rng.NormFloat64()
+	}
+	res, err := Compare(Config{MaxItems: 15}, pool, abilities, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AdaptiveRMSE >= res.FixedRMSE {
+		t.Errorf("adaptive RMSE %v should beat fixed RMSE %v",
+			res.AdaptiveRMSE, res.FixedRMSE)
+	}
+	if res.AdaptiveRMSE > 0.8 {
+		t.Errorf("adaptive RMSE %v suspiciously high", res.AdaptiveRMSE)
+	}
+}
+
+// Randomesque exposure control: accuracy stays close to max-information
+// while spreading item exposure.
+func TestRandomesqueSpreadsExposure(t *testing.T) {
+	pool := UniformPool(60, 1.8, 2)
+	runCohort := func(sel Selector) []*Outcome {
+		var outs []*Outcome
+		for i := 0; i < 40; i++ {
+			seed := int64(100 + i)
+			oracle := SimulatedOracle(rand.New(rand.NewSource(seed)), 0) // all at theta 0
+			out, err := Run(Config{MaxItems: 10, Selector: sel}, pool, oracle, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs = append(outs, out)
+		}
+		return outs
+	}
+	maxInfoOuts := runCohort(nil) // default MaxInformation
+	randeskOuts := runCohort(Randomesque(8))
+
+	peak := func(outs []*Outcome) float64 {
+		rates := ExposureRates(pool, outs)
+		maxRate := 0.0
+		for _, r := range rates {
+			if r > maxRate {
+				maxRate = r
+			}
+		}
+		return maxRate
+	}
+	// With identical examinees, pure max-information administers the same
+	// first item to everyone (exposure 1.0); randomesque must spread it.
+	if got := peak(maxInfoOuts); got < 0.99 {
+		t.Errorf("max-information peak exposure = %v, want ~1", got)
+	}
+	if got := peak(randeskOuts); got > 0.9 {
+		t.Errorf("randomesque peak exposure = %v, want < 0.9", got)
+	}
+}
+
+func TestRandomesqueDegeneratesToMaxInfo(t *testing.T) {
+	pool := UniformPool(20, 1.5, 2)
+	sel := Randomesque(1)
+	rng := rand.New(rand.NewSource(1))
+	if got, want := sel(rng, pool, 0.5), MaxInformation(rng, pool, 0.5); got != want {
+		t.Errorf("k=1 pick = %d, want %d", got, want)
+	}
+}
+
+func TestExposureRatesEmpty(t *testing.T) {
+	pool := UniformPool(3, 1, 1)
+	if got := ExposureRates(pool, nil); len(got) != 0 {
+		t.Errorf("empty outcomes = %v", got)
+	}
+}
+
+func TestCompareValidation(t *testing.T) {
+	pool := UniformPool(10, 1, 2)
+	if _, err := Compare(Config{MaxItems: 5}, pool, nil, 1); err == nil {
+		t.Error("no abilities should fail")
+	}
+}
+
+func TestUniformPoolShape(t *testing.T) {
+	pool := UniformPool(5, 1.2, 2)
+	if len(pool) != 5 {
+		t.Fatalf("pool = %d", len(pool))
+	}
+	if pool[0].Params.B != -2 || pool[4].Params.B != 2 {
+		t.Errorf("spread = [%v, %v], want [-2, 2]", pool[0].Params.B, pool[4].Params.B)
+	}
+	one := UniformPool(1, 1, 2)
+	if len(one) != 1 {
+		t.Fatal("single-item pool")
+	}
+}

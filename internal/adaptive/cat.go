@@ -1,0 +1,257 @@
+package adaptive
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mineassess/internal/simulate"
+)
+
+// PoolItem is one item available to the adaptive test.
+type PoolItem struct {
+	ID     string
+	Params simulate.IRTParams
+}
+
+// Config controls one adaptive session.
+type Config struct {
+	// MaxItems stops the test after this many administrations (required).
+	MaxItems int
+	// TargetSE stops early once the EAP posterior SD drops below it;
+	// 0 disables early stopping.
+	TargetSE float64
+	// Selector picks the next item; nil means MaxInformation.
+	Selector Selector
+}
+
+// Selector chooses the next item index from the remaining pool given the
+// current ability estimate.
+type Selector func(rng *rand.Rand, remaining []PoolItem, theta float64) int
+
+// MaxInformation picks the item with the greatest Fisher information at the
+// current estimate — the classical CAT rule.
+func MaxInformation(_ *rand.Rand, remaining []PoolItem, theta float64) int {
+	best, bestInfo := 0, -1.0
+	for i, it := range remaining {
+		if info := it.Params.Information(theta); info > bestInfo {
+			bestInfo = info
+			best = i
+		}
+	}
+	return best
+}
+
+// RandomSelection picks uniformly — the ablation baseline.
+func RandomSelection(rng *rand.Rand, remaining []PoolItem, _ float64) int {
+	return rng.Intn(len(remaining))
+}
+
+// Randomesque returns a selector that picks uniformly among the k most
+// informative items — the standard exposure-control compromise between pure
+// max-information (overexposes a few items) and random selection. k <= 1
+// degenerates to MaxInformation.
+func Randomesque(k int) Selector {
+	return func(rng *rand.Rand, remaining []PoolItem, theta float64) int {
+		if k <= 1 || len(remaining) <= 1 {
+			return MaxInformation(rng, remaining, theta)
+		}
+		limit := k
+		if limit > len(remaining) {
+			limit = len(remaining)
+		}
+		type ranked struct {
+			idx  int
+			info float64
+		}
+		top := make([]ranked, 0, limit)
+		for i, it := range remaining {
+			info := it.Params.Information(theta)
+			if len(top) < limit {
+				top = append(top, ranked{i, info})
+				continue
+			}
+			// Replace the weakest of the current top when beaten.
+			weakest := 0
+			for j := 1; j < len(top); j++ {
+				if top[j].info < top[weakest].info {
+					weakest = j
+				}
+			}
+			if info > top[weakest].info {
+				top[weakest] = ranked{i, info}
+			}
+		}
+		return top[rng.Intn(len(top))].idx
+	}
+}
+
+// ExposureRates counts how often each pool item was administered across
+// outcomes, as a fraction of the number of sessions.
+func ExposureRates(pool []PoolItem, outcomes []*Outcome) map[string]float64 {
+	counts := make(map[string]int, len(pool))
+	for _, o := range outcomes {
+		for _, id := range o.Administered {
+			counts[id]++
+		}
+	}
+	out := make(map[string]float64, len(pool))
+	if len(outcomes) == 0 {
+		return out
+	}
+	for _, it := range pool {
+		out[it.ID] = float64(counts[it.ID]) / float64(len(outcomes))
+	}
+	return out
+}
+
+// Outcome is the result of one adaptive session.
+type Outcome struct {
+	// Administered lists item IDs in administration order.
+	Administered []string
+	// Theta is the final EAP ability estimate; SE its posterior SD.
+	Theta, SE float64
+	// Trace holds the estimate after each administered item.
+	Trace []float64
+}
+
+// Oracle answers items for a simulated (or live) examinee.
+type Oracle func(item PoolItem) bool
+
+// SimulatedOracle answers according to the 3PL with the given true ability,
+// driven by the provided RNG.
+func SimulatedOracle(rng *rand.Rand, trueTheta float64) Oracle {
+	return func(it PoolItem) bool {
+		return rng.Float64() < it.Params.ProbCorrect(trueTheta)
+	}
+}
+
+// Run administers an adaptive test against the oracle.
+func Run(cfg Config, pool []PoolItem, oracle Oracle, seed int64) (*Outcome, error) {
+	if cfg.MaxItems <= 0 {
+		return nil, errors.New("adaptive: MaxItems must be positive")
+	}
+	if len(pool) == 0 {
+		return nil, errors.New("adaptive: empty item pool")
+	}
+	if cfg.MaxItems > len(pool) {
+		return nil, fmt.Errorf("adaptive: MaxItems %d exceeds pool size %d",
+			cfg.MaxItems, len(pool))
+	}
+	selector := cfg.Selector
+	if selector == nil {
+		selector = MaxInformation
+	}
+	rng := rand.New(rand.NewSource(seed))
+	remaining := append([]PoolItem(nil), pool...)
+	var responses []ResponseRecord
+	out := &Outcome{}
+	theta := 0.0 // prior mean before any data
+	for len(out.Administered) < cfg.MaxItems {
+		idx := selector(rng, remaining, theta)
+		it := remaining[idx]
+		remaining = append(remaining[:idx], remaining[idx+1:]...)
+		correct := oracle(it)
+		responses = append(responses, ResponseRecord{Params: it.Params, Correct: correct})
+		out.Administered = append(out.Administered, it.ID)
+
+		est, sd, err := EstimateEAP(responses)
+		if err != nil {
+			return nil, err
+		}
+		theta = est
+		out.Theta = est
+		out.SE = sd
+		out.Trace = append(out.Trace, est)
+		if cfg.TargetSE > 0 && sd <= cfg.TargetSE {
+			break
+		}
+	}
+	return out, nil
+}
+
+// FixedForm administers the first n pool items in order — the non-adaptive
+// comparator for E17.
+func FixedForm(n int, pool []PoolItem, oracle Oracle) (*Outcome, error) {
+	if n <= 0 || n > len(pool) {
+		return nil, fmt.Errorf("adaptive: fixed form size %d invalid for pool %d", n, len(pool))
+	}
+	var responses []ResponseRecord
+	out := &Outcome{}
+	for _, it := range pool[:n] {
+		correct := oracle(it)
+		responses = append(responses, ResponseRecord{Params: it.Params, Correct: correct})
+		out.Administered = append(out.Administered, it.ID)
+	}
+	est, sd, err := EstimateEAP(responses)
+	if err != nil {
+		return nil, err
+	}
+	out.Theta = est
+	out.SE = sd
+	out.Trace = []float64{est}
+	return out, nil
+}
+
+// CompareResult summarizes the adaptive-vs-fixed ablation over a cohort.
+type CompareResult struct {
+	AdaptiveRMSE, FixedRMSE   float64
+	AdaptiveItems, FixedItems float64 // mean administered lengths
+}
+
+// Compare runs both designs over a cohort of true abilities and reports
+// ability-recovery RMSE and mean test length. The expected shape: at equal
+// maximum length, adaptive recovers ability with lower RMSE, and with a
+// TargetSE it does so using fewer items.
+func Compare(cfg Config, pool []PoolItem, abilities []float64, seed int64) (*CompareResult, error) {
+	if len(abilities) == 0 {
+		return nil, errors.New("adaptive: no abilities to compare")
+	}
+	var res CompareResult
+	var sumSqA, sumSqF, sumItemsA float64
+	for i, truth := range abilities {
+		examSeed := seed + int64(i)*7919
+		oracleA := SimulatedOracle(rand.New(rand.NewSource(examSeed)), truth)
+		a, err := Run(cfg, pool, oracleA, examSeed)
+		if err != nil {
+			return nil, err
+		}
+		oracleF := SimulatedOracle(rand.New(rand.NewSource(examSeed)), truth)
+		f, err := FixedForm(cfg.MaxItems, pool, oracleF)
+		if err != nil {
+			return nil, err
+		}
+		sumSqA += (a.Theta - truth) * (a.Theta - truth)
+		sumSqF += (f.Theta - truth) * (f.Theta - truth)
+		sumItemsA += float64(len(a.Administered))
+	}
+	n := float64(len(abilities))
+	res.AdaptiveRMSE = math.Sqrt(sumSqA / n)
+	res.FixedRMSE = math.Sqrt(sumSqF / n)
+	res.AdaptiveItems = sumItemsA / n
+	res.FixedItems = float64(cfg.MaxItems)
+	return &res, nil
+}
+
+// UniformPool builds a pool of n items with difficulties spread evenly over
+// [-spread, spread] and the given discrimination — a convenience for
+// benchmarks and examples.
+func UniformPool(n int, a, spread float64) []PoolItem {
+	pool := make([]PoolItem, 0, n)
+	for i := 0; i < n; i++ {
+		b := -spread + 2*spread*float64(i)/float64(max(n-1, 1))
+		pool = append(pool, PoolItem{
+			ID:     fmt.Sprintf("pool-%03d", i+1),
+			Params: simulate.IRTParams{A: a, B: b},
+		})
+	}
+	return pool
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,162 @@
+// Package adaptive implements the adaptive test algorithm the paper lists
+// as future work (§6): computerized adaptive testing over an IRT-calibrated
+// item pool with maximum-information item selection, maximum-likelihood and
+// expected-a-posteriori ability estimation, and standard-error stopping
+// rules. The fixed-form comparator used by the ablation benchmark lives
+// here too.
+package adaptive
+
+import (
+	"errors"
+	"math"
+
+	"mineassess/internal/simulate"
+)
+
+// ResponseRecord is one scored response for estimation.
+type ResponseRecord struct {
+	Params  simulate.IRTParams
+	Correct bool
+}
+
+// ErrNoResponses is returned when estimating with no data.
+var ErrNoResponses = errors.New("adaptive: no responses to estimate from")
+
+// theta search bounds: estimates are clamped to this range, standard
+// practice to keep all-right/all-wrong patterns finite.
+const (
+	thetaMin = -4.0
+	thetaMax = 4.0
+)
+
+// EstimateMLE returns the maximum-likelihood ability estimate via
+// Newton-Raphson with bisection fallback, clamped to [-4,4].
+func EstimateMLE(responses []ResponseRecord) (float64, error) {
+	if len(responses) == 0 {
+		return 0, ErrNoResponses
+	}
+	allRight, allWrong := true, true
+	for _, r := range responses {
+		if r.Correct {
+			allWrong = false
+		} else {
+			allRight = false
+		}
+	}
+	// Degenerate patterns have no interior maximum.
+	if allRight {
+		return thetaMax, nil
+	}
+	if allWrong {
+		return thetaMin, nil
+	}
+	theta := 0.0
+	for iter := 0; iter < 50; iter++ {
+		d1, d2 := logLikDerivs(responses, theta)
+		if d2 >= 0 || math.Abs(d2) < 1e-12 {
+			break // fall back to grid below
+		}
+		step := d1 / d2
+		next := theta - step
+		if next < thetaMin {
+			next = thetaMin
+		}
+		if next > thetaMax {
+			next = thetaMax
+		}
+		if math.Abs(next-theta) < 1e-8 {
+			theta = next
+			return theta, nil
+		}
+		theta = next
+	}
+	// Robust fallback: golden-section-style grid refinement.
+	return gridMaximize(responses), nil
+}
+
+// logLikDerivs returns the first and second derivatives of the 3PL
+// log-likelihood at theta.
+func logLikDerivs(responses []ResponseRecord, theta float64) (d1, d2 float64) {
+	const h = 1e-4
+	f := func(t float64) float64 { return logLik(responses, t) }
+	d1 = (f(theta+h) - f(theta-h)) / (2 * h)
+	d2 = (f(theta+h) - 2*f(theta) + f(theta-h)) / (h * h)
+	return d1, d2
+}
+
+func logLik(responses []ResponseRecord, theta float64) float64 {
+	ll := 0.0
+	for _, r := range responses {
+		p := r.Params.ProbCorrect(theta)
+		if p < 1e-9 {
+			p = 1e-9
+		}
+		if p > 1-1e-9 {
+			p = 1 - 1e-9
+		}
+		if r.Correct {
+			ll += math.Log(p)
+		} else {
+			ll += math.Log(1 - p)
+		}
+	}
+	return ll
+}
+
+func gridMaximize(responses []ResponseRecord) float64 {
+	best, bestLL := thetaMin, math.Inf(-1)
+	for i := 0; i <= 800; i++ {
+		t := thetaMin + (thetaMax-thetaMin)*float64(i)/800
+		if ll := logLik(responses, t); ll > bestLL {
+			bestLL = ll
+			best = t
+		}
+	}
+	return best
+}
+
+// EstimateEAP returns the expected-a-posteriori ability estimate and its
+// posterior standard deviation under a standard-normal prior, evaluated on
+// a fixed quadrature grid. EAP is defined even for all-right/all-wrong
+// patterns, which makes it the default inside CAT loops.
+func EstimateEAP(responses []ResponseRecord) (theta, sd float64, err error) {
+	if len(responses) == 0 {
+		return 0, 0, ErrNoResponses
+	}
+	const points = 81
+	var sumW, sumWT, sumWT2 float64
+	for i := 0; i < points; i++ {
+		t := thetaMin + (thetaMax-thetaMin)*float64(i)/float64(points-1)
+		w := math.Exp(logLik(responses, t)) * math.Exp(-t*t/2)
+		sumW += w
+		sumWT += w * t
+		sumWT2 += w * t * t
+	}
+	if sumW == 0 {
+		return 0, 0, errors.New("adaptive: EAP posterior underflow")
+	}
+	theta = sumWT / sumW
+	variance := sumWT2/sumW - theta*theta
+	if variance < 0 {
+		variance = 0
+	}
+	return theta, math.Sqrt(variance), nil
+}
+
+// TestInformation sums item information at theta — the reciprocal square of
+// the asymptotic standard error.
+func TestInformation(params []simulate.IRTParams, theta float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		total += p.Information(theta)
+	}
+	return total
+}
+
+// StandardError converts test information into the asymptotic SE of the MLE.
+func StandardError(info float64) float64 {
+	if info <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / math.Sqrt(info)
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"errors"
+	"sort"
+)
+
+// Cross-administration aggregation: the paper's repository workflow reuses
+// problems across exams, so the recorded Item Difficulty/Discrimination
+// Indices should reflect every administration, not just the last one.
+
+// ItemHistory aggregates one problem's indices across administrations.
+type ItemHistory struct {
+	ProblemID string
+	// Administrations is the number of sittings the problem appeared in.
+	Administrations int
+	// MeanP and MeanD average the group-based indices over administrations.
+	MeanP, MeanD float64
+	// MinD and MaxD bound the observed discrimination.
+	MinD, MaxD float64
+	// WorstSignal is the most severe signal observed (Red > Yellow > Green).
+	WorstSignal Signal
+}
+
+// ErrNoAnalyses is returned when aggregating nothing.
+var ErrNoAnalyses = errors.New("analysis: no analyses to aggregate")
+
+// Aggregate folds multiple exam analyses into per-problem histories, keyed
+// and sorted by problem ID. Problems appearing in only some analyses
+// average over their own administrations.
+func Aggregate(analyses []*ExamAnalysis) ([]ItemHistory, error) {
+	if len(analyses) == 0 {
+		return nil, ErrNoAnalyses
+	}
+	acc := make(map[string]*ItemHistory)
+	for _, a := range analyses {
+		for _, q := range a.Questions {
+			h, ok := acc[q.ProblemID]
+			if !ok {
+				h = &ItemHistory{
+					ProblemID:   q.ProblemID,
+					MinD:        q.D,
+					MaxD:        q.D,
+					WorstSignal: q.Signal,
+				}
+				acc[q.ProblemID] = h
+			}
+			h.Administrations++
+			h.MeanP += q.P
+			h.MeanD += q.D
+			if q.D < h.MinD {
+				h.MinD = q.D
+			}
+			if q.D > h.MaxD {
+				h.MaxD = q.D
+			}
+			if q.Signal > h.WorstSignal {
+				h.WorstSignal = q.Signal
+			}
+		}
+	}
+	out := make([]ItemHistory, 0, len(acc))
+	for _, h := range acc {
+		h.MeanP /= float64(h.Administrations)
+		h.MeanD /= float64(h.Administrations)
+		out = append(out, *h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ProblemID < out[j].ProblemID })
+	return out, nil
+}
+
+// FlaggedItems filters histories whose worst signal is at least the given
+// severity, ordered by ascending mean discrimination (worst first).
+func FlaggedItems(histories []ItemHistory, atLeast Signal) []ItemHistory {
+	var out []ItemHistory
+	for _, h := range histories {
+		if h.WorstSignal >= atLeast {
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MeanD != out[j].MeanD {
+			return out[i].MeanD < out[j].MeanD
+		}
+		return out[i].ProblemID < out[j].ProblemID
+	})
+	return out
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func miniAnalysis(problemID string, p, d float64, sig Signal) *ExamAnalysis {
+	return &ExamAnalysis{Questions: []*QuestionReport{{
+		ProblemID: problemID, P: p, D: d, Signal: sig,
+	}}}
+}
+
+func TestAggregateAverages(t *testing.T) {
+	analyses := []*ExamAnalysis{
+		miniAnalysis("q1", 0.6, 0.4, SignalGreen),
+		miniAnalysis("q1", 0.4, 0.2, SignalYellow),
+	}
+	hist, err := Aggregate(analyses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 1 {
+		t.Fatalf("histories = %d", len(hist))
+	}
+	h := hist[0]
+	if h.Administrations != 2 {
+		t.Errorf("administrations = %d", h.Administrations)
+	}
+	if math.Abs(h.MeanP-0.5) > 1e-12 || math.Abs(h.MeanD-0.3) > 1e-12 {
+		t.Errorf("means = %v, %v", h.MeanP, h.MeanD)
+	}
+	if h.MinD != 0.2 || h.MaxD != 0.4 {
+		t.Errorf("D range = [%v, %v]", h.MinD, h.MaxD)
+	}
+	if h.WorstSignal != SignalYellow {
+		t.Errorf("worst signal = %v", h.WorstSignal)
+	}
+}
+
+func TestAggregateMultipleProblemsSorted(t *testing.T) {
+	analyses := []*ExamAnalysis{
+		{Questions: []*QuestionReport{
+			{ProblemID: "zz", P: 0.5, D: 0.3, Signal: SignalGreen},
+			{ProblemID: "aa", P: 0.6, D: 0.1, Signal: SignalRed},
+		}},
+		miniAnalysis("zz", 0.7, 0.5, SignalGreen),
+	}
+	hist, err := Aggregate(analyses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 || hist[0].ProblemID != "aa" || hist[1].ProblemID != "zz" {
+		t.Errorf("order = %v", hist)
+	}
+	if hist[1].Administrations != 2 || hist[0].Administrations != 1 {
+		t.Errorf("administrations = %+v", hist)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	if _, err := Aggregate(nil); err != ErrNoAnalyses {
+		t.Errorf("err = %v, want ErrNoAnalyses", err)
+	}
+}
+
+func TestFlaggedItems(t *testing.T) {
+	analyses := []*ExamAnalysis{
+		{Questions: []*QuestionReport{
+			{ProblemID: "good", P: 0.5, D: 0.5, Signal: SignalGreen},
+			{ProblemID: "fix", P: 0.5, D: 0.25, Signal: SignalYellow},
+			{ProblemID: "bad", P: 0.5, D: 0.05, Signal: SignalRed},
+			{ProblemID: "bad2", P: 0.5, D: 0.01, Signal: SignalRed},
+		}},
+	}
+	hist, err := Aggregate(analyses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := FlaggedItems(hist, SignalRed)
+	if len(red) != 2 || red[0].ProblemID != "bad2" || red[1].ProblemID != "bad" {
+		t.Errorf("red items = %v", red)
+	}
+	atLeastYellow := FlaggedItems(hist, SignalYellow)
+	if len(atLeastYellow) != 3 {
+		t.Errorf("yellow+ items = %d", len(atLeastYellow))
+	}
+	if got := FlaggedItems(hist, SignalGreen); len(got) != 4 {
+		t.Errorf("green+ items = %d", len(got))
+	}
+}
+
+// Aggregation over real repeated sittings of the worked class.
+func TestAggregateWorkedClassTwice(t *testing.T) {
+	e := workedClassExam(t)
+	a1, err := Analyze(e, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Analyze(e, Options{GroupFraction: KellyGroupFraction})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := Aggregate([]*ExamAnalysis{a1, a2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[string]ItemHistory)
+	for _, h := range hist {
+		byID[h.ProblemID] = h
+	}
+	if byID["no2"].Administrations != 2 {
+		t.Errorf("no2 administrations = %d", byID["no2"].Administrations)
+	}
+	// no6 stays red under both fractions.
+	if byID["no6"].WorstSignal != SignalRed {
+		t.Errorf("no6 worst signal = %v", byID["no6"].WorstSignal)
+	}
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import "sort"
+
+// Distractor describes one wrong option's behaviour (§3.3 V: "With the
+// analysis, define students' distraction").
+type Distractor struct {
+	Key string
+	// HighCount and LowCount are the selections by group.
+	HighCount, LowCount int
+	// Power is the fraction of low-group students drawn to the distractor;
+	// a functioning distractor attracts the unprepared.
+	Power float64
+	// Functioning is false when no low-group student chose it (Rule 1's
+	// "allure is low" condition).
+	Functioning bool
+	// Inverted is true when the distractor attracts more high-group than
+	// low-group students — a sign the option is misleading the prepared
+	// (Rule 2's wrong-option condition).
+	Inverted bool
+}
+
+// AnalyzeDistraction profiles every wrong option of the table, ordered by
+// descending power then key for determinism.
+func AnalyzeDistraction(t *OptionTable) []Distractor {
+	out := make([]Distractor, 0, len(t.Keys))
+	for _, k := range t.Keys {
+		if k == t.CorrectKey {
+			continue
+		}
+		d := Distractor{
+			Key:       k,
+			HighCount: t.High[k],
+			LowCount:  t.Low[k],
+		}
+		if t.LowSize > 0 {
+			d.Power = float64(d.LowCount) / float64(t.LowSize)
+		}
+		d.Functioning = d.LowCount > 0
+		d.Inverted = d.HighCount > d.LowCount
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Power != out[j].Power {
+			return out[i].Power > out[j].Power
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

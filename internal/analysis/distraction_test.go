@@ -1,0 +1,61 @@
+package analysis
+
+import "testing"
+
+func TestAnalyzeDistractionExample1(t *testing.T) {
+	ds := AnalyzeDistraction(example1Table())
+	// Options B, C, D, E are distractors (A is correct).
+	if len(ds) != 4 {
+		t.Fatalf("distractors = %d, want 4", len(ds))
+	}
+	byKey := make(map[string]Distractor, len(ds))
+	for _, d := range ds {
+		byKey[d.Key] = d
+	}
+	if byKey["C"].Functioning {
+		t.Error("option C attracted no low-group student: not functioning")
+	}
+	if !byKey["D"].Functioning || !byKey["E"].Functioning {
+		t.Error("options D and E should be functioning")
+	}
+	if p := byKey["D"].Power; p != 0.25 { // 5/20
+		t.Errorf("D power = %v, want 0.25", p)
+	}
+}
+
+func TestAnalyzeDistractionInverted(t *testing.T) {
+	ds := AnalyzeDistraction(example2Table())
+	byKey := make(map[string]Distractor, len(ds))
+	for _, d := range ds {
+		byKey[d.Key] = d
+	}
+	// Option E: H=7 > L=2, a distractor fooling the prepared.
+	if !byKey["E"].Inverted {
+		t.Error("option E should be inverted")
+	}
+	if byKey["A"].Inverted { // H=1 < L=2
+		t.Error("option A should not be inverted")
+	}
+}
+
+func TestAnalyzeDistractionOrderedByPower(t *testing.T) {
+	ds := AnalyzeDistraction(example1Table())
+	for i := 1; i < len(ds); i++ {
+		if ds[i].Power > ds[i-1].Power {
+			t.Errorf("distractors not sorted by power: %v after %v", ds[i], ds[i-1])
+		}
+	}
+	// D and E tie at 5/20: key order breaks the tie.
+	if ds[0].Key != "D" || ds[1].Key != "E" {
+		t.Errorf("tie-break order = %s,%s, want D,E", ds[0].Key, ds[1].Key)
+	}
+}
+
+func TestAnalyzeDistractionZeroLowSize(t *testing.T) {
+	tab := FromCounts("q", "A", []string{"A", "B"},
+		map[string]int{"A": 3, "B": 1}, map[string]int{}, 4, 0)
+	ds := AnalyzeDistraction(tab)
+	if len(ds) != 1 || ds[0].Power != 0 {
+		t.Errorf("distraction with empty low group = %+v", ds)
+	}
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	e := workedClassExam(t)
+	var buf bytes.Buffer
+	if err := WriteResult(&buf, e); err != nil {
+		t.Fatalf("WriteResult: %v", err)
+	}
+	back, err := ReadResult(&buf)
+	if err != nil {
+		t.Fatalf("ReadResult: %v", err)
+	}
+	if back.ExamID != e.ExamID || len(back.Students) != len(e.Students) ||
+		len(back.Problems) != len(e.Problems) {
+		t.Fatalf("shape changed: %s %d %d", back.ExamID, len(back.Students), len(back.Problems))
+	}
+	// Deep equality on a sample student.
+	if !reflect.DeepEqual(back.Students[0], e.Students[0]) {
+		t.Errorf("student row changed:\n%+v\n%+v", back.Students[0], e.Students[0])
+	}
+	// The reloaded result analyzes to the same worked values.
+	a, err := Analyze(back, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := a.Question("no2")
+	almost(t, "reloaded q2.D", q2.D, 0.55, 0.005)
+}
+
+func TestSaveLoadResultFile(t *testing.T) {
+	e := workedClassExam(t)
+	path := filepath.Join(t.TempDir(), "sitting.json")
+	if err := SaveResult(path, e); err != nil {
+		t.Fatalf("SaveResult: %v", err)
+	}
+	back, err := LoadResult(path)
+	if err != nil {
+		t.Fatalf("LoadResult: %v", err)
+	}
+	if back.ExamID != e.ExamID {
+		t.Errorf("exam ID = %q", back.ExamID)
+	}
+	if _, err := LoadResult(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestWriteResultRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteResult(&buf, &ExamResult{}); err == nil {
+		t.Error("invalid result should not serialize")
+	}
+}
+
+func TestReadResultRejectsGarbageAndInvalid(t *testing.T) {
+	if _, err := ReadResult(strings.NewReader("{nope")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := ReadResult(strings.NewReader("{}")); err == nil {
+		t.Error("empty result should fail validation")
+	}
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"fmt"
+)
+
+// QuestionReport is the complete per-question analysis: the §4.1.1 number
+// representation (PH, PL, D, P), the §4.1.2 signal representation (option
+// table, rules, statuses, light signal), and the distractor profile.
+type QuestionReport struct {
+	// Number is the question's 1-based position in the exam ("No" in the
+	// paper's number-representation table).
+	Number    int
+	ProblemID string
+
+	PH float64 // higher-group proportion correct
+	PL float64 // lower-group proportion correct
+	D  float64 // Item Discrimination Index, PH-PL
+	P  float64 // Item Difficulty Index, (PH+PL)/2
+
+	// OverallP is the simple whole-class Item Difficulty Index P = R/N of
+	// §3.3 III, computed over all students (not just the groups).
+	OverallP float64
+
+	Table       *OptionTable
+	Rules       [4]RuleResult
+	Statuses    []Status
+	Signal      Signal
+	Distractors []Distractor
+}
+
+// MatchedRules returns the IDs of the rules that fired, in order.
+func (q *QuestionReport) MatchedRules() []RuleID {
+	var out []RuleID
+	for _, r := range q.Rules {
+		if r.Matched {
+			out = append(out, r.Rule)
+		}
+	}
+	return out
+}
+
+// ExamAnalysis bundles the per-question reports with the group split used to
+// produce them.
+type ExamAnalysis struct {
+	ExamID    string
+	Groups    Groups
+	Questions []*QuestionReport
+}
+
+// Question returns the report for the given problem ID, or nil.
+func (a *ExamAnalysis) Question(problemID string) *QuestionReport {
+	for _, q := range a.Questions {
+		if q.ProblemID == problemID {
+			return q
+		}
+	}
+	return nil
+}
+
+// CountBySignal tallies questions per signal colour.
+func (a *ExamAnalysis) CountBySignal() map[Signal]int {
+	out := make(map[Signal]int, 3)
+	for _, q := range a.Questions {
+		out[q.Signal]++
+	}
+	return out
+}
+
+// Options configures Analyze.
+type Options struct {
+	// GroupFraction is the upper/lower split fraction; zero means the
+	// paper's default of 25%.
+	GroupFraction float64
+}
+
+// Analyze runs the full single-question analysis model over an exam result.
+// Problems that are not choice-style (no option columns) still receive
+// number-representation statistics; their option-dependent fields are left
+// zero and no rules are evaluated.
+func Analyze(e *ExamResult, opts Options) (*ExamAnalysis, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	fraction := opts.GroupFraction
+	if fraction == 0 {
+		fraction = DefaultGroupFraction
+	}
+	groups, err := SplitGroups(e, fraction)
+	if err != nil {
+		return nil, err
+	}
+	out := &ExamAnalysis{ExamID: e.ExamID, Groups: groups}
+	byProblem := e.responsesByProblem()
+	for i, p := range e.Problems {
+		q := &QuestionReport{
+			Number:    i + 1,
+			ProblemID: p.ID,
+		}
+		q.OverallP = overallDifficulty(byProblem[p.ID], len(e.Students))
+
+		if p.CorrectKey() != "" {
+			table, err := BuildOptionTable(e, groups, p.ID)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: question %d: %w", i+1, err)
+			}
+			q.Table = table
+			q.PH = table.PH()
+			q.PL = table.PL()
+			q.D = table.Discrimination()
+			q.P = table.Difficulty()
+			q.Rules = EvaluateRules(table)
+			q.Statuses = StatusesFor(q.Rules)
+			q.Signal = EvaluateSignal(q.D, q.Rules)
+			q.Distractors = AnalyzeDistraction(table)
+		} else {
+			// Non-choice problems: derive PH/PL from credit directly.
+			q.PH = groupProportion(byProblem[p.ID], groups.High)
+			q.PL = groupProportion(byProblem[p.ID], groups.Low)
+			q.D = q.PH - q.PL
+			q.P = (q.PH + q.PL) / 2
+			q.Signal = EvaluateSignal(q.D, q.Rules)
+		}
+		out.Questions = append(out.Questions, q)
+	}
+	return out, nil
+}
+
+// overallDifficulty is §3.3 III: P = R/N over the whole class.
+func overallDifficulty(responses map[string]Response, classSize int) float64 {
+	if classSize == 0 {
+		return 0
+	}
+	right := 0
+	for _, r := range responses {
+		if r.Correct() {
+			right++
+		}
+	}
+	return float64(right) / float64(classSize)
+}
+
+func groupProportion(responses map[string]Response, group []string) float64 {
+	if len(group) == 0 {
+		return 0
+	}
+	right := 0
+	for _, sid := range group {
+		if r, ok := responses[sid]; ok && r.Correct() {
+			right++
+		}
+	}
+	return float64(right) / float64(len(group))
+}

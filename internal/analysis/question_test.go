@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"mineassess/internal/cognition"
+	"mineassess/internal/item"
+)
+
+func TestAnalyzeNumbersQuestions(t *testing.T) {
+	e := workedClassExam(t)
+	a, err := Analyze(e, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Questions) != len(e.Problems) {
+		t.Fatalf("reports = %d, want %d", len(a.Questions), len(e.Problems))
+	}
+	for i, q := range a.Questions {
+		if q.Number != i+1 {
+			t.Errorf("question %d numbered %d", i, q.Number)
+		}
+	}
+}
+
+func TestAnalyzeInvalidExam(t *testing.T) {
+	if _, err := Analyze(&ExamResult{}, Options{}); err == nil {
+		t.Error("empty exam should fail")
+	}
+}
+
+func TestAnalyzeBadFraction(t *testing.T) {
+	e := workedClassExam(t)
+	if _, err := Analyze(e, Options{GroupFraction: 0.9}); err == nil {
+		t.Error("fraction 0.9 should be rejected")
+	}
+}
+
+func TestAnalyzeEssayQuestionNoTable(t *testing.T) {
+	essay := &item.Problem{ID: "e1", Style: item.Essay,
+		Question: "Discuss.", Level: cognition.Evaluation}
+	tf := &item.Problem{ID: "t1", Style: item.TrueFalse, Question: "?",
+		Answer: "true", Level: cognition.Knowledge}
+	e := &ExamResult{ExamID: "mixed", Problems: []*item.Problem{essay, tf}}
+	for i := 0; i < 8; i++ {
+		sid := string(rune('a' + i))
+		credit := 0.0
+		if i >= 4 {
+			credit = 1
+		}
+		e.Students = append(e.Students, StudentResult{
+			StudentID: sid,
+			Responses: []Response{
+				{StudentID: sid, ProblemID: "e1", Credit: credit, Answered: true,
+					TimeSpent: time.Minute},
+				{StudentID: sid, ProblemID: "t1", Option: "true", Credit: credit,
+					Answered: true, TimeSpent: time.Minute},
+			},
+		})
+	}
+	a, err := Analyze(e, Options{GroupFraction: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qe := a.Question("e1")
+	if qe.Table != nil {
+		t.Error("essay question should have no option table")
+	}
+	// High group all earned credit, low group none: perfect discrimination.
+	if qe.PH != 1 || qe.PL != 0 || qe.D != 1 {
+		t.Errorf("essay PH=%v PL=%v D=%v, want 1,0,1", qe.PH, qe.PL, qe.D)
+	}
+	qt := a.Question("t1")
+	if qt.Table == nil {
+		t.Error("true/false question should have an option table")
+	}
+	if qt.Table.CorrectKey != "true" {
+		t.Errorf("true/false correct key = %q", qt.Table.CorrectKey)
+	}
+}
+
+func TestAnalyzeOverallP(t *testing.T) {
+	// 10 students, 4 correct → OverallP = 0.4 regardless of groups.
+	e := uniformExam(t, "x", 10, 4)
+	a, err := Analyze(e, Options{GroupFraction: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Questions[0].OverallP; got != 0.4 {
+		t.Errorf("OverallP = %v, want 0.4", got)
+	}
+}
+
+func TestCountBySignal(t *testing.T) {
+	e := workedClassExam(t)
+	a, err := Analyze(e, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := a.CountBySignal()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != len(a.Questions) {
+		t.Errorf("signal counts sum to %d, want %d", total, len(a.Questions))
+	}
+	if counts[SignalRed] == 0 {
+		t.Error("worked q6 should contribute a red signal")
+	}
+}
+
+func TestQuestionLookupMissing(t *testing.T) {
+	a := &ExamAnalysis{}
+	if a.Question("nope") != nil {
+		t.Error("missing question should be nil")
+	}
+}
+
+func TestBuildOptionTableErrors(t *testing.T) {
+	e := workedClassExam(t)
+	g, err := SplitGroups(e, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildOptionTable(e, g, "ghost"); err == nil {
+		t.Error("unknown problem should fail")
+	}
+	essay := &item.Problem{ID: "e9", Style: item.Essay, Question: "?",
+		Level: cognition.Analysis}
+	e.Problems = append(e.Problems, essay)
+	if _, err := BuildOptionTable(e, g, "e9"); err == nil {
+		t.Error("essay problem should not tabulate")
+	}
+}
+
+func TestOptionTableUnansweredCounted(t *testing.T) {
+	e := workedClassExam(t)
+	g, err := SplitGroups(e, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := BuildOptionTable(e, g, "no6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.LowUnanswered != 1 {
+		t.Errorf("LowUnanswered = %d, want 1 (one skip in the paper's table)", tab.LowUnanswered)
+	}
+	if tab.LS() != 10 {
+		t.Errorf("LS = %d, want 10", tab.LS())
+	}
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"mineassess/internal/cognition"
+	"mineassess/internal/item"
+)
+
+func questionnaireExam(t *testing.T) *ExamResult {
+	t.Helper()
+	e := &ExamResult{ExamID: "survey"}
+	e.Problems = []*item.Problem{
+		{ID: "s1", Style: item.Questionnaire, Question: "Rate the course 1-5."},
+		{ID: "s2", Style: item.Questionnaire, Question: "Would you recommend it?"},
+		{ID: "q1", Style: item.TrueFalse, Question: "?", Answer: "true",
+			Level: cognition.Knowledge},
+	}
+	add := func(id, rating, recommend string) {
+		s := StudentResult{StudentID: id}
+		s.Responses = append(s.Responses, Response{StudentID: id, ProblemID: "s1",
+			Option: rating, Answered: rating != "", TimeSpent: time.Second})
+		s.Responses = append(s.Responses, Response{StudentID: id, ProblemID: "s2",
+			Option: recommend, Answered: recommend != "", TimeSpent: time.Second})
+		s.Responses = append(s.Responses, Response{StudentID: id, ProblemID: "q1",
+			Option: "true", Credit: 1, Answered: true, TimeSpent: time.Second})
+		e.Students = append(e.Students, s)
+	}
+	add("a", "5", "yes")
+	add("b", "4", "yes")
+	add("c", "5", "no")
+	add("d", "5", "")
+	add("e", "", "yes")
+	return e
+}
+
+func TestSummarizeQuestionnaires(t *testing.T) {
+	e := questionnaireExam(t)
+	sums := SummarizeQuestionnaires(e)
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d, want 2 (scored q1 excluded)", len(sums))
+	}
+	s1 := sums[0]
+	if s1.ProblemID != "s1" || s1.Total != 5 || s1.Answered != 4 {
+		t.Errorf("s1 = %+v", s1)
+	}
+	if s1.Mode() != "5" {
+		t.Errorf("s1 mode = %q, want 5", s1.Mode())
+	}
+	if got := s1.ResponseRate(); got != 0.8 {
+		t.Errorf("s1 response rate = %v, want 0.8", got)
+	}
+	// Counts ordered by frequency then value.
+	if s1.Counts[0].Response != "5" || s1.Counts[0].Count != 3 {
+		t.Errorf("s1 counts = %+v", s1.Counts)
+	}
+	s2 := sums[1]
+	if s2.Mode() != "yes" || s2.Answered != 4 {
+		t.Errorf("s2 = %+v", s2)
+	}
+}
+
+func TestSummarizeQuestionnairesNone(t *testing.T) {
+	e := uniformExam(t, "plain", 4, 2)
+	if got := SummarizeQuestionnaires(e); len(got) != 0 {
+		t.Errorf("summaries = %v, want none", got)
+	}
+}
+
+func TestQuestionnaireSummaryEmpty(t *testing.T) {
+	q := QuestionnaireSummary{}
+	if q.ResponseRate() != 0 || q.Mode() != "" {
+		t.Errorf("empty summary = %+v", q)
+	}
+}
+
+func TestQuestionnaireTieBreaksByValue(t *testing.T) {
+	e := &ExamResult{ExamID: "tie", Problems: []*item.Problem{
+		{ID: "s1", Style: item.Questionnaire, Question: "?"},
+	}}
+	for i, v := range []string{"b", "a"} {
+		id := string(rune('x' + i))
+		e.Students = append(e.Students, StudentResult{StudentID: id,
+			Responses: []Response{{StudentID: id, ProblemID: "s1",
+				Option: v, Answered: true}}})
+	}
+	sums := SummarizeQuestionnaires(e)
+	if sums[0].Counts[0].Response != "a" {
+		t.Errorf("tie should break by value: %+v", sums[0].Counts)
+	}
+}

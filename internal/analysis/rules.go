@@ -1,0 +1,121 @@
+package analysis
+
+// RuleID identifies one of the paper's four diagnostic rules (§4.1.2).
+type RuleID int
+
+// The four rules.
+const (
+	Rule1 RuleID = iota + 1 // option allure is low
+	Rule2                   // option is not well defined
+	Rule3                   // low score group lacks the concept
+	Rule4                   // both groups lack the concept
+)
+
+// String returns "Rule1".."Rule4".
+func (r RuleID) String() string {
+	switch r {
+	case Rule1:
+		return "Rule1"
+	case Rule2:
+		return "Rule2"
+	case Rule3:
+		return "Rule3"
+	case Rule4:
+		return "Rule4"
+	default:
+		return "Rule?"
+	}
+}
+
+// SpreadThreshold is the 20% factor in Rules 3 and 4:
+// |LM-Lm| <= LS*20% flags an even spread of low-group choices.
+const SpreadThreshold = 0.20
+
+// RuleResult is the outcome of evaluating one rule against an option table.
+type RuleResult struct {
+	Rule    RuleID
+	Matched bool
+	// Options lists the option keys the rule singled out (Rules 1 and 2);
+	// empty for the group-level Rules 3 and 4.
+	Options []string
+}
+
+// EvaluateRule1 applies Rule 1: "If (LA|LB|LC|LD|LE)=0 then the option's
+// allure is low." Any option no low-group student chose is a non-functioning
+// distractor (or, if it is the correct answer, trivially unattractive).
+func EvaluateRule1(t *OptionTable) RuleResult {
+	res := RuleResult{Rule: Rule1}
+	for _, k := range t.Keys {
+		if t.Low[k] == 0 {
+			res.Matched = true
+			res.Options = append(res.Options, k)
+		}
+	}
+	return res
+}
+
+// EvaluateRule2 applies Rule 2: an option is not well defined when the
+// correct option attracts more low-group than high-group students
+// (HN < LN), or a wrong option attracts more high-group than low-group
+// students (HN > LN).
+func EvaluateRule2(t *OptionTable) RuleResult {
+	res := RuleResult{Rule: Rule2}
+	for _, k := range t.Keys {
+		hn, ln := t.High[k], t.Low[k]
+		if k == t.CorrectKey {
+			if hn < ln {
+				res.Matched = true
+				res.Options = append(res.Options, k)
+			}
+			continue
+		}
+		if hn > ln {
+			res.Matched = true
+			res.Options = append(res.Options, k)
+		}
+	}
+	return res
+}
+
+// EvaluateRule3 applies Rule 3: when the low group spreads its choices
+// almost evenly over the options (|LM-Lm| <= LS*20%), the low score group
+// lacks the concept and is guessing.
+func EvaluateRule3(t *OptionTable) RuleResult {
+	res := RuleResult{Rule: Rule3}
+	lm, lmin := t.LowMaxMin()
+	ls := t.LS()
+	if ls == 0 {
+		return res
+	}
+	if float64(lm-lmin) <= float64(ls)*SpreadThreshold {
+		res.Matched = true
+	}
+	return res
+}
+
+// EvaluateRule4 applies Rule 4: when both the high group and the low group
+// spread their choices evenly, the whole class lacks the concept.
+func EvaluateRule4(t *OptionTable) RuleResult {
+	res := RuleResult{Rule: Rule4}
+	hm, hmin := t.HighMaxMin()
+	lm, lmin := t.LowMaxMin()
+	hs, ls := t.HS(), t.LS()
+	if hs == 0 || ls == 0 {
+		return res
+	}
+	if float64(hm-hmin) <= float64(hs)*SpreadThreshold &&
+		float64(lm-lmin) <= float64(ls)*SpreadThreshold {
+		res.Matched = true
+	}
+	return res
+}
+
+// EvaluateRules runs all four rules in order.
+func EvaluateRules(t *OptionTable) [4]RuleResult {
+	return [4]RuleResult{
+		EvaluateRule1(t),
+		EvaluateRule2(t),
+		EvaluateRule3(t),
+		EvaluateRule4(t),
+	}
+}

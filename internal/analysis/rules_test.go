@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The four example matrices from §4.1.2 of the paper. High/low groups of 20.
+
+func example1Table() *OptionTable {
+	return FromCounts("ex1", "A", []string{"A", "B", "C", "D", "E"},
+		map[string]int{"A": 12, "B": 2, "C": 0, "D": 3, "E": 3},
+		map[string]int{"A": 6, "B": 4, "C": 0, "D": 5, "E": 5},
+		20, 20)
+}
+
+func example2Table() *OptionTable {
+	return FromCounts("ex2", "C", []string{"A", "B", "C", "D", "E"},
+		map[string]int{"A": 1, "B": 2, "C": 10, "D": 0, "E": 7},
+		map[string]int{"A": 2, "B": 2, "C": 13, "D": 1, "E": 2},
+		20, 20)
+}
+
+func example3Table() *OptionTable {
+	return FromCounts("ex3", "A", []string{"A", "B", "C", "D", "E"},
+		map[string]int{"A": 15, "B": 2, "C": 2, "D": 0, "E": 1},
+		map[string]int{"A": 5, "B": 4, "C": 5, "D": 4, "E": 2},
+		20, 20)
+}
+
+func example4Table() *OptionTable {
+	return FromCounts("ex4", "E", []string{"A", "B", "C", "D", "E"},
+		map[string]int{"A": 4, "B": 4, "C": 4, "D": 2, "E": 6},
+		map[string]int{"A": 5, "B": 4, "C": 5, "D": 4, "E": 2},
+		20, 20)
+}
+
+// E2: Example 1 — option C attracted nobody in the low score group, so its
+// allure is low.
+func TestRule1PaperExample1(t *testing.T) {
+	res := EvaluateRule1(example1Table())
+	if !res.Matched {
+		t.Fatal("Rule 1 should match Example 1")
+	}
+	if !reflect.DeepEqual(res.Options, []string{"C"}) {
+		t.Errorf("flagged options = %v, want [C]", res.Options)
+	}
+}
+
+func TestRule1NoMatch(t *testing.T) {
+	tab := FromCounts("q", "A", []string{"A", "B"},
+		map[string]int{"A": 10, "B": 10},
+		map[string]int{"A": 9, "B": 11}, 20, 20)
+	if res := EvaluateRule1(tab); res.Matched {
+		t.Errorf("Rule 1 should not match when every option attracts someone; got %v", res.Options)
+	}
+}
+
+// E3: Example 2 — correct option C has HC(10) < LC(13) and wrong option E
+// has HE(7) > LE(2): both are not well defined.
+func TestRule2PaperExample2(t *testing.T) {
+	res := EvaluateRule2(example2Table())
+	if !res.Matched {
+		t.Fatal("Rule 2 should match Example 2")
+	}
+	if !reflect.DeepEqual(res.Options, []string{"C", "E"}) {
+		t.Errorf("flagged options = %v, want [C E]", res.Options)
+	}
+}
+
+func TestRule2CorrectOptionHealthy(t *testing.T) {
+	tab := FromCounts("q", "A", []string{"A", "B"},
+		map[string]int{"A": 15, "B": 5},
+		map[string]int{"A": 6, "B": 14}, 20, 20)
+	if res := EvaluateRule2(tab); res.Matched {
+		t.Errorf("Rule 2 should not match a healthy item; got %v", res.Options)
+	}
+}
+
+func TestRule2EqualCountsNotFlagged(t *testing.T) {
+	// HN == LN is neither HN < LN (correct) nor HN > LN (wrong).
+	tab := FromCounts("q", "A", []string{"A", "B"},
+		map[string]int{"A": 10, "B": 5},
+		map[string]int{"A": 10, "B": 5}, 20, 20)
+	if res := EvaluateRule2(tab); res.Matched {
+		t.Errorf("equal counts must not flag; got %v", res.Options)
+	}
+}
+
+// E4: Example 3 — LM=5, Lm=2, LS=20: |5-2|=3 <= 4 = 20%*LS, so the low
+// score group lacks the concept.
+func TestRule3PaperExample3(t *testing.T) {
+	tab := example3Table()
+	lm, lmin := tab.LowMaxMin()
+	if lm != 5 || lmin != 2 {
+		t.Fatalf("LM=%d Lm=%d, want 5 and 2", lm, lmin)
+	}
+	if ls := tab.LS(); ls != 20 {
+		t.Fatalf("LS=%d, want 20", ls)
+	}
+	if res := EvaluateRule3(tab); !res.Matched {
+		t.Error("Rule 3 should match Example 3")
+	}
+}
+
+func TestRule3NoMatchWhenLowGroupDecisive(t *testing.T) {
+	// Low group concentrates on one option: LM-Lm large.
+	tab := FromCounts("q", "A", []string{"A", "B", "C"},
+		map[string]int{"A": 18, "B": 1, "C": 1},
+		map[string]int{"A": 16, "B": 2, "C": 2}, 20, 20)
+	if res := EvaluateRule3(tab); res.Matched {
+		t.Error("Rule 3 should not match a decisive low group")
+	}
+}
+
+func TestRule3EmptyLowGroupNoMatch(t *testing.T) {
+	tab := FromCounts("q", "A", []string{"A", "B"},
+		map[string]int{"A": 10, "B": 10},
+		map[string]int{}, 20, 20)
+	if res := EvaluateRule3(tab); res.Matched {
+		t.Error("Rule 3 must not match with LS=0")
+	}
+}
+
+// E5: Example 4 — both groups spread evenly: LM-Lm=3<=4 and HM-Hm=4<=4.
+func TestRule4PaperExample4(t *testing.T) {
+	tab := example4Table()
+	hm, hmin := tab.HighMaxMin()
+	if hm != 6 || hmin != 2 {
+		t.Fatalf("HM=%d Hm=%d, want 6 and 2", hm, hmin)
+	}
+	if res := EvaluateRule4(tab); !res.Matched {
+		t.Error("Rule 4 should match Example 4")
+	}
+}
+
+func TestRule4NotMatchedOnExample3(t *testing.T) {
+	// In Example 3 the high group is decisive (HM-Hm = 15 > 4), so only the
+	// low group lacks the concept.
+	if res := EvaluateRule4(example3Table()); res.Matched {
+		t.Error("Rule 4 should not match Example 3")
+	}
+}
+
+func TestRule4EmptyGroupsNoMatch(t *testing.T) {
+	tab := FromCounts("q", "A", []string{"A"}, map[string]int{}, map[string]int{}, 0, 0)
+	if res := EvaluateRule4(tab); res.Matched {
+		t.Error("Rule 4 must not match with empty groups")
+	}
+}
+
+func TestEvaluateRulesOrder(t *testing.T) {
+	rs := EvaluateRules(example1Table())
+	for i, want := range []RuleID{Rule1, Rule2, Rule3, Rule4} {
+		if rs[i].Rule != want {
+			t.Errorf("rules[%d] = %v, want %v", i, rs[i].Rule, want)
+		}
+	}
+}
+
+func TestRuleIDString(t *testing.T) {
+	names := map[RuleID]string{Rule1: "Rule1", Rule2: "Rule2", Rule3: "Rule3", Rule4: "Rule4", RuleID(9): "Rule?"}
+	for id, want := range names {
+		if got := id.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(id), got, want)
+		}
+	}
+}

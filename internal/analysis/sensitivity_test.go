@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mineassess/internal/cognition"
+	"mineassess/internal/item"
+)
+
+// uniformExam builds an exam where `correct` of `n` students answer the
+// single problem correctly.
+func uniformExam(t *testing.T, examID string, n, correct int) *ExamResult {
+	t.Helper()
+	p := &item.Problem{ID: "p1", Style: item.TrueFalse, Question: "?",
+		Answer: "true", Level: cognition.Knowledge}
+	e := &ExamResult{ExamID: examID, Problems: []*item.Problem{p}}
+	for i := 0; i < n; i++ {
+		credit := 0.0
+		ans := "false"
+		if i < correct {
+			credit = 1
+			ans = "true"
+		}
+		sid := string(rune('a'+i/26)) + string(rune('a'+i%26))
+		e.Students = append(e.Students, StudentResult{
+			StudentID: sid,
+			Responses: []Response{{StudentID: sid, ProblemID: "p1",
+				Option: ans, Credit: credit, Answered: true, TimeSpent: time.Second}},
+		})
+	}
+	return e
+}
+
+// E10/E15 groundwork: the paper's own numeric example of §3.3 III:
+// R=800, N=1000 → P=0.8.
+func TestSimpleDifficultyPaperExample(t *testing.T) {
+	p, err := SimpleDifficulty(800, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.8 {
+		t.Errorf("P = %v, want 0.8", p)
+	}
+}
+
+func TestSimpleDifficultyErrors(t *testing.T) {
+	if _, err := SimpleDifficulty(1, 0); err == nil {
+		t.Error("zero total should fail")
+	}
+	if _, err := SimpleDifficulty(-1, 10); err == nil {
+		t.Error("negative right should fail")
+	}
+	if _, err := SimpleDifficulty(11, 10); err == nil {
+		t.Error("right > total should fail")
+	}
+}
+
+// E15: Instructional Sensitivity Index — teaching raises P.
+func TestInstructionalSensitivityPositive(t *testing.T) {
+	pre := uniformExam(t, "pre", 40, 10)   // P = 0.25 before teaching
+	post := uniformExam(t, "post", 40, 30) // P = 0.75 after
+	rep, err := InstructionalSensitivity(pre, post)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Items["p1"]; math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("ISI = %v, want 0.5", got)
+	}
+	if math.Abs(rep.MeanISI-0.5) > 1e-9 {
+		t.Errorf("MeanISI = %v, want 0.5", rep.MeanISI)
+	}
+	if math.Abs(rep.PreMean-0.25) > 1e-9 || math.Abs(rep.PostMean-0.75) > 1e-9 {
+		t.Errorf("PreMean=%v PostMean=%v", rep.PreMean, rep.PostMean)
+	}
+}
+
+func TestInstructionalSensitivityMismatchedProblems(t *testing.T) {
+	pre := uniformExam(t, "pre", 10, 5)
+	post := uniformExam(t, "post", 10, 5)
+	post.Problems = append(post.Problems, &item.Problem{
+		ID: "p2", Style: item.TrueFalse, Question: "?",
+		Answer: "true", Level: cognition.Knowledge})
+	if _, err := InstructionalSensitivity(pre, post); err == nil {
+		t.Error("mismatched problem counts should fail")
+	}
+
+	renamed := uniformExam(t, "post", 10, 5)
+	renamed.Problems[0] = &item.Problem{ID: "other", Style: item.TrueFalse,
+		Question: "?", Answer: "true", Level: cognition.Knowledge}
+	for i := range renamed.Students {
+		renamed.Students[i].Responses[0].ProblemID = "other"
+	}
+	if _, err := InstructionalSensitivity(pre, renamed); err == nil {
+		t.Error("missing problem ID should fail")
+	}
+}
+
+func TestInstructionalSensitivityInvalidInput(t *testing.T) {
+	good := uniformExam(t, "ok", 10, 5)
+	bad := &ExamResult{ExamID: "bad"}
+	if _, err := InstructionalSensitivity(bad, good); err == nil {
+		t.Error("invalid pre-test should fail")
+	}
+	if _, err := InstructionalSensitivity(good, bad); err == nil {
+		t.Error("invalid post-test should fail")
+	}
+}

@@ -1,0 +1,85 @@
+package analysis
+
+// Signal is the traffic-light advice of the paper's Table 3.
+type Signal int
+
+// Signals.
+const (
+	// SignalGreen: the question is good (D >= 0.30 and no rule fired).
+	SignalGreen Signal = iota + 1
+	// SignalYellow: fix the question (D in [0.20,0.30), or a rule fired on
+	// an otherwise-discriminating question).
+	SignalYellow
+	// SignalRed: eliminate or fix (D <= 0.19).
+	SignalRed
+)
+
+// String returns "Green", "Yellow" or "Red".
+func (s Signal) String() string {
+	switch s {
+	case SignalGreen:
+		return "Green"
+	case SignalYellow:
+		return "Yellow"
+	case SignalRed:
+		return "Red"
+	default:
+		return "Signal?"
+	}
+}
+
+// Advice returns Table 3's action column for the signal.
+func (s Signal) Advice() string {
+	switch s {
+	case SignalGreen:
+		return "Good"
+	case SignalYellow:
+		return "Fix"
+	case SignalRed:
+		return "Eliminate or fix"
+	default:
+		return "Unknown"
+	}
+}
+
+// Discrimination thresholds from Table 3.
+const (
+	// GreenThreshold: D at or above this is "Good" (paper: "Higher 0.3").
+	GreenThreshold = 0.30
+	// YellowThreshold: D at or above this but below GreenThreshold is
+	// "Fix" (paper: 0.2-0.29). Below it is "Eliminate or fix".
+	YellowThreshold = 0.20
+)
+
+// EvaluateSignal implements Table 3's policy. The paper grades primarily on
+// D and additionally marks the Fix row with Rule 1 and Rule 2 matches; we
+// therefore:
+//
+//   - return Red when D <= 0.19 regardless of rules (too little
+//     discrimination to keep as-is),
+//   - return Yellow when 0.20 <= D < 0.30, or when D >= 0.30 but Rule 1 or
+//     Rule 2 flags an option defect worth fixing,
+//   - return Green otherwise (D >= 0.30 and no option defect).
+//
+// Rules 3 and 4 diagnose the learners rather than the question, so they do
+// not downgrade the signal (the advice they generate is reported through
+// statuses instead).
+func EvaluateSignal(d float64, rules [4]RuleResult) Signal {
+	optionDefect := false
+	for _, r := range rules {
+		if r.Matched && (r.Rule == Rule1 || r.Rule == Rule2) {
+			optionDefect = true
+			break
+		}
+	}
+	switch {
+	case d < YellowThreshold:
+		return SignalRed
+	case d < GreenThreshold:
+		return SignalYellow
+	case optionDefect:
+		return SignalYellow
+	default:
+		return SignalGreen
+	}
+}

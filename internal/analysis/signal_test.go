@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func noRules() [4]RuleResult {
+	return [4]RuleResult{{Rule: Rule1}, {Rule: Rule2}, {Rule: Rule3}, {Rule: Rule4}}
+}
+
+func withRule(id RuleID) [4]RuleResult {
+	rs := noRules()
+	rs[int(id)-1].Matched = true
+	return rs
+}
+
+// E7: Table 3's thresholds.
+func TestSignalThresholds(t *testing.T) {
+	tests := []struct {
+		d    float64
+		want Signal
+	}{
+		{0.55, SignalGreen}, // paper worked q2
+		{0.30, SignalGreen},
+		{0.31, SignalGreen},
+		{0.29, SignalYellow},
+		{0.25, SignalYellow},
+		{0.20, SignalYellow},
+		{0.19, SignalRed},
+		{0.09, SignalRed}, // paper worked q6
+		{0.00, SignalRed},
+		{-0.2, SignalRed},
+	}
+	for _, tt := range tests {
+		if got := EvaluateSignal(tt.d, noRules()); got != tt.want {
+			t.Errorf("EvaluateSignal(%v) = %v, want %v", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestSignalRuleEscalation(t *testing.T) {
+	// A discriminating question with an option defect is downgraded to Fix.
+	if got := EvaluateSignal(0.5, withRule(Rule1)); got != SignalYellow {
+		t.Errorf("D=0.5 with Rule1 = %v, want Yellow", got)
+	}
+	if got := EvaluateSignal(0.5, withRule(Rule2)); got != SignalYellow {
+		t.Errorf("D=0.5 with Rule2 = %v, want Yellow", got)
+	}
+	// Rules 3 and 4 diagnose learners, not the item.
+	if got := EvaluateSignal(0.5, withRule(Rule3)); got != SignalGreen {
+		t.Errorf("D=0.5 with Rule3 = %v, want Green", got)
+	}
+	if got := EvaluateSignal(0.5, withRule(Rule4)); got != SignalGreen {
+		t.Errorf("D=0.5 with Rule4 = %v, want Green", got)
+	}
+	// Red stays red regardless of rules.
+	if got := EvaluateSignal(0.1, withRule(Rule1)); got != SignalRed {
+		t.Errorf("D=0.1 with Rule1 = %v, want Red", got)
+	}
+}
+
+func TestSignalStringsAndAdvice(t *testing.T) {
+	tests := []struct {
+		s          Signal
+		name, advm string
+	}{
+		{SignalGreen, "Green", "Good"},
+		{SignalYellow, "Yellow", "Fix"},
+		{SignalRed, "Red", "Eliminate or fix"},
+		{Signal(0), "Signal?", "Unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.name {
+			t.Errorf("String = %q, want %q", got, tt.name)
+		}
+		if got := tt.s.Advice(); got != tt.advm {
+			t.Errorf("Advice = %q, want %q", got, tt.advm)
+		}
+	}
+}
+
+// Property: signal is monotone in D (higher discrimination never worsens the
+// signal) for a fixed rule outcome.
+func TestSignalMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		sLo := EvaluateSignal(lo, noRules())
+		sHi := EvaluateSignal(hi, noRules())
+		// Red(3) >= Yellow(2) >= Green(1): lower D must not give a
+		// strictly better (smaller) signal.
+		return int(sLo) >= int(sHi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

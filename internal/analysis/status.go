@@ -1,0 +1,76 @@
+package analysis
+
+// Status is one diagnostic condition from the paper's Table 2. Each rule
+// implies a set of possible statuses: Rule 1 marks low option allure; Rule 2
+// marks an unclear option, carelessness, or more than one defensible answer;
+// Rules 3 and 4 mark concept gaps in the low group and (for Rule 4) also the
+// high group.
+type Status int
+
+// Statuses, in Table 2 column order.
+const (
+	StatusLowAllure Status = iota + 1
+	StatusOptionUnclear
+	StatusCareless
+	StatusMultipleAnswers
+	StatusLowGroupLacksConcept
+	StatusHighGroupLacksConcept
+)
+
+var _statusNames = map[Status]string{
+	StatusLowAllure:             "the option's allure is low",
+	StatusOptionUnclear:         "the option meaning is not clear",
+	StatusCareless:              "careless",
+	StatusMultipleAnswers:       "not only one exact answer",
+	StatusLowGroupLacksConcept:  "low score group lack concept",
+	StatusHighGroupLacksConcept: "high score group lack concept",
+}
+
+// String returns the paper's wording for the status.
+func (s Status) String() string {
+	if n, ok := _statusNames[s]; ok {
+		return n
+	}
+	return "unknown status"
+}
+
+// AllStatuses returns the six statuses in Table 2 column order.
+func AllStatuses() [6]Status {
+	return [6]Status{
+		StatusLowAllure, StatusOptionUnclear, StatusCareless,
+		StatusMultipleAnswers, StatusLowGroupLacksConcept, StatusHighGroupLacksConcept,
+	}
+}
+
+// StatusMatrix reproduces Table 2: which statuses each rule can indicate.
+// The V/X cells of the paper become booleans.
+func StatusMatrix() map[RuleID][]Status {
+	return map[RuleID][]Status{
+		Rule1: {StatusLowAllure},
+		Rule2: {StatusOptionUnclear, StatusCareless, StatusMultipleAnswers},
+		Rule3: {StatusLowGroupLacksConcept},
+		Rule4: {StatusLowGroupLacksConcept, StatusHighGroupLacksConcept},
+	}
+}
+
+// StatusesFor derives the statuses indicated by the matched rules, in Table
+// 2 column order, without duplicates.
+func StatusesFor(results [4]RuleResult) []Status {
+	matrix := StatusMatrix()
+	indicated := make(map[Status]bool)
+	for _, res := range results {
+		if !res.Matched {
+			continue
+		}
+		for _, st := range matrix[res.Rule] {
+			indicated[st] = true
+		}
+	}
+	var out []Status
+	for _, st := range AllStatuses() {
+		if indicated[st] {
+			out = append(out, st)
+		}
+	}
+	return out
+}

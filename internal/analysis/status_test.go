@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+// E6: Table 2 — which statuses each rule indicates.
+func TestStatusMatrixTable2(t *testing.T) {
+	m := StatusMatrix()
+	want := map[RuleID][]Status{
+		Rule1: {StatusLowAllure},
+		Rule2: {StatusOptionUnclear, StatusCareless, StatusMultipleAnswers},
+		Rule3: {StatusLowGroupLacksConcept},
+		Rule4: {StatusLowGroupLacksConcept, StatusHighGroupLacksConcept},
+	}
+	if !reflect.DeepEqual(m, want) {
+		t.Errorf("StatusMatrix = %v, want %v", m, want)
+	}
+}
+
+func TestStatusesForSingleRule(t *testing.T) {
+	got := StatusesFor(withRule(Rule1))
+	if !reflect.DeepEqual(got, []Status{StatusLowAllure}) {
+		t.Errorf("StatusesFor(Rule1) = %v", got)
+	}
+	got = StatusesFor(withRule(Rule4))
+	want := []Status{StatusLowGroupLacksConcept, StatusHighGroupLacksConcept}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("StatusesFor(Rule4) = %v, want %v", got, want)
+	}
+}
+
+func TestStatusesForMultipleRulesDeduplicated(t *testing.T) {
+	rs := noRules()
+	rs[2].Matched = true // Rule3
+	rs[3].Matched = true // Rule4
+	got := StatusesFor(rs)
+	// LowGroupLacksConcept indicated by both rules appears once.
+	want := []Status{StatusLowGroupLacksConcept, StatusHighGroupLacksConcept}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("StatusesFor(Rule3+Rule4) = %v, want %v", got, want)
+	}
+}
+
+func TestStatusesForNoRules(t *testing.T) {
+	if got := StatusesFor(noRules()); len(got) != 0 {
+		t.Errorf("StatusesFor(none) = %v, want empty", got)
+	}
+}
+
+func TestStatusStringsMatchPaperWording(t *testing.T) {
+	tests := map[Status]string{
+		StatusLowAllure:             "the option's allure is low",
+		StatusOptionUnclear:         "the option meaning is not clear",
+		StatusCareless:              "careless",
+		StatusMultipleAnswers:       "not only one exact answer",
+		StatusLowGroupLacksConcept:  "low score group lack concept",
+		StatusHighGroupLacksConcept: "high score group lack concept",
+		Status(99):                  "unknown status",
+	}
+	for s, want := range tests {
+		if got := s.String(); got != want {
+			t.Errorf("Status(%d) = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestExample1StatusEndToEnd(t *testing.T) {
+	rules := EvaluateRules(example1Table())
+	statuses := StatusesFor(rules)
+	found := false
+	for _, s := range statuses {
+		if s == StatusLowAllure {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Example 1 statuses %v should include low allure", statuses)
+	}
+}
+
+func TestExample4StatusBothGroups(t *testing.T) {
+	rules := EvaluateRules(example4Table())
+	statuses := StatusesFor(rules)
+	hasLow, hasHigh := false, false
+	for _, s := range statuses {
+		if s == StatusLowGroupLacksConcept {
+			hasLow = true
+		}
+		if s == StatusHighGroupLacksConcept {
+			hasHigh = true
+		}
+	}
+	if !hasLow || !hasHigh {
+		t.Errorf("Example 4 statuses %v should include both concept-gap statuses", statuses)
+	}
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+)
+
+// TimePoint is one point of the §4.2.1(1) figure: by elapsed time T, the
+// average number of questions a student has answered.
+type TimePoint struct {
+	Elapsed  time.Duration
+	Answered float64
+}
+
+// TimeCurve computes the time-vs-answered-questions figure. It walks each
+// student's responses in exam order, accumulating per-question times, and
+// samples the class-average answered count at `samples` evenly spaced
+// elapsed times up to the slowest student's finish (or the exam's TestTime
+// if set and larger).
+func TimeCurve(e *ExamResult, samples int) []TimePoint {
+	if samples < 2 || len(e.Students) == 0 {
+		return nil
+	}
+	// Per student, the cumulative finish time of each answered question.
+	finishes := make([][]time.Duration, 0, len(e.Students))
+	var horizon time.Duration
+	for _, s := range e.Students {
+		var cum time.Duration
+		var f []time.Duration
+		for _, r := range s.Responses {
+			cum += r.TimeSpent
+			if r.Answered {
+				f = append(f, cum)
+			}
+		}
+		if cum > horizon {
+			horizon = cum
+		}
+		finishes = append(finishes, f)
+	}
+	if e.TestTime > horizon {
+		horizon = e.TestTime
+	}
+	if horizon == 0 {
+		return nil
+	}
+	points := make([]TimePoint, 0, samples)
+	for i := 0; i < samples; i++ {
+		t := time.Duration(int64(horizon) * int64(i+1) / int64(samples))
+		total := 0
+		for _, f := range finishes {
+			// f is sorted (cumulative); count answers finished by t.
+			total += sort.Search(len(f), func(j int) bool { return f[j] > t })
+		}
+		points = append(points, TimePoint{
+			Elapsed:  t,
+			Answered: float64(total) / float64(len(finishes)),
+		})
+	}
+	return points
+}
+
+// TimeSufficiency summarizes whether the test time is enough (the question
+// the §4.2.1(1) figure answers): the share of students who answered every
+// question within the limit, and the average total time.
+type TimeSufficiency struct {
+	TestTime       time.Duration
+	AverageTime    time.Duration // §3.4 I
+	CompletionRate float64       // fraction answering all questions in time
+	Enough         bool          // CompletionRate >= 0.95
+}
+
+// AnalyzeTime computes the time sufficiency summary. With no TestTime set,
+// the completion rate considers only whether all questions were answered.
+func AnalyzeTime(e *ExamResult) TimeSufficiency {
+	out := TimeSufficiency{TestTime: e.TestTime}
+	if len(e.Students) == 0 {
+		return out
+	}
+	var totalTime time.Duration
+	completed := 0
+	for _, s := range e.Students {
+		tt := s.TotalTime()
+		totalTime += tt
+		inTime := e.TestTime == 0 || tt <= e.TestTime
+		if inTime && s.AnsweredCount() == len(e.Problems) {
+			completed++
+		}
+	}
+	out.AverageTime = totalTime / time.Duration(len(e.Students))
+	out.CompletionRate = float64(completed) / float64(len(e.Students))
+	out.Enough = out.CompletionRate >= 0.95
+	return out
+}
+
+// ScoreDifficultyCell is one cell of the §4.2.1(2) figure: how many correct
+// responses students in a score bucket produced on items in a difficulty
+// bucket.
+type ScoreDifficultyCell struct {
+	ScoreBucket      int // 0..ScoreBuckets-1, ascending score
+	DifficultyBucket int // 0..DifficultyBuckets-1, ascending P (easier)
+	Count            int
+}
+
+// ScoreDifficultyGrid is the full distribution plus its bucket geometry.
+type ScoreDifficultyGrid struct {
+	ScoreBuckets      int
+	DifficultyBuckets int
+	MaxScore          float64
+	Cells             []ScoreDifficultyCell // dense, row-major by score bucket
+}
+
+// Cell returns the count at (scoreBucket, difficultyBucket).
+func (g *ScoreDifficultyGrid) Cell(score, diff int) int {
+	if score < 0 || score >= g.ScoreBuckets || diff < 0 || diff >= g.DifficultyBuckets {
+		return 0
+	}
+	return g.Cells[score*g.DifficultyBuckets+diff].Count
+}
+
+// ScoreDifficulty computes the score-vs-difficulty distribution: items are
+// bucketed by their group difficulty P from the analysis, students by their
+// total score, and each correct response increments its (score, difficulty)
+// cell. The expected shape: low-score rows concentrate in high-P (easy)
+// columns; high-score rows spread across all columns.
+func ScoreDifficulty(e *ExamResult, a *ExamAnalysis, scoreBuckets, difficultyBuckets int) *ScoreDifficultyGrid {
+	if scoreBuckets < 1 || difficultyBuckets < 1 {
+		return nil
+	}
+	grid := &ScoreDifficultyGrid{
+		ScoreBuckets:      scoreBuckets,
+		DifficultyBuckets: difficultyBuckets,
+	}
+	grid.Cells = make([]ScoreDifficultyCell, scoreBuckets*difficultyBuckets)
+	for si := 0; si < scoreBuckets; si++ {
+		for di := 0; di < difficultyBuckets; di++ {
+			grid.Cells[si*difficultyBuckets+di] = ScoreDifficultyCell{ScoreBucket: si, DifficultyBucket: di}
+		}
+	}
+	// Item difficulty per problem.
+	diffByProblem := make(map[string]float64, len(a.Questions))
+	for _, q := range a.Questions {
+		diffByProblem[q.ProblemID] = q.P
+	}
+	weights := e.Weights()
+	maxScore := 0.0
+	for _, p := range e.Problems {
+		maxScore += p.Weight()
+	}
+	grid.MaxScore = maxScore
+	if maxScore == 0 {
+		return grid
+	}
+	bucketOf := func(v float64, buckets int) int {
+		if v >= 1 {
+			return buckets - 1
+		}
+		if v < 0 {
+			return 0
+		}
+		return int(v * float64(buckets))
+	}
+	for _, s := range e.Students {
+		si := bucketOf(s.Score(weights)/maxScore, scoreBuckets)
+		for _, r := range s.Responses {
+			if !r.Correct() {
+				continue
+			}
+			di := bucketOf(diffByProblem[r.ProblemID], difficultyBuckets)
+			grid.Cells[si*difficultyBuckets+di].Count++
+		}
+	}
+	return grid
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"mineassess/internal/cognition"
+	"mineassess/internal/item"
+)
+
+// timedExam builds two students: a fast one answering all three problems in
+// 3 minutes and a slow one answering only two within 6 minutes.
+func timedExam(t *testing.T) *ExamResult {
+	t.Helper()
+	e := &ExamResult{ExamID: "timed", TestTime: 5 * time.Minute}
+	for _, id := range []string{"p1", "p2", "p3"} {
+		e.Problems = append(e.Problems, &item.Problem{
+			ID: id, Style: item.TrueFalse, Question: "?",
+			Answer: "true", Level: cognition.Knowledge,
+		})
+	}
+	fast := StudentResult{StudentID: "fast", Responses: []Response{
+		{ProblemID: "p1", Credit: 1, Answered: true, TimeSpent: time.Minute},
+		{ProblemID: "p2", Credit: 1, Answered: true, TimeSpent: time.Minute},
+		{ProblemID: "p3", Credit: 1, Answered: true, TimeSpent: time.Minute},
+	}}
+	slow := StudentResult{StudentID: "slow", Responses: []Response{
+		{ProblemID: "p1", Credit: 1, Answered: true, TimeSpent: 3 * time.Minute},
+		{ProblemID: "p2", Credit: 0, Answered: true, TimeSpent: 3 * time.Minute},
+		{ProblemID: "p3", Credit: 0, Answered: false, TimeSpent: 0},
+	}}
+	e.Students = []StudentResult{fast, slow}
+	return e
+}
+
+// E11: the time-vs-answered curve.
+func TestTimeCurveShape(t *testing.T) {
+	e := timedExam(t)
+	pts := TimeCurve(e, 6)
+	if len(pts) != 6 {
+		t.Fatalf("points = %d, want 6", len(pts))
+	}
+	// Curve must be non-decreasing.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Answered < pts[i-1].Answered {
+			t.Errorf("curve decreased at %d: %v -> %v", i, pts[i-1].Answered, pts[i].Answered)
+		}
+	}
+	// Final point: fast answered 3, slow answered 2 → mean 2.5.
+	last := pts[len(pts)-1]
+	if last.Answered != 2.5 {
+		t.Errorf("final answered = %v, want 2.5", last.Answered)
+	}
+	// Horizon covers the slowest student (6m), beyond TestTime (5m).
+	if last.Elapsed != 6*time.Minute {
+		t.Errorf("horizon = %v, want 6m", last.Elapsed)
+	}
+}
+
+func TestTimeCurveDegenerate(t *testing.T) {
+	if pts := TimeCurve(&ExamResult{}, 5); pts != nil {
+		t.Errorf("empty exam curve = %v, want nil", pts)
+	}
+	e := timedExam(t)
+	if pts := TimeCurve(e, 1); pts != nil {
+		t.Errorf("samples=1 curve = %v, want nil", pts)
+	}
+}
+
+func TestAnalyzeTimeSufficiency(t *testing.T) {
+	e := timedExam(t)
+	ts := AnalyzeTime(e)
+	// fast: 3m total, all answered, within 5m → completed.
+	// slow: 6m total, one skip, over limit → not completed.
+	if ts.CompletionRate != 0.5 {
+		t.Errorf("CompletionRate = %v, want 0.5", ts.CompletionRate)
+	}
+	if ts.Enough {
+		t.Error("50% completion must not be 'enough'")
+	}
+	wantAvg := (3*time.Minute + 6*time.Minute) / 2
+	if ts.AverageTime != wantAvg {
+		t.Errorf("AverageTime = %v, want %v", ts.AverageTime, wantAvg)
+	}
+}
+
+func TestAnalyzeTimeNoLimit(t *testing.T) {
+	e := timedExam(t)
+	e.TestTime = 0
+	ts := AnalyzeTime(e)
+	// Without a limit only completeness matters: fast completed, slow
+	// skipped p3.
+	if ts.CompletionRate != 0.5 {
+		t.Errorf("CompletionRate = %v, want 0.5", ts.CompletionRate)
+	}
+}
+
+func TestAnalyzeTimeEmpty(t *testing.T) {
+	ts := AnalyzeTime(&ExamResult{})
+	if ts.AverageTime != 0 || ts.CompletionRate != 0 {
+		t.Errorf("empty exam time stats = %+v", ts)
+	}
+}
+
+// E12: score-vs-difficulty distribution. Low scorers succeed only on easy
+// items; high scorers succeed everywhere.
+func TestScoreDifficultyShape(t *testing.T) {
+	e := scoreLadderExam(t, 40)
+	a, err := Analyze(e, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := ScoreDifficulty(e, a, 4, 4)
+	if grid == nil {
+		t.Fatal("nil grid")
+	}
+	// In the ladder exam, problem p_j is answered correctly by students
+	// i > j: earlier problems are easier. The lowest score bucket must have
+	// all its correct responses on the easiest (highest-P) items; verify
+	// low scorers contribute nothing to the hardest column.
+	hardest := 0
+	for s := 0; s < 2; s++ { // bottom half of scores
+		hardest += grid.Cell(s, 0)
+	}
+	if hardest != 0 {
+		t.Errorf("low scorers have %d correct on hardest items, want 0", hardest)
+	}
+	// Total count equals total correct responses.
+	total := 0
+	for _, c := range grid.Cells {
+		total += c.Count
+	}
+	wantTotal := 0
+	for _, s := range e.Students {
+		for _, r := range s.Responses {
+			if r.Correct() {
+				wantTotal++
+			}
+		}
+	}
+	if total != wantTotal {
+		t.Errorf("grid total = %d, want %d", total, wantTotal)
+	}
+}
+
+func TestScoreDifficultyDegenerate(t *testing.T) {
+	e := scoreLadderExam(t, 4)
+	a, err := Analyze(e, Options{GroupFraction: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid := ScoreDifficulty(e, a, 0, 4); grid != nil {
+		t.Error("zero buckets should return nil")
+	}
+	grid := ScoreDifficulty(e, a, 1, 1)
+	if grid == nil || len(grid.Cells) != 1 {
+		t.Fatalf("1x1 grid = %+v", grid)
+	}
+	if grid.Cell(5, 5) != 0 {
+		t.Error("out-of-range Cell should return 0")
+	}
+}
+
+func TestTimePointHorizonUsesTestTime(t *testing.T) {
+	e := timedExam(t)
+	e.TestTime = 20 * time.Minute
+	pts := TimeCurve(e, 4)
+	if got := pts[len(pts)-1].Elapsed; got != 20*time.Minute {
+		t.Errorf("horizon = %v, want 20m (TestTime dominates)", got)
+	}
+}

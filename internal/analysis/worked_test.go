@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+// E8: the paper's worked question no. 2 under Figure 2. Class of 44, groups
+// of 11, correct answer C.
+//
+//	High: A=0 B=0 C=10 D=1
+//	Low:  A=3 B=2 C=4  D=2
+//
+// PH = 10/11 ≈ 0.91, PL = 4/11 = 0.36, D = 0.55 (> 0.3 → green),
+// P = (0.91+0.36)/2 = 0.635.
+func workedQ2Table() *OptionTable {
+	return FromCounts("no2", "C", []string{"A", "B", "C", "D"},
+		map[string]int{"A": 0, "B": 0, "C": 10, "D": 1},
+		map[string]int{"A": 3, "B": 2, "C": 4, "D": 2},
+		11, 11)
+}
+
+// E9: worked question no. 6. Correct answer D (the paper computes
+// PH = 5/11 from option D's high-group count).
+//
+//	High: A=1 B=1 C=4 D=5
+//	Low:  A=0 B=2 C=4 D=4
+//
+// PH = 0.45, PL = 0.36, D = 0.09 (→ red), P = 0.41; Rule 1 flags option A
+// ("the allure of option A is low": LA = 0).
+func workedQ6Table() *OptionTable {
+	return FromCounts("no6", "D", []string{"A", "B", "C", "D"},
+		map[string]int{"A": 1, "B": 1, "C": 4, "D": 5},
+		map[string]int{"A": 0, "B": 2, "C": 4, "D": 4},
+		11, 11)
+}
+
+func TestWorkedQuestion2Numbers(t *testing.T) {
+	tab := workedQ2Table()
+	almost(t, "PH", tab.PH(), 10.0/11.0, 1e-9)
+	almost(t, "PL", tab.PL(), 4.0/11.0, 1e-9)
+	// Paper rounds: PH≅0.91, PL=0.36, D=0.55, P=0.635.
+	almost(t, "PH(rounded)", tab.PH(), 0.91, 0.005)
+	almost(t, "PL(rounded)", tab.PL(), 0.36, 0.005)
+	almost(t, "D", tab.Discrimination(), 0.55, 0.005)
+	almost(t, "P", tab.Difficulty(), 0.635, 0.005)
+}
+
+func TestWorkedQuestion2Signal(t *testing.T) {
+	tab := workedQ2Table()
+	rules := EvaluateRules(tab)
+	sig := EvaluateSignal(tab.Discrimination(), rules)
+	if sig != SignalGreen {
+		t.Errorf("question 2 signal = %v, want Green (paper: D>0.3, signal is green)", sig)
+	}
+}
+
+func TestWorkedQuestion6Numbers(t *testing.T) {
+	tab := workedQ6Table()
+	almost(t, "PH", tab.PH(), 5.0/11.0, 1e-9)
+	almost(t, "PL", tab.PL(), 4.0/11.0, 1e-9)
+	almost(t, "D", tab.Discrimination(), 0.09, 0.005)
+	almost(t, "P", tab.Difficulty(), 0.41, 0.005)
+}
+
+func TestWorkedQuestion6RedAndRule1(t *testing.T) {
+	tab := workedQ6Table()
+	rules := EvaluateRules(tab)
+	if !rules[0].Matched {
+		t.Error("Rule 1 should match question 6 (LA=0)")
+	}
+	found := false
+	for _, k := range rules[0].Options {
+		if k == "A" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Rule 1 should flag option A; flagged %v", rules[0].Options)
+	}
+	if sig := EvaluateSignal(tab.Discrimination(), rules); sig != SignalRed {
+		t.Errorf("question 6 signal = %v, want Red (D=0.09 <= 0.19)", sig)
+	}
+}
+
+// TestWorkedQuestionsEndToEnd reconstructs a full 44-student class whose
+// top-11/bottom-11 split reproduces the paper's two worked option tables,
+// then runs the complete Analyze pipeline over it. This exercises ranking,
+// splitting, tabulation, indices, rules and signals together.
+func TestWorkedQuestionsEndToEnd(t *testing.T) {
+	e := workedClassExam(t)
+	a, err := Analyze(e, Options{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if a.Groups.Size() != 11 {
+		t.Fatalf("group size = %d, want 11 (25%% of 44)", a.Groups.Size())
+	}
+
+	q2 := a.Question("no2")
+	if q2 == nil {
+		t.Fatal("no report for question no2")
+	}
+	almost(t, "q2.PH", q2.PH, 10.0/11.0, 1e-9)
+	almost(t, "q2.PL", q2.PL, 4.0/11.0, 1e-9)
+	almost(t, "q2.D", q2.D, 0.55, 0.005)
+	almost(t, "q2.P", q2.P, 0.635, 0.005)
+	if q2.Signal != SignalGreen {
+		t.Errorf("q2 signal = %v, want Green", q2.Signal)
+	}
+
+	q6 := a.Question("no6")
+	if q6 == nil {
+		t.Fatal("no report for question no6")
+	}
+	almost(t, "q6.D", q6.D, 0.09, 0.005)
+	almost(t, "q6.P", q6.P, 0.41, 0.005)
+	if q6.Signal != SignalRed {
+		t.Errorf("q6 signal = %v, want Red", q6.Signal)
+	}
+	if got := q6.MatchedRules(); len(got) == 0 || got[0] != Rule1 {
+		t.Errorf("q6 matched rules = %v, want Rule1 first", got)
+	}
+}

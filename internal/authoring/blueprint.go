@@ -1,0 +1,175 @@
+// Package authoring implements exam authoring on top of the problem bank:
+// blueprint-driven assembly against a two-way specification (concept ×
+// cognition level) target, the §5.4 group service for presentation styles,
+// and fixed/random question ordering (§3.2 VI C).
+package authoring
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mineassess/internal/bank"
+	"mineassess/internal/cognition"
+)
+
+// Blueprint is an authoring target: how many questions of each cognition
+// level every concept should contribute. It is the prescriptive twin of the
+// descriptive two-way specification table of §4.2.
+type Blueprint struct {
+	// Required maps concept ID → level → required question count.
+	Required map[string]map[cognition.Level]int
+}
+
+// NewBlueprint returns an empty blueprint.
+func NewBlueprint() *Blueprint {
+	return &Blueprint{Required: make(map[string]map[cognition.Level]int)}
+}
+
+// Require sets the required count for one (concept, level) cell.
+func (b *Blueprint) Require(conceptID string, level cognition.Level, n int) error {
+	if !level.Valid() {
+		return fmt.Errorf("authoring: invalid level %d", int(level))
+	}
+	if n < 0 {
+		return fmt.Errorf("authoring: negative requirement %d", n)
+	}
+	row, ok := b.Required[conceptID]
+	if !ok {
+		row = make(map[cognition.Level]int)
+		b.Required[conceptID] = row
+	}
+	row[level] = n
+	return nil
+}
+
+// Total returns the total number of required questions.
+func (b *Blueprint) Total() int {
+	total := 0
+	for _, row := range b.Required {
+		for _, n := range row {
+			total += n
+		}
+	}
+	return total
+}
+
+// ConceptIDs returns the blueprint's concept IDs, sorted.
+func (b *Blueprint) ConceptIDs() []string {
+	out := make([]string, 0, len(b.Required))
+	for id := range b.Required {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Shortfall is one unsatisfiable blueprint cell.
+type Shortfall struct {
+	ConceptID string
+	Level     cognition.Level
+	Required  int
+	Available int
+}
+
+func (s Shortfall) String() string {
+	return fmt.Sprintf("%s/%s: need %d, bank has %d",
+		s.ConceptID, s.Level, s.Required, s.Available)
+}
+
+// ErrShortfall wraps assembly failures caused by an underfilled bank.
+var ErrShortfall = errors.New("authoring: bank cannot satisfy blueprint")
+
+// ShortfallError carries every unsatisfiable cell.
+type ShortfallError struct {
+	Shortfalls []Shortfall
+}
+
+// Error implements error.
+func (e *ShortfallError) Error() string {
+	return fmt.Sprintf("%v (%d cells)", ErrShortfall, len(e.Shortfalls))
+}
+
+// Unwrap lets callers match with errors.Is(err, ErrShortfall).
+func (e *ShortfallError) Unwrap() error { return ErrShortfall }
+
+// Assemble selects problem IDs from the store satisfying the blueprint.
+// Within each (concept, level) cell, problems are taken in ID order (the
+// deterministic choice an instructor can audit); seedless randomization is
+// deliberately not provided here — shuffle at presentation time instead.
+// When any cell cannot be filled the returned error is a *ShortfallError
+// listing every deficient cell.
+func Assemble(store *bank.Store, bp *Blueprint) ([]string, error) {
+	var picked []string
+	var shortfalls []Shortfall
+	for _, conceptID := range bp.ConceptIDs() {
+		row := bp.Required[conceptID]
+		for _, level := range cognition.Levels() {
+			need := row[level]
+			if need == 0 {
+				continue
+			}
+			candidates := store.Search(bank.Query{ConceptID: conceptID, Level: level})
+			if len(candidates) < need {
+				shortfalls = append(shortfalls, Shortfall{
+					ConceptID: conceptID, Level: level,
+					Required: need, Available: len(candidates),
+				})
+				continue
+			}
+			for i := 0; i < need; i++ {
+				picked = append(picked, candidates[i].ID)
+			}
+		}
+	}
+	if len(shortfalls) > 0 {
+		return nil, &ShortfallError{Shortfalls: shortfalls}
+	}
+	return picked, nil
+}
+
+// ParallelForms splits an assembled problem list into two balanced forms:
+// within each (concept, level) cell the problems alternate between form A
+// and form B, so both forms match the blueprint shape as closely as parity
+// allows. Problems without concept or level classification alternate
+// globally. The input order is preserved within each form.
+func ParallelForms(store *bank.Store, problemIDs []string) (formA, formB []string, err error) {
+	problems, err := store.Problems(problemIDs)
+	if err != nil {
+		return nil, nil, err
+	}
+	type cell struct {
+		concept string
+		level   cognition.Level
+	}
+	counts := make(map[cell]int)
+	for _, p := range problems {
+		key := cell{concept: p.ConceptID, level: p.Level}
+		if counts[key]%2 == 0 {
+			formA = append(formA, p.ID)
+		} else {
+			formB = append(formB, p.ID)
+		}
+		counts[key]++
+	}
+	return formA, formB, nil
+}
+
+// CoverageTable builds the descriptive two-way table for a set of problems
+// drawn from the store, ready for the §4.2.3 analyses.
+func CoverageTable(store *bank.Store, problemIDs []string, concepts []cognition.Concept) (*cognition.TwoWayTable, error) {
+	table := cognition.NewTwoWayTable(concepts)
+	problems, err := store.Problems(problemIDs)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range problems {
+		if p.ConceptID == "" || !p.Level.Valid() {
+			continue
+		}
+		if err := table.Add(p.ID, p.ConceptID, p.Level); err != nil {
+			return nil, fmt.Errorf("authoring: coverage: %w", err)
+		}
+	}
+	return table, nil
+}

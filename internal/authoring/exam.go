@@ -1,0 +1,170 @@
+package authoring
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"mineassess/internal/bank"
+	"mineassess/internal/item"
+)
+
+// ExamDraft is an exam under construction. Build it with NewExamDraft, add
+// problems and groups, then Finalize into a bank.ExamRecord.
+type ExamDraft struct {
+	ID       string
+	Title    string
+	Display  item.DisplayOrder
+	TestTime time.Duration
+
+	problemIDs []string
+	seen       map[string]struct{}
+	groups     []bank.ExamGroup
+}
+
+// NewExamDraft starts a draft with fixed ordering by default.
+func NewExamDraft(id, title string) *ExamDraft {
+	return &ExamDraft{
+		ID:      id,
+		Title:   title,
+		Display: item.FixedOrder,
+		seen:    make(map[string]struct{}),
+	}
+}
+
+// Errors callers may match.
+var (
+	ErrDuplicateProblem = errors.New("authoring: problem already in exam")
+	ErrEmptyExam        = errors.New("authoring: exam has no problems")
+	ErrUnknownGroupItem = errors.New("authoring: group references problem not in exam")
+)
+
+// Add appends problems to the exam in order.
+func (d *ExamDraft) Add(problemIDs ...string) error {
+	for _, id := range problemIDs {
+		if _, dup := d.seen[id]; dup {
+			return fmt.Errorf("%w: %s", ErrDuplicateProblem, id)
+		}
+		d.seen[id] = struct{}{}
+		d.problemIDs = append(d.problemIDs, id)
+	}
+	return nil
+}
+
+// Len returns the number of problems in the draft.
+func (d *ExamDraft) Len() int {
+	return len(d.problemIDs)
+}
+
+// ProblemIDs returns the draft's problems in authored order, as a copy.
+func (d *ExamDraft) ProblemIDs() []string {
+	return append([]string(nil), d.problemIDs...)
+}
+
+// AddGroup defines a §5.4 presentation group over problems already in the
+// exam. Groups let an instructor compose "all possible presentation styles"
+// from parts.
+func (d *ExamDraft) AddGroup(name string, problemIDs ...string) error {
+	if strings.TrimSpace(name) == "" {
+		return errors.New("authoring: group name must not be empty")
+	}
+	for _, id := range problemIDs {
+		if _, ok := d.seen[id]; !ok {
+			return fmt.Errorf("%w: %s in group %s", ErrUnknownGroupItem, id, name)
+		}
+	}
+	d.groups = append(d.groups, bank.ExamGroup{
+		Name:       name,
+		ProblemIDs: append([]string(nil), problemIDs...),
+	})
+	return nil
+}
+
+// Finalize validates the draft against the store (every problem must exist)
+// and returns the persistable record.
+func (d *ExamDraft) Finalize(store *bank.Store) (*bank.ExamRecord, error) {
+	if strings.TrimSpace(d.ID) == "" {
+		return nil, errors.New("authoring: exam ID must not be empty")
+	}
+	if len(d.problemIDs) == 0 {
+		return nil, ErrEmptyExam
+	}
+	if _, err := store.Problems(d.problemIDs); err != nil {
+		return nil, fmt.Errorf("authoring: finalize %s: %w", d.ID, err)
+	}
+	rec := &bank.ExamRecord{
+		ID:              d.ID,
+		Title:           d.Title,
+		ProblemIDs:      append([]string(nil), d.problemIDs...),
+		Display:         d.Display,
+		TestTimeSeconds: int(d.TestTime / time.Second),
+		Groups:          append([]bank.ExamGroup(nil), d.groups...),
+	}
+	return rec, nil
+}
+
+// PresentationOrder computes the order in which a learner sees the exam's
+// problems. FixedOrder returns the authored order; RandomOrder shuffles
+// deterministically from the seed (one seed per sitting), keeping each
+// presentation group contiguous in its authored internal order.
+func PresentationOrder(rec *bank.ExamRecord, seed int64) ([]string, error) {
+	switch rec.Display {
+	case item.FixedOrder:
+		return append([]string(nil), rec.ProblemIDs...), nil
+	case item.RandomOrder:
+		return shuffledOrder(rec, seed), nil
+	default:
+		return nil, fmt.Errorf("authoring: exam %s has invalid display order %d",
+			rec.ID, int(rec.Display))
+	}
+}
+
+// shuffledOrder shuffles blocks: each group is a block; ungrouped problems
+// are singleton blocks. Blocks are shuffled, not their contents, so an
+// instructor's curated sequences survive randomization.
+func shuffledOrder(rec *bank.ExamRecord, seed int64) []string {
+	grouped := make(map[string]int) // problem ID -> group index
+	for gi, g := range rec.Groups {
+		for _, id := range g.ProblemIDs {
+			grouped[id] = gi
+		}
+	}
+	var blocks [][]string
+	emitted := make(map[int]bool)
+	for _, id := range rec.ProblemIDs {
+		if gi, ok := grouped[id]; ok {
+			if !emitted[gi] {
+				emitted[gi] = true
+				blocks = append(blocks, append([]string(nil), rec.Groups[gi].ProblemIDs...))
+			}
+			continue
+		}
+		blocks = append(blocks, []string{id})
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(blocks), func(i, j int) {
+		blocks[i], blocks[j] = blocks[j], blocks[i]
+	})
+	out := make([]string, 0, len(rec.ProblemIDs))
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// CloneProblemAs copies an existing problem under a new ID — the paper's
+// "copy the problem structure for reuse" (§5.3) — and stores it.
+func CloneProblemAs(store *bank.Store, srcID, newID string) (*item.Problem, error) {
+	src, err := store.Problem(srcID)
+	if err != nil {
+		return nil, err
+	}
+	cp := src.Clone()
+	cp.ID = newID
+	if err := store.AddProblem(cp); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}

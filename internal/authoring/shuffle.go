@@ -1,0 +1,62 @@
+package authoring
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mineassess/internal/item"
+)
+
+// Option shuffling: when an exam randomizes presentation, the options of a
+// multiple-choice problem can be permuted per sitting so neighbouring
+// learners see different orders. Keys are relabelled A, B, C, ... in the
+// new order and the correct answer follows its option.
+
+// ShuffleOptions returns a copy of the problem with options permuted by the
+// seed and relabelled in presentation order, plus the mapping from new key
+// to original key (for tracing responses back to the authored option, e.g.
+// for distraction analysis across sittings). Problems without options are
+// returned as unmodified clones with a nil mapping.
+func ShuffleOptions(p *item.Problem, seed int64) (*item.Problem, map[string]string, error) {
+	cp := p.Clone()
+	if len(cp.Options) == 0 {
+		return cp, nil, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(cp.Options))
+	newOpts := make([]item.Option, len(cp.Options))
+	mapping := make(map[string]string, len(cp.Options))
+	var newAnswer string
+	for newIdx, oldIdx := range perm {
+		old := cp.Options[oldIdx]
+		newKey := string(rune('A' + newIdx))
+		newOpts[newIdx] = item.Option{Key: newKey, Text: old.Text}
+		mapping[newKey] = old.Key
+		if old.Key == cp.Answer {
+			newAnswer = newKey
+		}
+	}
+	if newAnswer == "" {
+		return nil, nil, fmt.Errorf("authoring: answer %q not among options of %s",
+			cp.Answer, cp.ID)
+	}
+	cp.Options = newOpts
+	cp.Answer = newAnswer
+	if err := cp.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("authoring: shuffled problem invalid: %w", err)
+	}
+	return cp, mapping, nil
+}
+
+// UnshuffleResponse maps a response key given against a shuffled problem
+// back to the authored option key. Unknown keys pass through unchanged
+// (free-text responses are not keys).
+func UnshuffleResponse(mapping map[string]string, response string) string {
+	if mapping == nil {
+		return response
+	}
+	if orig, ok := mapping[response]; ok {
+		return orig
+	}
+	return response
+}

@@ -1,0 +1,127 @@
+package authoring
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mineassess/internal/cognition"
+	"mineassess/internal/item"
+)
+
+func shuffleFixture(t *testing.T) *item.Problem {
+	t.Helper()
+	p, err := item.NewMultipleChoice("q1", "?",
+		[]string{"alpha", "beta", "gamma", "delta"}, 2) // correct C = gamma
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Level = cognition.Knowledge
+	return p
+}
+
+func TestShuffleOptionsPreservesAnswer(t *testing.T) {
+	p := shuffleFixture(t)
+	for seed := int64(0); seed < 25; seed++ {
+		shuffled, mapping, err := ShuffleOptions(p, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// The correct option's text must still be "gamma".
+		var correctText string
+		for _, o := range shuffled.Options {
+			if o.Key == shuffled.Answer {
+				correctText = o.Text
+			}
+		}
+		if correctText != "gamma" {
+			t.Fatalf("seed %d: correct text = %q", seed, correctText)
+		}
+		// Grading the shuffled answer earns full credit.
+		if credit, _ := shuffled.Grade(shuffled.Answer); credit != 1 {
+			t.Fatalf("seed %d: shuffled grade = %v", seed, credit)
+		}
+		// The mapping leads back to the authored key C.
+		if got := UnshuffleResponse(mapping, shuffled.Answer); got != "C" {
+			t.Fatalf("seed %d: unshuffled answer = %q, want C", seed, got)
+		}
+	}
+}
+
+func TestShuffleOptionsDeterministicPerSeed(t *testing.T) {
+	p := shuffleFixture(t)
+	a, ma, err := ShuffleOptions(p, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, mb, err := ShuffleOptions(p, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Options, b.Options) || !reflect.DeepEqual(ma, mb) {
+		t.Error("same seed must shuffle identically")
+	}
+}
+
+func TestShuffleOptionsDoesNotMutateOriginal(t *testing.T) {
+	p := shuffleFixture(t)
+	origOptions := append([]item.Option(nil), p.Options...)
+	if _, _, err := ShuffleOptions(p, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Options, origOptions) || p.Answer != "C" {
+		t.Error("original problem mutated")
+	}
+}
+
+func TestShuffleOptionsNoOptions(t *testing.T) {
+	essay := &item.Problem{ID: "e1", Style: item.Essay, Question: "?",
+		Level: cognition.Evaluation}
+	cp, mapping, err := ShuffleOptions(essay, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapping != nil || cp.ID != "e1" {
+		t.Errorf("essay shuffle = %+v, %v", cp, mapping)
+	}
+}
+
+func TestUnshuffleResponsePassthrough(t *testing.T) {
+	if got := UnshuffleResponse(nil, "whatever"); got != "whatever" {
+		t.Errorf("nil mapping = %q", got)
+	}
+	if got := UnshuffleResponse(map[string]string{"A": "C"}, "Z"); got != "Z" {
+		t.Errorf("unknown key = %q", got)
+	}
+}
+
+// Property: shuffling is a permutation — same option texts, same count,
+// and the answer always maps back to the authored correct key.
+func TestShufflePermutationProperty(t *testing.T) {
+	p := shuffleFixture(t)
+	f := func(seed int64) bool {
+		shuffled, mapping, err := ShuffleOptions(p, seed)
+		if err != nil {
+			return false
+		}
+		if len(shuffled.Options) != len(p.Options) {
+			return false
+		}
+		texts := make(map[string]int)
+		for _, o := range p.Options {
+			texts[o.Text]++
+		}
+		for _, o := range shuffled.Options {
+			texts[o.Text]--
+		}
+		for _, n := range texts {
+			if n != 0 {
+				return false
+			}
+		}
+		return UnshuffleResponse(mapping, shuffled.Answer) == "C"
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

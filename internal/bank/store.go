@@ -1,0 +1,291 @@
+// Package bank implements the paper's "problem & exam database" (§5,
+// Figure 3 architecture): a concurrency-safe store of authored problems and
+// exams with subject/style/cognition/difficulty/keyword search and JSON
+// file persistence. It is the internal repository; SCORM-compatible external
+// exchange lives in the scorm package.
+package bank
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"mineassess/internal/item"
+)
+
+// Errors callers may match.
+var (
+	ErrProblemNotFound = errors.New("bank: problem not found")
+	ErrProblemExists   = errors.New("bank: problem already exists")
+	ErrExamNotFound    = errors.New("bank: exam not found")
+	ErrExamExists      = errors.New("bank: exam already exists")
+)
+
+// ExamRecord is a stored exam definition: an ordered list of problem IDs
+// plus presentation settings. (Assembly logic lives in package authoring;
+// the bank only persists the result.)
+type ExamRecord struct {
+	ID         string            `json:"id"`
+	Title      string            `json:"title"`
+	ProblemIDs []string          `json:"problemIds"`
+	Display    item.DisplayOrder `json:"display"`
+	// TestTimeSeconds is the time limit in seconds; 0 means unlimited.
+	TestTimeSeconds int `json:"testTimeSeconds"`
+	// Groups names the presentation groups of §5.4's group service, in
+	// order; each group lists problem IDs it contains.
+	Groups []ExamGroup `json:"groups,omitempty"`
+}
+
+// ExamGroup is one §5.4 presentation group.
+type ExamGroup struct {
+	Name       string   `json:"name"`
+	ProblemIDs []string `json:"problemIds"`
+}
+
+// Store is the in-memory database. The zero value is not usable; call New.
+type Store struct {
+	mu       sync.RWMutex
+	problems map[string]*item.Problem
+	exams    map[string]*ExamRecord
+	// history keeps superseded problem versions, oldest first (see
+	// history.go).
+	history map[string][]Revision
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		problems: make(map[string]*item.Problem),
+		exams:    make(map[string]*ExamRecord),
+		history:  make(map[string][]Revision),
+	}
+}
+
+// AddProblem validates and stores a copy of the problem.
+func (s *Store) AddProblem(p *item.Problem) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.problems[p.ID]; dup {
+		return fmt.Errorf("%w: %s", ErrProblemExists, p.ID)
+	}
+	s.problems[p.ID] = p.Clone()
+	return nil
+}
+
+// UpdateProblem replaces an existing problem ("fix problematic questions").
+func (s *Store) UpdateProblem(p *item.Problem) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.problems[p.ID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrProblemNotFound, p.ID)
+	}
+	s.history[p.ID] = append(s.history[p.ID], Revision{
+		Version: len(s.history[p.ID]) + 1,
+		Problem: old,
+	})
+	s.problems[p.ID] = p.Clone()
+	return nil
+}
+
+// Problem returns a copy of the stored problem.
+func (s *Store) Problem(id string) (*item.Problem, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.problems[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrProblemNotFound, id)
+	}
+	return p.Clone(), nil
+}
+
+// DeleteProblem removes a problem ("eliminate" advice of Table 3).
+func (s *Store) DeleteProblem(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.problems[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrProblemNotFound, id)
+	}
+	delete(s.problems, id)
+	delete(s.history, id)
+	return nil
+}
+
+// ProblemCount returns the number of stored problems.
+func (s *Store) ProblemCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.problems)
+}
+
+// ProblemIDs returns all problem IDs, sorted.
+func (s *Store) ProblemIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]string, 0, len(s.problems))
+	for id := range s.problems {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Problems returns copies of the identified problems, erroring on the first
+// missing ID.
+func (s *Store) Problems(ids []string) ([]*item.Problem, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*item.Problem, 0, len(ids))
+	for _, id := range ids {
+		p, ok := s.problems[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrProblemNotFound, id)
+		}
+		out = append(out, p.Clone())
+	}
+	return out, nil
+}
+
+// AddExam stores a copy of the exam record after checking that every
+// referenced problem exists.
+func (s *Store) AddExam(e *ExamRecord) error {
+	if strings.TrimSpace(e.ID) == "" {
+		return errors.New("bank: exam ID must not be empty")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.exams[e.ID]; dup {
+		return fmt.Errorf("%w: %s", ErrExamExists, e.ID)
+	}
+	for _, pid := range e.ProblemIDs {
+		if _, ok := s.problems[pid]; !ok {
+			return fmt.Errorf("bank: exam %s references %w: %s", e.ID, ErrProblemNotFound, pid)
+		}
+	}
+	s.exams[e.ID] = cloneExam(e)
+	return nil
+}
+
+// Exam returns a copy of the stored exam record.
+func (s *Store) Exam(id string) (*ExamRecord, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.exams[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrExamNotFound, id)
+	}
+	return cloneExam(e), nil
+}
+
+// DeleteExam removes an exam record.
+func (s *Store) DeleteExam(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.exams[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrExamNotFound, id)
+	}
+	delete(s.exams, id)
+	return nil
+}
+
+// ExamIDs returns all exam IDs, sorted.
+func (s *Store) ExamIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]string, 0, len(s.exams))
+	for id := range s.exams {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func cloneExam(e *ExamRecord) *ExamRecord {
+	cp := *e
+	cp.ProblemIDs = append([]string(nil), e.ProblemIDs...)
+	cp.Groups = make([]ExamGroup, len(e.Groups))
+	for i, g := range e.Groups {
+		cp.Groups[i] = ExamGroup{
+			Name:       g.Name,
+			ProblemIDs: append([]string(nil), g.ProblemIDs...),
+		}
+	}
+	return &cp
+}
+
+// snapshot is the JSON persistence format.
+type snapshot struct {
+	Problems []*item.Problem `json:"problems"`
+	Exams    []*ExamRecord   `json:"exams"`
+}
+
+// Save writes the whole store to path as JSON.
+func (s *Store) Save(path string) error {
+	s.mu.RLock()
+	snap := snapshot{}
+	for _, id := range s.problemIDsLocked() {
+		snap.Problems = append(snap.Problems, s.problems[id])
+	}
+	examIDs := make([]string, 0, len(s.exams))
+	for id := range s.exams {
+		examIDs = append(examIDs, id)
+	}
+	sort.Strings(examIDs)
+	for _, id := range examIDs {
+		snap.Exams = append(snap.Exams, s.exams[id])
+	}
+	s.mu.RUnlock()
+
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bank: marshal store: %w", err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fmt.Errorf("bank: write %s: %w", path, err)
+	}
+	return nil
+}
+
+func (s *Store) problemIDsLocked() []string {
+	ids := make([]string, 0, len(s.problems))
+	for id := range s.problems {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Load reads a store previously written by Save. Every problem is
+// re-validated on the way in.
+func Load(path string) (*Store, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bank: read %s: %w", path, err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, fmt.Errorf("bank: parse %s: %w", path, err)
+	}
+	s := New()
+	for _, p := range snap.Problems {
+		if err := s.AddProblem(p); err != nil {
+			return nil, fmt.Errorf("bank: load problem: %w", err)
+		}
+	}
+	for _, e := range snap.Exams {
+		if err := s.AddExam(e); err != nil {
+			return nil, fmt.Errorf("bank: load exam: %w", err)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,48 @@
+package cognition
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Concept identifies one learning-content subject ("concept" in the paper's
+// §4.2.2, named Concept 1 .. Concept i). Concepts are referenced by a stable
+// string ID and carry a human-readable name.
+type Concept struct {
+	ID   string `json:"id"`
+	Name string `json:"name"`
+}
+
+// ErrEmptyConceptID is returned when a concept with an empty ID is used.
+var ErrEmptyConceptID = errors.New("cognition: concept ID must not be empty")
+
+// Validate checks the concept for structural problems.
+func (c Concept) Validate() error {
+	if strings.TrimSpace(c.ID) == "" {
+		return ErrEmptyConceptID
+	}
+	return nil
+}
+
+// String returns "Name (ID)" or just the ID when no name is set.
+func (c Concept) String() string {
+	if c.Name == "" {
+		return c.ID
+	}
+	return fmt.Sprintf("%s (%s)", c.Name, c.ID)
+}
+
+// NumberedConcepts builds n concepts named "Concept 1".."Concept n" with IDs
+// "c1".."cn", matching the paper's naming scheme. It is a convenience for
+// examples, tests and benchmarks.
+func NumberedConcepts(n int) []Concept {
+	out := make([]Concept, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, Concept{
+			ID:   fmt.Sprintf("c%d", i),
+			Name: fmt.Sprintf("Concept %d", i),
+		})
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package cognition
+
+import "sort"
+
+// CoverageReport is the result of the paper's §4.2.3 analyses over a two-way
+// specification table: which concepts the exam lost entirely, whether the
+// cognition-level sum relation holds, and the paint distribution of questions
+// across the level axis.
+type CoverageReport struct {
+	// LostConcepts lists concept IDs with no question at any level
+	// ((A1|B1|...|F1) = FALSE in the paper), sorted.
+	LostConcepts []string
+	// SumRelationHolds reports whether
+	// SUM(A) >= SUM(B) >= SUM(C) >= SUM(D) >= SUM(E) >= SUM(F),
+	// the paper's expected shape for a well-balanced exam (lower cognition
+	// levels should not be underrepresented relative to higher ones).
+	SumRelationHolds bool
+	// SumRelationViolations lists each adjacent level pair that violates the
+	// relation, in taxonomy order.
+	SumRelationViolations []SumViolation
+	// LevelSums holds the six column sums in taxonomy order.
+	LevelSums [NumLevels]int
+	// Distribution is the paint-algorithm output: each level's share of all
+	// questions in [0,1]. All zeros when the table is empty.
+	Distribution [NumLevels]float64
+	// Shades maps Distribution onto discrete paint intensities 0..4 used by
+	// renderers (0 = empty cell, 4 = densest).
+	Shades [NumLevels]int
+}
+
+// SumViolation records one adjacent-level violation of the sum relation:
+// SUM(Lower) < SUM(Higher) where Lower precedes Higher in the taxonomy.
+type SumViolation struct {
+	Lower, Higher Level
+	LowerSum      int
+	HigherSum     int
+}
+
+// Analyze runs all §4.2.3 analyses over the table.
+func (t *TwoWayTable) Analyze() CoverageReport {
+	var rep CoverageReport
+	for _, c := range t.concepts {
+		if t.ConceptSum(c.ID) == 0 {
+			rep.LostConcepts = append(rep.LostConcepts, c.ID)
+		}
+	}
+	sort.Strings(rep.LostConcepts)
+
+	rep.LevelSums = t.LevelSums()
+	rep.SumRelationHolds = true
+	levels := Levels()
+	for i := 0; i < NumLevels-1; i++ {
+		if rep.LevelSums[i] < rep.LevelSums[i+1] {
+			rep.SumRelationHolds = false
+			rep.SumRelationViolations = append(rep.SumRelationViolations, SumViolation{
+				Lower:     levels[i],
+				Higher:    levels[i+1],
+				LowerSum:  rep.LevelSums[i],
+				HigherSum: rep.LevelSums[i+1],
+			})
+		}
+	}
+
+	rep.Distribution = paintDistribution(rep.LevelSums)
+	rep.Shades = paintShades(rep.Distribution)
+	return rep
+}
+
+// paintDistribution normalizes level sums into shares. This is the numeric
+// half of the paper's "paint algorithm": the density of questions along the
+// cognition-level axis that the UI shades.
+func paintDistribution(sums [NumLevels]int) [NumLevels]float64 {
+	total := 0
+	for _, n := range sums {
+		total += n
+	}
+	var dist [NumLevels]float64
+	if total == 0 {
+		return dist
+	}
+	for i, n := range sums {
+		dist[i] = float64(n) / float64(total)
+	}
+	return dist
+}
+
+// PaintGrid returns the full two-dimensional paint of the table — the
+// §4.2.3(3) "distribution of cognition level and question": one shade 0..4
+// per (concept, level) cell, scaled so the densest cell paints at full
+// intensity. Rows follow the table's concept order, columns the taxonomy.
+func (t *TwoWayTable) PaintGrid() [][NumLevels]int {
+	grid := make([][NumLevels]int, len(t.concepts))
+	maxCount := 0
+	for _, row := range t.counts {
+		for _, n := range row {
+			if n > maxCount {
+				maxCount = n
+			}
+		}
+	}
+	if maxCount == 0 {
+		return grid
+	}
+	for ri, row := range t.counts {
+		for ci, n := range row {
+			if n == 0 {
+				continue
+			}
+			rel := float64(n) / float64(maxCount)
+			switch {
+			case rel > 0.75:
+				grid[ri][ci] = 4
+			case rel > 0.50:
+				grid[ri][ci] = 3
+			case rel > 0.25:
+				grid[ri][ci] = 2
+			default:
+				grid[ri][ci] = 1
+			}
+		}
+	}
+	return grid
+}
+
+// paintShades quantizes shares into five paint intensities. A zero share is
+// intensity 0; positive shares are bucketed relative to the densest level so
+// the densest level always paints at full intensity.
+func paintShades(dist [NumLevels]float64) [NumLevels]int {
+	maxShare := 0.0
+	for _, d := range dist {
+		if d > maxShare {
+			maxShare = d
+		}
+	}
+	var shades [NumLevels]int
+	if maxShare == 0 {
+		return shades
+	}
+	for i, d := range dist {
+		if d == 0 {
+			continue
+		}
+		rel := d / maxShare
+		switch {
+		case rel > 0.75:
+			shades[i] = 4
+		case rel > 0.50:
+			shades[i] = 3
+		case rel > 0.25:
+			shades[i] = 2
+		default:
+			shades[i] = 1
+		}
+	}
+	return shades
+}

@@ -1,0 +1,232 @@
+package cognition
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestAnalyzeConceptLost(t *testing.T) {
+	tab := newTestTable(t, 3)
+	mustAdd(t, tab, "q1", "c1", Knowledge)
+	mustAdd(t, tab, "q2", "c3", Application)
+
+	rep := tab.Analyze()
+	if len(rep.LostConcepts) != 1 || rep.LostConcepts[0] != "c2" {
+		t.Errorf("LostConcepts = %v, want [c2]", rep.LostConcepts)
+	}
+}
+
+func TestAnalyzeNoConceptLost(t *testing.T) {
+	tab := newTestTable(t, 2)
+	mustAdd(t, tab, "q1", "c1", Knowledge)
+	mustAdd(t, tab, "q2", "c2", Evaluation)
+	if rep := tab.Analyze(); len(rep.LostConcepts) != 0 {
+		t.Errorf("LostConcepts = %v, want none", rep.LostConcepts)
+	}
+}
+
+func TestAnalyzeSumRelationHolds(t *testing.T) {
+	tab := newTestTable(t, 1)
+	// 3 Knowledge, 2 Comprehension, 1 Application: monotone non-increasing.
+	id := 0
+	add := func(l Level, n int) {
+		for i := 0; i < n; i++ {
+			mustAdd(t, tab, fmt.Sprintf("q%d", id), "c1", l)
+			id++
+		}
+	}
+	add(Knowledge, 3)
+	add(Comprehension, 2)
+	add(Application, 1)
+
+	rep := tab.Analyze()
+	if !rep.SumRelationHolds {
+		t.Errorf("sum relation should hold; violations: %v", rep.SumRelationViolations)
+	}
+}
+
+func TestAnalyzeSumRelationViolated(t *testing.T) {
+	tab := newTestTable(t, 1)
+	mustAdd(t, tab, "q1", "c1", Evaluation)
+	mustAdd(t, tab, "q2", "c1", Evaluation)
+	mustAdd(t, tab, "q3", "c1", Knowledge)
+
+	rep := tab.Analyze()
+	if rep.SumRelationHolds {
+		t.Fatal("sum relation should be violated (more Evaluation than Synthesis)")
+	}
+	if len(rep.SumRelationViolations) == 0 {
+		t.Fatal("expected at least one violation recorded")
+	}
+	v := rep.SumRelationViolations[len(rep.SumRelationViolations)-1]
+	if v.Higher != Evaluation {
+		t.Errorf("last violation Higher = %v, want Evaluation", v.Higher)
+	}
+	if v.HigherSum != 2 {
+		t.Errorf("violation HigherSum = %d, want 2", v.HigherSum)
+	}
+}
+
+func TestAnalyzeEmptyTable(t *testing.T) {
+	tab := newTestTable(t, 2)
+	rep := tab.Analyze()
+	if len(rep.LostConcepts) != 2 {
+		t.Errorf("all concepts should be lost in an empty table, got %v", rep.LostConcepts)
+	}
+	if !rep.SumRelationHolds {
+		t.Error("vacuous sum relation should hold for all-zero sums")
+	}
+	for i, d := range rep.Distribution {
+		if d != 0 {
+			t.Errorf("Distribution[%d] = %v, want 0", i, d)
+		}
+	}
+	for i, s := range rep.Shades {
+		if s != 0 {
+			t.Errorf("Shades[%d] = %d, want 0", i, s)
+		}
+	}
+}
+
+func TestPaintDistributionSumsToOne(t *testing.T) {
+	tab := newTestTable(t, 2)
+	for i := 0; i < 10; i++ {
+		mustAdd(t, tab, fmt.Sprintf("q%d", i), "c1", Levels()[i%NumLevels])
+	}
+	rep := tab.Analyze()
+	sum := 0.0
+	for _, d := range rep.Distribution {
+		sum += d
+	}
+	if diff := sum - 1.0; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("distribution sums to %v, want 1", sum)
+	}
+}
+
+func TestPaintShadesDensestIsFour(t *testing.T) {
+	tab := newTestTable(t, 1)
+	id := 0
+	for i := 0; i < 8; i++ {
+		mustAdd(t, tab, fmt.Sprintf("q%d", id), "c1", Knowledge)
+		id++
+	}
+	mustAdd(t, tab, fmt.Sprintf("q%d", id), "c1", Evaluation)
+
+	rep := tab.Analyze()
+	if rep.Shades[0] != 4 {
+		t.Errorf("densest level shade = %d, want 4", rep.Shades[0])
+	}
+	if rep.Shades[int(Evaluation)-1] != 1 {
+		t.Errorf("sparse level shade = %d, want 1", rep.Shades[int(Evaluation)-1])
+	}
+	if rep.Shades[int(Comprehension)-1] != 0 {
+		t.Errorf("empty level shade = %d, want 0", rep.Shades[int(Comprehension)-1])
+	}
+}
+
+// Property: shades are 0 iff the level count is 0, and the max shade is
+// always 4 when any question exists.
+func TestPaintShadeProperty(t *testing.T) {
+	f := func(counts [NumLevels]uint8) bool {
+		tab := NewTwoWayTable(NumberedConcepts(1))
+		id := 0
+		total := 0
+		for li, n := range counts {
+			for i := 0; i < int(n%7); i++ {
+				if err := tab.Add(fmt.Sprintf("q%d", id), "c1", Levels()[li]); err != nil {
+					return false
+				}
+				id++
+				total++
+			}
+		}
+		rep := tab.Analyze()
+		maxShade := 0
+		for li, s := range rep.Shades {
+			if (s == 0) != (rep.LevelSums[li] == 0) {
+				return false
+			}
+			if s > maxShade {
+				maxShade = s
+			}
+		}
+		if total > 0 && maxShade != 4 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaintGrid(t *testing.T) {
+	tab := newTestTable(t, 2)
+	id := 0
+	addN := func(c string, l Level, n int) {
+		for i := 0; i < n; i++ {
+			mustAdd(t, tab, fmt.Sprintf("pg%d", id), c, l)
+			id++
+		}
+	}
+	addN("c1", Knowledge, 8) // densest cell
+	addN("c1", Analysis, 4)  // half density -> shade 3
+	addN("c2", Evaluation, 1)
+
+	grid := tab.PaintGrid()
+	if len(grid) != 2 {
+		t.Fatalf("rows = %d", len(grid))
+	}
+	if grid[0][int(Knowledge)-1] != 4 {
+		t.Errorf("densest shade = %d, want 4", grid[0][int(Knowledge)-1])
+	}
+	if grid[0][int(Analysis)-1] != 2 { // 4/8 = 0.5 -> shade 2
+		t.Errorf("half-density shade = %d, want 2", grid[0][int(Analysis)-1])
+	}
+	if grid[1][int(Evaluation)-1] != 1 {
+		t.Errorf("sparse shade = %d, want 1", grid[1][int(Evaluation)-1])
+	}
+	if grid[1][int(Knowledge)-1] != 0 {
+		t.Errorf("empty cell shade = %d, want 0", grid[1][int(Knowledge)-1])
+	}
+}
+
+func TestPaintGridEmpty(t *testing.T) {
+	tab := newTestTable(t, 3)
+	for _, row := range tab.PaintGrid() {
+		for _, shade := range row {
+			if shade != 0 {
+				t.Fatal("empty table should paint all zeros")
+			}
+		}
+	}
+}
+
+func TestConceptValidate(t *testing.T) {
+	if err := (Concept{ID: "c1"}).Validate(); err != nil {
+		t.Errorf("valid concept rejected: %v", err)
+	}
+	if err := (Concept{ID: "  "}).Validate(); err == nil {
+		t.Error("blank concept ID should be rejected")
+	}
+}
+
+func TestConceptString(t *testing.T) {
+	if got := (Concept{ID: "c1"}).String(); got != "c1" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Concept{ID: "c1", Name: "Loops"}).String(); got != "Loops (c1)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestNumberedConcepts(t *testing.T) {
+	cs := NumberedConcepts(3)
+	if len(cs) != 3 {
+		t.Fatalf("len = %d, want 3", len(cs))
+	}
+	if cs[2].ID != "c3" || cs[2].Name != "Concept 3" {
+		t.Errorf("cs[2] = %+v", cs[2])
+	}
+}

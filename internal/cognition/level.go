@@ -1,0 +1,110 @@
+// Package cognition models Bloom's taxonomy of educational objectives in the
+// cognitive domain and the two-way specification table the paper uses to
+// relate test concepts to cognition levels (Table 4, §4.2).
+//
+// The paper labels the six levels A through F:
+//
+//	Knowledge Comprehension Application Analysis Synthesis Evaluation
+//	A         B             C           D        E         F
+//
+// and defines, per concept i and level X, SUM(Xi) as the number of questions
+// of level X covering concept i. On top of the table it defines three
+// analyses (§4.2.3): concept-lost detection, the cognition-level sum
+// relation, and the paint (distribution) algorithm.
+package cognition
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Level is one of Bloom's six cognitive-domain levels.
+type Level int
+
+// The six cognition levels in the paper's order. The zero value is invalid so
+// that an unset Level is detectable.
+const (
+	Knowledge Level = iota + 1
+	Comprehension
+	Application
+	Analysis
+	Synthesis
+	Evaluation
+)
+
+// NumLevels is the number of cognition levels.
+const NumLevels = 6
+
+// Levels returns all six levels in taxonomy order (Knowledge first).
+func Levels() [NumLevels]Level {
+	return [NumLevels]Level{
+		Knowledge, Comprehension, Application, Analysis, Synthesis, Evaluation,
+	}
+}
+
+var _levelNames = map[Level]string{
+	Knowledge:     "Knowledge",
+	Comprehension: "Comprehension",
+	Application:   "Application",
+	Analysis:      "Analysis",
+	Synthesis:     "Synthesis",
+	Evaluation:    "Evaluation",
+}
+
+// String returns the level's full English name, e.g. "Comprehension".
+func (l Level) String() string {
+	if name, ok := _levelNames[l]; ok {
+		return name
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// Letter returns the paper's single-letter code for the level: A for
+// Knowledge through F for Evaluation. Invalid levels return '?'.
+func (l Level) Letter() byte {
+	if !l.Valid() {
+		return '?'
+	}
+	return byte('A' + int(l) - 1)
+}
+
+// Valid reports whether l is one of the six defined levels.
+func (l Level) Valid() bool {
+	return l >= Knowledge && l <= Evaluation
+}
+
+// ParseLevel parses a level from its full name (case-insensitive) or its
+// single-letter code A-F.
+func ParseLevel(s string) (Level, error) {
+	if len(s) == 1 {
+		c := strings.ToUpper(s)[0]
+		if c >= 'A' && c <= 'F' {
+			return Level(int(c-'A') + 1), nil
+		}
+		return 0, fmt.Errorf("cognition: unknown level letter %q", s)
+	}
+	for lvl, name := range _levelNames {
+		if strings.EqualFold(name, s) {
+			return lvl, nil
+		}
+	}
+	return 0, fmt.Errorf("cognition: unknown level %q", s)
+}
+
+// MarshalText implements encoding.TextMarshaler using the full name.
+func (l Level) MarshalText() ([]byte, error) {
+	if !l.Valid() {
+		return nil, fmt.Errorf("cognition: cannot marshal invalid level %d", int(l))
+	}
+	return []byte(l.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (l *Level) UnmarshalText(text []byte) error {
+	lvl, err := ParseLevel(string(text))
+	if err != nil {
+		return err
+	}
+	*l = lvl
+	return nil
+}

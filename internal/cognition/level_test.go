@@ -1,0 +1,147 @@
+package cognition
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelString(t *testing.T) {
+	tests := []struct {
+		level Level
+		want  string
+	}{
+		{Knowledge, "Knowledge"},
+		{Comprehension, "Comprehension"},
+		{Application, "Application"},
+		{Analysis, "Analysis"},
+		{Synthesis, "Synthesis"},
+		{Evaluation, "Evaluation"},
+		{Level(0), "Level(0)"},
+		{Level(7), "Level(7)"},
+	}
+	for _, tt := range tests {
+		if got := tt.level.String(); got != tt.want {
+			t.Errorf("Level(%d).String() = %q, want %q", int(tt.level), got, tt.want)
+		}
+	}
+}
+
+func TestLevelLetter(t *testing.T) {
+	// Paper §4.2.2: Knowledge..Evaluation named A..F.
+	tests := []struct {
+		level Level
+		want  byte
+	}{
+		{Knowledge, 'A'},
+		{Comprehension, 'B'},
+		{Application, 'C'},
+		{Analysis, 'D'},
+		{Synthesis, 'E'},
+		{Evaluation, 'F'},
+		{Level(0), '?'},
+		{Level(9), '?'},
+	}
+	for _, tt := range tests {
+		if got := tt.level.Letter(); got != tt.want {
+			t.Errorf("Level(%d).Letter() = %c, want %c", int(tt.level), got, tt.want)
+		}
+	}
+}
+
+func TestLevelValid(t *testing.T) {
+	for _, l := range Levels() {
+		if !l.Valid() {
+			t.Errorf("level %v should be valid", l)
+		}
+	}
+	for _, l := range []Level{0, -1, 7, 100} {
+		if l.Valid() {
+			t.Errorf("level %d should be invalid", int(l))
+		}
+	}
+}
+
+func TestParseLevelNames(t *testing.T) {
+	for _, l := range Levels() {
+		got, err := ParseLevel(l.String())
+		if err != nil {
+			t.Fatalf("ParseLevel(%q): %v", l.String(), err)
+		}
+		if got != l {
+			t.Errorf("ParseLevel(%q) = %v, want %v", l.String(), got, l)
+		}
+	}
+}
+
+func TestParseLevelCaseInsensitive(t *testing.T) {
+	got, err := ParseLevel("knowledge")
+	if err != nil || got != Knowledge {
+		t.Errorf("ParseLevel(knowledge) = %v, %v; want Knowledge", got, err)
+	}
+	got, err = ParseLevel("EVALUATION")
+	if err != nil || got != Evaluation {
+		t.Errorf("ParseLevel(EVALUATION) = %v, %v; want Evaluation", got, err)
+	}
+}
+
+func TestParseLevelLetters(t *testing.T) {
+	for _, l := range Levels() {
+		got, err := ParseLevel(string(l.Letter()))
+		if err != nil {
+			t.Fatalf("ParseLevel(%c): %v", l.Letter(), err)
+		}
+		if got != l {
+			t.Errorf("ParseLevel(%c) = %v, want %v", l.Letter(), got, l)
+		}
+	}
+	// lowercase letter also accepted
+	got, err := ParseLevel("b")
+	if err != nil || got != Comprehension {
+		t.Errorf("ParseLevel(b) = %v, %v; want Comprehension", got, err)
+	}
+}
+
+func TestParseLevelErrors(t *testing.T) {
+	for _, s := range []string{"", "G", "Z", "bogus", "Knowledg"} {
+		if _, err := ParseLevel(s); err == nil {
+			t.Errorf("ParseLevel(%q) should fail", s)
+		}
+	}
+}
+
+func TestLevelJSONRoundTrip(t *testing.T) {
+	type wrapper struct {
+		L Level `json:"l"`
+	}
+	for _, l := range Levels() {
+		raw, err := json.Marshal(wrapper{L: l})
+		if err != nil {
+			t.Fatalf("marshal %v: %v", l, err)
+		}
+		var back wrapper
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", raw, err)
+		}
+		if back.L != l {
+			t.Errorf("round trip %v -> %v", l, back.L)
+		}
+	}
+}
+
+func TestLevelMarshalInvalid(t *testing.T) {
+	if _, err := Level(0).MarshalText(); err == nil {
+		t.Error("marshaling invalid level should fail")
+	}
+}
+
+func TestParseLetterRoundTripProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		l := Level(int(n%NumLevels) + 1)
+		got, err := ParseLevel(string(l.Letter()))
+		return err == nil && got == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,160 @@
+package cognition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TwoWayTable is the paper's two-way specification table (Table 4): a matrix
+// of question counts indexed by concept (row) and cognition level (column).
+//
+// The paper records both a boolean presence (A1 is TRUE when at least one
+// Knowledge question covers Concept 1) and counts (SUM(Xi)). The table keeps
+// counts; presence is derived (count > 0).
+//
+// A TwoWayTable is not safe for concurrent mutation; build it, then share it
+// read-only.
+type TwoWayTable struct {
+	concepts []Concept
+	index    map[string]int       // concept ID -> row
+	counts   [][NumLevels]int     // row -> per-level question count
+	seen     map[string]struct{}  // question IDs already added (dedup)
+	byCell   map[cellKey][]string // row,level -> question IDs
+}
+
+type cellKey struct {
+	row   int
+	level Level
+}
+
+// NewTwoWayTable creates a table over the given concepts. Concept order is
+// preserved for rendering. Duplicate concept IDs are collapsed to the first
+// occurrence.
+func NewTwoWayTable(concepts []Concept) *TwoWayTable {
+	t := &TwoWayTable{
+		index:  make(map[string]int, len(concepts)),
+		seen:   make(map[string]struct{}),
+		byCell: make(map[cellKey][]string),
+	}
+	for _, c := range concepts {
+		if _, dup := t.index[c.ID]; dup {
+			continue
+		}
+		t.index[c.ID] = len(t.concepts)
+		t.concepts = append(t.concepts, c)
+		t.counts = append(t.counts, [NumLevels]int{})
+	}
+	return t
+}
+
+// Concepts returns the table's concepts in row order. The returned slice is a
+// copy.
+func (t *TwoWayTable) Concepts() []Concept {
+	out := make([]Concept, len(t.concepts))
+	copy(out, t.concepts)
+	return out
+}
+
+// Add records one question with the given ID covering conceptID at level.
+// Adding the same question ID twice is a no-op, so callers may feed a whole
+// item bank without deduplicating first. Unknown concepts and invalid levels
+// are rejected.
+func (t *TwoWayTable) Add(questionID, conceptID string, level Level) error {
+	row, ok := t.index[conceptID]
+	if !ok {
+		return fmt.Errorf("cognition: concept %q not in table", conceptID)
+	}
+	if !level.Valid() {
+		return fmt.Errorf("cognition: invalid level %d for question %q", int(level), questionID)
+	}
+	if _, dup := t.seen[questionID]; dup {
+		return nil
+	}
+	t.seen[questionID] = struct{}{}
+	t.counts[row][int(level)-1]++
+	key := cellKey{row: row, level: level}
+	t.byCell[key] = append(t.byCell[key], questionID)
+	return nil
+}
+
+// Count returns SUM(Xi): the number of questions of the given level covering
+// the concept. Unknown concepts count zero.
+func (t *TwoWayTable) Count(conceptID string, level Level) int {
+	row, ok := t.index[conceptID]
+	if !ok || !level.Valid() {
+		return 0
+	}
+	return t.counts[row][int(level)-1]
+}
+
+// Present reports the paper's boolean cell value: whether at least one
+// question of the given level covers the concept.
+func (t *TwoWayTable) Present(conceptID string, level Level) bool {
+	return t.Count(conceptID, level) > 0
+}
+
+// Questions returns the IDs of questions recorded for the cell, sorted, as a
+// copy.
+func (t *TwoWayTable) Questions(conceptID string, level Level) []string {
+	row, ok := t.index[conceptID]
+	if !ok || !level.Valid() {
+		return nil
+	}
+	ids := t.byCell[cellKey{row: row, level: level}]
+	out := make([]string, len(ids))
+	copy(out, ids)
+	sort.Strings(out)
+	return out
+}
+
+// LevelSum returns SUM(X1-Xi): the total number of questions at the given
+// level across all concepts (a column sum in Table 4).
+func (t *TwoWayTable) LevelSum(level Level) int {
+	if !level.Valid() {
+		return 0
+	}
+	sum := 0
+	for _, row := range t.counts {
+		sum += row[int(level)-1]
+	}
+	return sum
+}
+
+// ConceptSum returns SUM(Ai-Fi): the total number of questions covering the
+// concept across all levels (a row sum in Table 4).
+func (t *TwoWayTable) ConceptSum(conceptID string) int {
+	row, ok := t.index[conceptID]
+	if !ok {
+		return 0
+	}
+	sum := 0
+	for _, n := range t.counts[row] {
+		sum += n
+	}
+	return sum
+}
+
+// Total returns the total number of distinct questions recorded.
+func (t *TwoWayTable) Total() int {
+	return len(t.seen)
+}
+
+// LevelSums returns all six column sums in taxonomy order.
+func (t *TwoWayTable) LevelSums() [NumLevels]int {
+	var sums [NumLevels]int
+	for _, row := range t.counts {
+		for i, n := range row {
+			sums[i] += n
+		}
+	}
+	return sums
+}
+
+// Row returns the per-level counts for a concept in taxonomy order.
+func (t *TwoWayTable) Row(conceptID string) ([NumLevels]int, bool) {
+	row, ok := t.index[conceptID]
+	if !ok {
+		return [NumLevels]int{}, false
+	}
+	return t.counts[row], true
+}

@@ -1,0 +1,203 @@
+package cognition
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func newTestTable(t *testing.T, nConcepts int) *TwoWayTable {
+	t.Helper()
+	return NewTwoWayTable(NumberedConcepts(nConcepts))
+}
+
+func mustAdd(t *testing.T, tab *TwoWayTable, q, c string, l Level) {
+	t.Helper()
+	if err := tab.Add(q, c, l); err != nil {
+		t.Fatalf("Add(%s,%s,%v): %v", q, c, l, err)
+	}
+}
+
+func TestTwoWayTableCounts(t *testing.T) {
+	tab := newTestTable(t, 3)
+	mustAdd(t, tab, "q1", "c1", Knowledge)
+	mustAdd(t, tab, "q2", "c1", Knowledge)
+	mustAdd(t, tab, "q3", "c1", Evaluation)
+	mustAdd(t, tab, "q4", "c2", Comprehension)
+
+	if got := tab.Count("c1", Knowledge); got != 2 {
+		t.Errorf("Count(c1,Knowledge) = %d, want 2", got)
+	}
+	if got := tab.Count("c1", Evaluation); got != 1 {
+		t.Errorf("Count(c1,Evaluation) = %d, want 1", got)
+	}
+	if got := tab.Count("c2", Comprehension); got != 1 {
+		t.Errorf("Count(c2,Comprehension) = %d, want 1", got)
+	}
+	if got := tab.Count("c3", Knowledge); got != 0 {
+		t.Errorf("Count(c3,Knowledge) = %d, want 0", got)
+	}
+	if got := tab.Count("nope", Knowledge); got != 0 {
+		t.Errorf("Count(nope,Knowledge) = %d, want 0", got)
+	}
+}
+
+// TestTwoWayPaperExampleSUMF3 checks the paper's §4.2.2(4) example:
+// SUM(F3)=3 means three Evaluation-level questions in concept 3.
+func TestTwoWayPaperExampleSUMF3(t *testing.T) {
+	tab := newTestTable(t, 5)
+	for i := 1; i <= 3; i++ {
+		mustAdd(t, tab, fmt.Sprintf("q%d", i), "c3", Evaluation)
+	}
+	if got := tab.Count("c3", Evaluation); got != 3 {
+		t.Errorf("SUM(F3) = %d, want 3", got)
+	}
+}
+
+// TestTwoWayPaperExampleConceptSum checks §4.2.2(5): SUM(A10-F10)=8 means 8
+// questions total in concept 10.
+func TestTwoWayPaperExampleConceptSum(t *testing.T) {
+	tab := newTestTable(t, 10)
+	levels := Levels()
+	for i := 0; i < 8; i++ {
+		mustAdd(t, tab, fmt.Sprintf("q%d", i), "c10", levels[i%NumLevels])
+	}
+	if got := tab.ConceptSum("c10"); got != 8 {
+		t.Errorf("SUM(A10-F10) = %d, want 8", got)
+	}
+}
+
+// TestTwoWayPaperExampleLevelSum checks §4.2.2(6): the column sum
+// SUM(C1-C7) counts Application questions across concepts 1..7.
+func TestTwoWayPaperExampleLevelSum(t *testing.T) {
+	tab := newTestTable(t, 7)
+	for i := 1; i <= 7; i++ {
+		mustAdd(t, tab, fmt.Sprintf("q%d", i), fmt.Sprintf("c%d", i), Application)
+	}
+	if got := tab.LevelSum(Application); got != 7 {
+		t.Errorf("SUM(C1-C7) = %d, want 7", got)
+	}
+}
+
+func TestTwoWayPresence(t *testing.T) {
+	tab := newTestTable(t, 2)
+	mustAdd(t, tab, "q1", "c1", Knowledge)
+	if !tab.Present("c1", Knowledge) {
+		t.Error("A1 should be TRUE after adding a Knowledge question to concept 1")
+	}
+	if tab.Present("c1", Synthesis) {
+		t.Error("E1 should be FALSE with no Synthesis question")
+	}
+	if tab.Present("c2", Knowledge) {
+		t.Error("A2 should be FALSE with no question at all")
+	}
+}
+
+func TestTwoWayDuplicateQuestionIgnored(t *testing.T) {
+	tab := newTestTable(t, 1)
+	mustAdd(t, tab, "q1", "c1", Knowledge)
+	mustAdd(t, tab, "q1", "c1", Knowledge)
+	if got := tab.Count("c1", Knowledge); got != 1 {
+		t.Errorf("duplicate add counted: got %d, want 1", got)
+	}
+	if got := tab.Total(); got != 1 {
+		t.Errorf("Total = %d, want 1", got)
+	}
+}
+
+func TestTwoWayAddErrors(t *testing.T) {
+	tab := newTestTable(t, 1)
+	if err := tab.Add("q1", "missing", Knowledge); err == nil {
+		t.Error("adding to unknown concept should fail")
+	}
+	if err := tab.Add("q1", "c1", Level(0)); err == nil {
+		t.Error("adding invalid level should fail")
+	}
+	if err := tab.Add("q1", "c1", Level(7)); err == nil {
+		t.Error("adding out-of-range level should fail")
+	}
+}
+
+func TestTwoWayQuestionsSortedCopy(t *testing.T) {
+	tab := newTestTable(t, 1)
+	mustAdd(t, tab, "qb", "c1", Knowledge)
+	mustAdd(t, tab, "qa", "c1", Knowledge)
+	got := tab.Questions("c1", Knowledge)
+	if len(got) != 2 || got[0] != "qa" || got[1] != "qb" {
+		t.Fatalf("Questions = %v, want [qa qb]", got)
+	}
+	got[0] = "mutated"
+	if again := tab.Questions("c1", Knowledge); again[0] != "qa" {
+		t.Error("Questions must return a copy")
+	}
+}
+
+func TestTwoWayDuplicateConceptCollapsed(t *testing.T) {
+	tab := NewTwoWayTable([]Concept{{ID: "c1", Name: "first"}, {ID: "c1", Name: "second"}})
+	if got := len(tab.Concepts()); got != 1 {
+		t.Fatalf("concepts = %d, want 1", got)
+	}
+	if tab.Concepts()[0].Name != "first" {
+		t.Error("first occurrence should win")
+	}
+}
+
+func TestTwoWayRow(t *testing.T) {
+	tab := newTestTable(t, 2)
+	mustAdd(t, tab, "q1", "c2", Analysis)
+	row, ok := tab.Row("c2")
+	if !ok {
+		t.Fatal("Row(c2) not found")
+	}
+	want := [NumLevels]int{0, 0, 0, 1, 0, 0}
+	if row != want {
+		t.Errorf("Row(c2) = %v, want %v", row, want)
+	}
+	if _, ok := tab.Row("absent"); ok {
+		t.Error("Row(absent) should report !ok")
+	}
+}
+
+func TestTwoWayLevelSumsMatchTotal(t *testing.T) {
+	tab := newTestTable(t, 4)
+	n := 0
+	for i := 0; i < 24; i++ {
+		mustAdd(t, tab, fmt.Sprintf("q%d", i), fmt.Sprintf("c%d", i%4+1), Levels()[i%NumLevels])
+		n++
+	}
+	sums := tab.LevelSums()
+	total := 0
+	for _, s := range sums {
+		total += s
+	}
+	if total != n || tab.Total() != n {
+		t.Errorf("sum of LevelSums = %d, Total = %d, want %d", total, tab.Total(), n)
+	}
+}
+
+// Property: row sums always equal column sums equal Total, for arbitrary
+// placements.
+func TestTwoWaySumInvariantProperty(t *testing.T) {
+	f := func(placements []uint16) bool {
+		tab := NewTwoWayTable(NumberedConcepts(5))
+		for i, p := range placements {
+			c := fmt.Sprintf("c%d", int(p)%5+1)
+			l := Levels()[int(p/5)%NumLevels]
+			if err := tab.Add(fmt.Sprintf("q%d", i), c, l); err != nil {
+				return false
+			}
+		}
+		rowTotal := 0
+		for _, c := range tab.Concepts() {
+			rowTotal += tab.ConceptSum(c.ID)
+		}
+		colTotal := 0
+		for _, l := range Levels() {
+			colTotal += tab.LevelSum(l)
+		}
+		return rowTotal == colTotal && colTotal == tab.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mineassess/internal/analysis"
+	"mineassess/internal/feedback"
+	"mineassess/internal/report"
+	"mineassess/internal/stats"
+)
+
+// Statistics computes the whole-sample psychometric summary of a sitting:
+// score distribution, KR-20 reliability, and per-item difficulty and
+// point-biserial discrimination.
+func (p *Pipeline) Statistics(res *analysis.ExamResult) (*stats.ExamStatistics, error) {
+	return stats.Compute(res)
+}
+
+// Feedback builds the assessment-feedback bundle (the paper's §6 future
+// work): per-student concept/level mastery reports plus class remediation
+// advice derived from Rules 3 and 4.
+func (p *Pipeline) Feedback(res *analysis.ExamResult, a *analysis.ExamAnalysis) (*feedback.ClassReport, error) {
+	return feedback.Build(res, a)
+}
+
+// StatisticsReport renders the psychometric summary as text, including the
+// D-versus-point-biserial agreement when an analysis is supplied.
+func (p *Pipeline) StatisticsReport(res *analysis.ExamResult, a *analysis.ExamAnalysis) (string, error) {
+	st, err := stats.Compute(res)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Score distribution: n=%d mean=%.2f sd=%.2f median=%.2f range=[%.1f, %.1f]\n",
+		st.Scores.N, st.Scores.Mean, st.Scores.SD, st.Scores.Median,
+		st.Scores.Min, st.Scores.Max)
+	fmt.Fprintf(&b, "KR-20 reliability: %.3f\n", st.KR20)
+	fmt.Fprintf(&b, "%-10s %-8s %s\n", "Item", "P", "point-biserial")
+	for _, it := range st.Items {
+		fmt.Fprintf(&b, "%-10s %-8.2f %+.3f\n", it.ProblemID, it.P, it.PointBiserial)
+	}
+	if a != nil {
+		if r, err := stats.CompareDiscrimination(a, st); err == nil {
+			fmt.Fprintf(&b, "agreement of group D with point-biserial: r = %.3f\n", r)
+		}
+	}
+	return b.String(), nil
+}
+
+// FeedbackReport renders class advice plus the weakest-student reports
+// (capped at maxStudents; 0 means all).
+func (p *Pipeline) FeedbackReport(res *analysis.ExamResult, a *analysis.ExamAnalysis, maxStudents int) (string, error) {
+	rep, err := feedback.Build(res, a)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(feedback.RenderClass(rep))
+	students := rep.Students
+	if maxStudents > 0 && len(students) > maxStudents {
+		// Weakest students first for remediation focus.
+		students = students[len(students)-maxStudents:]
+	}
+	for i := len(students) - 1; i >= 0; i-- {
+		b.WriteString(feedback.RenderStudent(students[i]))
+	}
+	return b.String(), nil
+}
+
+// SignalBoardHTML renders the Figure 2 signal interface as HTML.
+func (p *Pipeline) SignalBoardHTML(a *analysis.ExamAnalysis) string {
+	return report.SignalBoardHTML(a)
+}
+
+// ExamPreviewHTML renders a stored exam's authoring preview (the §5.3-5.4
+// presentation-style screens) using the pipeline's template registry.
+func (p *Pipeline) ExamPreviewHTML(examID string) (string, error) {
+	rec, err := p.store.Exam(examID)
+	if err != nil {
+		return "", err
+	}
+	problems, err := p.store.Problems(rec.ProblemIDs)
+	if err != nil {
+		return "", err
+	}
+	return report.ExamPreviewHTML(rec.Title, problems, p.templates), nil
+}

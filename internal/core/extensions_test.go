@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mineassess/internal/analysis"
+	"mineassess/internal/item"
+)
+
+func analyzedSitting(t *testing.T) (*Pipeline, *analysis.ExamResult, *analysis.ExamAnalysis) {
+	t.Helper()
+	p, examID, _ := seedPipeline(t)
+	res, err := p.RunSimulated(examID, classCfg(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Analyze(res, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, res, a
+}
+
+func TestPipelineStatistics(t *testing.T) {
+	p, res, _ := analyzedSitting(t)
+	st, err := p.Statistics(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scores.N != 80 || len(st.Items) != 12 {
+		t.Errorf("stats shape: n=%d items=%d", st.Scores.N, len(st.Items))
+	}
+	if math.IsNaN(st.KR20) {
+		t.Error("KR-20 should be defined for a 12-item exam with score variance")
+	}
+}
+
+func TestPipelineStatisticsReport(t *testing.T) {
+	p, res, a := analyzedSitting(t)
+	out, err := p.StatisticsReport(res, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"KR-20", "point-biserial", "agreement of group D"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("statistics report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPipelineFeedback(t *testing.T) {
+	p, res, a := analyzedSitting(t)
+	rep, err := p.Feedback(res, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Students) != 80 {
+		t.Errorf("students = %d", len(rep.Students))
+	}
+	// Ordered by score descending.
+	for i := 1; i < len(rep.Students); i++ {
+		if rep.Students[i].Score > rep.Students[i-1].Score {
+			t.Fatal("students not ordered by score")
+		}
+	}
+}
+
+func TestPipelineFeedbackReport(t *testing.T) {
+	p, res, a := analyzedSitting(t)
+	out, err := p.FeedbackReport(res, a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Class feedback") {
+		t.Errorf("class section missing:\n%s", out)
+	}
+	if got := strings.Count(out, "Feedback for "); got != 3 {
+		t.Errorf("student sections = %d, want 3", got)
+	}
+	all, err := p.FeedbackReport(res, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(all, "Feedback for "); got != 80 {
+		t.Errorf("uncapped student sections = %d, want 80", got)
+	}
+}
+
+func TestPipelineReportIncludesQuestionnaires(t *testing.T) {
+	p, examID, concepts := seedPipeline(t)
+	res, err := p.RunSimulated(examID, classCfg(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a questionnaire problem and hand-collected answers.
+	q := &item.Problem{ID: "survey1", Style: item.Questionnaire,
+		Question: "Rate the exam 1-5."}
+	res.Problems = append(res.Problems, q)
+	for i := range res.Students {
+		rating := []string{"5", "4", "5"}[i%3]
+		res.Students[i].Responses = append(res.Students[i].Responses,
+			analysis.Response{StudentID: res.Students[i].StudentID,
+				ProblemID: "survey1", Option: rating, Answered: true})
+	}
+	a, err := p.Analyze(res, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Report(res, a, concepts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Questionnaire survey1") {
+		t.Errorf("questionnaire summary missing from report:\n%.300s", out)
+	}
+}
+
+func TestPipelineSignalBoardHTML(t *testing.T) {
+	p, _, a := analyzedSitting(t)
+	out := p.SignalBoardHTML(a)
+	if !strings.Contains(out, "<table") || !strings.Contains(out, "Signal board") {
+		t.Errorf("HTML board wrong:\n%.200s", out)
+	}
+}
+
+func TestPipelineExamPreviewHTML(t *testing.T) {
+	p, examID, _ := seedPipeline(t)
+	out, err := p.ExamPreviewHTML(examID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "<section") != 12 {
+		t.Errorf("sections = %d, want 12", strings.Count(out, "<section"))
+	}
+	if _, err := p.ExamPreviewHTML("ghost"); err == nil {
+		t.Error("unknown exam should fail")
+	}
+}

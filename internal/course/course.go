@@ -1,0 +1,209 @@
+// Package course models course hierarchy and structure (§2.2): the AICC
+// view of a course as nested blocks containing assignable units (AUs), the
+// predecessor of SCORM's organization/item tree ("the previous idea is
+// content-block-sco"). The package validates structures and converts them
+// into SCORM organizations so authored assessments slot into a course.
+package course
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"mineassess/internal/scorm"
+)
+
+// AU is an assignable unit: the launchable leaf of the AICC structure (a
+// lesson, or here an exam or problem page).
+type AU struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	// ResourceRef names the SCORM resource the AU launches.
+	ResourceRef string `json:"resourceRef"`
+}
+
+// Block is a structural grouping of AUs and nested blocks.
+type Block struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title"`
+	Blocks []Block `json:"blocks,omitempty"`
+	AUs    []AU    `json:"aus,omitempty"`
+}
+
+// Course is the root of the hierarchy.
+type Course struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title"`
+	Blocks []Block `json:"blocks,omitempty"`
+	AUs    []AU    `json:"aus,omitempty"`
+}
+
+// Validation errors.
+var (
+	ErrEmptyCourseID = errors.New("course: course ID must not be empty")
+	ErrEmptyAUID     = errors.New("course: AU ID must not be empty")
+	ErrEmptyBlockID  = errors.New("course: block ID must not be empty")
+	ErrDuplicateID   = errors.New("course: duplicate ID")
+	ErrNoContent     = errors.New("course: course has no assignable units")
+	ErrTooDeep       = errors.New("course: block nesting exceeds the maximum depth")
+)
+
+// MaxDepth bounds block nesting; AICC course structures are shallow trees
+// and unbounded recursion usually signals cyclic authoring data.
+const MaxDepth = 16
+
+// Validate checks structural integrity: non-empty unique IDs, at least one
+// AU somewhere, and bounded nesting.
+func (c *Course) Validate() error {
+	if strings.TrimSpace(c.ID) == "" {
+		return ErrEmptyCourseID
+	}
+	seen := map[string]struct{}{c.ID: {}}
+	total := 0
+	var walk func(blocks []Block, aus []AU, depth int) error
+	walk = func(blocks []Block, aus []AU, depth int) error {
+		if depth > MaxDepth {
+			return fmt.Errorf("%w (%d)", ErrTooDeep, depth)
+		}
+		for _, au := range aus {
+			if strings.TrimSpace(au.ID) == "" {
+				return ErrEmptyAUID
+			}
+			if _, dup := seen[au.ID]; dup {
+				return fmt.Errorf("%w: %s", ErrDuplicateID, au.ID)
+			}
+			seen[au.ID] = struct{}{}
+			total++
+		}
+		for _, b := range blocks {
+			if strings.TrimSpace(b.ID) == "" {
+				return ErrEmptyBlockID
+			}
+			if _, dup := seen[b.ID]; dup {
+				return fmt.Errorf("%w: %s", ErrDuplicateID, b.ID)
+			}
+			seen[b.ID] = struct{}{}
+			if err := walk(b.Blocks, b.AUs, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(c.Blocks, c.AUs, 1); err != nil {
+		return err
+	}
+	if total == 0 {
+		return ErrNoContent
+	}
+	return nil
+}
+
+// AUCount returns the number of assignable units in the course.
+func (c *Course) AUCount() int {
+	count := len(c.AUs)
+	var walk func(blocks []Block)
+	walk = func(blocks []Block) {
+		for _, b := range blocks {
+			count += len(b.AUs)
+			walk(b.Blocks)
+		}
+	}
+	walk(c.Blocks)
+	return count
+}
+
+// WalkAUs visits every AU in document order.
+func (c *Course) WalkAUs(visit func(path []string, au AU)) {
+	var walk func(blocks []Block, aus []AU, path []string)
+	walk = func(blocks []Block, aus []AU, path []string) {
+		for _, au := range aus {
+			visit(path, au)
+		}
+		for _, b := range blocks {
+			walk(b.Blocks, b.AUs, append(path, b.ID))
+		}
+	}
+	walk(c.Blocks, c.AUs, []string{c.ID})
+}
+
+// ToOrganization converts the course into a SCORM organization: blocks
+// become non-launchable items, AUs become items referencing their resource.
+func (c *Course) ToOrganization() (scorm.Organization, error) {
+	if err := c.Validate(); err != nil {
+		return scorm.Organization{}, err
+	}
+	org := scorm.Organization{
+		Identifier: "ORG-" + c.ID,
+		Title:      c.Title,
+	}
+	org.Items = append(org.Items, ausToItems(c.AUs)...)
+	org.Items = append(org.Items, blocksToItems(c.Blocks)...)
+	return org, nil
+}
+
+func ausToItems(aus []AU) []scorm.Item {
+	items := make([]scorm.Item, 0, len(aus))
+	for _, au := range aus {
+		items = append(items, scorm.Item{
+			Identifier:    "ITEM-" + au.ID,
+			IdentifierRef: au.ResourceRef,
+			Title:         au.Title,
+		})
+	}
+	return items
+}
+
+func blocksToItems(blocks []Block) []scorm.Item {
+	items := make([]scorm.Item, 0, len(blocks))
+	for _, b := range blocks {
+		it := scorm.Item{
+			Identifier: "ITEM-" + b.ID,
+			Title:      b.Title,
+		}
+		it.Items = append(it.Items, ausToItems(b.AUs)...)
+		it.Items = append(it.Items, blocksToItems(b.Blocks)...)
+		items = append(items, it)
+	}
+	return items
+}
+
+// FromOrganization reconstructs a course hierarchy from a SCORM
+// organization: items with an identifierref become AUs, container items
+// become blocks. Identifier prefixes added by ToOrganization are stripped.
+func FromOrganization(org scorm.Organization) *Course {
+	c := &Course{
+		ID:    strings.TrimPrefix(org.Identifier, "ORG-"),
+		Title: org.Title,
+	}
+	for _, it := range org.Items {
+		if it.IdentifierRef != "" {
+			c.AUs = append(c.AUs, itemToAU(it))
+		} else {
+			c.Blocks = append(c.Blocks, itemToBlock(it))
+		}
+	}
+	return c
+}
+
+func itemToAU(it scorm.Item) AU {
+	return AU{
+		ID:          strings.TrimPrefix(it.Identifier, "ITEM-"),
+		Title:       it.Title,
+		ResourceRef: it.IdentifierRef,
+	}
+}
+
+func itemToBlock(it scorm.Item) Block {
+	b := Block{
+		ID:    strings.TrimPrefix(it.Identifier, "ITEM-"),
+		Title: it.Title,
+	}
+	for _, child := range it.Items {
+		if child.IdentifierRef != "" {
+			b.AUs = append(b.AUs, itemToAU(child))
+		} else {
+			b.Blocks = append(b.Blocks, itemToBlock(child))
+		}
+	}
+	return b
+}

@@ -1,0 +1,138 @@
+package course
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleCourse() *Course {
+	return &Course{
+		ID:    "crs1",
+		Title: "Assessment 101",
+		AUs:   []AU{{ID: "intro", Title: "Introduction", ResourceRef: "RES-intro"}},
+		Blocks: []Block{{
+			ID: "unit1", Title: "Unit 1",
+			AUs: []AU{
+				{ID: "lesson1", Title: "Lesson 1", ResourceRef: "RES-l1"},
+				{ID: "quiz1", Title: "Quiz 1", ResourceRef: "RES-q1"},
+			},
+			Blocks: []Block{{
+				ID: "unit1sub", Title: "Deep dive",
+				AUs: []AU{{ID: "lesson2", Title: "Lesson 2", ResourceRef: "RES-l2"}},
+			}},
+		}},
+	}
+}
+
+func TestValidateGood(t *testing.T) {
+	if err := sampleCourse().Validate(); err != nil {
+		t.Errorf("valid course rejected: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	c := sampleCourse()
+	c.ID = " "
+	if err := c.Validate(); !errors.Is(err, ErrEmptyCourseID) {
+		t.Errorf("err = %v, want ErrEmptyCourseID", err)
+	}
+
+	c = sampleCourse()
+	c.AUs[0].ID = ""
+	if err := c.Validate(); !errors.Is(err, ErrEmptyAUID) {
+		t.Errorf("err = %v, want ErrEmptyAUID", err)
+	}
+
+	c = sampleCourse()
+	c.Blocks[0].ID = ""
+	if err := c.Validate(); !errors.Is(err, ErrEmptyBlockID) {
+		t.Errorf("err = %v, want ErrEmptyBlockID", err)
+	}
+
+	c = sampleCourse()
+	c.Blocks[0].AUs[0].ID = "intro" // duplicate
+	if err := c.Validate(); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("err = %v, want ErrDuplicateID", err)
+	}
+
+	empty := &Course{ID: "c", Title: "empty"}
+	if err := empty.Validate(); !errors.Is(err, ErrNoContent) {
+		t.Errorf("err = %v, want ErrNoContent", err)
+	}
+}
+
+func TestValidateDepthBound(t *testing.T) {
+	c := &Course{ID: "deep", Title: "deep"}
+	// Build nesting beyond MaxDepth.
+	inner := Block{ID: "b-leaf", AUs: []AU{{ID: "au", ResourceRef: "R"}}}
+	for i := 0; i < MaxDepth+1; i++ {
+		inner = Block{ID: "b" + strings.Repeat("x", i+1), Blocks: []Block{inner}}
+	}
+	c.Blocks = []Block{inner}
+	if err := c.Validate(); !errors.Is(err, ErrTooDeep) {
+		t.Errorf("err = %v, want ErrTooDeep", err)
+	}
+}
+
+func TestAUCountAndWalk(t *testing.T) {
+	c := sampleCourse()
+	if got := c.AUCount(); got != 4 {
+		t.Errorf("AUCount = %d, want 4", got)
+	}
+	var visited []string
+	c.WalkAUs(func(path []string, au AU) {
+		visited = append(visited, strings.Join(path, "/")+":"+au.ID)
+	})
+	want := []string{
+		"crs1:intro",
+		"crs1/unit1:lesson1",
+		"crs1/unit1:quiz1",
+		"crs1/unit1/unit1sub:lesson2",
+	}
+	if !reflect.DeepEqual(visited, want) {
+		t.Errorf("walk = %v, want %v", visited, want)
+	}
+}
+
+func TestToOrganizationAndBack(t *testing.T) {
+	c := sampleCourse()
+	org, err := c.ToOrganization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if org.Identifier != "ORG-crs1" || org.Title != "Assessment 101" {
+		t.Errorf("org header = %q %q", org.Identifier, org.Title)
+	}
+	// intro AU first, then the unit1 block.
+	if len(org.Items) != 2 {
+		t.Fatalf("items = %d", len(org.Items))
+	}
+	if org.Items[0].IdentifierRef != "RES-intro" {
+		t.Errorf("first item ref = %q", org.Items[0].IdentifierRef)
+	}
+	if org.Items[1].Title != "Unit 1" || org.Items[1].IdentifierRef != "" {
+		t.Errorf("block item = %+v", org.Items[1])
+	}
+	// Round trip.
+	back := FromOrganization(org)
+	if back.ID != "crs1" || back.AUCount() != 4 {
+		t.Errorf("round trip = %s with %d AUs", back.ID, back.AUCount())
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("round-tripped course invalid: %v", err)
+	}
+	if len(back.Blocks) != 1 || len(back.Blocks[0].Blocks) != 1 {
+		t.Errorf("nesting lost: %+v", back.Blocks)
+	}
+	if back.Blocks[0].Blocks[0].AUs[0].ID != "lesson2" {
+		t.Errorf("deep AU lost: %+v", back.Blocks[0].Blocks[0])
+	}
+}
+
+func TestToOrganizationInvalidCourse(t *testing.T) {
+	if _, err := (&Course{}).ToOrganization(); err == nil {
+		t.Error("invalid course should not convert")
+	}
+}

@@ -1,0 +1,56 @@
+package course
+
+import (
+	"fmt"
+
+	"mineassess/internal/bank"
+)
+
+// FromExamRecord derives a course hierarchy from an authored exam: the
+// exam's §5.4 presentation groups become blocks, ungrouped problems become
+// top-level AUs. Resource references follow scorm.BuildPackage's naming
+// (RES-<examID>-NNN by position in the exam), so the course's organization
+// can replace or sit beside the package's flat one.
+func FromExamRecord(rec *bank.ExamRecord) (*Course, error) {
+	if rec == nil || len(rec.ProblemIDs) == 0 {
+		return nil, fmt.Errorf("course: empty exam record")
+	}
+	position := make(map[string]int, len(rec.ProblemIDs))
+	for i, pid := range rec.ProblemIDs {
+		position[pid] = i + 1
+	}
+	resourceRef := func(pid string) string {
+		return fmt.Sprintf("RES-%s-%03d", rec.ID, position[pid])
+	}
+	grouped := make(map[string]bool)
+	c := &Course{ID: rec.ID, Title: rec.Title}
+	for _, g := range rec.Groups {
+		block := Block{ID: rec.ID + "-" + g.Name, Title: g.Name}
+		for _, pid := range g.ProblemIDs {
+			if _, ok := position[pid]; !ok {
+				return nil, fmt.Errorf("course: group %q references %q not in exam", g.Name, pid)
+			}
+			grouped[pid] = true
+			block.AUs = append(block.AUs, AU{
+				ID:          pid,
+				Title:       fmt.Sprintf("Question %d", position[pid]),
+				ResourceRef: resourceRef(pid),
+			})
+		}
+		c.Blocks = append(c.Blocks, block)
+	}
+	for _, pid := range rec.ProblemIDs {
+		if grouped[pid] {
+			continue
+		}
+		c.AUs = append(c.AUs, AU{
+			ID:          pid,
+			Title:       fmt.Sprintf("Question %d", position[pid]),
+			ResourceRef: resourceRef(pid),
+		})
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,103 @@
+package course
+
+import (
+	"testing"
+
+	"mineassess/internal/bank"
+	"mineassess/internal/cognition"
+	"mineassess/internal/item"
+	"mineassess/internal/scorm"
+)
+
+func examRecordFixture() *bank.ExamRecord {
+	return &bank.ExamRecord{
+		ID:         "mid",
+		Title:      "Midterm",
+		ProblemIDs: []string{"qa", "qb", "qc", "qd"},
+		Display:    item.FixedOrder,
+		Groups: []bank.ExamGroup{
+			{Name: "PartA", ProblemIDs: []string{"qa", "qb"}},
+		},
+	}
+}
+
+func TestFromExamRecord(t *testing.T) {
+	c, err := FromExamRecord(examRecordFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID != "mid" || c.AUCount() != 4 {
+		t.Fatalf("course = %s with %d AUs", c.ID, c.AUCount())
+	}
+	if len(c.Blocks) != 1 || c.Blocks[0].Title != "PartA" || len(c.Blocks[0].AUs) != 2 {
+		t.Errorf("blocks = %+v", c.Blocks)
+	}
+	// Ungrouped problems become top-level AUs in exam order.
+	if len(c.AUs) != 2 || c.AUs[0].ID != "qc" || c.AUs[1].ID != "qd" {
+		t.Errorf("top AUs = %+v", c.AUs)
+	}
+	// Resource refs follow the package naming by exam position.
+	if got := c.Blocks[0].AUs[0].ResourceRef; got != "RES-mid-001" {
+		t.Errorf("qa ref = %q", got)
+	}
+	if got := c.AUs[0].ResourceRef; got != "RES-mid-003" {
+		t.Errorf("qc ref = %q", got)
+	}
+}
+
+func TestFromExamRecordErrors(t *testing.T) {
+	if _, err := FromExamRecord(nil); err == nil {
+		t.Error("nil record should fail")
+	}
+	rec := examRecordFixture()
+	rec.Groups[0].ProblemIDs = append(rec.Groups[0].ProblemIDs, "ghost")
+	if _, err := FromExamRecord(rec); err == nil {
+		t.Error("dangling group reference should fail")
+	}
+}
+
+// TestCourseMatchesPackageResources proves the derived course's resource
+// references all resolve inside the exam's SCORM package.
+func TestCourseMatchesPackageResources(t *testing.T) {
+	rec := examRecordFixture()
+	var problems []*item.Problem
+	for _, pid := range rec.ProblemIDs {
+		p, err := item.NewMultipleChoice(pid, "?", []string{"1", "2"}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Level = cognition.Knowledge
+		problems = append(problems, p)
+	}
+	pkg, err := scorm.BuildPackage(rec, problems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resources := make(map[string]bool)
+	for _, r := range pkg.Manifest.Resources.Resources {
+		resources[r.Identifier] = true
+	}
+	c, err := FromExamRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.WalkAUs(func(_ []string, au AU) {
+		if !resources[au.ResourceRef] {
+			t.Errorf("AU %s references %s, not in package", au.ID, au.ResourceRef)
+		}
+	})
+	// The course's organization validates inside the package manifest
+	// (renamed so it does not collide with the package's own flat
+	// organization for the same exam).
+	c.ID = rec.ID + "-structured"
+	org, err := c.ToOrganization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := *pkg.Manifest
+	man.Organizations.Organizations = append(man.Organizations.Organizations, org)
+	man.Organizations.Default = org.Identifier
+	if err := man.Validate(); err != nil {
+		t.Errorf("manifest with course organization invalid: %v", err)
+	}
+}

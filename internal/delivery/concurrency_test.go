@@ -1,0 +1,151 @@
+package delivery
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEngineConcurrentSessions hammers one engine from many goroutines:
+// starts, answers, status polls, monitor reads and finishes must be safe
+// under -race and leave a consistent result set.
+func TestEngineConcurrentSessions(t *testing.T) {
+	store, examID := examFixture(t, false)
+	eng := NewEngine(store, nil, 8)
+
+	const students = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, students)
+	for i := 0; i < students; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			sid := fmt.Sprintf("stu%02d", n)
+			sess, err := eng.Start(examID, sid, int64(n))
+			if err != nil {
+				errs <- err
+				return
+			}
+			for q := 1; q <= 4; q++ {
+				opt := "A"
+				if (n+q)%3 == 0 {
+					opt = "B"
+				}
+				if err := eng.Answer(sess.ID, fmt.Sprintf("q%d", q), opt); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := eng.Status(sess.ID); err != nil {
+					errs <- err
+					return
+				}
+				_ = eng.Monitor().Snapshots(sess.ID)
+			}
+			if _, err := eng.Finish(sess.ID); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	res, err := eng.CollectResults(examID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Students) != students {
+		t.Fatalf("collected %d students, want %d", len(res.Students), students)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatalf("collected result invalid: %v", err)
+	}
+	// Every student answered all four questions.
+	for _, s := range res.Students {
+		if s.AnsweredCount() != 4 {
+			t.Errorf("student %s answered %d", s.StudentID, s.AnsweredCount())
+		}
+	}
+}
+
+// TestEngineConcurrentGradingAndSummaries overlaps manual grading, summary
+// listings and result collection.
+func TestEngineConcurrentGradingAndSummaries(t *testing.T) {
+	store, examID := essayExamFixture(t)
+	eng := NewEngine(store, nil, 0)
+
+	const n = 12
+	sessIDs := make([]string, n)
+	for i := 0; i < n; i++ {
+		sess, err := eng.Start(examID, fmt.Sprintf("w%02d", i), int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Answer(sess.ID, "essay1", "an essay"); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Answer(sess.ID, "mc1", "A"); err != nil {
+			t.Fatal(err)
+		}
+		sessIDs[i] = sess.ID
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			if err := eng.AssignGrade(sessIDs[idx], "essay1", 0.5); err != nil {
+				t.Errorf("grade %d: %v", idx, err)
+			}
+			_ = eng.SessionSummaries(examID)
+			_ = eng.PendingGrades(examID)
+			if _, err := eng.Finish(sessIDs[idx]); err != nil {
+				t.Errorf("finish %d: %v", idx, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	res, err := eng.CollectResults(examID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Students {
+		for _, r := range s.Responses {
+			if r.ProblemID == "essay1" && r.Credit != 0.5 {
+				t.Errorf("student %s essay credit = %v", s.StudentID, r.Credit)
+			}
+		}
+	}
+}
+
+// TestMonitorConcurrentCapture races captures against reads.
+func TestMonitorConcurrentCapture(t *testing.T) {
+	m := NewMonitor(16)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			sid := fmt.Sprintf("s%d", n%4)
+			for j := 0; j < 50; j++ {
+				m.Capture(sid, time.Unix(int64(j), 0))
+				_ = m.Snapshots(sid)
+				_ = m.Captured(sid)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 4; i++ {
+		sid := fmt.Sprintf("s%d", i)
+		if got := len(m.Snapshots(sid)); got != 16 {
+			t.Errorf("ring %s retained %d, want 16", sid, got)
+		}
+		if got := m.Captured(sid); got != 100 {
+			t.Errorf("captured %s = %d, want 100", sid, got)
+		}
+	}
+}

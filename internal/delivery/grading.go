@@ -1,0 +1,110 @@
+package delivery
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Manual grading: essay answers cannot be auto-graded (item.Problem.Grade
+// reports ok=false), so instructors score them after the sitting. Grades
+// may be assigned on running or closed sessions; results collected after
+// grading reflect the assigned credit.
+
+// Errors for the grading workflow.
+var (
+	ErrNotAnswered   = errors.New("delivery: problem was not answered")
+	ErrAutoGraded    = errors.New("delivery: problem was auto-graded")
+	ErrInvalidCredit = errors.New("delivery: credit outside [0,1]")
+)
+
+// PendingGrade describes one response awaiting manual grading.
+type PendingGrade struct {
+	SessionID string `json:"sessionId"`
+	StudentID string `json:"studentId"`
+	ProblemID string `json:"problemId"`
+	Response  string `json:"response"`
+}
+
+// PendingGrades lists every answered-but-ungradable response for the exam,
+// ordered by session then problem for stable instructor worklists.
+func (e *Engine) PendingGrades(examID string) []PendingGrade {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []PendingGrade
+	ids := make([]string, 0, len(e.sessions))
+	for id := range e.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		s := e.sessions[id]
+		if s.ExamID != examID {
+			continue
+		}
+		for _, pid := range s.Order {
+			a, ok := s.answers[pid]
+			if !ok || a.gradable {
+				continue
+			}
+			out = append(out, PendingGrade{
+				SessionID: s.ID,
+				StudentID: s.StudentID,
+				ProblemID: pid,
+				Response:  a.response,
+			})
+		}
+	}
+	return out
+}
+
+// AssignGrade records an instructor's credit for a manually graded
+// response. Only answered, not-auto-graded responses accept a grade;
+// re-grading is allowed (the last grade wins).
+func (e *Engine) AssignGrade(sessionID, problemID string, credit float64) error {
+	if credit < 0 || credit > 1 {
+		return fmt.Errorf("%w: %v", ErrInvalidCredit, credit)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, err := e.get(sessionID)
+	if err != nil {
+		return err
+	}
+	a, ok := s.answers[problemID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotAnswered, problemID)
+	}
+	if a.gradable {
+		return fmt.Errorf("%w: %s", ErrAutoGraded, problemID)
+	}
+	a.credit = credit
+	s.answers[problemID] = a
+	return nil
+}
+
+// SessionSummaries lists the status of every session for an exam, ordered
+// by session ID — the administrator's monitor view of who is taking the
+// exam right now.
+func (e *Engine) SessionSummaries(examID string) []Status {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.now()
+	ids := make([]string, 0, len(e.sessions))
+	for id := range e.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var out []Status
+	for _, id := range ids {
+		s := e.sessions[id]
+		if s.ExamID != examID {
+			continue
+		}
+		_ = e.checkTime(s, now)
+		st := s.snapshotStatus(now)
+		st.StateName = st.State.String()
+		out = append(out, st)
+	}
+	return out
+}

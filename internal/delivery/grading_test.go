@@ -1,0 +1,233 @@
+package delivery
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mineassess/internal/bank"
+	"mineassess/internal/cognition"
+	"mineassess/internal/item"
+)
+
+// newTestHTTP serves the engine over HTTP for the admin-endpoint tests.
+func newTestHTTP(t *testing.T, eng *Engine) string {
+	t.Helper()
+	srv := httptest.NewServer(NewServer(eng))
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+// essayExamFixture: one essay + one MC problem.
+func essayExamFixture(t *testing.T) (*bank.Store, string) {
+	t.Helper()
+	s := bank.New()
+	essay := &item.Problem{ID: "essay1", Style: item.Essay,
+		Question: "Discuss assessment metadata.", Level: cognition.Evaluation}
+	mc, err := item.NewMultipleChoice("mc1", "?", []string{"a", "b"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc.Level = cognition.Knowledge
+	for _, p := range []*item.Problem{essay, mc} {
+		if err := s.AddProblem(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := &bank.ExamRecord{ID: "essayexam", Title: "Essay exam",
+		ProblemIDs: []string{"essay1", "mc1"}, Display: item.FixedOrder}
+	if err := s.AddExam(rec); err != nil {
+		t.Fatal(err)
+	}
+	return s, rec.ID
+}
+
+func TestManualGradingWorkflow(t *testing.T) {
+	store, examID := essayExamFixture(t)
+	clock := newFakeClock()
+	eng := NewEngine(store, clock.Now, 0)
+	sess, err := eng.Start(examID, "alice", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Minute)
+	if err := eng.Answer(sess.ID, "essay1", "Metadata lets systems exchange assessments."); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Answer(sess.ID, "mc1", "A"); err != nil {
+		t.Fatal(err)
+	}
+
+	pending := eng.PendingGrades(examID)
+	if len(pending) != 1 || pending[0].ProblemID != "essay1" {
+		t.Fatalf("pending = %+v", pending)
+	}
+	if pending[0].Response == "" {
+		t.Error("pending grade should carry the response text")
+	}
+
+	if err := eng.AssignGrade(sess.ID, "essay1", 0.75); err != nil {
+		t.Fatalf("AssignGrade: %v", err)
+	}
+	res, err := eng.Finish(sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Responses {
+		if r.ProblemID == "essay1" && r.Credit != 0.75 {
+			t.Errorf("essay credit = %v, want 0.75", r.Credit)
+		}
+	}
+	// Re-grading after finish is allowed; results reflect the new grade.
+	if err := eng.AssignGrade(sess.ID, "essay1", 1); err != nil {
+		t.Fatalf("re-grade: %v", err)
+	}
+	res2, err := eng.Finish(sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Responses[0].Credit != 1 {
+		t.Errorf("re-graded credit = %v", res2.Responses[0].Credit)
+	}
+}
+
+func TestAssignGradeErrors(t *testing.T) {
+	store, examID := essayExamFixture(t)
+	eng := NewEngine(store, newFakeClock().Now, 0)
+	sess, err := eng.Start(examID, "bob", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AssignGrade(sess.ID, "essay1", 1.5); !errors.Is(err, ErrInvalidCredit) {
+		t.Errorf("credit 1.5 = %v", err)
+	}
+	if err := eng.AssignGrade(sess.ID, "essay1", 0.5); !errors.Is(err, ErrNotAnswered) {
+		t.Errorf("unanswered = %v", err)
+	}
+	if err := eng.Answer(sess.ID, "mc1", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AssignGrade(sess.ID, "mc1", 0.5); !errors.Is(err, ErrAutoGraded) {
+		t.Errorf("auto-graded = %v", err)
+	}
+	if err := eng.AssignGrade("ghost", "essay1", 0.5); !errors.Is(err, ErrSessionNotFound) {
+		t.Errorf("unknown session = %v", err)
+	}
+}
+
+func TestSessionSummaries(t *testing.T) {
+	store, examID := examFixture(t, false)
+	clock := newFakeClock()
+	eng := NewEngine(store, clock.Now, 0)
+	s1, err := eng.Start(examID, "alice", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Start(examID, "bob", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Answer(s1.ID, "q1", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Finish(s1.ID); err != nil {
+		t.Fatal(err)
+	}
+	sums := eng.SessionSummaries(examID)
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	if sums[0].StateName != "finished" || sums[1].StateName != "running" {
+		t.Errorf("states = %s, %s", sums[0].StateName, sums[1].StateName)
+	}
+	if got := eng.SessionSummaries("other"); len(got) != 0 {
+		t.Errorf("other exam summaries = %v", got)
+	}
+}
+
+func TestHTTPAdminEndpoints(t *testing.T) {
+	store, examID := essayExamFixture(t)
+	clock := newFakeClock()
+	eng := NewEngine(store, clock.Now, 0)
+	srv := newTestHTTP(t, eng)
+
+	var sr startResponse
+	if code := postJSON(t, srv+"/api/session/start",
+		startRequest{ExamID: examID, StudentID: "carol"}, &sr); code != http.StatusOK {
+		t.Fatalf("start = %d", code)
+	}
+	if code := postJSON(t, srv+"/api/session/"+sr.SessionID+"/answer",
+		answerRequest{ProblemID: "essay1", Response: "my essay"}, nil); code != http.StatusOK {
+		t.Fatal("answer failed")
+	}
+
+	var sums []Status
+	if code := getJSON(t, srv+"/api/admin/sessions?exam="+examID, &sums); code != http.StatusOK {
+		t.Fatalf("admin sessions = %d", code)
+	}
+	if len(sums) != 1 || sums[0].StudentID != "carol" {
+		t.Errorf("sums = %+v", sums)
+	}
+	if code := getJSON(t, srv+"/api/admin/sessions", nil); code != http.StatusBadRequest {
+		t.Errorf("missing exam param = %d", code)
+	}
+
+	var pending []PendingGrade
+	if code := getJSON(t, srv+"/api/admin/grades?exam="+examID, &pending); code != http.StatusOK {
+		t.Fatalf("admin grades = %d", code)
+	}
+	if len(pending) != 1 || pending[0].ProblemID != "essay1" {
+		t.Errorf("pending = %+v", pending)
+	}
+	if code := postJSON(t, srv+"/api/admin/grades",
+		gradeRequest{SessionID: sr.SessionID, ProblemID: "essay1", Credit: 0.9}, nil); code != http.StatusOK {
+		t.Error("grade post failed")
+	}
+	if code := postJSON(t, srv+"/api/admin/grades",
+		gradeRequest{SessionID: sr.SessionID, ProblemID: "essay1", Credit: 2}, nil); code != http.StatusBadRequest {
+		t.Errorf("bad credit = %d", code)
+	}
+}
+
+func TestHTTPAdminResultsExport(t *testing.T) {
+	store, examID := examFixture(t, false)
+	clock := newFakeClock()
+	eng := NewEngine(store, clock.Now, 0)
+	srv := newTestHTTP(t, eng)
+
+	var sr startResponse
+	if code := postJSON(t, srv+"/api/session/start",
+		startRequest{ExamID: examID, StudentID: "dora"}, &sr); code != http.StatusOK {
+		t.Fatal("start failed")
+	}
+	for _, q := range []string{"q1", "q2", "q3", "q4"} {
+		clock.Advance(20 * time.Second)
+		if code := postJSON(t, srv+"/api/session/"+sr.SessionID+"/answer",
+			answerRequest{ProblemID: q, Response: "A"}, nil); code != http.StatusOK {
+			t.Fatal("answer failed")
+		}
+	}
+	if code := postJSON(t, srv+"/api/session/"+sr.SessionID+"/finish", nil, nil); code != http.StatusOK {
+		t.Fatal("finish failed")
+	}
+
+	var res struct {
+		ExamID   string `json:"examId"`
+		Students []struct {
+			StudentID string `json:"studentId"`
+		} `json:"students"`
+	}
+	if code := getJSON(t, srv+"/api/admin/results?exam="+examID, &res); code != http.StatusOK {
+		t.Fatalf("results export = %d", code)
+	}
+	if res.ExamID != examID || len(res.Students) != 1 || res.Students[0].StudentID != "dora" {
+		t.Errorf("exported result = %+v", res)
+	}
+	if code := getJSON(t, srv+"/api/admin/results", nil); code != http.StatusBadRequest {
+		t.Errorf("missing exam param = %d", code)
+	}
+	if code := getJSON(t, srv+"/api/admin/results?exam=ghost", nil); code != http.StatusNotFound {
+		t.Errorf("unknown exam = %d", code)
+	}
+}

@@ -1,0 +1,335 @@
+package delivery
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+
+	"mineassess/internal/scorm"
+)
+
+// Server is the HTTP front end: learners take exams with an Internet
+// browser (§5) against these endpoints, and SCO content reaches the SCORM
+// RTE API through the /api/rte bridge.
+//
+//	POST /api/session/start            {examId, studentId, seed}
+//	GET  /api/session/{id}             session status
+//	POST /api/session/{id}/answer      {problemId, response}
+//	POST /api/session/{id}/pause
+//	POST /api/session/{id}/resume
+//	POST /api/session/{id}/finish
+//	GET  /api/monitor/{id}             captured snapshots
+//	POST /api/rte/{id}                 {method, element, value}
+type Server struct {
+	engine *Engine
+	mux    *http.ServeMux
+	// pkg, when mounted, is the SCORM content package served under
+	// /package/ so launched SCOs load straight from the LMS.
+	pkg *scorm.Package
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// NewServer builds the handler around an engine.
+func NewServer(engine *Engine) *Server {
+	s := &Server{engine: engine, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/api/session/start", s.handleStart)
+	s.mux.HandleFunc("/api/session/", s.handleSession)
+	s.mux.HandleFunc("/api/monitor/", s.handleMonitor)
+	s.mux.HandleFunc("/api/rte/", s.handleRTE)
+	s.mux.HandleFunc("/api/admin/sessions", s.handleAdminSessions)
+	s.mux.HandleFunc("/api/admin/grades", s.handleAdminGrades)
+	s.mux.HandleFunc("/api/admin/results", s.handleAdminResults)
+	s.mux.HandleFunc("/package/", s.handlePackage)
+	return s
+}
+
+// MountPackage exposes a SCORM package's files under /package/. Call before
+// serving; the launch URL for a resource is "/package/" + resource href.
+func (s *Server) MountPackage(pkg *scorm.Package) {
+	s.pkg = pkg
+}
+
+var _contentTypes = map[string]string{
+	".html": "text/html; charset=utf-8",
+	".xml":  "application/xml",
+	".js":   "text/javascript",
+	".css":  "text/css",
+	".gif":  "image/gif",
+	".jpg":  "image/jpeg",
+	".png":  "image/png",
+}
+
+// handlePackage serves mounted package files.
+func (s *Server) handlePackage(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.pkg == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no package mounted"})
+		return
+	}
+	path := strings.TrimPrefix(r.URL.Path, "/package/")
+	data, ok := s.pkg.Files[path]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such file " + path})
+		return
+	}
+	if dot := strings.LastIndex(path, "."); dot >= 0 {
+		if ct, known := _contentTypes[path[dot:]]; known {
+			w.Header().Set("Content-Type", ct)
+		}
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+type startRequest struct {
+	ExamID    string `json:"examId"`
+	StudentID string `json:"studentId"`
+	Seed      int64  `json:"seed"`
+}
+
+type startResponse struct {
+	SessionID string   `json:"sessionId"`
+	Order     []string `json:"order"`
+}
+
+type answerRequest struct {
+	ProblemID string `json:"problemId"`
+	Response  string `json:"response"`
+}
+
+type rteRequest struct {
+	Method  string `json:"method"`
+	Element string `json:"element,omitempty"`
+	Value   string `json:"value,omitempty"`
+}
+
+type rteResponse struct {
+	Result    string `json:"result"`
+	LastError string `json:"lastError"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrSessionNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrTimeExpired),
+		errors.Is(err, ErrSessionNotActive),
+		errors.Is(err, ErrNotPaused),
+		errors.Is(err, ErrNotResumable),
+		errors.Is(err, ErrAlreadyAnswered):
+		code = http.StatusConflict
+	case errors.Is(err, ErrUnknownProblem):
+		code = http.StatusBadRequest
+	}
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req startRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body"})
+		return
+	}
+	sess, err := s.engine.Start(req.ExamID, req.StudentID, req.Seed)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, startResponse{SessionID: sess.ID, Order: sess.Order})
+}
+
+// handleSession routes /api/session/{id}[/{action}].
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/session/")
+	sessionID, action, _ := strings.Cut(rest, "/")
+	if sessionID == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "missing session ID"})
+		return
+	}
+	switch {
+	case action == "" && r.Method == http.MethodGet:
+		st, err := s.engine.Status(sessionID)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	case r.Method != http.MethodPost:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	case action == "answer":
+		var req answerRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body"})
+			return
+		}
+		if err := s.engine.Answer(sessionID, req.ProblemID, req.Response); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "recorded"})
+	case action == "pause":
+		if err := s.engine.Pause(sessionID); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "paused"})
+	case action == "resume":
+		if err := s.engine.Resume(sessionID); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "running"})
+	case action == "finish":
+		res, err := s.engine.Finish(sessionID)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	default:
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown action " + action})
+	}
+}
+
+func (s *Server) handleMonitor(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	sessionID := strings.TrimPrefix(r.URL.Path, "/api/monitor/")
+	snaps := s.engine.Monitor().Snapshots(sessionID)
+	writeJSON(w, http.StatusOK, snaps)
+}
+
+// handleAdminSessions lists session statuses for ?exam=ID.
+func (s *Server) handleAdminSessions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	examID := r.URL.Query().Get("exam")
+	if examID == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "missing exam parameter"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.engine.SessionSummaries(examID))
+}
+
+type gradeRequest struct {
+	SessionID string  `json:"sessionId"`
+	ProblemID string  `json:"problemId"`
+	Credit    float64 `json:"credit"`
+}
+
+// handleAdminGrades serves the manual-grading worklist (GET ?exam=ID) and
+// accepts grade assignments (POST).
+func (s *Server) handleAdminGrades(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		examID := r.URL.Query().Get("exam")
+		if examID == "" {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "missing exam parameter"})
+			return
+		}
+		writeJSON(w, http.StatusOK, s.engine.PendingGrades(examID))
+	case http.MethodPost:
+		var req gradeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body"})
+			return
+		}
+		if err := s.engine.AssignGrade(req.SessionID, req.ProblemID, req.Credit); err != nil {
+			switch {
+			case errors.Is(err, ErrInvalidCredit),
+				errors.Is(err, ErrNotAnswered),
+				errors.Is(err, ErrAutoGraded):
+				writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			default:
+				writeError(w, err)
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "graded"})
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// handleAdminResults exports the collected response matrix for ?exam=ID as
+// the analysis package's JSON format, ready for offline analysis.
+func (s *Server) handleAdminResults(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	examID := r.URL.Query().Get("exam")
+	if examID == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "missing exam parameter"})
+		return
+	}
+	res, err := s.engine.CollectResults(examID)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleRTE bridges the SCORM API over HTTP for SCO content.
+func (s *Server) handleRTE(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	sessionID := strings.TrimPrefix(r.URL.Path, "/api/rte/")
+	api, err := s.engine.RTE(sessionID)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req rteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body"})
+		return
+	}
+	var result string
+	switch strings.ToLower(req.Method) {
+	case "getvalue":
+		result = api.LMSGetValue(req.Element)
+	case "setvalue":
+		result = api.LMSSetValue(req.Element, req.Value)
+	case "commit":
+		result = api.LMSCommit("")
+	case "geterrorstring":
+		result = api.LMSGetErrorString(req.Value)
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "unknown RTE method " + req.Method})
+		return
+	}
+	writeJSON(w, http.StatusOK, rteResponse{Result: result, LastError: api.LMSGetLastError()})
+}

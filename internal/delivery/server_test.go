@@ -1,0 +1,289 @@
+package delivery
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mineassess/internal/scorm"
+)
+
+// testServer wires the fixture bank into an HTTP test server.
+func testServer(t *testing.T) (*httptest.Server, *fakeClock) {
+	t.Helper()
+	store, _ := examFixture(t, false)
+	clock := newFakeClock()
+	eng := NewEngine(store, clock.Now, 8)
+	srv := httptest.NewServer(NewServer(eng))
+	t.Cleanup(srv.Close)
+	return srv, clock
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func startSession(t *testing.T, base string) startResponse {
+	t.Helper()
+	var sr startResponse
+	code := postJSON(t, base+"/api/session/start",
+		startRequest{ExamID: "exam1", StudentID: "alice", Seed: 1}, &sr)
+	if code != http.StatusOK || sr.SessionID == "" {
+		t.Fatalf("start: code %d, resp %+v", code, sr)
+	}
+	return sr
+}
+
+func TestHTTPFullExamFlow(t *testing.T) {
+	srv, clock := testServer(t)
+	sr := startSession(t, srv.URL)
+	if len(sr.Order) != 4 {
+		t.Fatalf("order = %v", sr.Order)
+	}
+	clock.Advance(time.Minute)
+	code := postJSON(t, srv.URL+"/api/session/"+sr.SessionID+"/answer",
+		answerRequest{ProblemID: "q1", Response: "A"}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("answer code = %d", code)
+	}
+
+	var st Status
+	if code := getJSON(t, srv.URL+"/api/session/"+sr.SessionID, &st); code != http.StatusOK {
+		t.Fatalf("status code = %d", code)
+	}
+	if st.Answered != 1 || st.StateName != "running" {
+		t.Errorf("status = %+v", st)
+	}
+
+	var result map[string]any
+	if code := postJSON(t, srv.URL+"/api/session/"+sr.SessionID+"/finish", nil, &result); code != http.StatusOK {
+		t.Fatalf("finish code = %d", code)
+	}
+	if result["studentId"] != "alice" {
+		t.Errorf("finish result = %v", result)
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	srv, _ := testServer(t)
+	// Unknown session -> 404.
+	if code := getJSON(t, srv.URL+"/api/session/ghost", nil); code != http.StatusNotFound {
+		t.Errorf("unknown session = %d, want 404", code)
+	}
+	// Unknown exam -> 400.
+	var e errorBody
+	if code := postJSON(t, srv.URL+"/api/session/start",
+		startRequest{ExamID: "ghost", StudentID: "x"}, &e); code != http.StatusBadRequest {
+		t.Errorf("unknown exam = %d, want 400", code)
+	}
+	sr := startSession(t, srv.URL)
+	// Unknown problem -> 400.
+	if code := postJSON(t, srv.URL+"/api/session/"+sr.SessionID+"/answer",
+		answerRequest{ProblemID: "ghost", Response: "A"}, nil); code != http.StatusBadRequest {
+		t.Errorf("unknown problem = %d, want 400", code)
+	}
+	// Double answer -> 409.
+	_ = postJSON(t, srv.URL+"/api/session/"+sr.SessionID+"/answer",
+		answerRequest{ProblemID: "q1", Response: "A"}, nil)
+	if code := postJSON(t, srv.URL+"/api/session/"+sr.SessionID+"/answer",
+		answerRequest{ProblemID: "q1", Response: "B"}, nil); code != http.StatusConflict {
+		t.Errorf("double answer = %d, want 409", code)
+	}
+	// Pause on non-resumable exam -> 409.
+	if code := postJSON(t, srv.URL+"/api/session/"+sr.SessionID+"/pause", nil, nil); code != http.StatusConflict {
+		t.Errorf("pause = %d, want 409", code)
+	}
+	// Unknown action -> 404.
+	if code := postJSON(t, srv.URL+"/api/session/"+sr.SessionID+"/dance", nil, nil); code != http.StatusNotFound {
+		t.Errorf("unknown action = %d, want 404", code)
+	}
+	// Bad JSON -> 400.
+	resp, err := http.Post(srv.URL+"/api/session/start", "application/json",
+		bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPMethodGuards(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, err := http.Get(srv.URL + "/api/session/start")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET start = %d, want 405", resp.StatusCode)
+	}
+	sr := startSession(t, srv.URL)
+	resp, err = http.Get(srv.URL + "/api/rte/" + sr.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET rte = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPMonitorEndpoint(t *testing.T) {
+	srv, clock := testServer(t)
+	sr := startSession(t, srv.URL)
+	clock.Advance(time.Minute)
+	_ = postJSON(t, srv.URL+"/api/session/"+sr.SessionID+"/answer",
+		answerRequest{ProblemID: "q1", Response: "A"}, nil)
+	var snaps []Snapshot
+	if code := getJSON(t, srv.URL+"/api/monitor/"+sr.SessionID, &snaps); code != http.StatusOK {
+		t.Fatalf("monitor code = %d", code)
+	}
+	if len(snaps) != 2 {
+		t.Errorf("snapshots = %d, want 2", len(snaps))
+	}
+}
+
+func TestHTTPPackageMount(t *testing.T) {
+	store, _ := examFixture(t, false)
+	eng := NewEngine(store, newFakeClock().Now, 0)
+	server := NewServer(eng)
+	srv := httptest.NewServer(server)
+	t.Cleanup(srv.Close)
+
+	// Without a mounted package: 404.
+	resp, err := http.Get(srv.URL + "/package/imsmanifest.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unmounted = %d, want 404", resp.StatusCode)
+	}
+
+	// Build and mount a package from the fixture exam.
+	rec, err := store.Exam("exam1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems, err := store.Problems(rec.ProblemIDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := scorm.BuildPackage(rec, problems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.MountPackage(pkg)
+
+	resp, err = http.Get(srv.URL + "/package/content/problem_001.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("content = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/html; charset=utf-8" {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(string(body), "Question 1") {
+		t.Errorf("page body wrong:\n%.120s", body)
+	}
+
+	resp, err = http.Get(srv.URL + "/package/ghost.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing file = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHTTPRTEBridge(t *testing.T) {
+	srv, _ := testServer(t)
+	sr := startSession(t, srv.URL)
+	url := srv.URL + "/api/rte/" + sr.SessionID
+
+	var rr rteResponse
+	if code := postJSON(t, url, rteRequest{Method: "getvalue",
+		Element: "cmi.core.student_id"}, &rr); code != http.StatusOK {
+		t.Fatalf("getvalue code = %d", code)
+	}
+	if rr.Result != "alice" || rr.LastError != "0" {
+		t.Errorf("getvalue = %+v", rr)
+	}
+	if code := postJSON(t, url, rteRequest{Method: "setvalue",
+		Element: "cmi.core.lesson_status", Value: "incomplete"}, &rr); code != http.StatusOK {
+		t.Fatal("setvalue failed")
+	}
+	if rr.Result != "true" {
+		t.Errorf("setvalue = %+v", rr)
+	}
+	if code := postJSON(t, url, rteRequest{Method: "commit"}, &rr); code != http.StatusOK || rr.Result != "true" {
+		t.Errorf("commit = %d %+v", code, rr)
+	}
+	// Read-only violation surfaces the SCORM error code.
+	if code := postJSON(t, url, rteRequest{Method: "setvalue",
+		Element: "cmi.core.student_id", Value: "bob"}, &rr); code != http.StatusOK {
+		t.Fatal("setvalue request failed")
+	}
+	if rr.Result != "false" || rr.LastError != "403" {
+		t.Errorf("read-only setvalue = %+v", rr)
+	}
+	if code := postJSON(t, url, rteRequest{Method: "geterrorstring", Value: "403"}, &rr); code != http.StatusOK {
+		t.Fatal("geterrorstring failed")
+	}
+	if rr.Result != "Element is read only" {
+		t.Errorf("geterrorstring = %+v", rr)
+	}
+	// Unknown method -> 400.
+	if code := postJSON(t, url, rteRequest{Method: "explode"}, nil); code != http.StatusBadRequest {
+		t.Errorf("unknown method = %d, want 400", code)
+	}
+	// Unknown session -> 404.
+	if code := postJSON(t, srv.URL+"/api/rte/ghost", rteRequest{Method: "commit"}, nil); code != http.StatusNotFound {
+		t.Errorf("unknown session rte = %d, want 404", code)
+	}
+}

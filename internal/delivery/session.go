@@ -1,0 +1,469 @@
+// Package delivery is the on-line exam runtime: learners take exams through
+// sessions with time limits (§3.4 II), pause/resume semantics (§3.2 VI B),
+// automatic grading, a monitor subsystem that captures client pictures
+// during the exam (§5), and an HTTP LMS front end exposing the SCORM RTE
+// API. Results stream into the analysis package's response matrices.
+package delivery
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mineassess/internal/analysis"
+	"mineassess/internal/authoring"
+	"mineassess/internal/bank"
+	"mineassess/internal/item"
+	"mineassess/internal/scorm"
+)
+
+// SessionState is a session's lifecycle state.
+type SessionState int
+
+// Session states.
+const (
+	StateRunning SessionState = iota + 1
+	StatePaused
+	StateFinished
+	StateExpired
+)
+
+// String returns the state name.
+func (s SessionState) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StatePaused:
+		return "paused"
+	case StateFinished:
+		return "finished"
+	case StateExpired:
+		return "expired"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Errors callers may match.
+var (
+	ErrSessionNotFound  = errors.New("delivery: session not found")
+	ErrSessionNotActive = errors.New("delivery: session is not running")
+	ErrNotPaused        = errors.New("delivery: session is not paused")
+	ErrNotResumable     = errors.New("delivery: exam is not resumable")
+	ErrTimeExpired      = errors.New("delivery: test time expired")
+	ErrUnknownProblem   = errors.New("delivery: problem not in this exam")
+	ErrAlreadyAnswered  = errors.New("delivery: problem already answered")
+)
+
+// answer is one recorded response.
+type answer struct {
+	response string
+	credit   float64
+	gradable bool
+	spent    time.Duration
+}
+
+// Session is one learner's sitting of one exam.
+type Session struct {
+	ID        string
+	ExamID    string
+	StudentID string
+	// Order is the presentation order of problem IDs for this sitting.
+	Order []string
+
+	state       SessionState
+	startedAt   time.Time
+	lastEvent   time.Time // previous answer/pause boundary, for per-item time
+	pausedAt    time.Time
+	activeSpent time.Duration // running time excluding pauses
+	limit       time.Duration // 0 = unlimited
+	answers     map[string]answer
+	problems    map[string]*item.Problem
+	// optionMaps maps, per shuffled problem, the presented option key back
+	// to the authored key (RandomOrder exams shuffle options per sitting).
+	optionMaps map[string]map[string]string
+	api        *scorm.API
+	data       *scorm.DataModel
+}
+
+// State returns the session state (callers hold no lock; reads go through
+// the engine).
+func (s *Session) snapshotStatus(now time.Time) Status {
+	st := Status{
+		SessionID: s.ID,
+		ExamID:    s.ExamID,
+		StudentID: s.StudentID,
+		State:     s.state,
+		Answered:  len(s.answers),
+		Total:     len(s.Order),
+	}
+	if s.limit > 0 && s.state == StateRunning {
+		remaining := s.limit - s.elapsedActive(now)
+		if remaining < 0 {
+			remaining = 0
+		}
+		st.RemainingSeconds = int(remaining / time.Second)
+	}
+	return st
+}
+
+func (s *Session) elapsedActive(now time.Time) time.Duration {
+	if s.state == StatePaused {
+		return s.activeSpent
+	}
+	return s.activeSpent + now.Sub(s.lastEvent)
+}
+
+// Status is the externally visible session summary.
+type Status struct {
+	SessionID        string       `json:"sessionId"`
+	ExamID           string       `json:"examId"`
+	StudentID        string       `json:"studentId"`
+	State            SessionState `json:"-"`
+	StateName        string       `json:"state"`
+	Answered         int          `json:"answered"`
+	Total            int          `json:"total"`
+	RemainingSeconds int          `json:"remainingSeconds"`
+}
+
+// Engine manages sessions over a problem/exam bank. The clock is injectable
+// for tests and simulations.
+type Engine struct {
+	mu       sync.Mutex
+	store    *bank.Store
+	sessions map[string]*Session
+	now      func() time.Time
+	monitor  *Monitor
+	nextID   int
+}
+
+// NewEngine builds an engine over the store. now may be nil for wall-clock
+// time; monitorCapacity bounds the per-session snapshot ring (0 disables
+// monitoring).
+func NewEngine(store *bank.Store, now func() time.Time, monitorCapacity int) *Engine {
+	if now == nil {
+		now = time.Now
+	}
+	return &Engine{
+		store:    store,
+		sessions: make(map[string]*Session),
+		now:      now,
+		monitor:  NewMonitor(monitorCapacity),
+	}
+}
+
+// Monitor exposes the engine's monitor subsystem.
+func (e *Engine) Monitor() *Monitor {
+	return e.monitor
+}
+
+// Start opens a session for the student on the exam, computing the
+// presentation order with the given seed (used only for RandomOrder exams).
+func (e *Engine) Start(examID, studentID string, seed int64) (*Session, error) {
+	rec, err := e.store.Exam(examID)
+	if err != nil {
+		return nil, err
+	}
+	order, err := authoring.PresentationOrder(rec, seed)
+	if err != nil {
+		return nil, err
+	}
+	problems, err := e.store.Problems(order)
+	if err != nil {
+		return nil, err
+	}
+	byID := make(map[string]*item.Problem, len(problems))
+	optionMaps := make(map[string]map[string]string)
+	for i, p := range problems {
+		// RandomOrder exams also shuffle each problem's options so
+		// neighbouring learners see different letters; responses are mapped
+		// back to authored keys when results are collected.
+		if rec.Display == item.RandomOrder && len(p.Options) > 1 {
+			shuffled, mapping, err := authoring.ShuffleOptions(p, seed+int64(i)*2654435761)
+			if err != nil {
+				return nil, fmt.Errorf("delivery: shuffle %s: %w", p.ID, err)
+			}
+			p = shuffled
+			optionMaps[p.ID] = mapping
+		}
+		byID[p.ID] = p
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.nextID++
+	now := e.now()
+	s := &Session{
+		ID:         fmt.Sprintf("sess-%06d", e.nextID),
+		ExamID:     examID,
+		StudentID:  studentID,
+		Order:      order,
+		state:      StateRunning,
+		startedAt:  now,
+		lastEvent:  now,
+		limit:      time.Duration(rec.TestTimeSeconds) * time.Second,
+		answers:    make(map[string]answer, len(order)),
+		problems:   byID,
+		optionMaps: optionMaps,
+	}
+	s.data = scorm.NewDataModel(studentID, studentID)
+	s.api = scorm.NewAPI(s.data, nil)
+	if got := s.api.LMSInitialize(""); got != "true" {
+		return nil, fmt.Errorf("delivery: RTE initialize failed (%s)", s.api.LMSGetLastError())
+	}
+	e.sessions[s.ID] = s
+	e.monitor.Capture(s.ID, now)
+	return s, nil
+}
+
+// get returns the locked session. Callers must hold e.mu.
+func (e *Engine) get(sessionID string) (*Session, error) {
+	s, ok := e.sessions[sessionID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrSessionNotFound, sessionID)
+	}
+	return s, nil
+}
+
+// checkTime expires the session if its limit has passed. Callers hold e.mu.
+func (e *Engine) checkTime(s *Session, now time.Time) error {
+	if s.limit > 0 && s.state == StateRunning && s.elapsedActive(now) > s.limit {
+		s.activeSpent = s.limit
+		s.state = StateExpired
+		e.finishRTE(s)
+		return fmt.Errorf("%w: session %s", ErrTimeExpired, s.ID)
+	}
+	return nil
+}
+
+// Answer records the learner's response to a problem and grades it. Every
+// answer triggers a monitor capture ("monitor function captures the client
+// picture", §5).
+func (e *Engine) Answer(sessionID, problemID, response string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, err := e.get(sessionID)
+	if err != nil {
+		return err
+	}
+	now := e.now()
+	if err := e.checkTime(s, now); err != nil {
+		return err
+	}
+	if s.state != StateRunning {
+		return fmt.Errorf("%w: %s is %s", ErrSessionNotActive, s.ID, s.state)
+	}
+	p, ok := s.problems[problemID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownProblem, problemID)
+	}
+	if _, dup := s.answers[problemID]; dup {
+		return fmt.Errorf("%w: %s", ErrAlreadyAnswered, problemID)
+	}
+	credit, gradable := p.Grade(response)
+	spent := now.Sub(s.lastEvent)
+	s.activeSpent += spent
+	s.lastEvent = now
+	s.answers[problemID] = answer{
+		response: response, credit: credit, gradable: gradable, spent: spent,
+	}
+	s.api.LMSSetValue("cmi.core.lesson_location", problemID)
+	e.monitor.Capture(s.ID, now)
+	return nil
+}
+
+// Pause suspends a session. Allowed only when every problem in the exam is
+// resumable (§3.2 VI B: paused to resume at a later time).
+func (e *Engine) Pause(sessionID string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, err := e.get(sessionID)
+	if err != nil {
+		return err
+	}
+	now := e.now()
+	if err := e.checkTime(s, now); err != nil {
+		return err
+	}
+	if s.state != StateRunning {
+		return fmt.Errorf("%w: %s is %s", ErrSessionNotActive, s.ID, s.state)
+	}
+	for _, p := range s.problems {
+		if !p.Resumable {
+			return fmt.Errorf("%w: problem %s", ErrNotResumable, p.ID)
+		}
+	}
+	s.activeSpent += now.Sub(s.lastEvent)
+	s.pausedAt = now
+	s.state = StatePaused
+	s.api.LMSSetValue("cmi.core.exit", "suspend")
+	return nil
+}
+
+// Resume reactivates a paused session; paused time does not count against
+// the limit.
+func (e *Engine) Resume(sessionID string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, err := e.get(sessionID)
+	if err != nil {
+		return err
+	}
+	if s.state != StatePaused {
+		return fmt.Errorf("%w: %s is %s", ErrNotPaused, s.ID, s.state)
+	}
+	s.lastEvent = e.now()
+	s.state = StateRunning
+	return nil
+}
+
+// Finish closes the session, grades it, and writes score and status into
+// the CMI data model.
+func (e *Engine) Finish(sessionID string) (*analysis.StudentResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, err := e.get(sessionID)
+	if err != nil {
+		return nil, err
+	}
+	now := e.now()
+	if s.state == StateRunning {
+		_ = e.checkTime(s, now) // expiry still produces a result
+	}
+	switch s.state {
+	case StateRunning:
+		s.activeSpent += now.Sub(s.lastEvent)
+		s.state = StateFinished
+		e.finishRTE(s)
+	case StateExpired:
+		// already closed by checkTime
+	case StatePaused:
+		s.state = StateFinished
+		e.finishRTE(s)
+	case StateFinished:
+		// idempotent: re-emit the result
+	}
+	res := e.resultLocked(s)
+	return &res, nil
+}
+
+// finishRTE writes score/status and finishes the RTE attempt. Callers hold
+// e.mu.
+func (e *Engine) finishRTE(s *Session) {
+	score, max := 0.0, 0.0
+	for _, p := range s.problems {
+		if !p.Style.Scored() {
+			continue
+		}
+		max += p.Weight()
+		if a, ok := s.answers[p.ID]; ok && a.gradable {
+			score += a.credit * p.Weight()
+		}
+	}
+	if s.api.Running() {
+		if max > 0 {
+			raw := score / max * 100
+			s.api.LMSSetValue("cmi.core.score.raw", fmt.Sprintf("%.2f", raw))
+			status := "failed"
+			if raw >= 60 {
+				status = "passed"
+			}
+			s.api.LMSSetValue("cmi.core.lesson_status", status)
+		} else {
+			s.api.LMSSetValue("cmi.core.lesson_status", "completed")
+		}
+		secs := int(s.activeSpent / time.Second)
+		s.api.LMSSetValue("cmi.core.session_time", fmt.Sprintf("%04d:%02d:%02d",
+			secs/3600, (secs%3600)/60, secs%60))
+		s.api.LMSFinish("")
+	}
+}
+
+// resultLocked converts the session into an analysis row. Callers hold e.mu.
+func (e *Engine) resultLocked(s *Session) analysis.StudentResult {
+	res := analysis.StudentResult{StudentID: s.StudentID}
+	for _, pid := range s.Order {
+		p := s.problems[pid]
+		r := analysis.Response{StudentID: s.StudentID, ProblemID: pid}
+		if a, ok := s.answers[pid]; ok {
+			r.Answered = true
+			r.Credit = a.credit
+			r.TimeSpent = a.spent
+			// Choice answers keep their option key; questionnaire answers
+			// keep the collected response for frequency analysis. Shuffled
+			// sittings map presented keys back to authored keys so option
+			// tables aggregate correctly across sittings.
+			if p.CorrectKey() != "" || p.Style == item.Questionnaire {
+				r.Option = authoring.UnshuffleResponse(s.optionMaps[pid], a.response)
+			}
+		}
+		res.Responses = append(res.Responses, r)
+	}
+	return res
+}
+
+// Status reports a session's current summary.
+func (e *Engine) Status(sessionID string) (Status, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, err := e.get(sessionID)
+	if err != nil {
+		return Status{}, err
+	}
+	now := e.now()
+	_ = e.checkTime(s, now)
+	st := s.snapshotStatus(now)
+	st.StateName = st.State.String()
+	return st, nil
+}
+
+// RTE exposes a session's SCORM API for the HTTP bridge. The returned API
+// must only be used while holding no engine lock; per-session serialization
+// is the caller's responsibility (the HTTP server serializes by session).
+func (e *Engine) RTE(sessionID string) (*scorm.API, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, err := e.get(sessionID)
+	if err != nil {
+		return nil, err
+	}
+	return s.api, nil
+}
+
+// CollectResults assembles the full response matrix of an exam from every
+// finished or expired session, ready for analysis.
+func (e *Engine) CollectResults(examID string) (*analysis.ExamResult, error) {
+	rec, err := e.store.Exam(examID)
+	if err != nil {
+		return nil, err
+	}
+	problems, err := e.store.Problems(rec.ProblemIDs)
+	if err != nil {
+		return nil, err
+	}
+	out := &analysis.ExamResult{
+		ExamID:   examID,
+		Problems: problems,
+		TestTime: time.Duration(rec.TestTimeSeconds) * time.Second,
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ids := make([]string, 0, len(e.sessions))
+	for id := range e.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		s := e.sessions[id]
+		if s.ExamID != examID {
+			continue
+		}
+		if s.state != StateFinished && s.state != StateExpired {
+			continue
+		}
+		out.Students = append(out.Students, e.resultLocked(s))
+	}
+	return out, nil
+}

@@ -1,0 +1,391 @@
+package delivery
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mineassess/internal/analysis"
+	"mineassess/internal/bank"
+	"mineassess/internal/cognition"
+	"mineassess/internal/item"
+)
+
+// fakeClock is a manually advanced clock.
+type fakeClock struct {
+	t time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2004, 3, 1, 9, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time          { return c.t }
+func (c *fakeClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// examFixture stores 4 MC problems and an exam with a 10-minute limit.
+func examFixture(t *testing.T, resumable bool) (*bank.Store, string) {
+	t.Helper()
+	s := bank.New()
+	var ids []string
+	for i := 0; i < 4; i++ {
+		p, err := item.NewMultipleChoice(fmt.Sprintf("q%d", i+1), "?",
+			[]string{"w", "x", "y", "z"}, 0) // correct A
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Level = cognition.Knowledge
+		p.Resumable = resumable
+		if err := s.AddProblem(p); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, p.ID)
+	}
+	rec := &bank.ExamRecord{ID: "exam1", Title: "Quiz", ProblemIDs: ids,
+		Display: item.FixedOrder, TestTimeSeconds: 600}
+	if err := s.AddExam(rec); err != nil {
+		t.Fatal(err)
+	}
+	return s, rec.ID
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	store, examID := examFixture(t, false)
+	clock := newFakeClock()
+	eng := NewEngine(store, clock.Now, 16)
+
+	sess, err := eng.Start(examID, "alice", 1)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if len(sess.Order) != 4 {
+		t.Fatalf("order = %v", sess.Order)
+	}
+
+	clock.Advance(time.Minute)
+	if err := eng.Answer(sess.ID, "q1", "A"); err != nil {
+		t.Fatalf("Answer q1: %v", err)
+	}
+	clock.Advance(2 * time.Minute)
+	if err := eng.Answer(sess.ID, "q2", "B"); err != nil {
+		t.Fatalf("Answer q2: %v", err)
+	}
+	if err := eng.Answer(sess.ID, "q2", "C"); !errors.Is(err, ErrAlreadyAnswered) {
+		t.Errorf("re-answer = %v, want ErrAlreadyAnswered", err)
+	}
+	if err := eng.Answer(sess.ID, "ghost", "A"); !errors.Is(err, ErrUnknownProblem) {
+		t.Errorf("unknown problem = %v, want ErrUnknownProblem", err)
+	}
+
+	st, err := eng.Status(sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Answered != 2 || st.Total != 4 || st.State != StateRunning {
+		t.Errorf("status = %+v", st)
+	}
+	if st.RemainingSeconds != 420 { // 10m - 3m
+		t.Errorf("remaining = %d, want 420", st.RemainingSeconds)
+	}
+
+	res, err := eng.Finish(sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Responses) != 4 {
+		t.Fatalf("responses = %d", len(res.Responses))
+	}
+	// q1 correct (A), q2 wrong (B), q3/q4 unanswered.
+	if !res.Responses[0].Correct() || res.Responses[1].Correct() {
+		t.Errorf("grading wrong: %+v", res.Responses[:2])
+	}
+	if res.Responses[0].TimeSpent != time.Minute {
+		t.Errorf("q1 time = %v, want 1m", res.Responses[0].TimeSpent)
+	}
+	if res.Responses[2].Answered {
+		t.Error("q3 should be unanswered")
+	}
+	// Finishing again is idempotent.
+	res2, err := eng.Finish(sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Responses) != 4 {
+		t.Error("idempotent finish broke result")
+	}
+}
+
+func TestSessionTimeExpiry(t *testing.T) {
+	store, examID := examFixture(t, false)
+	clock := newFakeClock()
+	eng := NewEngine(store, clock.Now, 0)
+	sess, err := eng.Start(examID, "bob", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Answer(sess.ID, "q1", "A"); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(11 * time.Minute) // past the 10-minute limit
+	if err := eng.Answer(sess.ID, "q2", "A"); !errors.Is(err, ErrTimeExpired) {
+		t.Fatalf("late answer = %v, want ErrTimeExpired", err)
+	}
+	st, err := eng.Status(sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateExpired {
+		t.Errorf("state = %v, want expired", st.State)
+	}
+	// An expired session still yields a result with what was answered.
+	res, err := eng.Finish(sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Responses[0]; !got.Correct() {
+		t.Error("pre-expiry answer lost")
+	}
+}
+
+func TestPauseResumeExcludesPausedTime(t *testing.T) {
+	store, examID := examFixture(t, true)
+	clock := newFakeClock()
+	eng := NewEngine(store, clock.Now, 0)
+	sess, err := eng.Start(examID, "carol", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(2 * time.Minute)
+	if err := eng.Pause(sess.ID); err != nil {
+		t.Fatalf("Pause: %v", err)
+	}
+	if err := eng.Answer(sess.ID, "q1", "A"); !errors.Is(err, ErrSessionNotActive) {
+		t.Errorf("answer while paused = %v, want ErrSessionNotActive", err)
+	}
+	if err := eng.Pause(sess.ID); !errors.Is(err, ErrSessionNotActive) {
+		t.Errorf("double pause = %v", err)
+	}
+	clock.Advance(30 * time.Minute) // a long break, beyond the 10m limit
+	if err := eng.Resume(sess.ID); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if err := eng.Resume(sess.ID); !errors.Is(err, ErrNotPaused) {
+		t.Errorf("double resume = %v", err)
+	}
+	// Only 2 active minutes have passed: the session must still be alive.
+	if err := eng.Answer(sess.ID, "q1", "A"); err != nil {
+		t.Fatalf("answer after resume: %v", err)
+	}
+	st, err := eng.Status(sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateRunning {
+		t.Errorf("state = %v", st.State)
+	}
+	if st.RemainingSeconds != 480 { // 10m - 2m
+		t.Errorf("remaining = %d, want 480", st.RemainingSeconds)
+	}
+}
+
+func TestPauseRequiresResumableProblems(t *testing.T) {
+	store, examID := examFixture(t, false)
+	eng := NewEngine(store, newFakeClock().Now, 0)
+	sess, err := eng.Start(examID, "dan", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Pause(sess.ID); !errors.Is(err, ErrNotResumable) {
+		t.Errorf("pause = %v, want ErrNotResumable", err)
+	}
+}
+
+func TestFinishWritesCMI(t *testing.T) {
+	store, examID := examFixture(t, false)
+	clock := newFakeClock()
+	eng := NewEngine(store, clock.Now, 0)
+	sess, err := eng.Start(examID, "eve", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 of 4 correct = 75% -> passed.
+	for _, q := range []string{"q1", "q2", "q3"} {
+		clock.Advance(time.Minute)
+		if err := eng.Answer(sess.ID, q, "A"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clock.Advance(time.Minute)
+	if err := eng.Answer(sess.ID, "q4", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Finish(sess.ID); err != nil {
+		t.Fatal(err)
+	}
+	api, err := eng.RTE(sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if api.Running() {
+		t.Error("RTE should be finished")
+	}
+	// Inspect via a fresh snapshot: the engine wrote score and status
+	// before LMSFinish, visible through the session's data model.
+	// (LMSGetValue is unavailable after finish per the state machine.)
+}
+
+func TestCollectResultsFeedsAnalysis(t *testing.T) {
+	store, examID := examFixture(t, false)
+	clock := newFakeClock()
+	eng := NewEngine(store, clock.Now, 0)
+	// 8 students of descending skill: student i answers i questions
+	// correctly.
+	for i := 0; i < 8; i++ {
+		sess, err := eng.Start(examID, fmt.Sprintf("s%d", i), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 4; q++ {
+			opt := "B" // wrong
+			if q < i/2 {
+				opt = "A"
+			}
+			clock.Advance(30 * time.Second)
+			if err := eng.Answer(sess.ID, fmt.Sprintf("q%d", q+1), opt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := eng.Finish(sess.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := eng.CollectResults(examID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Students) != 8 {
+		t.Fatalf("students = %d, want 8", len(res.Students))
+	}
+	if res.TestTime != 10*time.Minute {
+		t.Errorf("TestTime = %v", res.TestTime)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatalf("collected result invalid: %v", err)
+	}
+	if _, err := analysis.Analyze(res, analysis.Options{}); err != nil {
+		t.Fatalf("analysis over collected results: %v", err)
+	}
+}
+
+func TestCollectResultsSkipsOpenSessions(t *testing.T) {
+	store, examID := examFixture(t, false)
+	eng := NewEngine(store, newFakeClock().Now, 0)
+	if _, err := eng.Start(examID, "open", 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.CollectResults(examID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Students) != 0 {
+		t.Errorf("open sessions must not appear in results: %d", len(res.Students))
+	}
+}
+
+func TestStartErrors(t *testing.T) {
+	store, _ := examFixture(t, false)
+	eng := NewEngine(store, nil, 0)
+	if _, err := eng.Start("ghost", "x", 1); !errors.Is(err, bank.ErrExamNotFound) {
+		t.Errorf("unknown exam = %v", err)
+	}
+	if _, err := eng.Status("nope"); !errors.Is(err, ErrSessionNotFound) {
+		t.Errorf("unknown session = %v", err)
+	}
+	if _, err := eng.Finish("nope"); !errors.Is(err, ErrSessionNotFound) {
+		t.Errorf("finish unknown = %v", err)
+	}
+	if err := eng.Resume("nope"); !errors.Is(err, ErrSessionNotFound) {
+		t.Errorf("resume unknown = %v", err)
+	}
+}
+
+// TestRandomOrderShufflesOptions: a RandomOrder exam presents shuffled
+// options per sitting, yet collected results report authored keys.
+func TestRandomOrderShufflesOptions(t *testing.T) {
+	store, _ := examFixture(t, false)
+	rec := &bank.ExamRecord{ID: "rand", Title: "Shuffled",
+		ProblemIDs: []string{"q1", "q2", "q3", "q4"}, Display: item.RandomOrder}
+	if err := store.AddExam(rec); err != nil {
+		t.Fatal(err)
+	}
+	clock := newFakeClock()
+	eng := NewEngine(store, clock.Now, 0)
+
+	// Find a seed where q1's options actually moved (A no longer correct).
+	var sess *Session
+	for seed := int64(1); seed < 50; seed++ {
+		s, err := eng.Start("rand", fmt.Sprintf("stu%d", seed), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.problems["q1"].Answer != "A" {
+			sess = s
+			break
+		}
+	}
+	if sess == nil {
+		t.Fatal("no seed shuffled q1's answer away from A in 50 tries")
+	}
+	shuffledKey := sess.problems["q1"].Answer
+	// Answer q1 with the shuffled correct key: full credit.
+	if err := eng.Answer(sess.ID, "q1", shuffledKey); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Finish(sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Responses {
+		if r.ProblemID != "q1" {
+			continue
+		}
+		if !r.Correct() {
+			t.Error("shuffled correct answer should earn credit")
+		}
+		// The collected option must be the authored key A.
+		if r.Option != "A" {
+			t.Errorf("collected option = %q, want authored key A", r.Option)
+		}
+	}
+}
+
+func TestFixedOrderDoesNotShuffleOptions(t *testing.T) {
+	store, examID := examFixture(t, false)
+	eng := NewEngine(store, newFakeClock().Now, 0)
+	sess, err := eng.Start(examID, "plain", 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.problems["q1"].Answer != "A" {
+		t.Error("fixed-order exam must keep authored option order")
+	}
+	if len(sess.optionMaps) != 0 {
+		t.Errorf("fixed-order exam has option maps: %v", sess.optionMaps)
+	}
+}
+
+func TestSessionStateString(t *testing.T) {
+	names := map[SessionState]string{
+		StateRunning:    "running",
+		StatePaused:     "paused",
+		StateFinished:   "finished",
+		StateExpired:    "expired",
+		SessionState(9): "state(9)",
+	}
+	for st, want := range names {
+		if got := st.String(); got != want {
+			t.Errorf("%d = %q, want %q", int(st), got, want)
+		}
+	}
+}

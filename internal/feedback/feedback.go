@@ -1,0 +1,251 @@
+// Package feedback generates the assessment feedback the paper lists as
+// future work (§6), grounded in the analyses it already defines: Rule 3/4
+// outcomes become remedial-course advice ("the information is very
+// important to instructors to give the remedied course to low score group
+// students"), the two-way table becomes per-concept mastery, and each
+// student receives a report of the concepts and cognition levels they
+// missed.
+package feedback
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mineassess/internal/analysis"
+	"mineassess/internal/cognition"
+)
+
+// ConceptScore is one student's (or the class's) performance on a concept.
+type ConceptScore struct {
+	ConceptID string
+	Earned    float64
+	Possible  float64
+}
+
+// Mastery returns the earned fraction in [0,1]; zero-possible concepts
+// report full mastery (nothing was asked).
+func (c ConceptScore) Mastery() float64 {
+	if c.Possible == 0 {
+		return 1
+	}
+	return c.Earned / c.Possible
+}
+
+// StudentReport is one learner's feedback.
+type StudentReport struct {
+	StudentID string
+	Score     float64
+	MaxScore  float64
+	// Percentile is the fraction of the class scoring strictly below this
+	// student.
+	Percentile float64
+	// Concepts lists per-concept performance, weakest first.
+	Concepts []ConceptScore
+	// Levels lists per-cognition-level performance in taxonomy order.
+	Levels [cognition.NumLevels]ConceptScore
+	// WeakConcepts are concepts below the mastery threshold, weakest first.
+	WeakConcepts []string
+}
+
+// ClassReport aggregates teaching advice for the instructor.
+type ClassReport struct {
+	ExamID string
+	// RemedialLowGroup lists concepts whose questions fired Rule 3 (the
+	// low score group lacks them), sorted.
+	RemedialLowGroup []string
+	// RemedialWholeClass lists concepts whose questions fired Rule 4,
+	// sorted.
+	RemedialWholeClass []string
+	// WeakConcepts are concepts with class mastery below the threshold,
+	// weakest first.
+	WeakConcepts []ConceptScore
+	// Students holds every learner's report, ordered by score descending.
+	Students []StudentReport
+}
+
+// MasteryThreshold separates a weak concept from an adequate one.
+const MasteryThreshold = 0.6
+
+// Build derives the full feedback bundle. conceptOf maps problem ID to
+// concept ID (problems without a concept are skipped in concept rollups);
+// levelOf maps problem ID to cognition level.
+func Build(res *analysis.ExamResult, a *analysis.ExamAnalysis) (*ClassReport, error) {
+	if err := res.Validate(); err != nil {
+		return nil, err
+	}
+	weights := res.Weights()
+	conceptOf := make(map[string]string, len(res.Problems))
+	levelOf := make(map[string]cognition.Level, len(res.Problems))
+	for _, p := range res.Problems {
+		conceptOf[p.ID] = p.ConceptID
+		levelOf[p.ID] = p.Level
+	}
+
+	out := &ClassReport{ExamID: res.ExamID}
+	out.RemedialLowGroup, out.RemedialWholeClass = remedialConcepts(a, conceptOf)
+
+	// Class concept totals for WeakConcepts.
+	classConcept := make(map[string]*ConceptScore)
+	scores := res.Scores()
+	ranked := res.RankedStudents()
+	rankOf := make(map[string]int, len(ranked))
+	for i, id := range ranked {
+		rankOf[id] = i
+	}
+	maxScore := 0.0
+	for _, p := range res.Problems {
+		maxScore += p.Weight()
+	}
+
+	for _, s := range res.Students {
+		rep := StudentReport{
+			StudentID: s.StudentID,
+			Score:     scores[s.StudentID],
+			MaxScore:  maxScore,
+		}
+		below := len(res.Students) - 1 - rankOf[s.StudentID]
+		if len(res.Students) > 1 {
+			rep.Percentile = float64(below) / float64(len(res.Students)-1)
+		}
+		perConcept := make(map[string]*ConceptScore)
+		for _, r := range s.Responses {
+			w := weights[r.ProblemID]
+			if w <= 0 {
+				w = 1
+			}
+			earned := r.Credit * w
+			if cid := conceptOf[r.ProblemID]; cid != "" {
+				cs := perConcept[cid]
+				if cs == nil {
+					cs = &ConceptScore{ConceptID: cid}
+					perConcept[cid] = cs
+				}
+				cs.Earned += earned
+				cs.Possible += w
+
+				ccs := classConcept[cid]
+				if ccs == nil {
+					ccs = &ConceptScore{ConceptID: cid}
+					classConcept[cid] = ccs
+				}
+				ccs.Earned += earned
+				ccs.Possible += w
+			}
+			if lvl := levelOf[r.ProblemID]; lvl.Valid() {
+				rep.Levels[int(lvl)-1].ConceptID = lvl.String()
+				rep.Levels[int(lvl)-1].Earned += earned
+				rep.Levels[int(lvl)-1].Possible += w
+			}
+		}
+		rep.Concepts = sortedConceptScores(perConcept)
+		for _, cs := range rep.Concepts {
+			if cs.Mastery() < MasteryThreshold {
+				rep.WeakConcepts = append(rep.WeakConcepts, cs.ConceptID)
+			}
+		}
+		out.Students = append(out.Students, rep)
+	}
+	sort.Slice(out.Students, func(i, j int) bool {
+		if out.Students[i].Score != out.Students[j].Score {
+			return out.Students[i].Score > out.Students[j].Score
+		}
+		return out.Students[i].StudentID < out.Students[j].StudentID
+	})
+	for _, cs := range sortedConceptScores(classConcept) {
+		if cs.Mastery() < MasteryThreshold {
+			out.WeakConcepts = append(out.WeakConcepts, cs)
+		}
+	}
+	return out, nil
+}
+
+// remedialConcepts collects the concepts behind Rule 3/4 matches.
+func remedialConcepts(a *analysis.ExamAnalysis, conceptOf map[string]string) (low, whole []string) {
+	lowSet := make(map[string]struct{})
+	wholeSet := make(map[string]struct{})
+	for _, q := range a.Questions {
+		cid := conceptOf[q.ProblemID]
+		if cid == "" {
+			continue
+		}
+		for _, r := range q.Rules {
+			if !r.Matched {
+				continue
+			}
+			switch r.Rule {
+			case analysis.Rule3:
+				lowSet[cid] = struct{}{}
+			case analysis.Rule4:
+				wholeSet[cid] = struct{}{}
+			}
+		}
+	}
+	for cid := range lowSet {
+		low = append(low, cid)
+	}
+	for cid := range wholeSet {
+		whole = append(whole, cid)
+	}
+	sort.Strings(low)
+	sort.Strings(whole)
+	return low, whole
+}
+
+func sortedConceptScores(m map[string]*ConceptScore) []ConceptScore {
+	out := make([]ConceptScore, 0, len(m))
+	for _, cs := range m {
+		out = append(out, *cs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		mi, mj := out[i].Mastery(), out[j].Mastery()
+		if mi != mj {
+			return mi < mj
+		}
+		return out[i].ConceptID < out[j].ConceptID
+	})
+	return out
+}
+
+// RenderStudent renders one learner's feedback as text.
+func RenderStudent(rep StudentReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Feedback for %s: %.1f/%.1f (better than %.0f%% of the class)\n",
+		rep.StudentID, rep.Score, rep.MaxScore, rep.Percentile*100)
+	if len(rep.WeakConcepts) == 0 {
+		b.WriteString("  all concepts at or above mastery\n")
+	} else {
+		fmt.Fprintf(&b, "  review: %s\n", strings.Join(rep.WeakConcepts, ", "))
+	}
+	for li, lv := range rep.Levels {
+		if lv.Possible == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %c %-14s %.0f%%\n",
+			cognition.Levels()[li].Letter(), cognition.Levels()[li], lv.Mastery()*100)
+	}
+	return b.String()
+}
+
+// RenderClass renders the instructor's advice as text.
+func RenderClass(rep *ClassReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Class feedback for exam %s\n", rep.ExamID)
+	if len(rep.RemedialWholeClass) > 0 {
+		fmt.Fprintf(&b, "  remedial course for ALL students: %s\n",
+			strings.Join(rep.RemedialWholeClass, ", "))
+	}
+	if len(rep.RemedialLowGroup) > 0 {
+		fmt.Fprintf(&b, "  remedial course for the low score group: %s\n",
+			strings.Join(rep.RemedialLowGroup, ", "))
+	}
+	if len(rep.WeakConcepts) == 0 {
+		b.WriteString("  class mastery adequate on every concept\n")
+	} else {
+		for _, cs := range rep.WeakConcepts {
+			fmt.Fprintf(&b, "  weak concept %s: class mastery %.0f%%\n",
+				cs.ConceptID, cs.Mastery()*100)
+		}
+	}
+	return b.String()
+}

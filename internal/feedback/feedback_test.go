@@ -1,0 +1,242 @@
+package feedback
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"mineassess/internal/analysis"
+	"mineassess/internal/cognition"
+	"mineassess/internal/item"
+)
+
+// twoConceptExam: 4 problems over 2 concepts; `weakOnC2` students miss
+// everything on concept c2, the rest ace the exam.
+func twoConceptExam(t *testing.T, strong, weakOnC2 int) *analysis.ExamResult {
+	t.Helper()
+	e := &analysis.ExamResult{ExamID: "fb"}
+	for i := 0; i < 4; i++ {
+		cid := "c1"
+		lvl := cognition.Knowledge
+		if i >= 2 {
+			cid = "c2"
+			lvl = cognition.Application
+		}
+		e.Problems = append(e.Problems, &item.Problem{
+			ID: fmt.Sprintf("p%d", i+1), Style: item.TrueFalse, Question: "?",
+			Answer: "true", Level: lvl, ConceptID: cid,
+		})
+	}
+	add := func(id string, missC2 bool) {
+		s := analysis.StudentResult{StudentID: id}
+		for i, p := range e.Problems {
+			credit, opt := 1.0, "true"
+			if missC2 && i >= 2 {
+				credit, opt = 0, "false"
+			}
+			s.Responses = append(s.Responses, analysis.Response{
+				StudentID: id, ProblemID: p.ID, Option: opt,
+				Credit: credit, Answered: true, TimeSpent: time.Second,
+			})
+		}
+		e.Students = append(e.Students, s)
+	}
+	for i := 0; i < strong; i++ {
+		add(fmt.Sprintf("strong%02d", i), false)
+	}
+	for i := 0; i < weakOnC2; i++ {
+		add(fmt.Sprintf("weak%02d", i), true)
+	}
+	return e
+}
+
+func buildReport(t *testing.T, e *analysis.ExamResult) *ClassReport {
+	t.Helper()
+	a, err := analysis.Analyze(e, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Build(e, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestStudentConceptBreakdown(t *testing.T) {
+	e := twoConceptExam(t, 6, 6)
+	rep := buildReport(t, e)
+	if len(rep.Students) != 12 {
+		t.Fatalf("students = %d", len(rep.Students))
+	}
+	// Students are ordered by score descending: strong first.
+	top := rep.Students[0]
+	if !strings.HasPrefix(top.StudentID, "strong") {
+		t.Errorf("top student = %s", top.StudentID)
+	}
+	if len(top.WeakConcepts) != 0 {
+		t.Errorf("strong student weak concepts = %v", top.WeakConcepts)
+	}
+	bottom := rep.Students[len(rep.Students)-1]
+	if !strings.HasPrefix(bottom.StudentID, "weak") {
+		t.Errorf("bottom student = %s", bottom.StudentID)
+	}
+	if len(bottom.WeakConcepts) != 1 || bottom.WeakConcepts[0] != "c2" {
+		t.Errorf("weak student weak concepts = %v", bottom.WeakConcepts)
+	}
+	// Weakest concept sorts first.
+	if bottom.Concepts[0].ConceptID != "c2" {
+		t.Errorf("concepts not sorted weakest-first: %v", bottom.Concepts)
+	}
+	if m := bottom.Concepts[0].Mastery(); m != 0 {
+		t.Errorf("c2 mastery = %v, want 0", m)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	e := twoConceptExam(t, 1, 3)
+	rep := buildReport(t, e)
+	if got := rep.Students[0].Percentile; math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("top percentile = %v, want 1", got)
+	}
+	// The three weak students tie; each has 0 strictly below among ties
+	// except via rank ordering. Verify percentile is within [0,1].
+	for _, s := range rep.Students {
+		if s.Percentile < 0 || s.Percentile > 1 {
+			t.Errorf("percentile %v out of range", s.Percentile)
+		}
+	}
+}
+
+func TestLevelBreakdown(t *testing.T) {
+	e := twoConceptExam(t, 2, 2)
+	rep := buildReport(t, e)
+	bottom := rep.Students[len(rep.Students)-1]
+	know := bottom.Levels[int(cognition.Knowledge)-1]
+	app := bottom.Levels[int(cognition.Application)-1]
+	if know.Mastery() != 1 {
+		t.Errorf("knowledge mastery = %v, want 1", know.Mastery())
+	}
+	if app.Mastery() != 0 {
+		t.Errorf("application mastery = %v, want 0", app.Mastery())
+	}
+}
+
+func TestClassWeakConcepts(t *testing.T) {
+	// Half the class misses c2: class mastery on c2 = 0.5 < 0.6.
+	e := twoConceptExam(t, 6, 6)
+	rep := buildReport(t, e)
+	if len(rep.WeakConcepts) != 1 || rep.WeakConcepts[0].ConceptID != "c2" {
+		t.Errorf("class weak concepts = %v", rep.WeakConcepts)
+	}
+}
+
+// Remedial advice flows from Rules 3/4. Build a class where the low group
+// guesses uniformly on a c2 question (Rule 3 fires).
+func TestRemedialAdviceFromRules(t *testing.T) {
+	e := &analysis.ExamResult{ExamID: "remedial"}
+	mc, err := item.NewMultipleChoice("m1", "?", []string{"1", "2", "3", "4"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc.ConceptID = "c2"
+	mc.Level = cognition.Analysis
+	filler1 := &item.Problem{ID: "f1", Style: item.TrueFalse, Question: "?",
+		Answer: "true", Level: cognition.Knowledge, ConceptID: "c1"}
+	filler2 := &item.Problem{ID: "f2", Style: item.TrueFalse, Question: "?",
+		Answer: "true", Level: cognition.Knowledge, ConceptID: "c1"}
+	e.Problems = []*item.Problem{mc, filler1, filler2}
+	// 16 students: 4 high (everything right), 8 middle (fillers right, m1
+	// wrong), 4 low (fillers wrong, spread uniformly over m1's options so
+	// Rule 3 fires on the low group).
+	addStudent := func(id string, fillersRight bool, m1opt string) {
+		credit := 0.0
+		if m1opt == "A" {
+			credit = 1
+		}
+		fCredit, fOpt := 0.0, "false"
+		if fillersRight {
+			fCredit, fOpt = 1, "true"
+		}
+		e.Students = append(e.Students, analysis.StudentResult{
+			StudentID: id,
+			Responses: []analysis.Response{
+				{StudentID: id, ProblemID: "m1", Option: m1opt, Credit: credit,
+					Answered: true, TimeSpent: time.Second},
+				{StudentID: id, ProblemID: "f1", Option: fOpt, Credit: fCredit,
+					Answered: true, TimeSpent: time.Second},
+				{StudentID: id, ProblemID: "f2", Option: fOpt, Credit: fCredit,
+					Answered: true, TimeSpent: time.Second},
+			},
+		})
+	}
+	for i := 1; i <= 4; i++ {
+		addStudent(fmt.Sprintf("h%d", i), true, "A")
+	}
+	for i, opt := range []string{"B", "B", "C", "C", "D", "D", "B", "C"} {
+		addStudent(fmt.Sprintf("m%d", i+1), true, opt)
+	}
+	for i, opt := range []string{"A", "B", "C", "D"} { // uniform spread
+		addStudent(fmt.Sprintf("l%d", i+1), false, opt)
+	}
+
+	a, err := analysis.Analyze(e, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Build(e, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, cid := range rep.RemedialLowGroup {
+		if cid == "c2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("remedial low group = %v, want c2 present", rep.RemedialLowGroup)
+	}
+}
+
+func TestBuildInvalid(t *testing.T) {
+	if _, err := Build(&analysis.ExamResult{}, &analysis.ExamAnalysis{}); err == nil {
+		t.Error("invalid result should fail")
+	}
+}
+
+func TestRenderStudent(t *testing.T) {
+	e := twoConceptExam(t, 2, 2)
+	rep := buildReport(t, e)
+	out := RenderStudent(rep.Students[len(rep.Students)-1])
+	if !strings.Contains(out, "review: c2") {
+		t.Errorf("weak concept advice missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Knowledge") || !strings.Contains(out, "Application") {
+		t.Errorf("level breakdown missing:\n%s", out)
+	}
+	strong := RenderStudent(rep.Students[0])
+	if !strings.Contains(strong, "all concepts at or above mastery") {
+		t.Errorf("strong student advice wrong:\n%s", strong)
+	}
+}
+
+func TestRenderClass(t *testing.T) {
+	e := twoConceptExam(t, 6, 6)
+	rep := buildReport(t, e)
+	out := RenderClass(rep)
+	if !strings.Contains(out, "weak concept c2") {
+		t.Errorf("class advice missing:\n%s", out)
+	}
+}
+
+func TestConceptScoreMastery(t *testing.T) {
+	if got := (ConceptScore{Earned: 3, Possible: 4}).Mastery(); got != 0.75 {
+		t.Errorf("mastery = %v", got)
+	}
+	if got := (ConceptScore{}).Mastery(); got != 1 {
+		t.Errorf("empty mastery = %v, want 1", got)
+	}
+}

@@ -1,0 +1,118 @@
+// Package item models assessment problems ("questions") as the paper's
+// authoring system stores them: the six question styles of §3.2, per-problem
+// metadata of §3.3 (answer, subject, difficulty, discrimination,
+// distraction), presentation templates with positioned elements (§5.3), and
+// validation rules.
+package item
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Style is one of the paper's question styles (§3.2).
+type Style int
+
+// Question styles. The zero value is invalid so unset styles are detectable.
+const (
+	// Essay is an open-ended essay question; also used for short
+	// fill-in-the-blank free text (§3.2 I).
+	Essay Style = iota + 1
+	// TrueFalse is a question whose answer is either true or false (§3.2 II).
+	TrueFalse
+	// MultipleChoice is a question with multiple choice answers (§3.2 III).
+	MultipleChoice
+	// Match asks the learner to pair items from two lists (§3.2 IV).
+	Match
+	// Completion is a fill-in-blank or cloze question (§3.2 V).
+	Completion
+	// Questionnaire is a survey-style question with no correct answer
+	// (§3.2 VI).
+	Questionnaire
+)
+
+var _styleNames = map[Style]string{
+	Essay:          "Essay",
+	TrueFalse:      "TrueFalse",
+	MultipleChoice: "MultipleChoice",
+	Match:          "Match",
+	Completion:     "Completion",
+	Questionnaire:  "Questionnaire",
+}
+
+// String returns the style name, e.g. "MultipleChoice".
+func (s Style) String() string {
+	if name, ok := _styleNames[s]; ok {
+		return name
+	}
+	return fmt.Sprintf("Style(%d)", int(s))
+}
+
+// Valid reports whether s is a defined style.
+func (s Style) Valid() bool {
+	_, ok := _styleNames[s]
+	return ok
+}
+
+// Scored reports whether problems of this style have a correct answer that
+// contributes to a test score. Questionnaires are collected but not scored.
+func (s Style) Scored() bool {
+	return s.Valid() && s != Questionnaire
+}
+
+// ParseStyle parses a style name (case-insensitive).
+func ParseStyle(name string) (Style, error) {
+	for s, n := range _styleNames {
+		if strings.EqualFold(n, name) {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("item: unknown style %q", name)
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (s Style) MarshalText() ([]byte, error) {
+	if !s.Valid() {
+		return nil, fmt.Errorf("item: cannot marshal invalid style %d", int(s))
+	}
+	return []byte(s.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (s *Style) UnmarshalText(text []byte) error {
+	st, err := ParseStyle(string(text))
+	if err != nil {
+		return err
+	}
+	*s = st
+	return nil
+}
+
+// DisplayOrder is the paper's Display Type (§3.2 VI C): whether a test shows
+// questions in a fixed order or shuffles them.
+type DisplayOrder int
+
+// Display orders.
+const (
+	// FixedOrder presents questions in a fixed number and order.
+	FixedOrder DisplayOrder = iota + 1
+	// RandomOrder presents questions in a random order.
+	RandomOrder
+)
+
+// String returns "FixedOrder" or "RandomOrder".
+func (d DisplayOrder) String() string {
+	switch d {
+	case FixedOrder:
+		return "FixedOrder"
+	case RandomOrder:
+		return "RandomOrder"
+	default:
+		return fmt.Sprintf("DisplayOrder(%d)", int(d))
+	}
+}
+
+// Valid reports whether d is a defined display order.
+func (d DisplayOrder) Valid() bool {
+	return d == FixedOrder || d == RandomOrder
+}

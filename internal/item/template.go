@@ -1,0 +1,192 @@
+package item
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ElementKind is the kind of a positioned template element.
+type ElementKind int
+
+// Template element kinds corresponding to what the paper's editor places:
+// the question description, selection items, and pictures (§5.3).
+const (
+	ElementQuestion ElementKind = iota + 1
+	ElementOption
+	ElementPicture
+	ElementHint
+)
+
+// String returns the element kind name.
+func (k ElementKind) String() string {
+	switch k {
+	case ElementQuestion:
+		return "Question"
+	case ElementOption:
+		return "Option"
+	case ElementPicture:
+		return "Picture"
+	case ElementHint:
+		return "Hint"
+	default:
+		return fmt.Sprintf("ElementKind(%d)", int(k))
+	}
+}
+
+// Element is one positioned piece of a presentation template. X and Y are
+// layout coordinates; Ref binds Option elements to an option key and Picture
+// elements to a picture reference.
+type Element struct {
+	Kind ElementKind `json:"kind"`
+	X    int         `json:"x"`
+	Y    int         `json:"y"`
+	Ref  string      `json:"ref,omitempty"`
+}
+
+// Template is a reusable presentation style: a named arrangement of elements
+// the instructor sets "by moving each item" (§5.3, Figure 4).
+type Template struct {
+	ID       string    `json:"id"`
+	Name     string    `json:"name"`
+	Elements []Element `json:"elements"`
+}
+
+// Validate checks the template for structural problems: a non-empty ID, at
+// most one question element, and non-negative coordinates.
+func (t Template) Validate() error {
+	if strings.TrimSpace(t.ID) == "" {
+		return errors.New("item: template ID must not be empty")
+	}
+	questions := 0
+	for i, e := range t.Elements {
+		if e.X < 0 || e.Y < 0 {
+			return fmt.Errorf("item: template %s element %d has negative position (%d,%d)",
+				t.ID, i, e.X, e.Y)
+		}
+		if e.Kind == ElementQuestion {
+			questions++
+		}
+	}
+	if questions > 1 {
+		return fmt.Errorf("item: template %s has %d question elements, want at most 1", t.ID, questions)
+	}
+	return nil
+}
+
+// Clone returns a deep copy, used when an instructor copies a presentation
+// style for reuse.
+func (t Template) Clone() Template {
+	cp := t
+	cp.Elements = append([]Element(nil), t.Elements...)
+	return cp
+}
+
+// Move repositions the first element matching kind and ref. It returns false
+// when no element matches.
+func (t *Template) Move(kind ElementKind, ref string, x, y int) bool {
+	for i := range t.Elements {
+		if t.Elements[i].Kind == kind && t.Elements[i].Ref == ref {
+			t.Elements[i].X = x
+			t.Elements[i].Y = y
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultTemplate lays a problem out in reading order: question at the top,
+// options stacked beneath it, hint at the bottom.
+func DefaultTemplate(p *Problem) Template {
+	t := Template{ID: "default", Name: "Default layout"}
+	t.Elements = append(t.Elements, Element{Kind: ElementQuestion, X: 0, Y: 0})
+	row := 1
+	for _, pic := range p.Pictures {
+		t.Elements = append(t.Elements, Element{Kind: ElementPicture, X: pic.X, Y: pic.Y, Ref: pic.Ref})
+	}
+	for _, o := range p.Options {
+		t.Elements = append(t.Elements, Element{Kind: ElementOption, X: 2, Y: row, Ref: o.Key})
+		row++
+	}
+	if p.Hint != "" {
+		t.Elements = append(t.Elements, Element{Kind: ElementHint, X: 0, Y: row + 1})
+	}
+	return t
+}
+
+// TemplateRegistry stores presentation templates. The paper's editor lets an
+// instructor "add a new template in the exam" and "delete an existed
+// template" (§5.3); the registry provides those operations safely across
+// concurrent authoring sessions.
+type TemplateRegistry struct {
+	mu        sync.RWMutex
+	templates map[string]Template
+}
+
+// NewTemplateRegistry returns an empty registry.
+func NewTemplateRegistry() *TemplateRegistry {
+	return &TemplateRegistry{templates: make(map[string]Template)}
+}
+
+// ErrTemplateNotFound is returned by Get and Delete for unknown IDs.
+var ErrTemplateNotFound = errors.New("item: template not found")
+
+// ErrTemplateExists is returned by Add when the ID is already registered.
+var ErrTemplateExists = errors.New("item: template already exists")
+
+// Add registers a new template. The template is validated and deep-copied.
+func (r *TemplateRegistry) Add(t Template) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.templates[t.ID]; dup {
+		return fmt.Errorf("%w: %s", ErrTemplateExists, t.ID)
+	}
+	r.templates[t.ID] = t.Clone()
+	return nil
+}
+
+// Get returns a copy of the template with the given ID.
+func (r *TemplateRegistry) Get(id string) (Template, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.templates[id]
+	if !ok {
+		return Template{}, fmt.Errorf("%w: %s", ErrTemplateNotFound, id)
+	}
+	return t.Clone(), nil
+}
+
+// Delete removes the template with the given ID.
+func (r *TemplateRegistry) Delete(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.templates[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrTemplateNotFound, id)
+	}
+	delete(r.templates, id)
+	return nil
+}
+
+// IDs returns all registered template IDs, sorted.
+func (r *TemplateRegistry) IDs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]string, 0, len(r.templates))
+	for id := range r.templates {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Len returns the number of registered templates.
+func (r *TemplateRegistry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.templates)
+}

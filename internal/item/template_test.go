@@ -1,0 +1,175 @@
+package item
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestTemplateValidate(t *testing.T) {
+	good := Template{ID: "t1", Elements: []Element{
+		{Kind: ElementQuestion, X: 0, Y: 0},
+		{Kind: ElementOption, X: 2, Y: 1, Ref: "A"},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid template rejected: %v", err)
+	}
+	if err := (Template{ID: ""}).Validate(); err == nil {
+		t.Error("empty ID should fail")
+	}
+	neg := Template{ID: "t2", Elements: []Element{{Kind: ElementOption, X: -1, Y: 0}}}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative position should fail")
+	}
+	two := Template{ID: "t3", Elements: []Element{
+		{Kind: ElementQuestion}, {Kind: ElementQuestion},
+	}}
+	if err := two.Validate(); err == nil {
+		t.Error("two question elements should fail")
+	}
+}
+
+func TestTemplateMove(t *testing.T) {
+	tpl := Template{ID: "t1", Elements: []Element{
+		{Kind: ElementOption, X: 0, Y: 0, Ref: "A"},
+		{Kind: ElementOption, X: 0, Y: 1, Ref: "B"},
+	}}
+	if !tpl.Move(ElementOption, "B", 5, 7) {
+		t.Fatal("Move should find option B")
+	}
+	if tpl.Elements[1].X != 5 || tpl.Elements[1].Y != 7 {
+		t.Errorf("element B at (%d,%d), want (5,7)", tpl.Elements[1].X, tpl.Elements[1].Y)
+	}
+	if tpl.Move(ElementOption, "Z", 0, 0) {
+		t.Error("Move should report false for missing ref")
+	}
+}
+
+func TestTemplateCloneIsDeep(t *testing.T) {
+	tpl := Template{ID: "t1", Elements: []Element{{Kind: ElementQuestion}}}
+	cp := tpl.Clone()
+	cp.Elements[0].X = 99
+	if tpl.Elements[0].X == 99 {
+		t.Error("Clone must deep-copy elements")
+	}
+}
+
+func TestDefaultTemplateLayout(t *testing.T) {
+	p, err := NewMultipleChoice("q1", "?", []string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Hint = "think"
+	p.Pictures = []Picture{{Ref: "fig.gif", X: 10, Y: 3}}
+	tpl := DefaultTemplate(p)
+	if err := tpl.Validate(); err != nil {
+		t.Fatalf("default template invalid: %v", err)
+	}
+	var kinds []ElementKind
+	for _, e := range tpl.Elements {
+		kinds = append(kinds, e.Kind)
+	}
+	// 1 question + 1 picture + 3 options + 1 hint
+	if len(tpl.Elements) != 6 {
+		t.Fatalf("elements = %d (%v), want 6", len(tpl.Elements), kinds)
+	}
+	if tpl.Elements[0].Kind != ElementQuestion {
+		t.Error("first element should be the question")
+	}
+	if tpl.Elements[1].Kind != ElementPicture || tpl.Elements[1].X != 10 {
+		t.Error("picture should preserve its authored position")
+	}
+}
+
+func TestTemplateRegistryCRUD(t *testing.T) {
+	r := NewTemplateRegistry()
+	tpl := Template{ID: "t1", Name: "Grid"}
+	if err := r.Add(tpl); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := r.Add(tpl); !errors.Is(err, ErrTemplateExists) {
+		t.Errorf("duplicate Add err = %v, want ErrTemplateExists", err)
+	}
+	got, err := r.Get("t1")
+	if err != nil || got.Name != "Grid" {
+		t.Errorf("Get = %+v, %v", got, err)
+	}
+	if _, err := r.Get("absent"); !errors.Is(err, ErrTemplateNotFound) {
+		t.Errorf("Get absent err = %v, want ErrTemplateNotFound", err)
+	}
+	if err := r.Delete("t1"); err != nil {
+		t.Errorf("Delete: %v", err)
+	}
+	if err := r.Delete("t1"); !errors.Is(err, ErrTemplateNotFound) {
+		t.Errorf("second Delete err = %v, want ErrTemplateNotFound", err)
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len = %d, want 0", r.Len())
+	}
+}
+
+func TestTemplateRegistryGetReturnsCopy(t *testing.T) {
+	r := NewTemplateRegistry()
+	if err := r.Add(Template{ID: "t1", Elements: []Element{{Kind: ElementQuestion}}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Get("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Elements[0].X = 42
+	again, err := r.Get("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Elements[0].X == 42 {
+		t.Error("Get must return an isolated copy")
+	}
+}
+
+func TestTemplateRegistryIDsSorted(t *testing.T) {
+	r := NewTemplateRegistry()
+	for _, id := range []string{"zeta", "alpha", "mid"} {
+		if err := r.Add(Template{ID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := r.IDs()
+	if len(ids) != 3 || ids[0] != "alpha" || ids[1] != "mid" || ids[2] != "zeta" {
+		t.Errorf("IDs = %v", ids)
+	}
+}
+
+func TestTemplateRegistryConcurrent(t *testing.T) {
+	r := NewTemplateRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			id := string(rune('a' + n%8))
+			_ = r.Add(Template{ID: id})
+			_, _ = r.Get(id)
+			_ = r.IDs()
+		}(i)
+	}
+	wg.Wait()
+	if r.Len() == 0 {
+		t.Error("registry should hold templates after concurrent adds")
+	}
+}
+
+func TestElementKindString(t *testing.T) {
+	tests := map[ElementKind]string{
+		ElementQuestion: "Question",
+		ElementOption:   "Option",
+		ElementPicture:  "Picture",
+		ElementHint:     "Hint",
+		ElementKind(99): "ElementKind(99)",
+	}
+	for k, want := range tests {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

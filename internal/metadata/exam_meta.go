@@ -1,0 +1,55 @@
+package metadata
+
+import (
+	"fmt"
+	"time"
+
+	"mineassess/internal/analysis"
+)
+
+// ExamMetaFromResult derives the §3.4 exam metadata from an administration:
+// the class-average answering time, the configured test time, and — when a
+// pre-teaching sitting is supplied — the mean Instructional Sensitivity
+// Index.
+func ExamMetaFromResult(res *analysis.ExamResult, pre *analysis.ExamResult) (*ExamMeta, error) {
+	if err := res.Validate(); err != nil {
+		return nil, fmt.Errorf("metadata: exam meta: %w", err)
+	}
+	ts := analysis.AnalyzeTime(res)
+	meta := &ExamMeta{
+		AverageTimeSeconds: int(ts.AverageTime / time.Second),
+		TestTimeSeconds:    int(res.TestTime / time.Second),
+	}
+	if pre != nil {
+		rep, err := analysis.InstructionalSensitivity(pre, res)
+		if err != nil {
+			return nil, fmt.Errorf("metadata: exam meta ISI: %w", err)
+		}
+		meta.InstructionalSensitivityIndex = rep.MeanISI
+	}
+	return meta, nil
+}
+
+// RecordsFromAnalysis derives one assessment record per analyzed question,
+// with the measured difficulty, discrimination and distraction profile
+// filled in — the metadata a SCORM export carries after an administration.
+func RecordsFromAnalysis(res *analysis.ExamResult, a *analysis.ExamAnalysis) ([]*AssessmentRecord, error) {
+	records := make([]*AssessmentRecord, 0, len(a.Questions))
+	for _, q := range a.Questions {
+		p := res.Problem(q.ProblemID)
+		if p == nil {
+			return nil, fmt.Errorf("metadata: problem %q missing from result", q.ProblemID)
+		}
+		rec, err := FromProblem(p)
+		if err != nil {
+			return nil, err
+		}
+		distraction := make(map[string]float64, len(q.Distractors))
+		for _, d := range q.Distractors {
+			distraction[d.Key] = d.Power
+		}
+		rec.ApplyMeasurement(q.P, q.D, distraction)
+		records = append(records, rec)
+	}
+	return records, nil
+}

@@ -1,0 +1,109 @@
+package metadata
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"mineassess/internal/analysis"
+	"mineassess/internal/cognition"
+	"mineassess/internal/item"
+)
+
+// sittingFixture builds an exam of one MC question with n students, k of
+// them correct (choosing A) and the rest choosing B, each taking the given
+// per-question time.
+func sittingFixture(t *testing.T, examID string, n, k int, perQ time.Duration) *analysis.ExamResult {
+	t.Helper()
+	p, err := item.NewMultipleChoice("m1", "?", []string{"1", "2", "3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Level = cognition.Comprehension
+	e := &analysis.ExamResult{
+		ExamID:   examID,
+		Problems: []*item.Problem{p},
+		TestTime: 10 * time.Minute,
+	}
+	for i := 0; i < n; i++ {
+		opt, credit := "B", 0.0
+		if i < k {
+			opt, credit = "A", 1.0
+		}
+		id := fmt.Sprintf("s%02d", i)
+		e.Students = append(e.Students, analysis.StudentResult{
+			StudentID: id,
+			Responses: []analysis.Response{{
+				StudentID: id, ProblemID: "m1", Option: opt,
+				Credit: credit, Answered: true, TimeSpent: perQ,
+			}},
+		})
+	}
+	return e
+}
+
+func TestExamMetaFromResult(t *testing.T) {
+	res := sittingFixture(t, "post", 10, 5, 90*time.Second)
+	meta, err := ExamMetaFromResult(res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.AverageTimeSeconds != 90 {
+		t.Errorf("average time = %d, want 90", meta.AverageTimeSeconds)
+	}
+	if meta.TestTimeSeconds != 600 {
+		t.Errorf("test time = %d, want 600", meta.TestTimeSeconds)
+	}
+	if meta.InstructionalSensitivityIndex != 0 {
+		t.Errorf("ISI without pre-test = %v, want 0", meta.InstructionalSensitivityIndex)
+	}
+}
+
+func TestExamMetaWithISI(t *testing.T) {
+	pre := sittingFixture(t, "pre", 10, 2, time.Minute)   // P = 0.2
+	post := sittingFixture(t, "post", 10, 8, time.Minute) // P = 0.8
+	meta, err := ExamMetaFromResult(post, pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(meta.InstructionalSensitivityIndex-0.6) > 1e-9 {
+		t.Errorf("ISI = %v, want 0.6", meta.InstructionalSensitivityIndex)
+	}
+}
+
+func TestExamMetaInvalid(t *testing.T) {
+	if _, err := ExamMetaFromResult(&analysis.ExamResult{}, nil); err == nil {
+		t.Error("invalid result should fail")
+	}
+}
+
+func TestRecordsFromAnalysis(t *testing.T) {
+	res := sittingFixture(t, "post", 12, 6, time.Minute)
+	a, err := analysis.Analyze(res, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := RecordsFromAnalysis(res, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 {
+		t.Fatalf("records = %d", len(records))
+	}
+	rec := records[0]
+	if rec.QuestionID != "m1" {
+		t.Errorf("question ID = %q", rec.QuestionID)
+	}
+	// Measured indices must come from the analysis, not the authored -1.
+	if rec.IndividualTest.DifficultyIndex < 0 {
+		t.Errorf("difficulty not measured: %v", rec.IndividualTest.DifficultyIndex)
+	}
+	if len(rec.IndividualTest.Distraction) == 0 {
+		t.Error("distraction profile missing")
+	}
+	// Records must encode cleanly (validated paths).
+	if _, err := rec.Encode(); err != nil {
+		t.Errorf("record encode: %v", err)
+	}
+}

@@ -1,0 +1,261 @@
+// Package metadata implements the MINE SCORM Meta-data Model of §3: an
+// assessment metadata tree layered on SCORM/LOM that records, per question,
+// its cognition level, question style and individual-test data (answer,
+// subject, Item Difficulty Index, Item Discrimination Index, distraction),
+// and per exam the timing data and Instructional Sensitivity Index. It also
+// carries the IEEE LTSC LOM nine-category record (§2.1) used at the
+// learning-resource level.
+//
+// Records marshal to XML so they can ride inside SCORM packages next to the
+// content they describe (Figure 1's tree).
+package metadata
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"mineassess/internal/cognition"
+	"mineassess/internal/item"
+)
+
+// LOM is the IEEE LTSC Learning Object Metadata record with its nine
+// categories ("It provides nine categories to describe learning resource",
+// §2.1). Each category keeps the fields the assessment system actually
+// consumes; extension data belongs in Classification keywords.
+type LOM struct {
+	XMLName        xml.Name       `xml:"lom"`
+	General        General        `xml:"general"`
+	Lifecycle      Lifecycle      `xml:"lifecycle"`
+	MetaMetadata   MetaMetadata   `xml:"metametadata"`
+	Technical      Technical      `xml:"technical"`
+	Educational    Educational    `xml:"educational"`
+	Rights         Rights         `xml:"rights"`
+	Relation       []Relation     `xml:"relation,omitempty"`
+	Annotation     []Annotation   `xml:"annotation,omitempty"`
+	Classification Classification `xml:"classification"`
+}
+
+// General is LOM category 1.
+type General struct {
+	Identifier  string   `xml:"identifier"`
+	Title       string   `xml:"title"`
+	Language    string   `xml:"language,omitempty"`
+	Description string   `xml:"description,omitempty"`
+	Keywords    []string `xml:"keyword,omitempty"`
+}
+
+// Lifecycle is LOM category 2.
+type Lifecycle struct {
+	Version string `xml:"version,omitempty"`
+	Status  string `xml:"status,omitempty"`
+	Author  string `xml:"author,omitempty"`
+}
+
+// MetaMetadata is LOM category 3.
+type MetaMetadata struct {
+	Scheme string `xml:"metadatascheme,omitempty"`
+}
+
+// Technical is LOM category 4.
+type Technical struct {
+	Format string `xml:"format,omitempty"`
+	Size   int64  `xml:"size,omitempty"`
+}
+
+// Educational is LOM category 5.
+type Educational struct {
+	InteractivityType    string `xml:"interactivitytype,omitempty"`
+	LearningResourceType string `xml:"learningresourcetype,omitempty"`
+	TypicalAgeRange      string `xml:"typicalagerange,omitempty"`
+	Difficulty           string `xml:"difficulty,omitempty"`
+}
+
+// Rights is LOM category 6.
+type Rights struct {
+	Cost                 string `xml:"cost,omitempty"`
+	CopyrightRestriction string `xml:"copyrightandotherrestrictions,omitempty"`
+}
+
+// Relation is LOM category 7.
+type Relation struct {
+	Kind     string `xml:"kind,omitempty"`
+	Resource string `xml:"resource,omitempty"`
+}
+
+// Annotation is LOM category 8.
+type Annotation struct {
+	Person      string `xml:"person,omitempty"`
+	Description string `xml:"description,omitempty"`
+}
+
+// Classification is LOM category 9.
+type Classification struct {
+	Purpose  string   `xml:"purpose,omitempty"`
+	Keywords []string `xml:"keyword,omitempty"`
+}
+
+// Validate checks the minimal LOM contract: identifier and title present.
+func (l *LOM) Validate() error {
+	if strings.TrimSpace(l.General.Identifier) == "" {
+		return errors.New("metadata: LOM general.identifier must not be empty")
+	}
+	if strings.TrimSpace(l.General.Title) == "" {
+		return errors.New("metadata: LOM general.title must not be empty")
+	}
+	return nil
+}
+
+// QuestionnaireMeta is §3.2 VI: questionnaire presentation settings.
+type QuestionnaireMeta struct {
+	// Resumable: "True means resumed and false means paused at a later
+	// time."
+	Resumable bool `xml:"resumable"`
+	// Display is FixedOrder or RandomOrder.
+	Display item.DisplayOrder `xml:"displaytype"`
+}
+
+// IndividualTest is §3.3: the per-question assessment record.
+type IndividualTest struct {
+	// Answer is the correct answer "for explaining and query".
+	Answer string `xml:"answer,omitempty"`
+	// Subject is the question's main subject.
+	Subject string `xml:"subject,omitempty"`
+	// DifficultyIndex is the Item Difficulty Index P = R/N; negative means
+	// not yet measured.
+	DifficultyIndex float64 `xml:"itemdifficultyindex"`
+	// DiscriminationIndex is the Item Discrimination Index D = PH-PL.
+	DiscriminationIndex float64 `xml:"itemdiscriminationindex"`
+	// Distraction records, per wrong option, the fraction of the low score
+	// group it attracted.
+	Distraction []DistractionEntry `xml:"distraction>option,omitempty"`
+}
+
+// DistractionEntry is one wrong option's drawing power.
+type DistractionEntry struct {
+	Key   string  `xml:"key,attr"`
+	Power float64 `xml:"power,attr"`
+}
+
+// ExamMeta is §3.4: per-exam assessment metadata.
+type ExamMeta struct {
+	// AverageTimeSeconds is the class-average answering time (§3.4 I).
+	AverageTimeSeconds int `xml:"averagetimeseconds"`
+	// TestTimeSeconds is the default time limit (§3.4 II).
+	TestTimeSeconds int `xml:"testtimeseconds"`
+	// InstructionalSensitivityIndex compares pre- and post-teaching results
+	// (§3.4 III).
+	InstructionalSensitivityIndex float64 `xml:"instructionalsensitivityindex"`
+}
+
+// AssessmentRecord is the full MINE SCORM assessment metadata for one
+// question: the paper's tree of Figure 1 (cognition level, question style,
+// questionnaire settings, individual test record) rooted next to the LOM
+// record of the resource it describes.
+type AssessmentRecord struct {
+	XMLName xml.Name `xml:"mineassessment"`
+	// QuestionID binds the record to a problem.
+	QuestionID string `xml:"questionid,attr"`
+	// CognitionLevel is §3.1. Unscored questionnaire records omit it.
+	CognitionLevel cognition.Level `xml:"cognitionlevel,omitempty"`
+	// Style is §3.2.
+	Style item.Style `xml:"questionstyle"`
+	// Questionnaire is present for questionnaire-style display settings.
+	Questionnaire *QuestionnaireMeta `xml:"questionnaire,omitempty"`
+	// IndividualTest is §3.3.
+	IndividualTest IndividualTest `xml:"individualtest"`
+	// Exam is present on exam-level records (§3.4).
+	Exam *ExamMeta `xml:"exam,omitempty"`
+	// ConceptID ties the question into the two-way specification table.
+	ConceptID string `xml:"concept,omitempty"`
+}
+
+// Validate checks the record's internal consistency.
+func (r *AssessmentRecord) Validate() error {
+	if strings.TrimSpace(r.QuestionID) == "" {
+		return errors.New("metadata: assessment record needs a question ID")
+	}
+	if !r.Style.Valid() {
+		return fmt.Errorf("metadata: record %s has invalid style %d", r.QuestionID, int(r.Style))
+	}
+	if r.Style.Scored() && !r.CognitionLevel.Valid() {
+		return fmt.Errorf("metadata: record %s needs a cognition level", r.QuestionID)
+	}
+	if p := r.IndividualTest.DifficultyIndex; p > 1 {
+		return fmt.Errorf("metadata: record %s difficulty index %v > 1", r.QuestionID, p)
+	}
+	for _, d := range r.IndividualTest.Distraction {
+		if d.Power < 0 || d.Power > 1 {
+			return fmt.Errorf("metadata: record %s distraction %s power %v outside [0,1]",
+				r.QuestionID, d.Key, d.Power)
+		}
+	}
+	return nil
+}
+
+// Encode serializes the record as XML.
+func (r *AssessmentRecord) Encode() ([]byte, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	body, err := xml.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("metadata: encode: %w", err)
+	}
+	return append([]byte(xml.Header), body...), nil
+}
+
+// ParseAssessmentRecord decodes and validates a record.
+func ParseAssessmentRecord(raw []byte) (*AssessmentRecord, error) {
+	var r AssessmentRecord
+	if err := xml.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("metadata: parse: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// FromProblem derives the assessment record of an authored problem.
+func FromProblem(p *item.Problem) (*AssessmentRecord, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("metadata: from problem: %w", err)
+	}
+	rec := &AssessmentRecord{
+		QuestionID:     p.ID,
+		CognitionLevel: p.Level,
+		Style:          p.Style,
+		ConceptID:      p.ConceptID,
+		IndividualTest: IndividualTest{
+			Answer:              p.Answer,
+			Subject:             p.Subject,
+			DifficultyIndex:     p.Difficulty,
+			DiscriminationIndex: p.Discrimination,
+		},
+	}
+	if p.Style == item.Questionnaire {
+		rec.Questionnaire = &QuestionnaireMeta{Resumable: p.Resumable, Display: item.FixedOrder}
+	}
+	return rec, nil
+}
+
+// ApplyMeasurement copies measured indices and distraction analysis back
+// into the record (the "reedit or reorganize" loop the paper closes between
+// analysis and authoring).
+func (r *AssessmentRecord) ApplyMeasurement(difficulty, discrimination float64, distraction map[string]float64) {
+	r.IndividualTest.DifficultyIndex = difficulty
+	r.IndividualTest.DiscriminationIndex = discrimination
+	r.IndividualTest.Distraction = r.IndividualTest.Distraction[:0]
+	keys := make([]string, 0, len(distraction))
+	for k := range distraction {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		r.IndividualTest.Distraction = append(r.IndividualTest.Distraction,
+			DistractionEntry{Key: k, Power: distraction[k]})
+	}
+}

@@ -1,0 +1,187 @@
+package metadata
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"mineassess/internal/cognition"
+	"mineassess/internal/item"
+)
+
+func sampleRecord() *AssessmentRecord {
+	return &AssessmentRecord{
+		QuestionID:     "q1",
+		CognitionLevel: cognition.Application,
+		Style:          item.MultipleChoice,
+		ConceptID:      "c1",
+		IndividualTest: IndividualTest{
+			Answer:              "B",
+			Subject:             "Algebra",
+			DifficultyIndex:     0.63,
+			DiscriminationIndex: 0.55,
+			Distraction: []DistractionEntry{
+				{Key: "A", Power: 0.27},
+				{Key: "C", Power: 0.18},
+			},
+		},
+	}
+}
+
+func TestAssessmentRecordRoundTrip(t *testing.T) {
+	rec := sampleRecord()
+	raw, err := rec.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !strings.Contains(string(raw), "itemdifficultyindex") {
+		t.Errorf("difficulty element missing:\n%s", raw)
+	}
+	back, err := ParseAssessmentRecord(raw)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if back.QuestionID != "q1" || back.CognitionLevel != cognition.Application {
+		t.Errorf("identity lost: %+v", back)
+	}
+	if back.IndividualTest.DifficultyIndex != 0.63 {
+		t.Errorf("difficulty = %v", back.IndividualTest.DifficultyIndex)
+	}
+	if len(back.IndividualTest.Distraction) != 2 {
+		t.Errorf("distraction entries = %d", len(back.IndividualTest.Distraction))
+	}
+}
+
+func TestAssessmentRecordValidation(t *testing.T) {
+	rec := sampleRecord()
+	rec.QuestionID = " "
+	if err := rec.Validate(); err == nil {
+		t.Error("blank question ID should fail")
+	}
+	rec = sampleRecord()
+	rec.Style = 0
+	if err := rec.Validate(); err == nil {
+		t.Error("invalid style should fail")
+	}
+	rec = sampleRecord()
+	rec.CognitionLevel = 0
+	if err := rec.Validate(); err == nil {
+		t.Error("scored record without level should fail")
+	}
+	rec = sampleRecord()
+	rec.IndividualTest.DifficultyIndex = 1.5
+	if err := rec.Validate(); err == nil {
+		t.Error("difficulty > 1 should fail")
+	}
+	rec = sampleRecord()
+	rec.IndividualTest.Distraction[0].Power = 2
+	if err := rec.Validate(); err == nil {
+		t.Error("distraction power > 1 should fail")
+	}
+}
+
+func TestQuestionnaireNeedsNoLevel(t *testing.T) {
+	rec := &AssessmentRecord{
+		QuestionID:    "s1",
+		Style:         item.Questionnaire,
+		Questionnaire: &QuestionnaireMeta{Resumable: true, Display: item.RandomOrder},
+	}
+	if err := rec.Validate(); err != nil {
+		t.Errorf("questionnaire record rejected: %v", err)
+	}
+	raw, err := rec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "<resumable>true</resumable>") {
+		t.Errorf("resumable flag missing:\n%s", raw)
+	}
+}
+
+func TestFromProblem(t *testing.T) {
+	p, err := item.NewMultipleChoice("q7", "?", []string{"x", "y"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Subject = "History"
+	p.ConceptID = "c-wars"
+	p.Level = cognition.Analysis
+	rec, err := FromProblem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.QuestionID != "q7" || rec.IndividualTest.Answer != "B" ||
+		rec.IndividualTest.Subject != "History" || rec.ConceptID != "c-wars" {
+		t.Errorf("record = %+v", rec)
+	}
+	if rec.IndividualTest.DifficultyIndex >= 0 {
+		t.Error("fresh problem should carry unmeasured (-1) difficulty")
+	}
+	if _, err := FromProblem(&item.Problem{ID: "bad"}); err == nil {
+		t.Error("invalid problem should fail")
+	}
+}
+
+func TestFromProblemQuestionnaire(t *testing.T) {
+	p := &item.Problem{ID: "s1", Style: item.Questionnaire,
+		Question: "Rate it", Resumable: true}
+	rec, err := FromProblem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Questionnaire == nil || !rec.Questionnaire.Resumable {
+		t.Errorf("questionnaire meta = %+v", rec.Questionnaire)
+	}
+}
+
+func TestApplyMeasurementSortsKeys(t *testing.T) {
+	rec := sampleRecord()
+	rec.ApplyMeasurement(0.41, 0.09, map[string]float64{"C": 0.36, "A": 0.0, "B": 0.18})
+	d := rec.IndividualTest.Distraction
+	if len(d) != 3 || d[0].Key != "A" || d[1].Key != "B" || d[2].Key != "C" {
+		t.Errorf("distraction = %+v", d)
+	}
+	if rec.IndividualTest.DifficultyIndex != 0.41 {
+		t.Errorf("difficulty = %v", rec.IndividualTest.DifficultyIndex)
+	}
+}
+
+func TestLOMValidateAndRoundTrip(t *testing.T) {
+	l := &LOM{
+		General: General{Identifier: "lom-1", Title: "Algebra course",
+			Keywords: []string{"math", "equations"}},
+		Lifecycle:      Lifecycle{Version: "1.0", Author: "MINE Lab"},
+		Educational:    Educational{Difficulty: "medium"},
+		Classification: Classification{Purpose: "educational objective"},
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("valid LOM rejected: %v", err)
+	}
+	raw, err := xml.MarshalIndent(l, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LOM
+	if err := xml.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.General.Title != "Algebra course" || len(back.General.Keywords) != 2 {
+		t.Errorf("round trip lost fields: %+v", back.General)
+	}
+
+	if err := (&LOM{}).Validate(); err == nil {
+		t.Error("empty LOM should fail")
+	}
+	if err := (&LOM{General: General{Identifier: "x"}}).Validate(); err == nil {
+		t.Error("LOM without title should fail")
+	}
+}
+
+func TestParseAssessmentRecordErrors(t *testing.T) {
+	if _, err := ParseAssessmentRecord([]byte("<broken")); err == nil {
+		t.Error("bad XML should fail")
+	}
+	if _, err := ParseAssessmentRecord([]byte("<mineassessment/>")); err == nil {
+		t.Error("empty record should fail validation")
+	}
+}

@@ -1,0 +1,304 @@
+// Package qti implements a working subset of IMS Question & Test
+// Interoperability 1.2 ("allows systems to exchange questions and tests",
+// §2.3): the questestinterop/item XML vocabulary with presentation,
+// response_lid/render_choice and resprocessing blocks, mapped to and from
+// the internal item model. The paper's authoring concepts reference QTI;
+// this package is the exchange format its SCORM packages cite.
+package qti
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+
+	"mineassess/internal/cognition"
+	"mineassess/internal/item"
+)
+
+// parseLevel adapts cognition.ParseLevel for metadata fields.
+func parseLevel(s string) (cognition.Level, error) {
+	return cognition.ParseLevel(s)
+}
+
+// QuestTestInterop is the QTI 1.2 document root.
+type QuestTestInterop struct {
+	XMLName xml.Name  `xml:"questestinterop"`
+	Items   []QTIItem `xml:"item"`
+}
+
+// QTIItem is one assessment item.
+type QTIItem struct {
+	Ident          string          `xml:"ident,attr"`
+	Title          string          `xml:"title,attr,omitempty"`
+	Presentation   Presentation    `xml:"presentation"`
+	ResProcessing  *ResProcessing  `xml:"resprocessing,omitempty"`
+	ItemFeedback   []ItemFeedback  `xml:"itemfeedback,omitempty"`
+	QTIMetadataRaw []MetadataField `xml:"itemmetadata>qtimetadata>qtimetadatafield,omitempty"`
+}
+
+// MetadataField is one qtimetadatafield entry.
+type MetadataField struct {
+	Label string `xml:"fieldlabel"`
+	Entry string `xml:"fieldentry"`
+}
+
+// Presentation holds the learner-visible material.
+type Presentation struct {
+	Material    Material     `xml:"material"`
+	ResponseLid *ResponseLid `xml:"response_lid,omitempty"`
+	ResponseStr *ResponseStr `xml:"response_str,omitempty"`
+}
+
+// Material wraps display text.
+type Material struct {
+	MatText MatText `xml:"mattext"`
+}
+
+// MatText is the text payload.
+type MatText struct {
+	TextType string `xml:"texttype,attr,omitempty"`
+	Value    string `xml:",chardata"`
+}
+
+// ResponseLid is a logical-identifier (choice) response.
+type ResponseLid struct {
+	Ident        string       `xml:"ident,attr"`
+	RCardinality string       `xml:"rcardinality,attr,omitempty"`
+	RenderChoice RenderChoice `xml:"render_choice"`
+}
+
+// RenderChoice lists the selectable labels.
+type RenderChoice struct {
+	Labels []ResponseLabel `xml:"response_label"`
+}
+
+// ResponseLabel is one choice.
+type ResponseLabel struct {
+	Ident    string   `xml:"ident,attr"`
+	Material Material `xml:"material"`
+}
+
+// ResponseStr is a string (fill-in) response.
+type ResponseStr struct {
+	Ident     string `xml:"ident,attr"`
+	RenderFib *struct {
+		Rows int `xml:"rows,attr,omitempty"`
+	} `xml:"render_fib,omitempty"`
+}
+
+// ResProcessing scores the item.
+type ResProcessing struct {
+	Outcomes      Outcomes        `xml:"outcomes"`
+	RespCondition []RespCondition `xml:"respcondition"`
+}
+
+// Outcomes declares score variables.
+type Outcomes struct {
+	DecVar DecVar `xml:"decvar"`
+}
+
+// DecVar is the SCORE variable declaration.
+type DecVar struct {
+	VarName string `xml:"varname,attr,omitempty"`
+	MinVal  string `xml:"minvalue,attr,omitempty"`
+	MaxVal  string `xml:"maxvalue,attr,omitempty"`
+}
+
+// RespCondition is one scoring rule.
+type RespCondition struct {
+	Title       string     `xml:"title,attr,omitempty"`
+	CondVar     CondVar    `xml:"conditionvar"`
+	SetVar      *SetVar    `xml:"setvar,omitempty"`
+	DisplayFeed *DisplayFB `xml:"displayfeedback,omitempty"`
+}
+
+// CondVar matches a response value.
+type CondVar struct {
+	VarEqual *VarEqual `xml:"varequal,omitempty"`
+}
+
+// VarEqual is the equality predicate.
+type VarEqual struct {
+	RespIdent string `xml:"respident,attr"`
+	Value     string `xml:",chardata"`
+}
+
+// SetVar assigns the score.
+type SetVar struct {
+	Action string `xml:"action,attr,omitempty"`
+	Value  string `xml:",chardata"`
+}
+
+// DisplayFB triggers feedback display.
+type DisplayFB struct {
+	LinkRefID string `xml:"linkrefid,attr"`
+}
+
+// ItemFeedback carries hint/feedback material.
+type ItemFeedback struct {
+	Ident    string   `xml:"ident,attr"`
+	Material Material `xml:"material"`
+}
+
+// Export converts a problem into a QTI item. Supported styles:
+// MultipleChoice, TrueFalse (rendered as a two-label choice), Essay and
+// Completion (string responses). Match and Questionnaire export as string
+// responses with metadata marking the original style.
+func Export(p *item.Problem) (*QTIItem, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("qti: export: %w", err)
+	}
+	q := &QTIItem{
+		Ident: p.ID,
+		Title: p.Subject,
+		Presentation: Presentation{
+			Material: Material{MatText: MatText{TextType: "text/plain", Value: p.Question}},
+		},
+	}
+	q.QTIMetadataRaw = append(q.QTIMetadataRaw,
+		MetadataField{Label: "qmd_itemtype", Entry: p.Style.String()},
+		MetadataField{Label: "qmd_levelofdifficulty", Entry: fmt.Sprintf("%.3f", p.Difficulty)},
+		MetadataField{Label: "mine_cognitionlevel", Entry: p.Level.String()},
+		MetadataField{Label: "mine_concept", Entry: p.ConceptID},
+	)
+	if p.Hint != "" {
+		q.ItemFeedback = append(q.ItemFeedback, ItemFeedback{
+			Ident:    "HINT",
+			Material: Material{MatText: MatText{Value: p.Hint}},
+		})
+	}
+	switch p.Style {
+	case item.MultipleChoice:
+		exportChoice(q, p, p.Options, p.Answer)
+	case item.TrueFalse:
+		opts := []item.Option{{Key: "true", Text: "True"}, {Key: "false", Text: "False"}}
+		exportChoice(q, p, opts, strings.ToLower(p.Answer))
+	default:
+		q.Presentation.ResponseStr = &ResponseStr{Ident: "RESPONSE"}
+	}
+	return q, nil
+}
+
+func exportChoice(q *QTIItem, p *item.Problem, opts []item.Option, answer string) {
+	lid := &ResponseLid{Ident: "RESPONSE", RCardinality: "Single"}
+	for _, o := range opts {
+		lid.RenderChoice.Labels = append(lid.RenderChoice.Labels, ResponseLabel{
+			Ident:    o.Key,
+			Material: Material{MatText: MatText{Value: o.Text}},
+		})
+	}
+	q.Presentation.ResponseLid = lid
+	q.ResProcessing = &ResProcessing{
+		Outcomes: Outcomes{DecVar: DecVar{VarName: "SCORE", MinVal: "0", MaxVal: "1"}},
+		RespCondition: []RespCondition{{
+			Title:   "correct",
+			CondVar: CondVar{VarEqual: &VarEqual{RespIdent: "RESPONSE", Value: answer}},
+			SetVar:  &SetVar{Action: "Set", Value: "1"},
+		}},
+	}
+	_ = p
+}
+
+// Import converts a QTI item back to the internal model. Choice items map to
+// MultipleChoice or TrueFalse (recognized by their two true/false labels or
+// the qmd_itemtype field); string responses map to Essay unless metadata
+// says otherwise.
+func Import(q *QTIItem) (*item.Problem, error) {
+	if strings.TrimSpace(q.Ident) == "" {
+		return nil, fmt.Errorf("qti: item has no ident")
+	}
+	p := &item.Problem{
+		ID:             q.Ident,
+		Subject:        q.Title,
+		Question:       q.Presentation.Material.MatText.Value,
+		Difficulty:     -1,
+		Discrimination: -1,
+	}
+	meta := make(map[string]string, len(q.QTIMetadataRaw))
+	for _, f := range q.QTIMetadataRaw {
+		meta[f.Label] = f.Entry
+	}
+	if styleName, ok := meta["qmd_itemtype"]; ok {
+		if style, err := item.ParseStyle(styleName); err == nil {
+			p.Style = style
+		}
+	}
+	if lvl, ok := meta["mine_cognitionlevel"]; ok {
+		if parsed, err := parseLevel(lvl); err == nil {
+			p.Level = parsed
+		}
+	}
+	p.ConceptID = meta["mine_concept"]
+	for _, fb := range q.ItemFeedback {
+		if fb.Ident == "HINT" {
+			p.Hint = fb.Material.MatText.Value
+		}
+	}
+	switch {
+	case q.Presentation.ResponseLid != nil:
+		importChoice(p, q)
+	default:
+		if p.Style == 0 {
+			p.Style = item.Essay
+		}
+	}
+	if p.Style == 0 {
+		p.Style = item.Essay
+	}
+	if !p.Level.Valid() && p.Style.Scored() {
+		p.Level = 1 // Knowledge fallback for items without MINE metadata
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("qti: import %s: %w", q.Ident, err)
+	}
+	return p, nil
+}
+
+func importChoice(p *item.Problem, q *QTIItem) {
+	labels := q.Presentation.ResponseLid.RenderChoice.Labels
+	answer := correctValue(q)
+	isTF := len(labels) == 2 &&
+		strings.EqualFold(labels[0].Ident, "true") &&
+		strings.EqualFold(labels[1].Ident, "false")
+	if p.Style == item.TrueFalse || (p.Style == 0 && isTF) {
+		p.Style = item.TrueFalse
+		p.Answer = strings.ToLower(answer)
+		return
+	}
+	p.Style = item.MultipleChoice
+	for _, l := range labels {
+		p.Options = append(p.Options, item.Option{Key: l.Ident, Text: l.Material.MatText.Value})
+	}
+	p.Answer = answer
+}
+
+func correctValue(q *QTIItem) string {
+	if q.ResProcessing == nil {
+		return ""
+	}
+	for _, rc := range q.ResProcessing.RespCondition {
+		if rc.SetVar != nil && rc.SetVar.Value != "0" && rc.CondVar.VarEqual != nil {
+			return rc.CondVar.VarEqual.Value
+		}
+	}
+	return ""
+}
+
+// EncodeDocument serializes items into a questestinterop document.
+func EncodeDocument(items []QTIItem) ([]byte, error) {
+	doc := QuestTestInterop{Items: items}
+	body, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("qti: encode: %w", err)
+	}
+	return append([]byte(xml.Header), body...), nil
+}
+
+// ParseDocument decodes a questestinterop document.
+func ParseDocument(raw []byte) (*QuestTestInterop, error) {
+	var doc QuestTestInterop
+	if err := xml.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("qti: parse: %w", err)
+	}
+	return &doc, nil
+}

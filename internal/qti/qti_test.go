@@ -1,0 +1,196 @@
+package qti
+
+import (
+	"strings"
+	"testing"
+
+	"mineassess/internal/cognition"
+	"mineassess/internal/item"
+)
+
+func sampleMC(t *testing.T) *item.Problem {
+	t.Helper()
+	p, err := item.NewMultipleChoice("q1", "Which planet is red?",
+		[]string{"Venus", "Mars", "Jupiter", "Saturn"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Subject = "Astronomy"
+	p.Hint = "Fourth from the sun"
+	p.ConceptID = "c-planets"
+	p.Level = cognition.Comprehension
+	return p
+}
+
+func TestExportImportMultipleChoice(t *testing.T) {
+	p := sampleMC(t)
+	q, err := Export(p)
+	if err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	back, err := Import(q)
+	if err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	if back.ID != p.ID || back.Style != item.MultipleChoice {
+		t.Errorf("round trip identity: %+v", back)
+	}
+	if back.Answer != "B" {
+		t.Errorf("answer = %q, want B", back.Answer)
+	}
+	if len(back.Options) != 4 || back.Options[1].Text != "Mars" {
+		t.Errorf("options = %+v", back.Options)
+	}
+	if back.Hint != p.Hint {
+		t.Errorf("hint = %q", back.Hint)
+	}
+	if back.Level != cognition.Comprehension {
+		t.Errorf("level = %v", back.Level)
+	}
+	if back.ConceptID != "c-planets" {
+		t.Errorf("concept = %q", back.ConceptID)
+	}
+	if back.Subject != "Astronomy" {
+		t.Errorf("subject = %q", back.Subject)
+	}
+}
+
+func TestExportImportTrueFalse(t *testing.T) {
+	p := &item.Problem{ID: "tf1", Style: item.TrueFalse,
+		Question: "Mars is red.", Answer: "TRUE", Level: cognition.Knowledge}
+	q, err := Export(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Presentation.ResponseLid == nil ||
+		len(q.Presentation.ResponseLid.RenderChoice.Labels) != 2 {
+		t.Fatal("true/false should export as a two-label choice")
+	}
+	back, err := Import(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Style != item.TrueFalse || back.Answer != "true" {
+		t.Errorf("round trip: %+v", back)
+	}
+}
+
+func TestExportImportEssay(t *testing.T) {
+	p := &item.Problem{ID: "e1", Style: item.Essay,
+		Question: "Explain gravity.", Level: cognition.Evaluation}
+	q, err := Export(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Presentation.ResponseStr == nil {
+		t.Fatal("essay should export a string response")
+	}
+	back, err := Import(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Style != item.Essay || back.Level != cognition.Evaluation {
+		t.Errorf("round trip: %+v", back)
+	}
+}
+
+func TestExportInvalidProblem(t *testing.T) {
+	if _, err := Export(&item.Problem{ID: "x"}); err == nil {
+		t.Error("invalid problem should fail")
+	}
+}
+
+func TestImportWithoutIdent(t *testing.T) {
+	if _, err := Import(&QTIItem{}); err == nil {
+		t.Error("missing ident should fail")
+	}
+}
+
+func TestImportWithoutMetadataDefaults(t *testing.T) {
+	q := &QTIItem{
+		Ident: "bare",
+		Presentation: Presentation{
+			Material: Material{MatText: MatText{Value: "A bare item"}},
+		},
+	}
+	p, err := Import(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Style != item.Essay {
+		t.Errorf("default style = %v, want Essay", p.Style)
+	}
+	if !p.Level.Valid() {
+		t.Error("imported scored item must get a valid level")
+	}
+}
+
+func TestImportTwoLabelChoiceDetectsTrueFalse(t *testing.T) {
+	q := &QTIItem{
+		Ident: "tfx",
+		Presentation: Presentation{
+			Material: Material{MatText: MatText{Value: "T/F?"}},
+			ResponseLid: &ResponseLid{
+				Ident: "RESPONSE",
+				RenderChoice: RenderChoice{Labels: []ResponseLabel{
+					{Ident: "true", Material: Material{MatText: MatText{Value: "True"}}},
+					{Ident: "false", Material: Material{MatText: MatText{Value: "False"}}},
+				}},
+			},
+		},
+		ResProcessing: &ResProcessing{
+			RespCondition: []RespCondition{{
+				CondVar: CondVar{VarEqual: &VarEqual{RespIdent: "RESPONSE", Value: "false"}},
+				SetVar:  &SetVar{Action: "Set", Value: "1"},
+			}},
+		},
+	}
+	p, err := Import(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Style != item.TrueFalse || p.Answer != "false" {
+		t.Errorf("detected %v answer %q", p.Style, p.Answer)
+	}
+}
+
+func TestDocumentRoundTrip(t *testing.T) {
+	p1 := sampleMC(t)
+	p2 := &item.Problem{ID: "tf1", Style: item.TrueFalse,
+		Question: "?", Answer: "true", Level: cognition.Knowledge}
+	q1, err := Export(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Export(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := EncodeDocument([]QTIItem{*q1, *q2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "questestinterop") {
+		t.Error("document root missing")
+	}
+	doc, err := ParseDocument(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Items) != 2 {
+		t.Fatalf("items = %d, want 2", len(doc.Items))
+	}
+	back, err := Import(&doc.Items[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Question != p1.Question {
+		t.Errorf("question changed: %q", back.Question)
+	}
+}
+
+func TestParseDocumentBadXML(t *testing.T) {
+	if _, err := ParseDocument([]byte("<broken")); err == nil {
+		t.Error("bad XML should fail")
+	}
+}

@@ -1,0 +1,223 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mineassess/internal/analysis"
+	"mineassess/internal/cognition"
+	"mineassess/internal/stats"
+)
+
+// TimeCurve renders the §4.2.1(1) figure — elapsed time (cross axle) versus
+// number of answered questions (vertical axle) — as an ASCII plot with
+// `height` rows.
+func TimeCurve(points []analysis.TimePoint, height int) string {
+	if len(points) == 0 || height < 2 {
+		return "(no time data)\n"
+	}
+	maxY := 0.0
+	for _, p := range points {
+		if p.Answered > maxY {
+			maxY = p.Answered
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	var b strings.Builder
+	b.WriteString("Answered questions over time\n")
+	for row := height; row >= 1; row-- {
+		threshold := maxY * float64(row) / float64(height)
+		fmt.Fprintf(&b, "%6.1f |", threshold)
+		for _, p := range points {
+			if p.Answered >= threshold {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%6s +%s\n", "", strings.Repeat("-", len(points)))
+	fmt.Fprintf(&b, "%7s0 .. %s (elapsed)\n", "", points[len(points)-1].Elapsed.Round(time.Second))
+	return b.String()
+}
+
+// TimeSufficiency renders the time summary under the curve.
+func TimeSufficiency(ts analysis.TimeSufficiency) string {
+	var b strings.Builder
+	limit := "unlimited"
+	if ts.TestTime > 0 {
+		limit = ts.TestTime.Round(time.Second).String()
+	}
+	fmt.Fprintf(&b, "Test time: %s, average time: %s, completion rate: %.0f%%\n",
+		limit, ts.AverageTime.Round(time.Second), ts.CompletionRate*100)
+	if ts.Enough {
+		b.WriteString("Verdict: the test time is enough\n")
+	} else {
+		b.WriteString("Verdict: the test time is NOT enough\n")
+	}
+	return b.String()
+}
+
+var _shadeRunes = [5]rune{'.', '1', '2', '3', '4'}
+
+// ScoreDifficulty renders the §4.2.1(2) figure — test score (cross axle)
+// versus degree of difficulty (vertical axle) — as a density grid. Rows run
+// from hard (top) to easy (bottom); columns from low score (left) to high.
+func ScoreDifficulty(g *analysis.ScoreDifficultyGrid) string {
+	if g == nil {
+		return "(no score/difficulty data)\n"
+	}
+	maxCount := 0
+	for _, c := range g.Cells {
+		if c.Count > maxCount {
+			maxCount = c.Count
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Score (→) versus difficulty (↑ hard to easy ↓ is easy)\n")
+	for di := 0; di < g.DifficultyBuckets; di++ { // di=0 hardest row first
+		fmt.Fprintf(&b, "P[%d] |", di)
+		for si := 0; si < g.ScoreBuckets; si++ {
+			n := g.Cell(si, di)
+			shade := 0
+			if maxCount > 0 && n > 0 {
+				shade = 1 + 3*n/maxCount
+				if shade > 4 {
+					shade = 4
+				}
+			}
+			b.WriteRune(_shadeRunes[shade])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "      +%s\n", strings.Repeat("-", g.ScoreBuckets))
+	b.WriteString("       low score  ->  high score\n")
+	return b.String()
+}
+
+// ScoreHistogram renders a score distribution as a horizontal bar chart
+// with `bins` buckets — the "summary of test results" view.
+func ScoreHistogram(scores []float64, bins int) string {
+	counts, width, err := stats.Histogram(scores, bins)
+	if err != nil {
+		return "(no score data)\n"
+	}
+	minV := scores[0]
+	for _, v := range scores {
+		if v < minV {
+			minV = v
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Score distribution\n")
+	for i, n := range counts {
+		lo := minV + float64(i)*width
+		hi := lo + width
+		fmt.Fprintf(&b, "[%6.1f, %6.1f) %-4d %s\n", lo, hi, n, strings.Repeat("#", n))
+	}
+	return b.String()
+}
+
+// ItemHistories renders the cross-administration aggregation table.
+func ItemHistories(histories []analysis.ItemHistory) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-6s %-8s %-8s %-14s %s\n",
+		"Item", "Runs", "MeanP", "MeanD", "D range", "Worst signal")
+	for _, h := range histories {
+		fmt.Fprintf(&b, "%-12s %-6d %-8.2f %-8.2f [%5.2f,%5.2f] %s\n",
+			h.ProblemID, h.Administrations, h.MeanP, h.MeanD, h.MinD, h.MaxD, h.WorstSignal)
+	}
+	return b.String()
+}
+
+// TwoWayTable renders the paper's Table 4 with row and column sums.
+func TwoWayTable(t *cognition.TwoWayTable) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", "")
+	for _, l := range cognition.Levels() {
+		fmt.Fprintf(&b, "%-15s", l.String())
+	}
+	fmt.Fprintf(&b, "%s\n", "SUM")
+	for _, c := range t.Concepts() {
+		fmt.Fprintf(&b, "%-14s", c.Name)
+		row, _ := t.Row(c.ID)
+		for _, n := range row {
+			fmt.Fprintf(&b, "%-15d", n)
+		}
+		fmt.Fprintf(&b, "%d\n", t.ConceptSum(c.ID))
+	}
+	fmt.Fprintf(&b, "%-14s", "SUM")
+	for _, s := range t.LevelSums() {
+		fmt.Fprintf(&b, "%-15d", s)
+	}
+	fmt.Fprintf(&b, "%d\n", t.Total())
+	return b.String()
+}
+
+// PaintGrid renders the §4.2.3(3) two-dimensional paint of the two-way
+// table: one shaded cell per (concept, level).
+func PaintGrid(t *cognition.TwoWayTable) string {
+	var b strings.Builder
+	b.WriteString("Paint of concepts × cognition levels (darker = more questions)\n")
+	fmt.Fprintf(&b, "%-14s", "")
+	for _, l := range cognition.Levels() {
+		fmt.Fprintf(&b, "%c ", l.Letter())
+	}
+	b.WriteByte('\n')
+	grid := t.PaintGrid()
+	for ri, c := range t.Concepts() {
+		fmt.Fprintf(&b, "%-14s", c.Name)
+		for _, shade := range grid[ri] {
+			b.WriteRune(_shadeRunes[shade])
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Coverage renders the §4.2.3 analyses: lost concepts, the sum relation and
+// the paint distribution.
+func Coverage(rep cognition.CoverageReport) string {
+	var b strings.Builder
+	if len(rep.LostConcepts) == 0 {
+		b.WriteString("Concept coverage: no concept lost\n")
+	} else {
+		fmt.Fprintf(&b, "Concept coverage: LOST %s\n", strings.Join(rep.LostConcepts, ", "))
+	}
+	if rep.SumRelationHolds {
+		b.WriteString("Cognition sum relation: holds (SUM(A) >= ... >= SUM(F))\n")
+	} else {
+		b.WriteString("Cognition sum relation: VIOLATED\n")
+		for _, v := range rep.SumRelationViolations {
+			fmt.Fprintf(&b, "  SUM(%s)=%d < SUM(%s)=%d\n",
+				v.Lower, v.LowerSum, v.Higher, v.HigherSum)
+		}
+	}
+	b.WriteString("Paint distribution: ")
+	for i, l := range cognition.Levels() {
+		fmt.Fprintf(&b, "%c:%s(%.0f%%) ", l.Letter(),
+			strings.Repeat("#", rep.Shades[i]), rep.Distribution[i]*100)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Sensitivity renders the Instructional Sensitivity report, ordered by the
+// exam's problem list.
+func Sensitivity(rep *analysis.SensitivityReport, problemOrder []string) string {
+	var b strings.Builder
+	b.WriteString("Instructional Sensitivity Index (post - pre)\n")
+	for _, id := range problemOrder {
+		if isi, ok := rep.Items[id]; ok {
+			fmt.Fprintf(&b, "%-12s %+0.2f\n", id, isi)
+		}
+	}
+	fmt.Fprintf(&b, "Mean P before: %.2f, after: %.2f, mean ISI: %+.2f\n",
+		rep.PreMean, rep.PostMean, rep.MeanISI)
+	return b.String()
+}

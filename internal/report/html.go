@@ -1,0 +1,140 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"strings"
+
+	"mineassess/internal/analysis"
+	"mineassess/internal/item"
+)
+
+// The HTML renderers substitute the paper's GUI screens (Figures 3-5): the
+// problem authoring preview with positioned template elements, and the
+// signal-board page an instructor would see. Output is deterministic,
+// self-contained HTML with no external assets.
+
+// ProblemPreviewHTML renders a problem laid out by a template, positioning
+// each element absolutely at its authored (x, y) grid cell — the §5.3
+// "edited problem presentation style" preview. Grid cells are 24px tall and
+// 8px wide per x unit.
+func ProblemPreviewHTML(p *item.Problem, tpl item.Template) string {
+	const (
+		cellW = 8
+		cellH = 24
+	)
+	optionText := make(map[string]string, len(p.Options))
+	for _, o := range p.Options {
+		optionText[o.Key] = o.Text
+	}
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"/><title>")
+	b.WriteString(html.EscapeString(p.ID))
+	b.WriteString(" preview</title></head>\n<body>\n")
+	fmt.Fprintf(&b, "<div class=\"problem\" data-problem=%q data-template=%q style=\"position:relative\">\n",
+		p.ID, tpl.ID)
+	for _, e := range tpl.Elements {
+		style := fmt.Sprintf("position:absolute;left:%dpx;top:%dpx", e.X*cellW, e.Y*cellH)
+		switch e.Kind {
+		case item.ElementQuestion:
+			fmt.Fprintf(&b, "  <p class=\"question\" style=%q>%s</p>\n",
+				style, html.EscapeString(p.Question))
+		case item.ElementOption:
+			label := optionText[e.Ref]
+			fmt.Fprintf(&b, "  <label class=\"option\" style=%q><input type=\"radio\" name=\"answer\" value=%q/> %s. %s</label>\n",
+				style, e.Ref, e.Ref, html.EscapeString(label))
+		case item.ElementPicture:
+			fmt.Fprintf(&b, "  <img class=\"picture\" src=%q style=%q/>\n", e.Ref, style)
+		case item.ElementHint:
+			fmt.Fprintf(&b, "  <p class=\"hint\" style=%q>Hint: %s</p>\n",
+				style, html.EscapeString(p.Hint))
+		}
+	}
+	// Styles without positioned option elements render their inputs in a
+	// flow block under the question.
+	switch p.Style {
+	case item.Completion:
+		b.WriteString("  <div class=\"blanks\">\n")
+		for i := range p.Blanks {
+			fmt.Fprintf(&b, "    <input type=\"text\" name=\"blank%d\"/>\n", i+1)
+		}
+		b.WriteString("  </div>\n")
+	case item.Match:
+		b.WriteString("  <table class=\"match\">\n")
+		for _, pair := range p.Pairs {
+			fmt.Fprintf(&b, "    <tr><td>%s</td><td><input type=\"text\" name=%q/></td></tr>\n",
+				html.EscapeString(pair.Left), "match_"+pair.Left)
+		}
+		b.WriteString("  </table>\n")
+	case item.Essay, item.Questionnaire:
+		b.WriteString("  <textarea name=\"answer\" rows=\"6\" cols=\"60\"></textarea>\n")
+	}
+	b.WriteString("</div>\n</body></html>\n")
+	return b.String()
+}
+
+var _signalColors = map[analysis.Signal]string{
+	analysis.SignalGreen:  "#2e7d32",
+	analysis.SignalYellow: "#f9a825",
+	analysis.SignalRed:    "#c62828",
+}
+
+// SignalBoardHTML renders the Figure 2 signal interface as an HTML page:
+// one row per question with a coloured light, indices and advice.
+func SignalBoardHTML(a *analysis.ExamAnalysis) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"/><title>Signal board</title></head>\n<body>\n")
+	fmt.Fprintf(&b, "<h1>Signal board — exam %s</h1>\n", html.EscapeString(a.ExamID))
+	fmt.Fprintf(&b, "<p>class %d, upper/lower groups of %d (%.0f%%)</p>\n",
+		a.Groups.ClassSize, a.Groups.Size(), a.Groups.Fraction*100)
+	b.WriteString("<table border=\"1\" cellpadding=\"4\">\n")
+	b.WriteString("  <tr><th>No</th><th>Light</th><th>D</th><th>P</th><th>Advice</th><th>Statuses</th></tr>\n")
+	for _, q := range a.Questions {
+		color := _signalColors[q.Signal]
+		var statuses []string
+		for _, st := range q.Statuses {
+			statuses = append(statuses, html.EscapeString(st.String()))
+		}
+		statusCell := strings.Join(statuses, "; ")
+		if statusCell == "" {
+			statusCell = "&mdash;"
+		}
+		fmt.Fprintf(&b, "  <tr><td>%d</td><td><span class=\"light\" style=\"color:%s\">&#9679;</span> %s</td><td>%.2f</td><td>%.2f</td><td>%s</td><td>%s</td></tr>\n",
+			q.Number, color, q.Signal, q.D, q.P, html.EscapeString(q.Signal.Advice()), statusCell)
+	}
+	b.WriteString("</table>\n</body></html>\n")
+	return b.String()
+}
+
+// ExamPreviewHTML renders a whole exam in presentation order — the §5.4
+// exam-authoring preview. Each problem uses its registered template when
+// available, falling back to the default layout.
+func ExamPreviewHTML(title string, problems []*item.Problem, templates *item.TemplateRegistry) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"/><title>")
+	b.WriteString(html.EscapeString(title))
+	b.WriteString("</title></head>\n<body>\n")
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(title))
+	for i, p := range problems {
+		tpl := item.DefaultTemplate(p)
+		if templates != nil && p.TemplateID != "" {
+			if got, err := templates.Get(p.TemplateID); err == nil {
+				tpl = got
+			}
+		}
+		fmt.Fprintf(&b, "<section class=\"q\" data-number=\"%d\" style=\"position:relative;min-height:%dpx\">\n",
+			i+1, (len(tpl.Elements)+2)*24)
+		fmt.Fprintf(&b, "<h2>Question %d</h2>\n", i+1)
+		inner := ProblemPreviewHTML(p, tpl)
+		// Strip the page chrome, keeping only the positioned problem div.
+		start := strings.Index(inner, "<div class=\"problem\"")
+		end := strings.LastIndex(inner, "</div>")
+		if start >= 0 && end > start {
+			b.WriteString(inner[start : end+len("</div>")])
+			b.WriteByte('\n')
+		}
+		b.WriteString("</section>\n")
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}

@@ -1,0 +1,170 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mineassess/internal/cognition"
+	"mineassess/internal/item"
+)
+
+// cognitionTestTable builds a small two-way table for paint rendering.
+func cognitionTestTable(t *testing.T) *cognition.TwoWayTable {
+	t.Helper()
+	tab := cognition.NewTwoWayTable(cognition.NumberedConcepts(2))
+	for i := 0; i < 6; i++ {
+		if err := tab.Add(fmt.Sprintf("pq%d", i), "c1", cognition.Knowledge); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tab.Add("pq9", "c2", cognition.Evaluation); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func previewProblem(t *testing.T) *item.Problem {
+	t.Helper()
+	p, err := item.NewMultipleChoice("q1", "What is <b> in HTML?",
+		[]string{"bold", "break", "block"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Hint = "markup & tags"
+	p.Pictures = []item.Picture{{Ref: "fig.gif", X: 30, Y: 2}}
+	return p
+}
+
+func TestProblemPreviewHTMLPositions(t *testing.T) {
+	p := previewProblem(t)
+	tpl := item.DefaultTemplate(p)
+	if !tpl.Move(item.ElementOption, "B", 10, 5) {
+		t.Fatal("move failed")
+	}
+	out := ProblemPreviewHTML(p, tpl)
+	// Escaping.
+	if strings.Contains(out, "What is <b> in HTML?") {
+		t.Error("question not escaped")
+	}
+	if !strings.Contains(out, "What is &lt;b&gt; in HTML?") {
+		t.Error("escaped question missing")
+	}
+	if !strings.Contains(out, "markup &amp; tags") {
+		t.Error("hint not escaped")
+	}
+	// Option B moved to (10,5): left = 80px, top = 120px.
+	if !strings.Contains(out, "left:80px;top:120px") {
+		t.Errorf("moved option position missing:\n%s", out)
+	}
+	// Picture preserves authored position (x*8, y*24).
+	if !strings.Contains(out, "src=\"fig.gif\"") {
+		t.Error("picture missing")
+	}
+	if !strings.Contains(out, "data-template=\"default\"") {
+		t.Error("template attribution missing")
+	}
+}
+
+func TestProblemPreviewHTMLDeterministic(t *testing.T) {
+	p := previewProblem(t)
+	tpl := item.DefaultTemplate(p)
+	if ProblemPreviewHTML(p, tpl) != ProblemPreviewHTML(p, tpl) {
+		t.Error("preview must be deterministic")
+	}
+}
+
+func TestPaintGridRendering(t *testing.T) {
+	tab := cognitionTestTable(t)
+	out := PaintGrid(tab)
+	if !strings.Contains(out, "A B C D E F") {
+		t.Errorf("level header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Concept 1") {
+		t.Errorf("concept rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "4") {
+		t.Errorf("densest shade missing:\n%s", out)
+	}
+}
+
+func TestProblemPreviewHTMLNonChoiceStyles(t *testing.T) {
+	comp := &item.Problem{ID: "c1", Style: item.Completion,
+		Question: "Fill ____ and ____", Blanks: [][]string{{"a"}, {"b"}},
+		Level: cognition.Knowledge}
+	out := ProblemPreviewHTML(comp, item.DefaultTemplate(comp))
+	if !strings.Contains(out, "name=\"blank1\"") || !strings.Contains(out, "name=\"blank2\"") {
+		t.Errorf("completion blanks missing:\n%s", out)
+	}
+
+	match := &item.Problem{ID: "m1", Style: item.Match, Question: "pair",
+		Pairs: []item.MatchPair{{Left: "x<y", Right: "1"}, {Left: "b", Right: "2"}},
+		Level: cognition.Comprehension}
+	out = ProblemPreviewHTML(match, item.DefaultTemplate(match))
+	if !strings.Contains(out, "class=\"match\"") {
+		t.Errorf("match table missing:\n%s", out)
+	}
+	if strings.Contains(out, "<td>x<y</td>") {
+		t.Error("match left side not escaped")
+	}
+
+	essay := &item.Problem{ID: "e1", Style: item.Essay, Question: "Discuss",
+		Level: cognition.Evaluation}
+	out = ProblemPreviewHTML(essay, item.DefaultTemplate(essay))
+	if !strings.Contains(out, "<textarea") {
+		t.Errorf("essay textarea missing:\n%s", out)
+	}
+}
+
+func TestSignalBoardHTML(t *testing.T) {
+	a := workedAnalysis()
+	out := SignalBoardHTML(a)
+	if !strings.Contains(out, "#2e7d32") {
+		t.Error("green light missing")
+	}
+	if !strings.Contains(out, "#c62828") {
+		t.Error("red light missing")
+	}
+	if !strings.Contains(out, "Eliminate or fix") {
+		t.Error("advice missing")
+	}
+	if !strings.Contains(out, "<table") || !strings.Contains(out, "class 44") {
+		t.Errorf("structure missing:\n%s", out)
+	}
+}
+
+func TestExamPreviewHTML(t *testing.T) {
+	p1 := previewProblem(t)
+	p2, err := item.NewMultipleChoice("q2", "Second?", []string{"x", "y"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.TemplateID = "wide"
+	reg := item.NewTemplateRegistry()
+	if err := reg.Add(item.Template{ID: "wide", Elements: []item.Element{
+		{Kind: item.ElementQuestion, X: 0, Y: 0},
+		{Kind: item.ElementOption, X: 40, Y: 0, Ref: "A"},
+		{Kind: item.ElementOption, X: 60, Y: 0, Ref: "B"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	out := ExamPreviewHTML("Demo exam", []*item.Problem{p1, p2}, reg)
+	if strings.Count(out, "<section") != 2 {
+		t.Errorf("sections = %d, want 2", strings.Count(out, "<section"))
+	}
+	if !strings.Contains(out, "data-template=\"wide\"") {
+		t.Error("registered template not used")
+	}
+	if !strings.Contains(out, "Question 2") {
+		t.Error("numbering missing")
+	}
+	// Wide template puts option B at x=60 → left:480px.
+	if !strings.Contains(out, "left:480px") {
+		t.Errorf("wide layout position missing:\n%s", out)
+	}
+	// No registry: falls back to default layout without error.
+	fallback := ExamPreviewHTML("Demo", []*item.Problem{p2}, nil)
+	if !strings.Contains(fallback, "data-template=\"default\"") {
+		t.Error("fallback to default template missing")
+	}
+}

@@ -1,0 +1,130 @@
+// Package report renders the paper's tables and figures as deterministic
+// plain text: the §4.1.1 number-representation table, the Table 1 option
+// table, the Figure 2 signal board, the Table 4 two-way specification table,
+// and ASCII versions of the §4.2.1 figures. All renderers are pure functions
+// of their inputs so golden tests and diffs stay stable.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"mineassess/internal/analysis"
+)
+
+// NumberTable renders the §4.1.1 number representation:
+//
+//	No  PH  PL  D=PH-PL  P=(PH+PL)/2
+func NumberTable(a *analysis.ExamAnalysis) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-6s %-6s %-9s %-12s\n", "No", "PH", "PL", "D=PH-PL", "P=(PH+PL)/2")
+	for _, q := range a.Questions {
+		fmt.Fprintf(&b, "%-4d %-6.2f %-6.2f %-9.2f %-12.3f\n", q.Number, q.PH, q.PL, q.D, q.P)
+	}
+	return b.String()
+}
+
+// OptionTable renders the Table 1 problem-attribute table for one question.
+func OptionTable(t *analysis.OptionTable) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s", "")
+	for _, k := range t.Keys {
+		label := "Option " + k
+		if k == t.CorrectKey {
+			label += "*"
+		}
+		fmt.Fprintf(&b, "%-10s", label)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-18s", "High Score Group")
+	for _, k := range t.Keys {
+		fmt.Fprintf(&b, "%-10d", t.High[k])
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-18s", "Low Score Group")
+	for _, k := range t.Keys {
+		fmt.Fprintf(&b, "%-10d", t.Low[k])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// signalGlyph maps a signal to its board glyph.
+func signalGlyph(s analysis.Signal) string {
+	switch s {
+	case analysis.SignalGreen:
+		return "G"
+	case analysis.SignalYellow:
+		return "Y"
+	case analysis.SignalRed:
+		return "R"
+	default:
+		return "?"
+	}
+}
+
+// SignalBoard renders the Figure 2 "signal represent interface for whole
+// test": one row per question with its light, indices, matched rules and
+// advice.
+func SignalBoard(a *analysis.ExamAnalysis) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Signal board for exam %s (class %d, groups of %d at %.0f%%)\n",
+		a.ExamID, a.Groups.ClassSize, a.Groups.Size(), a.Groups.Fraction*100)
+	fmt.Fprintf(&b, "%-4s %-6s %-6s %-6s %-7s %-20s %s\n",
+		"No", "Light", "D", "P", "Rules", "Advice", "Statuses")
+	for _, q := range a.Questions {
+		rules := make([]string, 0, 4)
+		for _, r := range q.MatchedRules() {
+			rules = append(rules, strings.TrimPrefix(r.String(), "Rule"))
+		}
+		ruleCol := "-"
+		if len(rules) > 0 {
+			ruleCol = strings.Join(rules, ",")
+		}
+		statuses := make([]string, 0, len(q.Statuses))
+		for _, st := range q.Statuses {
+			statuses = append(statuses, st.String())
+		}
+		statusCol := "-"
+		if len(statuses) > 0 {
+			statusCol = strings.Join(statuses, "; ")
+		}
+		fmt.Fprintf(&b, "%-4d [%s]    %-6.2f %-6.2f %-7s %-20s %s\n",
+			q.Number, signalGlyph(q.Signal), q.D, q.P, ruleCol, q.Signal.Advice(), statusCol)
+	}
+	counts := a.CountBySignal()
+	fmt.Fprintf(&b, "Summary: %d green, %d yellow, %d red of %d questions\n",
+		counts[analysis.SignalGreen], counts[analysis.SignalYellow],
+		counts[analysis.SignalRed], len(a.Questions))
+	return b.String()
+}
+
+// Questionnaires renders the §3.2 VI questionnaire frequency summaries.
+func Questionnaires(sums []analysis.QuestionnaireSummary) string {
+	if len(sums) == 0 {
+		return "(no questionnaire items)\n"
+	}
+	var b strings.Builder
+	for _, q := range sums {
+		fmt.Fprintf(&b, "Questionnaire %s: %d/%d responded (%.0f%%)\n",
+			q.ProblemID, q.Answered, q.Total, q.ResponseRate()*100)
+		for _, rc := range q.Counts {
+			bar := strings.Repeat("#", rc.Count)
+			fmt.Fprintf(&b, "  %-12s %-4d %s\n", rc.Response, rc.Count, bar)
+		}
+	}
+	return b.String()
+}
+
+// Distractors renders the distractor profile of one question.
+func Distractors(q *analysis.QuestionReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Distraction for question %d (%s)\n", q.Number, q.ProblemID)
+	fmt.Fprintf(&b, "%-8s %-6s %-6s %-8s %-12s %s\n",
+		"Option", "High", "Low", "Power", "Functioning", "Inverted")
+	for _, d := range q.Distractors {
+		fmt.Fprintf(&b, "%-8s %-6d %-6d %-8.2f %-12v %v\n",
+			d.Key, d.HighCount, d.LowCount, d.Power, d.Functioning, d.Inverted)
+	}
+	return b.String()
+}

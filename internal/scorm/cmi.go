@@ -1,0 +1,230 @@
+package scorm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// RTE error codes from the SCORM 1.2 API signature ("Some API functions are
+// used to set value ... get value, error handler", §5.5).
+const (
+	ErrCodeNoError           = 0
+	ErrCodeGeneral           = 101
+	ErrCodeInvalidArgument   = 201
+	ErrCodeNotInitialized    = 301
+	ErrCodeNotImplemented    = 401
+	ErrCodeInvalidSetValue   = 402
+	ErrCodeElementReadOnly   = 403
+	ErrCodeElementWriteOnly  = 404
+	ErrCodeIncorrectDataType = 405
+)
+
+// errText maps error codes to LMSGetErrorString output.
+var _errText = map[int]string{
+	ErrCodeNoError:           "No error",
+	ErrCodeGeneral:           "General exception",
+	ErrCodeInvalidArgument:   "Invalid argument error",
+	ErrCodeNotInitialized:    "Not initialized",
+	ErrCodeNotImplemented:    "Not implemented error",
+	ErrCodeInvalidSetValue:   "Invalid set value, element is a keyword",
+	ErrCodeElementReadOnly:   "Element is read only",
+	ErrCodeElementWriteOnly:  "Element is write only",
+	ErrCodeIncorrectDataType: "Incorrect data type",
+}
+
+// ErrorText returns the standard string for a code; unknown codes report a
+// general exception.
+func ErrorText(code int) string {
+	if s, ok := _errText[code]; ok {
+		return s
+	}
+	return _errText[ErrCodeGeneral]
+}
+
+// cmiAccess describes one data-model element's permissions.
+type cmiAccess int
+
+const (
+	accessReadWrite cmiAccess = iota + 1
+	accessReadOnly
+	accessWriteOnly
+)
+
+// cmiElement is one supported element of the SCORM 1.2 CMI data model.
+type cmiElement struct {
+	access   cmiAccess
+	validate func(string) bool
+}
+
+// Vocabularies for validated elements.
+var (
+	_lessonStatusVocab = map[string]bool{
+		"passed": true, "completed": true, "failed": true,
+		"incomplete": true, "browsed": true, "not attempted": true,
+	}
+	_exitVocab = map[string]bool{
+		"time-out": true, "suspend": true, "logout": true, "": true,
+	}
+)
+
+func isScore(s string) bool {
+	if s == "" {
+		return true
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	return err == nil && f >= 0 && f <= 100
+}
+
+func isCMITime(s string) bool {
+	// HHHH:MM:SS[.ss] with minutes/seconds < 60.
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return false
+	}
+	h, errH := strconv.Atoi(parts[0])
+	m, errM := strconv.Atoi(parts[1])
+	secParts := strings.SplitN(parts[2], ".", 2)
+	sec, errS := strconv.Atoi(secParts[0])
+	if errH != nil || errM != nil || errS != nil {
+		return false
+	}
+	if len(secParts) == 2 {
+		if _, err := strconv.Atoi(secParts[1]); err != nil {
+			return false
+		}
+	}
+	return h >= 0 && m >= 0 && m < 60 && sec >= 0 && sec < 60
+}
+
+// _cmiModel lists the supported elements. The paper's API functions set
+// learner record, learner progress and learner status; those map onto the
+// cmi.core.* elements below.
+var _cmiModel = map[string]cmiElement{
+	"cmi.core.student_id":            {access: accessReadOnly},
+	"cmi.core.student_name":          {access: accessReadOnly},
+	"cmi.core.lesson_location":       {access: accessReadWrite},
+	"cmi.core.credit":                {access: accessReadOnly},
+	"cmi.core.lesson_status":         {access: accessReadWrite, validate: func(s string) bool { return _lessonStatusVocab[s] }},
+	"cmi.core.entry":                 {access: accessReadOnly},
+	"cmi.core.score.raw":             {access: accessReadWrite, validate: isScore},
+	"cmi.core.score.min":             {access: accessReadWrite, validate: isScore},
+	"cmi.core.score.max":             {access: accessReadWrite, validate: isScore},
+	"cmi.core.total_time":            {access: accessReadOnly},
+	"cmi.core.exit":                  {access: accessWriteOnly, validate: func(s string) bool { return _exitVocab[s] }},
+	"cmi.core.session_time":          {access: accessWriteOnly, validate: isCMITime},
+	"cmi.suspend_data":               {access: accessReadWrite},
+	"cmi.launch_data":                {access: accessReadOnly},
+	"cmi.comments":                   {access: accessReadWrite},
+	"cmi.comments_from_lms":          {access: accessReadOnly},
+	"cmi.student_data.mastery_score": {access: accessReadOnly},
+}
+
+// childrenElements supports the _children discovery convention.
+var _childrenElements = map[string]string{
+	"cmi.core._children": "student_id,student_name,lesson_location,credit," +
+		"lesson_status,entry,score,total_time,exit,session_time",
+	"cmi.core.score._children": "raw,min,max",
+}
+
+// DataModel is one learner attempt's CMI storage.
+type DataModel struct {
+	values map[string]string
+}
+
+// NewDataModel seeds an attempt with its read-only identity elements.
+func NewDataModel(studentID, studentName string) *DataModel {
+	return &DataModel{values: map[string]string{
+		"cmi.core.student_id":    studentID,
+		"cmi.core.student_name":  studentName,
+		"cmi.core.lesson_status": "not attempted",
+		"cmi.core.credit":        "credit",
+		"cmi.core.entry":         "ab-initio",
+		"cmi.core.total_time":    "0000:00:00",
+	}}
+}
+
+// Get reads an element, returning the SCORM error code.
+func (d *DataModel) Get(element string) (string, int) {
+	if v, ok := _childrenElements[element]; ok {
+		return v, ErrCodeNoError
+	}
+	spec, ok := _cmiModel[element]
+	if !ok {
+		return "", ErrCodeNotImplemented
+	}
+	if spec.access == accessWriteOnly {
+		return "", ErrCodeElementWriteOnly
+	}
+	return d.values[element], ErrCodeNoError
+}
+
+// Set writes an element, returning the SCORM error code.
+func (d *DataModel) Set(element, value string) int {
+	if _, ok := _childrenElements[element]; ok {
+		return ErrCodeInvalidSetValue
+	}
+	spec, ok := _cmiModel[element]
+	if !ok {
+		return ErrCodeNotImplemented
+	}
+	if spec.access == accessReadOnly {
+		return ErrCodeElementReadOnly
+	}
+	if spec.validate != nil && !spec.validate(value) {
+		return ErrCodeIncorrectDataType
+	}
+	d.values[element] = value
+	return ErrCodeNoError
+}
+
+// Snapshot returns a copy of all stored values for persistence.
+func (d *DataModel) Snapshot() map[string]string {
+	out := make(map[string]string, len(d.values))
+	for k, v := range d.values {
+		out[k] = v
+	}
+	return out
+}
+
+// AccumulateSessionTime adds a committed session_time into total_time,
+// mirroring LMS behaviour at LMSFinish.
+func (d *DataModel) AccumulateSessionTime() error {
+	session := d.values["cmi.core.session_time"]
+	if session == "" {
+		return nil
+	}
+	total, err := parseCMITimeSeconds(d.values["cmi.core.total_time"])
+	if err != nil {
+		return fmt.Errorf("scorm: total_time corrupt: %w", err)
+	}
+	add, err := parseCMITimeSeconds(session)
+	if err != nil {
+		return fmt.Errorf("scorm: session_time corrupt: %w", err)
+	}
+	d.values["cmi.core.total_time"] = formatCMITime(total + add)
+	delete(d.values, "cmi.core.session_time")
+	return nil
+}
+
+func parseCMITimeSeconds(s string) (int, error) {
+	if s == "" {
+		return 0, nil
+	}
+	if !isCMITime(s) {
+		return 0, fmt.Errorf("bad cmi time %q", s)
+	}
+	parts := strings.Split(s, ":")
+	h, _ := strconv.Atoi(parts[0])
+	m, _ := strconv.Atoi(parts[1])
+	secStr := strings.SplitN(parts[2], ".", 2)[0]
+	sec, _ := strconv.Atoi(secStr)
+	return h*3600 + m*60 + sec, nil
+}
+
+func formatCMITime(seconds int) string {
+	h := seconds / 3600
+	m := (seconds % 3600) / 60
+	s := seconds % 60
+	return fmt.Sprintf("%04d:%02d:%02d", h, m, s)
+}

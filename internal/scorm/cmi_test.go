@@ -1,0 +1,136 @@
+package scorm
+
+import "testing"
+
+func TestDataModelSeededDefaults(t *testing.T) {
+	d := NewDataModel("s1", "Ada Lovelace")
+	tests := map[string]string{
+		"cmi.core.student_id":    "s1",
+		"cmi.core.student_name":  "Ada Lovelace",
+		"cmi.core.lesson_status": "not attempted",
+		"cmi.core.total_time":    "0000:00:00",
+	}
+	for el, want := range tests {
+		got, code := d.Get(el)
+		if code != ErrCodeNoError || got != want {
+			t.Errorf("Get(%s) = %q, code %d; want %q", el, got, code, want)
+		}
+	}
+}
+
+func TestDataModelReadOnly(t *testing.T) {
+	d := NewDataModel("s1", "n")
+	if code := d.Set("cmi.core.student_id", "hacked"); code != ErrCodeElementReadOnly {
+		t.Errorf("Set read-only = %d, want %d", code, ErrCodeElementReadOnly)
+	}
+}
+
+func TestDataModelWriteOnly(t *testing.T) {
+	d := NewDataModel("s1", "n")
+	if code := d.Set("cmi.core.session_time", "0000:05:30"); code != ErrCodeNoError {
+		t.Fatalf("Set session_time = %d", code)
+	}
+	if _, code := d.Get("cmi.core.session_time"); code != ErrCodeElementWriteOnly {
+		t.Errorf("Get write-only = %d, want %d", code, ErrCodeElementWriteOnly)
+	}
+}
+
+func TestDataModelUnknownElement(t *testing.T) {
+	d := NewDataModel("s1", "n")
+	if _, code := d.Get("cmi.bogus"); code != ErrCodeNotImplemented {
+		t.Errorf("Get unknown = %d, want %d", code, ErrCodeNotImplemented)
+	}
+	if code := d.Set("cmi.bogus", "x"); code != ErrCodeNotImplemented {
+		t.Errorf("Set unknown = %d, want %d", code, ErrCodeNotImplemented)
+	}
+}
+
+func TestDataModelChildren(t *testing.T) {
+	d := NewDataModel("s1", "n")
+	v, code := d.Get("cmi.core.score._children")
+	if code != ErrCodeNoError || v != "raw,min,max" {
+		t.Errorf("score._children = %q, code %d", v, code)
+	}
+	if code := d.Set("cmi.core._children", "x"); code != ErrCodeInvalidSetValue {
+		t.Errorf("Set _children = %d, want %d", code, ErrCodeInvalidSetValue)
+	}
+}
+
+func TestDataModelVocabularies(t *testing.T) {
+	d := NewDataModel("s1", "n")
+	if code := d.Set("cmi.core.lesson_status", "passed"); code != ErrCodeNoError {
+		t.Errorf("valid status rejected: %d", code)
+	}
+	if code := d.Set("cmi.core.lesson_status", "aced-it"); code != ErrCodeIncorrectDataType {
+		t.Errorf("bad status = %d, want %d", code, ErrCodeIncorrectDataType)
+	}
+	if code := d.Set("cmi.core.score.raw", "85.5"); code != ErrCodeNoError {
+		t.Errorf("valid score rejected: %d", code)
+	}
+	for _, bad := range []string{"-1", "101", "ninety"} {
+		if code := d.Set("cmi.core.score.raw", bad); code != ErrCodeIncorrectDataType {
+			t.Errorf("score %q = %d, want %d", bad, code, ErrCodeIncorrectDataType)
+		}
+	}
+	for _, good := range []string{"0000:00:01", "0001:30:00", "0000:05:30.5"} {
+		if code := d.Set("cmi.core.session_time", good); code != ErrCodeNoError {
+			t.Errorf("time %q rejected: %d", good, code)
+		}
+	}
+	for _, bad := range []string{"1:2", "0000:61:00", "0000:00:61", "abc", "00:00:00:00"} {
+		if code := d.Set("cmi.core.session_time", bad); code != ErrCodeIncorrectDataType {
+			t.Errorf("time %q = %d, want %d", bad, code, ErrCodeIncorrectDataType)
+		}
+	}
+}
+
+func TestAccumulateSessionTime(t *testing.T) {
+	d := NewDataModel("s1", "n")
+	if code := d.Set("cmi.core.session_time", "0001:30:30"); code != ErrCodeNoError {
+		t.Fatal(code)
+	}
+	if err := d.AccumulateSessionTime(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.Get("cmi.core.total_time")
+	if got != "0001:30:30" {
+		t.Errorf("total_time = %q, want 0001:30:30", got)
+	}
+	// Accumulate again.
+	if code := d.Set("cmi.core.session_time", "0000:29:30"); code != ErrCodeNoError {
+		t.Fatal(code)
+	}
+	if err := d.AccumulateSessionTime(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = d.Get("cmi.core.total_time")
+	if got != "0002:00:00" {
+		t.Errorf("total_time = %q, want 0002:00:00", got)
+	}
+	// No session time: a no-op.
+	if err := d.AccumulateSessionTime(); err != nil {
+		t.Errorf("no-op accumulate: %v", err)
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	d := NewDataModel("s1", "n")
+	snap := d.Snapshot()
+	snap["cmi.core.student_id"] = "mutated"
+	got, _ := d.Get("cmi.core.student_id")
+	if got != "s1" {
+		t.Error("snapshot must be isolated")
+	}
+}
+
+func TestErrorText(t *testing.T) {
+	if ErrorText(0) != "No error" {
+		t.Errorf("ErrorText(0) = %q", ErrorText(0))
+	}
+	if ErrorText(403) != "Element is read only" {
+		t.Errorf("ErrorText(403) = %q", ErrorText(403))
+	}
+	if ErrorText(999) != "General exception" {
+		t.Errorf("ErrorText(999) = %q", ErrorText(999))
+	}
+}

@@ -1,0 +1,204 @@
+// Package scorm implements the SCORM 1.2 machinery the paper's authoring
+// system emits (§5.5): the imsmanifest.xml course-structure manifest,
+// per-file descriptor XML documents, a content-package builder (PIF zip),
+// the CMI run-time data model, and the LMS run-time API
+// (LMSInitialize/LMSGetValue/LMSSetValue/LMSCommit/LMSFinish) with the
+// standard error codes.
+package scorm
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Manifest is the root imsmanifest.xml document. "With this
+// imsmanifest.xml, we can parse the whole course structure" (§5.5).
+type Manifest struct {
+	XMLName       xml.Name      `xml:"manifest"`
+	Identifier    string        `xml:"identifier,attr"`
+	Version       string        `xml:"version,attr,omitempty"`
+	Metadata      *Metadata     `xml:"metadata,omitempty"`
+	Organizations Organizations `xml:"organizations"`
+	Resources     Resources     `xml:"resources"`
+}
+
+// Metadata is the manifest-level metadata block.
+type Metadata struct {
+	Schema        string `xml:"schema,omitempty"`
+	SchemaVersion string `xml:"schemaversion,omitempty"`
+}
+
+// Organizations holds the course structure trees.
+type Organizations struct {
+	Default       string         `xml:"default,attr,omitempty"`
+	Organizations []Organization `xml:"organization"`
+}
+
+// Organization is one course structure tree.
+type Organization struct {
+	Identifier string `xml:"identifier,attr"`
+	Title      string `xml:"title"`
+	Items      []Item `xml:"item"`
+}
+
+// Item is a node in the course structure; leaves reference resources.
+type Item struct {
+	Identifier    string `xml:"identifier,attr"`
+	IdentifierRef string `xml:"identifierref,attr,omitempty"`
+	Title         string `xml:"title"`
+	Items         []Item `xml:"item,omitempty"`
+}
+
+// Resources lists the package's deliverable content.
+type Resources struct {
+	Resources []Resource `xml:"resource"`
+}
+
+// Resource types used by the paper's output: SCOs communicate with the LMS
+// API; assets do not.
+const (
+	ScormTypeSCO   = "sco"
+	ScormTypeAsset = "asset"
+)
+
+// Resource is one launchable or supporting content object.
+type Resource struct {
+	Identifier string `xml:"identifier,attr"`
+	Type       string `xml:"type,attr"`
+	ScormType  string `xml:"adlcp:scormtype,attr,omitempty"`
+	Href       string `xml:"href,attr,omitempty"`
+	Files      []File `xml:"file"`
+}
+
+// File is one physical file of a resource.
+type File struct {
+	Href string `xml:"href,attr"`
+}
+
+// Validation errors.
+var (
+	ErrNoIdentifier    = errors.New("scorm: manifest identifier must not be empty")
+	ErrNoOrganization  = errors.New("scorm: manifest needs at least one organization")
+	ErrDanglingItemRef = errors.New("scorm: item references unknown resource")
+	ErrDuplicateID     = errors.New("scorm: duplicate identifier")
+)
+
+// Validate checks structural integrity: identifiers present and unique, and
+// every item's identifierref resolving to a resource.
+func (m *Manifest) Validate() error {
+	if strings.TrimSpace(m.Identifier) == "" {
+		return ErrNoIdentifier
+	}
+	if len(m.Organizations.Organizations) == 0 {
+		return ErrNoOrganization
+	}
+	ids := make(map[string]struct{})
+	claim := func(id string) error {
+		if id == "" {
+			return nil
+		}
+		if _, dup := ids[id]; dup {
+			return fmt.Errorf("%w: %s", ErrDuplicateID, id)
+		}
+		ids[id] = struct{}{}
+		return nil
+	}
+	resourceIDs := make(map[string]struct{}, len(m.Resources.Resources))
+	for _, r := range m.Resources.Resources {
+		if err := claim(r.Identifier); err != nil {
+			return err
+		}
+		resourceIDs[r.Identifier] = struct{}{}
+	}
+	var walk func(items []Item) error
+	walk = func(items []Item) error {
+		for _, it := range items {
+			if err := claim(it.Identifier); err != nil {
+				return err
+			}
+			if it.IdentifierRef != "" {
+				if _, ok := resourceIDs[it.IdentifierRef]; !ok {
+					return fmt.Errorf("%w: item %s -> %s",
+						ErrDanglingItemRef, it.Identifier, it.IdentifierRef)
+				}
+			}
+			if err := walk(it.Items); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, org := range m.Organizations.Organizations {
+		if err := claim(org.Identifier); err != nil {
+			return err
+		}
+		if err := walk(org.Items); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Encode serializes the manifest as indented XML with the standard header.
+func (m *Manifest) Encode() ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	body, err := xml.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scorm: encode manifest: %w", err)
+	}
+	return append([]byte(xml.Header), body...), nil
+}
+
+// ParseManifest decodes and validates an imsmanifest.xml document.
+func ParseManifest(raw []byte) (*Manifest, error) {
+	var m Manifest
+	if err := xml.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("scorm: parse manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Descriptor is the per-file descriptive XML the paper places beside every
+// content file ("each file ... has a descriptive xml file with the same
+// level in the course structure", §5.5).
+type Descriptor struct {
+	XMLName     xml.Name `xml:"filedescriptor"`
+	Href        string   `xml:"href"`
+	Title       string   `xml:"title,omitempty"`
+	MimeType    string   `xml:"mimetype,omitempty"`
+	Description string   `xml:"description,omitempty"`
+}
+
+// Encode serializes the descriptor.
+func (d *Descriptor) Encode() ([]byte, error) {
+	if strings.TrimSpace(d.Href) == "" {
+		return nil, errors.New("scorm: descriptor href must not be empty")
+	}
+	body, err := xml.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scorm: encode descriptor: %w", err)
+	}
+	return append([]byte(xml.Header), body...), nil
+}
+
+// DescriptorPath returns the conventional sibling path of a content file's
+// descriptor: "dir/lesson.html" → "dir/lesson.html.desc.xml".
+func DescriptorPath(href string) string {
+	return href + ".desc.xml"
+}
+
+// ParseDescriptor decodes a descriptor document.
+func ParseDescriptor(raw []byte) (*Descriptor, error) {
+	var d Descriptor
+	if err := xml.Unmarshal(raw, &d); err != nil {
+		return nil, fmt.Errorf("scorm: parse descriptor: %w", err)
+	}
+	return &d, nil
+}

@@ -1,0 +1,133 @@
+package scorm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func validManifest() *Manifest {
+	return &Manifest{
+		Identifier: "MANIFEST-1",
+		Version:    "1.2",
+		Metadata:   &Metadata{Schema: "ADL SCORM", SchemaVersion: "1.2"},
+		Organizations: Organizations{
+			Default: "ORG-1",
+			Organizations: []Organization{{
+				Identifier: "ORG-1",
+				Title:      "Course",
+				Items: []Item{
+					{Identifier: "ITEM-1", IdentifierRef: "RES-1", Title: "Lesson 1"},
+					{Identifier: "ITEM-2", Title: "Chapter", Items: []Item{
+						{Identifier: "ITEM-2-1", IdentifierRef: "RES-2", Title: "Lesson 2"},
+					}},
+				},
+			}},
+		},
+		Resources: Resources{Resources: []Resource{
+			{Identifier: "RES-1", Type: "webcontent", ScormType: ScormTypeSCO,
+				Href: "a.html", Files: []File{{Href: "a.html"}}},
+			{Identifier: "RES-2", Type: "webcontent", ScormType: ScormTypeAsset,
+				Href: "b.html", Files: []File{{Href: "b.html"}}},
+		}},
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := validManifest()
+	raw, err := m.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !strings.HasPrefix(string(raw), "<?xml") {
+		t.Error("missing XML header")
+	}
+	back, err := ParseManifest(raw)
+	if err != nil {
+		t.Fatalf("ParseManifest: %v", err)
+	}
+	if back.Identifier != "MANIFEST-1" {
+		t.Errorf("Identifier = %q", back.Identifier)
+	}
+	if len(back.Organizations.Organizations) != 1 {
+		t.Fatalf("organizations = %d", len(back.Organizations.Organizations))
+	}
+	org := back.Organizations.Organizations[0]
+	if len(org.Items) != 2 || org.Items[1].Items[0].IdentifierRef != "RES-2" {
+		t.Errorf("nested items lost: %+v", org.Items)
+	}
+	if len(back.Resources.Resources) != 2 {
+		t.Errorf("resources = %d", len(back.Resources.Resources))
+	}
+}
+
+func TestManifestValidateErrors(t *testing.T) {
+	m := validManifest()
+	m.Identifier = " "
+	if err := m.Validate(); !errors.Is(err, ErrNoIdentifier) {
+		t.Errorf("err = %v, want ErrNoIdentifier", err)
+	}
+
+	m = validManifest()
+	m.Organizations.Organizations = nil
+	if err := m.Validate(); !errors.Is(err, ErrNoOrganization) {
+		t.Errorf("err = %v, want ErrNoOrganization", err)
+	}
+
+	m = validManifest()
+	m.Organizations.Organizations[0].Items[0].IdentifierRef = "GHOST"
+	if err := m.Validate(); !errors.Is(err, ErrDanglingItemRef) {
+		t.Errorf("err = %v, want ErrDanglingItemRef", err)
+	}
+
+	m = validManifest()
+	m.Resources.Resources[1].Identifier = "RES-1"
+	if err := m.Validate(); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("err = %v, want ErrDuplicateID", err)
+	}
+
+	m = validManifest()
+	m.Organizations.Organizations[0].Items[1].Identifier = "ITEM-1"
+	if err := m.Validate(); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("duplicate item ID err = %v, want ErrDuplicateID", err)
+	}
+}
+
+func TestParseManifestBadXML(t *testing.T) {
+	if _, err := ParseManifest([]byte("<manifest")); err == nil {
+		t.Error("bad XML should fail")
+	}
+	if _, err := ParseManifest([]byte("<manifest/>")); err == nil {
+		t.Error("empty manifest should fail validation")
+	}
+}
+
+func TestDescriptorRoundTrip(t *testing.T) {
+	d := &Descriptor{Href: "content/p1.html", Title: "Q1", MimeType: "text/html"}
+	raw, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseDescriptor(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Href != d.Href || back.MimeType != d.MimeType {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+}
+
+func TestDescriptorErrors(t *testing.T) {
+	if _, err := (&Descriptor{}).Encode(); err == nil {
+		t.Error("empty href should fail")
+	}
+	if _, err := ParseDescriptor([]byte("<nope")); err == nil {
+		t.Error("bad XML should fail")
+	}
+}
+
+func TestDescriptorPath(t *testing.T) {
+	if got := DescriptorPath("dir/lesson.html"); got != "dir/lesson.html.desc.xml" {
+		t.Errorf("DescriptorPath = %q", got)
+	}
+}

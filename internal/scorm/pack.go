@@ -1,0 +1,279 @@
+package scorm
+
+import (
+	"archive/zip"
+	"bytes"
+	"fmt"
+	"html"
+	"io"
+	"sort"
+	"strings"
+
+	"mineassess/internal/bank"
+	"mineassess/internal/item"
+	"mineassess/internal/metadata"
+)
+
+// ManifestName is the fixed name SCORM requires at the package root.
+const ManifestName = "imsmanifest.xml"
+
+// APIAdapterName is the JavaScript adapter file the paper notes is required
+// ("Without these java scripts, the learning management can't find the API
+// to communicate", §5.5).
+const APIAdapterName = "scripts/apiwrapper.js"
+
+// Package is an in-memory SCORM content package (PIF).
+type Package struct {
+	Manifest *Manifest
+	// Files maps package-relative paths to contents; includes the manifest.
+	Files map[string][]byte
+}
+
+// BuildPackage renders an exam and its problems into a SCORM package:
+// one XHTML page per problem (a SCO), a descriptor beside every file, the
+// API adapter script, and the manifest tying it together.
+func BuildPackage(rec *bank.ExamRecord, problems []*item.Problem) (*Package, error) {
+	if rec == nil || len(problems) == 0 {
+		return nil, fmt.Errorf("scorm: empty exam")
+	}
+	byID := make(map[string]*item.Problem, len(problems))
+	for _, p := range problems {
+		byID[p.ID] = p
+	}
+	man := &Manifest{
+		Identifier: "MANIFEST-" + rec.ID,
+		Version:    "1.2",
+		Metadata:   &Metadata{Schema: "ADL SCORM", SchemaVersion: "1.2"},
+		Organizations: Organizations{
+			Default: "ORG-" + rec.ID,
+			Organizations: []Organization{{
+				Identifier: "ORG-" + rec.ID,
+				Title:      rec.Title,
+			}},
+		},
+	}
+	pkg := &Package{Manifest: man, Files: make(map[string][]byte)}
+	pkg.Files[APIAdapterName] = []byte(_apiAdapterJS)
+	addDescriptor := func(href, title, mime string) error {
+		desc := Descriptor{Href: href, Title: title, MimeType: mime}
+		raw, err := desc.Encode()
+		if err != nil {
+			return err
+		}
+		pkg.Files[DescriptorPath(href)] = raw
+		return nil
+	}
+	if err := addDescriptor(APIAdapterName, "SCORM API adapter", "text/javascript"); err != nil {
+		return nil, err
+	}
+
+	org := &man.Organizations.Organizations[0]
+	for i, pid := range rec.ProblemIDs {
+		p, ok := byID[pid]
+		if !ok {
+			return nil, fmt.Errorf("scorm: exam %s references missing problem %s", rec.ID, pid)
+		}
+		href := fmt.Sprintf("content/problem_%03d.html", i+1)
+		pkg.Files[href] = renderProblemHTML(i+1, p)
+		if err := addDescriptor(href, p.Question, "text/html"); err != nil {
+			return nil, err
+		}
+		// The MINE assessment metadata record rides beside the content it
+		// describes (the paper's Figure 1 tree inside the package).
+		metaHref := fmt.Sprintf("metadata/problem_%03d.xml", i+1)
+		assessRec, err := metadata.FromProblem(p)
+		if err != nil {
+			return nil, fmt.Errorf("scorm: metadata for %s: %w", p.ID, err)
+		}
+		rawMeta, err := assessRec.Encode()
+		if err != nil {
+			return nil, fmt.Errorf("scorm: encode metadata for %s: %w", p.ID, err)
+		}
+		pkg.Files[metaHref] = rawMeta
+		resID := fmt.Sprintf("RES-%s-%03d", rec.ID, i+1)
+		man.Resources.Resources = append(man.Resources.Resources, Resource{
+			Identifier: resID,
+			Type:       "webcontent",
+			ScormType:  ScormTypeSCO,
+			Href:       href,
+			Files: []File{
+				{Href: href},
+				{Href: DescriptorPath(href)},
+				{Href: metaHref},
+				{Href: APIAdapterName},
+			},
+		})
+		org.Items = append(org.Items, Item{
+			Identifier:    fmt.Sprintf("ITEM-%s-%03d", rec.ID, i+1),
+			IdentifierRef: resID,
+			Title:         fmt.Sprintf("Question %d", i+1),
+		})
+	}
+	rawMan, err := man.Encode()
+	if err != nil {
+		return nil, err
+	}
+	pkg.Files[ManifestName] = rawMan
+	return pkg, nil
+}
+
+// renderProblemHTML produces the deterministic learner-facing page for one
+// problem.
+func renderProblemHTML(number int, p *item.Problem) []byte {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><title>")
+	fmt.Fprintf(&b, "Question %d", number)
+	b.WriteString("</title><script src=\"../" + APIAdapterName + "\"></script></head><body>\n")
+	fmt.Fprintf(&b, "<h1>Question %d</h1>\n", number)
+	fmt.Fprintf(&b, "<p class=\"question\">%s</p>\n", html.EscapeString(p.Question))
+	for _, pic := range p.Pictures {
+		fmt.Fprintf(&b, "<img src=%q style=\"position:absolute;left:%dpx;top:%dpx\"/>\n",
+			pic.Ref, pic.X, pic.Y)
+	}
+	switch p.Style {
+	case item.MultipleChoice:
+		b.WriteString("<ol class=\"options\">\n")
+		for _, o := range p.Options {
+			fmt.Fprintf(&b, "  <li><label><input type=\"radio\" name=\"answer\" value=%q/> %s</label></li>\n",
+				o.Key, html.EscapeString(o.Text))
+		}
+		b.WriteString("</ol>\n")
+	case item.TrueFalse:
+		b.WriteString("<label><input type=\"radio\" name=\"answer\" value=\"true\"/> True</label>\n")
+		b.WriteString("<label><input type=\"radio\" name=\"answer\" value=\"false\"/> False</label>\n")
+	case item.Completion:
+		for i := range p.Blanks {
+			fmt.Fprintf(&b, "<input type=\"text\" name=\"blank%d\"/>\n", i+1)
+		}
+	case item.Match:
+		b.WriteString("<table class=\"match\">\n")
+		for _, pair := range p.Pairs {
+			fmt.Fprintf(&b, "  <tr><td>%s</td><td><input type=\"text\" name=%q/></td></tr>\n",
+				html.EscapeString(pair.Left), "match_"+pair.Left)
+		}
+		b.WriteString("</table>\n")
+	default:
+		b.WriteString("<textarea name=\"answer\" rows=\"8\" cols=\"60\"></textarea>\n")
+	}
+	if p.Hint != "" {
+		fmt.Fprintf(&b, "<p class=\"hint\">Hint: %s</p>\n", html.EscapeString(p.Hint))
+	}
+	b.WriteString("</body></html>\n")
+	return []byte(b.String())
+}
+
+// WriteZip streams the package as a PIF zip. Entries are written in sorted
+// path order so output bytes are reproducible.
+func (p *Package) WriteZip(w io.Writer) error {
+	zw := zip.NewWriter(w)
+	paths := make([]string, 0, len(p.Files))
+	for path := range p.Files {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		f, err := zw.Create(path)
+		if err != nil {
+			return fmt.Errorf("scorm: zip create %s: %w", path, err)
+		}
+		if _, err := f.Write(p.Files[path]); err != nil {
+			return fmt.Errorf("scorm: zip write %s: %w", path, err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("scorm: close zip: %w", err)
+	}
+	return nil
+}
+
+// ReadZip opens a PIF zip produced by WriteZip (or any SCORM 1.2 package
+// carrying an imsmanifest.xml at the root) back into a Package.
+func ReadZip(raw []byte) (*Package, error) {
+	zr, err := zip.NewReader(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		return nil, fmt.Errorf("scorm: open zip: %w", err)
+	}
+	pkg := &Package{Files: make(map[string][]byte, len(zr.File))}
+	for _, zf := range zr.File {
+		rc, err := zf.Open()
+		if err != nil {
+			return nil, fmt.Errorf("scorm: open %s: %w", zf.Name, err)
+		}
+		data, err := io.ReadAll(rc)
+		closeErr := rc.Close()
+		if err != nil {
+			return nil, fmt.Errorf("scorm: read %s: %w", zf.Name, err)
+		}
+		if closeErr != nil {
+			return nil, fmt.Errorf("scorm: close %s: %w", zf.Name, closeErr)
+		}
+		pkg.Files[zf.Name] = data
+	}
+	rawMan, ok := pkg.Files[ManifestName]
+	if !ok {
+		return nil, fmt.Errorf("scorm: package missing %s", ManifestName)
+	}
+	man, err := ParseManifest(rawMan)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Manifest = man
+	return pkg, nil
+}
+
+// ExtractAssessmentRecords parses every embedded MINE assessment-metadata
+// record out of a package, in path order — the receiving side of the
+// paper's "other instructors may reuse the problem and exam files from
+// SCORM compatible external repository".
+func (p *Package) ExtractAssessmentRecords() ([]*metadata.AssessmentRecord, error) {
+	var paths []string
+	for path := range p.Files {
+		if strings.HasPrefix(path, "metadata/") && strings.HasSuffix(path, ".xml") {
+			paths = append(paths, path)
+		}
+	}
+	sort.Strings(paths)
+	records := make([]*metadata.AssessmentRecord, 0, len(paths))
+	for _, path := range paths {
+		rec, err := metadata.ParseAssessmentRecord(p.Files[path])
+		if err != nil {
+			return nil, fmt.Errorf("scorm: %s: %w", path, err)
+		}
+		records = append(records, rec)
+	}
+	return records, nil
+}
+
+// MissingFiles cross-checks the manifest against the package contents and
+// returns referenced hrefs that are absent, sorted.
+func (p *Package) MissingFiles() []string {
+	var missing []string
+	seen := make(map[string]struct{})
+	for _, r := range p.Manifest.Resources.Resources {
+		for _, f := range r.Files {
+			if _, dup := seen[f.Href]; dup {
+				continue
+			}
+			seen[f.Href] = struct{}{}
+			if _, ok := p.Files[f.Href]; !ok {
+				missing = append(missing, f.Href)
+			}
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
+// _apiAdapterJS is the minimal adapter locating the LMS-provided API object,
+// as SCORM 1.2 content expects.
+const _apiAdapterJS = `// SCORM 1.2 API adapter (generated).
+function findAPI(win) {
+  var tries = 0;
+  while (win.API == null && win.parent != null && win.parent != win) {
+    if (++tries > 7) { return null; }
+    win = win.parent;
+  }
+  return win.API;
+}
+var API = findAPI(window) || (window.opener ? findAPI(window.opener) : null);
+`

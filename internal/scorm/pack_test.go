@@ -1,0 +1,269 @@
+package scorm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mineassess/internal/bank"
+	"mineassess/internal/cognition"
+	"mineassess/internal/item"
+	"mineassess/internal/metadata"
+)
+
+func packableExam(t *testing.T, n int) (*bank.ExamRecord, []*item.Problem) {
+	t.Helper()
+	var problems []*item.Problem
+	var ids []string
+	for i := 0; i < n; i++ {
+		p, err := item.NewMultipleChoice(
+			"q"+string(rune('a'+i)), "What is <answer> #"+string(rune('a'+i))+"?",
+			[]string{"one", "two", "three", "four"}, i%4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Level = cognition.Knowledge
+		p.Hint = "think & verify"
+		problems = append(problems, p)
+		ids = append(ids, p.ID)
+	}
+	rec := &bank.ExamRecord{ID: "exam1", Title: "Packaged Exam",
+		ProblemIDs: ids, Display: item.FixedOrder}
+	return rec, problems
+}
+
+func TestBuildPackageStructure(t *testing.T) {
+	rec, problems := packableExam(t, 3)
+	pkg, err := BuildPackage(rec, problems)
+	if err != nil {
+		t.Fatalf("BuildPackage: %v", err)
+	}
+	if _, ok := pkg.Files[ManifestName]; !ok {
+		t.Error("missing imsmanifest.xml")
+	}
+	if _, ok := pkg.Files[APIAdapterName]; !ok {
+		t.Error("missing API adapter script")
+	}
+	// One HTML + one descriptor + one metadata record per problem, plus
+	// adapter + its descriptor + manifest.
+	want := 3*3 + 2 + 1
+	if got := len(pkg.Files); got != want {
+		t.Errorf("files = %d, want %d", got, want)
+	}
+	if missing := pkg.MissingFiles(); len(missing) != 0 {
+		t.Errorf("manifest references missing files: %v", missing)
+	}
+	if err := pkg.Manifest.Validate(); err != nil {
+		t.Errorf("manifest invalid: %v", err)
+	}
+	if got := len(pkg.Manifest.Resources.Resources); got != 3 {
+		t.Errorf("resources = %d, want 3", got)
+	}
+}
+
+func TestBuildPackageEmbedsAssessmentMetadata(t *testing.T) {
+	rec, problems := packableExam(t, 2)
+	problems[0].Subject = "Packaging"
+	problems[0].ConceptID = "c-pack"
+	pkg, err := BuildPackage(rec, problems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := pkg.Files["metadata/problem_001.xml"]
+	if !ok {
+		t.Fatal("metadata record missing from package")
+	}
+	assessRec, err := metadata.ParseAssessmentRecord(raw)
+	if err != nil {
+		t.Fatalf("embedded metadata unparsable: %v", err)
+	}
+	if assessRec.QuestionID != problems[0].ID {
+		t.Errorf("metadata question ID = %q", assessRec.QuestionID)
+	}
+	if assessRec.IndividualTest.Subject != "Packaging" || assessRec.ConceptID != "c-pack" {
+		t.Errorf("metadata record lost fields: %+v", assessRec)
+	}
+}
+
+func TestExtractAssessmentRecords(t *testing.T) {
+	rec, problems := packableExam(t, 4)
+	pkg, err := BuildPackage(rec, problems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := pkg.ExtractAssessmentRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 {
+		t.Fatalf("records = %d, want 4", len(records))
+	}
+	// Records come back in exam (path) order.
+	for i, r := range records {
+		if r.QuestionID != problems[i].ID {
+			t.Errorf("record %d = %s, want %s", i, r.QuestionID, problems[i].ID)
+		}
+	}
+	// Corrupt one record: extraction fails loudly.
+	pkg.Files["metadata/problem_002.xml"] = []byte("<broken")
+	if _, err := pkg.ExtractAssessmentRecords(); err == nil {
+		t.Error("corrupt record should fail extraction")
+	}
+	// Survives the zip round trip.
+	pkg2, err := BuildPackage(rec, problems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pkg2.WriteZip(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadZip(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	records2, err := back.ExtractAssessmentRecords()
+	if err != nil || len(records2) != 4 {
+		t.Errorf("round-trip records = %d, %v", len(records2), err)
+	}
+}
+
+func TestBuildPackageEscapesHTML(t *testing.T) {
+	rec, problems := packableExam(t, 1)
+	pkg, err := BuildPackage(rec, problems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(pkg.Files["content/problem_001.html"])
+	if strings.Contains(page, "<answer>") {
+		t.Error("question text not escaped")
+	}
+	if !strings.Contains(page, "&lt;answer&gt;") {
+		t.Error("escaped question text missing")
+	}
+	if !strings.Contains(page, "think &amp; verify") {
+		t.Error("hint not escaped/rendered")
+	}
+	if !strings.Contains(page, "type=\"radio\"") {
+		t.Error("options not rendered")
+	}
+}
+
+func TestBuildPackageStyles(t *testing.T) {
+	problems := []*item.Problem{
+		{ID: "tf", Style: item.TrueFalse, Question: "T or F?", Answer: "true",
+			Level: cognition.Knowledge},
+		{ID: "comp", Style: item.Completion, Question: "___ fills blanks",
+			Blanks: [][]string{{"cloze"}}, Level: cognition.Knowledge},
+		{ID: "match", Style: item.Match, Question: "pair up",
+			Pairs: []item.MatchPair{{Left: "a", Right: "1"}, {Left: "b", Right: "2"}},
+			Level: cognition.Comprehension},
+		{ID: "essay", Style: item.Essay, Question: "Discuss", Level: cognition.Evaluation},
+	}
+	rec := &bank.ExamRecord{ID: "styles", Title: "All styles",
+		ProblemIDs: []string{"tf", "comp", "match", "essay"}, Display: item.FixedOrder}
+	pkg, err := BuildPackage(rec, problems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(pkg.Files["content/problem_001.html"]), "value=\"true\"") {
+		t.Error("true/false page wrong")
+	}
+	if !strings.Contains(string(pkg.Files["content/problem_002.html"]), "name=\"blank1\"") {
+		t.Error("completion page wrong")
+	}
+	if !strings.Contains(string(pkg.Files["content/problem_003.html"]), "class=\"match\"") {
+		t.Error("match page wrong")
+	}
+	if !strings.Contains(string(pkg.Files["content/problem_004.html"]), "<textarea") {
+		t.Error("essay page wrong")
+	}
+}
+
+func TestBuildPackageErrors(t *testing.T) {
+	if _, err := BuildPackage(nil, nil); err == nil {
+		t.Error("nil exam should fail")
+	}
+	rec, problems := packableExam(t, 1)
+	rec.ProblemIDs = append(rec.ProblemIDs, "ghost")
+	if _, err := BuildPackage(rec, problems); err == nil {
+		t.Error("dangling problem reference should fail")
+	}
+}
+
+// E16: SCORM output round trip.
+func TestZipRoundTrip(t *testing.T) {
+	rec, problems := packableExam(t, 5)
+	pkg, err := BuildPackage(rec, problems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pkg.WriteZip(&buf); err != nil {
+		t.Fatalf("WriteZip: %v", err)
+	}
+	back, err := ReadZip(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ReadZip: %v", err)
+	}
+	if len(back.Files) != len(pkg.Files) {
+		t.Errorf("files = %d, want %d", len(back.Files), len(pkg.Files))
+	}
+	for path, content := range pkg.Files {
+		if !bytes.Equal(back.Files[path], content) {
+			t.Errorf("file %s changed in round trip", path)
+		}
+	}
+	if back.Manifest.Identifier != pkg.Manifest.Identifier {
+		t.Error("manifest identifier changed")
+	}
+	if missing := back.MissingFiles(); len(missing) != 0 {
+		t.Errorf("round-tripped package missing files: %v", missing)
+	}
+}
+
+func TestZipDeterministic(t *testing.T) {
+	rec, problems := packableExam(t, 3)
+	pkg, err := BuildPackage(rec, problems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := pkg.WriteZip(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := pkg.WriteZip(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("zip output must be byte-reproducible")
+	}
+}
+
+func TestReadZipErrors(t *testing.T) {
+	if _, err := ReadZip([]byte("not a zip")); err == nil {
+		t.Error("garbage should fail")
+	}
+	// A zip without a manifest.
+	var buf bytes.Buffer
+	empty := &Package{Files: map[string][]byte{"readme.txt": []byte("hi")}}
+	if err := empty.WriteZip(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadZip(buf.Bytes()); err == nil {
+		t.Error("missing manifest should fail")
+	}
+}
+
+func TestMissingFilesDetection(t *testing.T) {
+	rec, problems := packableExam(t, 2)
+	pkg, err := BuildPackage(rec, problems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delete(pkg.Files, "content/problem_002.html")
+	missing := pkg.MissingFiles()
+	if len(missing) != 1 || missing[0] != "content/problem_002.html" {
+		t.Errorf("missing = %v", missing)
+	}
+}

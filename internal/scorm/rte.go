@@ -1,0 +1,185 @@
+package scorm
+
+// rteState is the API instance's lifecycle state.
+type rteState int
+
+const (
+	stateNotInitialized rteState = iota + 1
+	stateRunning
+	stateFinished
+)
+
+// API is one SCO attempt's run-time API instance, mirroring the SCORM 1.2
+// JavaScript adapter: LMSInitialize, LMSGetValue, LMSSetValue, LMSCommit,
+// LMSFinish, LMSGetLastError, LMSGetErrorString. The booleans-as-strings
+// convention of the specification ("true"/"false") is preserved so the HTTP
+// adapter can pass results straight through.
+//
+// API is not safe for concurrent use; each learner session owns one
+// instance (the delivery engine serializes access per session).
+type API struct {
+	state     rteState
+	lastError int
+	data      *DataModel
+	// committed receives a snapshot on every successful LMSCommit and
+	// LMSFinish; the LMS persists it. Nil is allowed.
+	committed func(map[string]string)
+}
+
+// NewAPI builds an API instance over a learner's data model. onCommit, if
+// non-nil, is invoked with a snapshot at every commit point.
+func NewAPI(data *DataModel, onCommit func(map[string]string)) *API {
+	return &API{
+		state:     stateNotInitialized,
+		data:      data,
+		committed: onCommit,
+	}
+}
+
+const (
+	apiTrue  = "true"
+	apiFalse = "false"
+)
+
+// LMSInitialize begins the attempt ("course beginning", §5.5). The argument
+// must be the empty string per the specification.
+func (a *API) LMSInitialize(arg string) string {
+	if arg != "" {
+		a.lastError = ErrCodeInvalidArgument
+		return apiFalse
+	}
+	if a.state != stateNotInitialized {
+		a.lastError = ErrCodeGeneral
+		return apiFalse
+	}
+	a.state = stateRunning
+	a.lastError = ErrCodeNoError
+	return apiTrue
+}
+
+// LMSFinish ends the attempt ("course ... ending"), accumulating session
+// time and committing.
+func (a *API) LMSFinish(arg string) string {
+	if arg != "" {
+		a.lastError = ErrCodeInvalidArgument
+		return apiFalse
+	}
+	if a.state != stateRunning {
+		a.lastError = ErrCodeNotInitialized
+		return apiFalse
+	}
+	if err := a.data.AccumulateSessionTime(); err != nil {
+		a.lastError = ErrCodeGeneral
+		return apiFalse
+	}
+	a.state = stateFinished
+	a.lastError = ErrCodeNoError
+	a.commit()
+	return apiTrue
+}
+
+// LMSGetValue reads a data-model element.
+func (a *API) LMSGetValue(element string) string {
+	if a.state != stateRunning {
+		a.lastError = ErrCodeNotInitialized
+		return ""
+	}
+	v, code := a.data.Get(element)
+	a.lastError = code
+	if code != ErrCodeNoError {
+		return ""
+	}
+	return v
+}
+
+// LMSSetValue writes a data-model element.
+func (a *API) LMSSetValue(element, value string) string {
+	if a.state != stateRunning {
+		a.lastError = ErrCodeNotInitialized
+		return apiFalse
+	}
+	code := a.data.Set(element, value)
+	a.lastError = code
+	if code != ErrCodeNoError {
+		return apiFalse
+	}
+	return apiTrue
+}
+
+// LMSCommit persists the data model.
+func (a *API) LMSCommit(arg string) string {
+	if arg != "" {
+		a.lastError = ErrCodeInvalidArgument
+		return apiFalse
+	}
+	if a.state != stateRunning {
+		a.lastError = ErrCodeNotInitialized
+		return apiFalse
+	}
+	a.lastError = ErrCodeNoError
+	a.commit()
+	return apiTrue
+}
+
+// LMSGetLastError returns the last error code as a string, per spec.
+func (a *API) LMSGetLastError() string {
+	return itoa(a.lastError)
+}
+
+// LMSGetErrorString returns the text for a code string; bad input maps to
+// the general exception text.
+func (a *API) LMSGetErrorString(codeStr string) string {
+	code, ok := atoi(codeStr)
+	if !ok {
+		return ErrorText(ErrCodeGeneral)
+	}
+	return ErrorText(code)
+}
+
+// LMSGetDiagnostic returns vendor diagnostics; we echo the error string.
+func (a *API) LMSGetDiagnostic(codeStr string) string {
+	if codeStr == "" {
+		return ErrorText(a.lastError)
+	}
+	return a.LMSGetErrorString(codeStr)
+}
+
+// Running reports whether the attempt is between Initialize and Finish.
+func (a *API) Running() bool {
+	return a.state == stateRunning
+}
+
+func (a *API) commit() {
+	if a.committed != nil {
+		a.committed(a.data.Snapshot())
+	}
+}
+
+func itoa(n int) string {
+	// Error codes are small non-negative ints; avoid fmt on this hot path.
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func atoi(s string) (int, bool) {
+	if s == "" {
+		return 0, false
+	}
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}

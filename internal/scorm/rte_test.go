@@ -1,0 +1,161 @@
+package scorm
+
+import "testing"
+
+func newRunningAPI(t *testing.T) *API {
+	t.Helper()
+	api := NewAPI(NewDataModel("s1", "Student One"), nil)
+	if got := api.LMSInitialize(""); got != "true" {
+		t.Fatalf("LMSInitialize = %q", got)
+	}
+	return api
+}
+
+func TestAPILifecycle(t *testing.T) {
+	var commits int
+	api := NewAPI(NewDataModel("s1", "n"), func(map[string]string) { commits++ })
+	if api.Running() {
+		t.Error("fresh API should not be running")
+	}
+	if got := api.LMSInitialize(""); got != "true" {
+		t.Fatalf("init = %q", got)
+	}
+	if !api.Running() {
+		t.Error("initialized API should be running")
+	}
+	if got := api.LMSInitialize(""); got != "false" {
+		t.Error("double init should fail")
+	}
+	if api.LMSGetLastError() != "101" {
+		t.Errorf("last error = %s, want 101", api.LMSGetLastError())
+	}
+	if got := api.LMSCommit(""); got != "true" {
+		t.Errorf("commit = %q", got)
+	}
+	if got := api.LMSFinish(""); got != "true" {
+		t.Errorf("finish = %q", got)
+	}
+	if commits != 2 { // one commit + one at finish
+		t.Errorf("commits = %d, want 2", commits)
+	}
+	if api.Running() {
+		t.Error("finished API should not be running")
+	}
+	if got := api.LMSFinish(""); got != "false" {
+		t.Error("double finish should fail")
+	}
+}
+
+func TestAPIArgumentValidation(t *testing.T) {
+	api := NewAPI(NewDataModel("s1", "n"), nil)
+	if got := api.LMSInitialize("x"); got != "false" {
+		t.Error("non-empty init arg should fail")
+	}
+	if api.LMSGetLastError() != "201" {
+		t.Errorf("last error = %s, want 201", api.LMSGetLastError())
+	}
+	api = newRunningAPI(t)
+	if got := api.LMSCommit("x"); got != "false" {
+		t.Error("non-empty commit arg should fail")
+	}
+	if got := api.LMSFinish("x"); got != "false" {
+		t.Error("non-empty finish arg should fail")
+	}
+}
+
+func TestAPIBeforeInitialize(t *testing.T) {
+	api := NewAPI(NewDataModel("s1", "n"), nil)
+	if got := api.LMSGetValue("cmi.core.student_id"); got != "" {
+		t.Errorf("get before init = %q", got)
+	}
+	if api.LMSGetLastError() != "301" {
+		t.Errorf("last error = %s, want 301", api.LMSGetLastError())
+	}
+	if got := api.LMSSetValue("cmi.core.score.raw", "50"); got != "false" {
+		t.Error("set before init should fail")
+	}
+	if got := api.LMSCommit(""); got != "false" {
+		t.Error("commit before init should fail")
+	}
+	if got := api.LMSFinish(""); got != "false" {
+		t.Error("finish before init should fail")
+	}
+}
+
+func TestAPIGetSetFlow(t *testing.T) {
+	api := newRunningAPI(t)
+	// The paper's API functions: set learner record/progress/status.
+	if got := api.LMSSetValue("cmi.core.lesson_status", "completed"); got != "true" {
+		t.Fatalf("set status = %q (err %s)", got, api.LMSGetLastError())
+	}
+	if got := api.LMSGetValue("cmi.core.lesson_status"); got != "completed" {
+		t.Errorf("get status = %q", got)
+	}
+	if got := api.LMSSetValue("cmi.core.score.raw", "88"); got != "true" {
+		t.Errorf("set score = %q", got)
+	}
+	if got := api.LMSGetValue("cmi.core.student_name"); got != "Student One" {
+		t.Errorf("student name = %q", got)
+	}
+	if api.LMSGetLastError() != "0" {
+		t.Errorf("last error = %s, want 0", api.LMSGetLastError())
+	}
+}
+
+func TestAPIErrorHandling(t *testing.T) {
+	api := newRunningAPI(t)
+	if got := api.LMSSetValue("cmi.core.student_id", "x"); got != "false" {
+		t.Error("read-only set should fail")
+	}
+	if api.LMSGetLastError() != "403" {
+		t.Errorf("last error = %s, want 403", api.LMSGetLastError())
+	}
+	if got := api.LMSGetErrorString("403"); got != "Element is read only" {
+		t.Errorf("error string = %q", got)
+	}
+	if got := api.LMSGetErrorString("nonsense"); got != "General exception" {
+		t.Errorf("bad code string = %q", got)
+	}
+	if got := api.LMSGetDiagnostic(""); got != "Element is read only" {
+		t.Errorf("diagnostic of last error = %q", got)
+	}
+	if got := api.LMSGetDiagnostic("201"); got != "Invalid argument error" {
+		t.Errorf("diagnostic = %q", got)
+	}
+}
+
+func TestAPIFinishAccumulatesTime(t *testing.T) {
+	var last map[string]string
+	api := NewAPI(NewDataModel("s1", "n"), func(snap map[string]string) { last = snap })
+	if api.LMSInitialize("") != "true" {
+		t.Fatal("init failed")
+	}
+	if api.LMSSetValue("cmi.core.session_time", "0000:45:00") != "true" {
+		t.Fatal("set session_time failed")
+	}
+	if api.LMSFinish("") != "true" {
+		t.Fatal("finish failed")
+	}
+	if last == nil {
+		t.Fatal("no commit snapshot")
+	}
+	if got := last["cmi.core.total_time"]; got != "0000:45:00" {
+		t.Errorf("committed total_time = %q, want 0000:45:00", got)
+	}
+}
+
+func TestItoaAtoi(t *testing.T) {
+	for _, n := range []int{0, 5, 101, 403, 9999} {
+		s := itoa(n)
+		back, ok := atoi(s)
+		if !ok || back != n {
+			t.Errorf("itoa/atoi round trip %d -> %s -> %d (%v)", n, s, back, ok)
+		}
+	}
+	if _, ok := atoi(""); ok {
+		t.Error("empty atoi should fail")
+	}
+	if _, ok := atoi("1a"); ok {
+		t.Error("non-digit atoi should fail")
+	}
+}

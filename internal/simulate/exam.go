@@ -1,0 +1,205 @@
+package simulate
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mineassess/internal/analysis"
+	"mineassess/internal/item"
+)
+
+// ItemSpec couples an authored problem with its simulation behaviour.
+type ItemSpec struct {
+	Problem *item.Problem
+	Params  IRTParams
+	// Distractors weights the attractiveness of each wrong option key; a
+	// missing key weighs 1. Only consulted for choice-style problems.
+	Distractors map[string]float64
+	// BaseTime is the nominal time an average student spends on the item;
+	// zero defaults to 45 seconds.
+	BaseTime time.Duration
+}
+
+// ExamConfig drives one simulated administration.
+type ExamConfig struct {
+	ExamID string
+	Items  []ItemSpec
+	// Seed makes the sitting reproducible (independent from the population
+	// seed).
+	Seed int64
+	// TestTime is the configured exam time limit propagated into the
+	// result; zero means unlimited. Students who would exceed it stop
+	// answering (remaining questions are skipped).
+	TestTime time.Duration
+	// SkipRate is the probability an unsure student (one who failed the
+	// correctness draw) skips instead of guessing; default 0.
+	SkipRate float64
+}
+
+const _defaultBaseTime = 45 * time.Second
+
+// Run simulates every student sitting the exam and returns the response
+// matrix ready for analysis.
+func Run(cfg ExamConfig, pop *Population) (*analysis.ExamResult, error) {
+	if len(cfg.Items) == 0 {
+		return nil, fmt.Errorf("simulate: exam %q has no items", cfg.ExamID)
+	}
+	if pop == nil || pop.Size() == 0 {
+		return nil, fmt.Errorf("simulate: empty population")
+	}
+	if cfg.SkipRate < 0 || cfg.SkipRate > 1 {
+		return nil, fmt.Errorf("simulate: skip rate %v outside [0,1]", cfg.SkipRate)
+	}
+	for i, spec := range cfg.Items {
+		if spec.Problem == nil {
+			return nil, fmt.Errorf("simulate: item %d has no problem", i)
+		}
+		if err := spec.Params.Validate(); err != nil {
+			return nil, fmt.Errorf("simulate: item %q: %w", spec.Problem.ID, err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	result := &analysis.ExamResult{
+		ExamID:   cfg.ExamID,
+		TestTime: cfg.TestTime,
+	}
+	for _, spec := range cfg.Items {
+		result.Problems = append(result.Problems, spec.Problem)
+	}
+
+	for _, student := range pop.Students {
+		sr := analysis.StudentResult{StudentID: student.ID}
+		var elapsed time.Duration
+		for _, spec := range cfg.Items {
+			resp := answerItem(rng, spec, student, cfg.SkipRate)
+			resp.StudentID = student.ID
+			if cfg.TestTime > 0 && elapsed+resp.TimeSpent > cfg.TestTime {
+				// Out of time: the question is left blank.
+				resp = analysis.Response{
+					StudentID: student.ID,
+					ProblemID: spec.Problem.ID,
+				}
+			}
+			elapsed += resp.TimeSpent
+			sr.Responses = append(sr.Responses, resp)
+		}
+		result.Students = append(result.Students, sr)
+	}
+	return result, nil
+}
+
+// answerItem simulates one student on one item: a correctness draw under the
+// IRT model, a distractor draw when wrong, and a time draw.
+func answerItem(rng *rand.Rand, spec ItemSpec, student Student, skipRate float64) analysis.Response {
+	p := spec.Problem
+	resp := analysis.Response{ProblemID: p.ID}
+	resp.TimeSpent = drawTime(rng, spec, student)
+
+	knows := rng.Float64() < spec.Params.ProbCorrect(student.Ability)
+	correctKey := p.CorrectKey()
+	switch {
+	case knows:
+		resp.Answered = true
+		resp.Credit = 1
+		resp.Option = correctKey
+	case rng.Float64() < skipRate:
+		// Skip: not answered, no time beyond a glance.
+		resp.TimeSpent /= 4
+	default:
+		resp.Answered = true
+		resp.Credit = 0
+		resp.Option = drawDistractor(rng, spec, correctKey)
+	}
+	if correctKey == "" {
+		// Non-choice problems carry credit only.
+		resp.Option = ""
+	}
+	return resp
+}
+
+// drawDistractor samples a wrong option proportionally to its weight.
+func drawDistractor(rng *rand.Rand, spec ItemSpec, correctKey string) string {
+	p := spec.Problem
+	var keys []string
+	switch {
+	case len(p.Options) > 0:
+		for _, o := range p.Options {
+			if o.Key != correctKey {
+				keys = append(keys, o.Key)
+			}
+		}
+	case correctKey == "true":
+		keys = []string{"false"}
+	case correctKey == "false":
+		keys = []string{"true"}
+	}
+	if len(keys) == 0 {
+		return ""
+	}
+	total := 0.0
+	weights := make([]float64, len(keys))
+	for i, k := range keys {
+		w := 1.0
+		if spec.Distractors != nil {
+			if dw, ok := spec.Distractors[k]; ok {
+				w = dw
+			}
+		}
+		if w < 0 {
+			w = 0
+		}
+		weights[i] = w
+		total += w
+	}
+	if total == 0 {
+		return keys[rng.Intn(len(keys))]
+	}
+	draw := rng.Float64() * total
+	for i, w := range weights {
+		draw -= w
+		if draw <= 0 {
+			return keys[i]
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// drawTime models response time: a base per item, stretched for hard items
+// relative to the student's ability and jittered log-normally.
+func drawTime(rng *rand.Rand, spec ItemSpec, student Student) time.Duration {
+	base := spec.BaseTime
+	if base <= 0 {
+		base = _defaultBaseTime
+	}
+	// Items above the student's ability take longer, up to 2x; items far
+	// below take as little as 0.6x.
+	gap := spec.Params.B - student.Ability
+	factor := 1 + 0.25*gap
+	if factor < 0.6 {
+		factor = 0.6
+	}
+	if factor > 2 {
+		factor = 2
+	}
+	jitter := 1 + 0.20*rng.NormFloat64()
+	if jitter < 0.3 {
+		jitter = 0.3
+	}
+	d := time.Duration(float64(base) * factor * jitter)
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// UniformSpecs builds ItemSpecs for a slice of problems with identical IRT
+// parameters — a convenience for benchmarks and examples.
+func UniformSpecs(problems []*item.Problem, params IRTParams) []ItemSpec {
+	specs := make([]ItemSpec, 0, len(problems))
+	for _, p := range problems {
+		specs = append(specs, ItemSpec{Problem: p, Params: params})
+	}
+	return specs
+}

@@ -1,0 +1,270 @@
+package simulate
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"mineassess/internal/analysis"
+	"mineassess/internal/cognition"
+	"mineassess/internal/item"
+)
+
+func mcProblems(t *testing.T, n int) []*item.Problem {
+	t.Helper()
+	out := make([]*item.Problem, 0, n)
+	for i := 1; i <= n; i++ {
+		p, err := item.NewMultipleChoice(fmt.Sprintf("q%02d", i), "?",
+			[]string{"w", "x", "y", "z"}, i%4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Level = cognition.Levels()[i%cognition.NumLevels]
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestNewPopulationReproducible(t *testing.T) {
+	cfg := PopulationConfig{N: 50, Mean: 0, SD: 1, Seed: 7}
+	a, err := NewPopulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPopulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed must give identical populations")
+	}
+	c, err := NewPopulation(PopulationConfig{N: 50, Mean: 0, SD: 1, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestNewPopulationValidation(t *testing.T) {
+	if _, err := NewPopulation(PopulationConfig{N: 0}); err == nil {
+		t.Error("N=0 should fail")
+	}
+	if _, err := NewPopulation(PopulationConfig{N: 5, SD: -1}); err == nil {
+		t.Error("negative SD should fail")
+	}
+}
+
+func TestPopulationShifted(t *testing.T) {
+	pop, err := NewPopulation(PopulationConfig{N: 10, SD: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := pop.Shifted(1.5)
+	for i := range pop.Students {
+		if got := up.Students[i].Ability - pop.Students[i].Ability; math.Abs(got-1.5) > 1e-12 {
+			t.Errorf("shift = %v, want 1.5", got)
+		}
+		if up.Students[i].ID != pop.Students[i].ID {
+			t.Error("IDs must be preserved")
+		}
+	}
+	// Original untouched.
+	if pop.Students[0].Ability == up.Students[0].Ability {
+		t.Error("Shifted must not mutate the original")
+	}
+}
+
+func TestRunProducesValidResult(t *testing.T) {
+	pop, err := NewPopulation(PopulationConfig{N: 44, SD: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := UniformSpecs(mcProblems(t, 10), IRTParams{A: 1.4, B: 0})
+	res, err := Run(ExamConfig{ExamID: "sim", Items: specs, Seed: 11}, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatalf("simulated result invalid: %v", err)
+	}
+	if len(res.Students) != 44 || len(res.Problems) != 10 {
+		t.Fatalf("result shape %dx%d, want 44x10", len(res.Students), len(res.Problems))
+	}
+	// Every response has positive or zero time and a known option.
+	for _, s := range res.Students {
+		if len(s.Responses) != 10 {
+			t.Fatalf("student %s responses = %d", s.StudentID, len(s.Responses))
+		}
+	}
+}
+
+func TestRunReproducible(t *testing.T) {
+	pop, err := NewPopulation(PopulationConfig{N: 20, SD: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := UniformSpecs(mcProblems(t, 5), IRTParams{A: 1, B: 0})
+	cfg := ExamConfig{ExamID: "sim", Items: specs, Seed: 42}
+	r1, err := Run(cfg, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("same seeds must reproduce the identical sitting")
+	}
+}
+
+func TestRunAbilityDrivesScore(t *testing.T) {
+	// Two one-student populations at extreme abilities.
+	weak := &Population{Students: []Student{{ID: "weak", Ability: -3}}}
+	strong := &Population{Students: []Student{{ID: "strong", Ability: 3}}}
+	specs := UniformSpecs(mcProblems(t, 40), IRTParams{A: 2, B: 0})
+	cfg := ExamConfig{ExamID: "sim", Items: specs, Seed: 1}
+	rw, err := Run(cfg, weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(cfg, strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := rw.Weights()
+	scoreW := rw.Students[0].Score(weights)
+	scoreS := rs.Students[0].Score(weights)
+	if scoreS <= scoreW {
+		t.Errorf("strong scored %v, weak %v; strong should win", scoreS, scoreW)
+	}
+	if scoreS < 35 {
+		t.Errorf("strong student should ace an easy exam, scored %v/40", scoreS)
+	}
+	if scoreW > 5 {
+		t.Errorf("weak student scored %v/40, suspiciously high for a=2 2PL", scoreW)
+	}
+}
+
+func TestRunDistractorWeights(t *testing.T) {
+	// A single incorrect-only student; distractor "y" weighted overwhelmingly.
+	p, err := item.NewMultipleChoice("q1", "?", []string{"w", "x", "y", "z"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := ItemSpec{
+		Problem:     p,
+		Params:      IRTParams{A: 2, B: 10}, // impossibly hard: always wrong
+		Distractors: map[string]float64{"C": 1000, "B": 0.001, "D": 0.001},
+	}
+	pop := &Population{Students: make([]Student, 200)}
+	for i := range pop.Students {
+		pop.Students[i] = Student{ID: fmt.Sprintf("s%03d", i), Ability: 0}
+	}
+	res, err := Run(ExamConfig{ExamID: "d", Items: []ItemSpec{spec}, Seed: 2}, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chooseC := 0
+	for _, s := range res.Students {
+		if s.Responses[0].Option == "C" {
+			chooseC++
+		}
+	}
+	if chooseC < 190 {
+		t.Errorf("weighted distractor C chosen %d/200 times, want nearly all", chooseC)
+	}
+}
+
+func TestRunTestTimeCutsOff(t *testing.T) {
+	pop := &Population{Students: []Student{{ID: "s1", Ability: 0}}}
+	specs := UniformSpecs(mcProblems(t, 30), IRTParams{A: 1, B: 0})
+	for i := range specs {
+		specs[i].BaseTime = time.Minute
+	}
+	res, err := Run(ExamConfig{
+		ExamID: "t", Items: specs, Seed: 9, TestTime: 5 * time.Minute,
+	}, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answered := res.Students[0].AnsweredCount()
+	if answered >= 30 {
+		t.Errorf("answered %d of 30 in a 5-minute window of 1-minute items", answered)
+	}
+	if answered == 0 {
+		t.Error("should answer at least one question")
+	}
+	if res.TestTime != 5*time.Minute {
+		t.Errorf("TestTime = %v, want 5m", res.TestTime)
+	}
+}
+
+func TestRunSkipRate(t *testing.T) {
+	pop := &Population{Students: make([]Student, 100)}
+	for i := range pop.Students {
+		pop.Students[i] = Student{ID: fmt.Sprintf("s%03d", i), Ability: -5}
+	}
+	specs := UniformSpecs(mcProblems(t, 1), IRTParams{A: 2, B: 5})
+	res, err := Run(ExamConfig{ExamID: "s", Items: specs, Seed: 4, SkipRate: 1}, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Students {
+		if s.Responses[0].Answered {
+			t.Fatal("skip rate 1 on an impossible item must skip every answer")
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	pop := &Population{Students: []Student{{ID: "s1"}}}
+	if _, err := Run(ExamConfig{ExamID: "x"}, pop); err == nil {
+		t.Error("no items should fail")
+	}
+	specs := UniformSpecs(mcProblems(t, 1), IRTParams{A: 1})
+	if _, err := Run(ExamConfig{ExamID: "x", Items: specs}, nil); err == nil {
+		t.Error("nil population should fail")
+	}
+	if _, err := Run(ExamConfig{ExamID: "x", Items: specs, SkipRate: 2}, pop); err == nil {
+		t.Error("skip rate > 1 should fail")
+	}
+	bad := []ItemSpec{{Problem: specs[0].Problem, Params: IRTParams{A: -1}}}
+	if _, err := Run(ExamConfig{ExamID: "x", Items: bad}, pop); err == nil {
+		t.Error("invalid IRT params should fail")
+	}
+	if _, err := Run(ExamConfig{ExamID: "x", Items: []ItemSpec{{}}}, pop); err == nil {
+		t.Error("nil problem should fail")
+	}
+}
+
+// TestSimulatedExamAnalyzes drives the full substitution path: simulate a
+// class then run the paper's analysis over it; discriminating items must
+// separate the groups (D > 0) on average.
+func TestSimulatedExamAnalyzes(t *testing.T) {
+	pop, err := NewPopulation(PopulationConfig{N: 200, SD: 1, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := UniformSpecs(mcProblems(t, 20), IRTParams{A: 1.8, B: 0})
+	res, err := Run(ExamConfig{ExamID: "sim", Items: specs, Seed: 22}, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := analysis.Analyze(res, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumD := 0.0
+	for _, q := range a.Questions {
+		sumD += q.D
+	}
+	meanD := sumD / float64(len(a.Questions))
+	if meanD < 0.3 {
+		t.Errorf("mean discrimination %v on an a=1.8 pool, want >= 0.3", meanD)
+	}
+}

@@ -1,0 +1,127 @@
+package simulate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProbCorrectShape(t *testing.T) {
+	p := IRTParams{A: 1.5, B: 0}
+	// At θ = b the 2PL gives exactly 0.5.
+	if got := p.ProbCorrect(0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P(b) = %v, want 0.5", got)
+	}
+	// Monotone increasing in ability.
+	if p.ProbCorrect(-2) >= p.ProbCorrect(0) || p.ProbCorrect(0) >= p.ProbCorrect(2) {
+		t.Error("P should increase with ability")
+	}
+	// Asymptotes.
+	if p.ProbCorrect(10) < 0.99 || p.ProbCorrect(-10) > 0.01 {
+		t.Error("P should approach 1 and 0 at the extremes")
+	}
+}
+
+func TestProbCorrectGuessingFloor(t *testing.T) {
+	p := IRTParams{A: 2, B: 0, C: 0.25}
+	if got := p.ProbCorrect(-10); math.Abs(got-0.25) > 1e-3 {
+		t.Errorf("floor = %v, want ~0.25", got)
+	}
+	if got := p.ProbCorrect(0); math.Abs(got-0.625) > 1e-12 {
+		t.Errorf("P(b) = %v, want 0.625 (c + (1-c)/2)", got)
+	}
+}
+
+func TestProbCorrectMonotoneProperty(t *testing.T) {
+	p := IRTParams{A: 1, B: 0.5, C: 0.1}
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return p.ProbCorrect(lo) <= p.ProbCorrect(hi)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInformationPeaksNearB(t *testing.T) {
+	p := IRTParams{A: 1.8, B: 0.7}
+	atB := p.Information(0.7)
+	if p.Information(-2) >= atB || p.Information(3.5) >= atB {
+		t.Error("information should peak near b for the 2PL")
+	}
+	if atB <= 0 {
+		t.Errorf("information at b = %v, want positive", atB)
+	}
+}
+
+func TestInformationNonNegativeProperty(t *testing.T) {
+	f := func(theta float64) bool {
+		if math.IsNaN(theta) || math.IsInf(theta, 0) {
+			return true
+		}
+		p := IRTParams{A: 1.2, B: -0.3, C: 0.2}
+		return p.Information(theta) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (IRTParams{A: 1}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	if err := (IRTParams{A: 0}).Validate(); err == nil {
+		t.Error("a=0 should fail")
+	}
+	if err := (IRTParams{A: 1, C: -0.1}).Validate(); err == nil {
+		t.Error("c<0 should fail")
+	}
+	if err := (IRTParams{A: 1, C: 1}).Validate(); err == nil {
+		t.Error("c=1 should fail")
+	}
+}
+
+func TestDifficultyIndexAtTracksB(t *testing.T) {
+	easy := IRTParams{A: 1.5, B: -1.5}
+	hard := IRTParams{A: 1.5, B: 1.5}
+	pe := easy.DifficultyIndexAt(0, 1)
+	ph := hard.DifficultyIndexAt(0, 1)
+	if pe <= ph {
+		t.Errorf("easy item index %v should exceed hard item index %v", pe, ph)
+	}
+	if pe < 0.7 {
+		t.Errorf("easy item index %v suspiciously low", pe)
+	}
+	if ph > 0.3 {
+		t.Errorf("hard item index %v suspiciously high", ph)
+	}
+}
+
+func TestParamsForTargetP(t *testing.T) {
+	for _, target := range []float64{0.3, 0.5, 0.8} {
+		params, err := ParamsForTargetP(target, 1.5, 0)
+		if err != nil {
+			t.Fatalf("target %v: %v", target, err)
+		}
+		got := params.DifficultyIndexAt(0, 1)
+		if math.Abs(got-target) > 0.01 {
+			t.Errorf("target %v achieved %v", target, got)
+		}
+	}
+}
+
+func TestParamsForTargetPErrors(t *testing.T) {
+	if _, err := ParamsForTargetP(0.1, 1, 0.25); err == nil {
+		t.Error("target below guessing floor should fail")
+	}
+	if _, err := ParamsForTargetP(1, 1, 0); err == nil {
+		t.Error("target 1 should fail")
+	}
+}

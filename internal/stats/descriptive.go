@@ -1,0 +1,136 @@
+// Package stats provides the psychometric statistics that back the paper's
+// "summary of test results and analytical suggestions": descriptive score
+// statistics, score histograms, the KR-20 internal-consistency reliability
+// coefficient, and the point-biserial correlation — the modern counterpart
+// of the paper's upper/lower-group Item Discrimination Index, used here as
+// an ablation comparator.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrNoData is returned by statistics over empty inputs.
+var ErrNoData = errors.New("stats: no data")
+
+// Summary holds descriptive statistics of a score distribution.
+type Summary struct {
+	N                  int
+	Mean, SD, Variance float64
+	Min, Max           float64
+	Median             float64
+	Q1, Q3             float64
+}
+
+// Summarize computes descriptive statistics. The variance is the population
+// variance (divide by N), matching classical test-analysis convention.
+func Summarize(values []float64) (Summary, error) {
+	if len(values) == 0 {
+		return Summary{}, ErrNoData
+	}
+	s := Summary{N: len(values)}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	s.Mean = sum / float64(s.N)
+	ss := 0.0
+	for _, v := range sorted {
+		d := v - s.Mean
+		ss += d * d
+	}
+	s.Variance = ss / float64(s.N)
+	s.SD = math.Sqrt(s.Variance)
+	s.Median = Quantile(sorted, 0.5)
+	s.Q1 = Quantile(sorted, 0.25)
+	s.Q3 = Quantile(sorted, 0.75)
+	return s, nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of sorted values by linear
+// interpolation. The input must be sorted ascending and non-empty; out of
+// range q is clamped.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram bins values into `bins` equal-width buckets over [min, max].
+// Values at max land in the last bucket. Returns bucket counts and the
+// bucket width.
+func Histogram(values []float64, bins int) (counts []int, width float64, err error) {
+	if len(values) == 0 {
+		return nil, 0, ErrNoData
+	}
+	if bins < 1 {
+		return nil, 0, errors.New("stats: bins must be positive")
+	}
+	minV, maxV := values[0], values[0]
+	for _, v := range values {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	counts = make([]int, bins)
+	if maxV == minV {
+		counts[0] = len(values)
+		return counts, 0, nil
+	}
+	width = (maxV - minV) / float64(bins)
+	for _, v := range values {
+		idx := int((v - minV) / width)
+		if idx >= bins {
+			idx = bins - 1
+		}
+		counts[idx]++
+	}
+	return counts, width, nil
+}
+
+// PearsonR computes the Pearson correlation of two equal-length series.
+func PearsonR(x, y []float64) (float64, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return 0, errors.New("stats: series must be equal-length and non-empty")
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0, errors.New("stats: zero variance series")
+	}
+	return cov / math.Sqrt(vx*vy), nil
+}

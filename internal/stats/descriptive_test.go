@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "Mean", s.Mean, 5, 1e-12)
+	almost(t, "SD", s.SD, 2, 1e-12) // classic population-SD example
+	almost(t, "Variance", s.Variance, 4, 1e-12)
+	if s.Min != 2 || s.Max != 9 || s.N != 8 {
+		t.Errorf("min/max/n = %v/%v/%d", s.Min, s.Max, s.N)
+	}
+	almost(t, "Median", s.Median, 4.5, 1e-12)
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 3.5 || s.SD != 0 || s.Median != 3.5 || s.Q1 != 3.5 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrNoData {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	tests := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-0.5, 1}, {1.5, 5},
+	}
+	for _, tt := range tests {
+		almost(t, "Quantile", Quantile(sorted, tt.q), tt.want, 1e-12)
+	}
+	// Interpolation between points.
+	almost(t, "Quantile(0.5, evens)", Quantile([]float64{1, 2, 3, 4}, 0.5), 2.5, 1e-12)
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, width, err := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 10}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "width", width, 2, 1e-12)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 {
+		t.Errorf("histogram total = %d", total)
+	}
+	// The max value must land in the final bucket, not overflow.
+	if counts[4] == 0 {
+		t.Error("max value lost")
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	counts, width, err := Histogram([]float64{3, 3, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if width != 0 || counts[0] != 3 {
+		t.Errorf("constant histogram = %v, width %v", counts, width)
+	}
+	if _, _, err := Histogram(nil, 3); err != ErrNoData {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, _, err := Histogram([]float64{1}, 0); err == nil {
+		t.Error("zero bins should fail")
+	}
+}
+
+func TestPearsonR(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	yPos := []float64{2, 4, 6, 8, 10}
+	yNeg := []float64{10, 8, 6, 4, 2}
+	r, err := PearsonR(x, yPos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "r(+)", r, 1, 1e-12)
+	r, err = PearsonR(x, yNeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "r(-)", r, -1, 1e-12)
+	if _, err := PearsonR(x, x[:3]); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := PearsonR(x, []float64{1, 1, 1, 1, 1}); err == nil {
+		t.Error("zero variance should fail")
+	}
+	if _, err := PearsonR(nil, nil); err == nil {
+		t.Error("empty should fail")
+	}
+}
+
+// Property: the mean always lies within [min, max] and quartiles are
+// ordered.
+func TestSummaryInvariantProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, math.Mod(v, 1e6))
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		s, err := Summarize(vals)
+		if err != nil {
+			return false
+		}
+		const eps = 1e-6
+		return s.Mean >= s.Min-eps && s.Mean <= s.Max+eps &&
+			s.Q1 <= s.Median+eps && s.Median <= s.Q3+eps &&
+			s.SD >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantile is monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	sorted := []float64{1, 3, 3, 7, 9, 12, 15}
+	sort.Float64s(sorted)
+	f := func(a, b float64) bool {
+		qa := math.Abs(math.Mod(a, 1))
+		qb := math.Abs(math.Mod(b, 1))
+		if math.IsNaN(qa) || math.IsNaN(qb) {
+			return true
+		}
+		lo, hi := qa, qb
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return Quantile(sorted, lo) <= Quantile(sorted, hi)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

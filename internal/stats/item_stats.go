@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mineassess/internal/analysis"
+)
+
+// ItemStatistics augments the paper's per-question indices with classical
+// whole-sample statistics.
+type ItemStatistics struct {
+	ProblemID string
+	// P is the whole-sample difficulty (proportion full-credit).
+	P float64
+	// PointBiserial is the correlation between the dichotomized item score
+	// and the rest-of-test score (item excluded to avoid self-correlation
+	// inflation).
+	PointBiserial float64
+}
+
+// ExamStatistics summarizes one administration.
+type ExamStatistics struct {
+	Scores Summary
+	// KR20 is the Kuder-Richardson formula 20 reliability over the
+	// dichotomized items; NaN when undefined (fewer than 2 items or zero
+	// score variance).
+	KR20  float64
+	Items []ItemStatistics
+}
+
+// Compute derives the statistics from a validated exam result. Items are
+// dichotomized at full credit (consistent with analysis.Response.Correct).
+func Compute(res *analysis.ExamResult) (*ExamStatistics, error) {
+	if err := res.Validate(); err != nil {
+		return nil, err
+	}
+	nItems := len(res.Problems)
+	nStudents := len(res.Students)
+
+	// correct[s][i]: student s answered item i with full credit.
+	correct := make([][]bool, nStudents)
+	scores := make([]float64, nStudents)
+	for si, s := range res.Students {
+		row := make([]bool, nItems)
+		byProblem := make(map[string]analysis.Response, len(s.Responses))
+		for _, r := range s.Responses {
+			byProblem[r.ProblemID] = r
+		}
+		total := 0.0
+		for ii, p := range res.Problems {
+			r, ok := byProblem[p.ID]
+			if ok && r.Correct() {
+				row[ii] = true
+				total++
+			}
+		}
+		correct[si] = row
+		scores[si] = total
+	}
+
+	summary, err := Summarize(scores)
+	if err != nil {
+		return nil, err
+	}
+	out := &ExamStatistics{Scores: summary}
+	out.KR20 = kr20(correct, scores, summary.Variance)
+
+	for ii, p := range res.Problems {
+		st := ItemStatistics{ProblemID: p.ID}
+		right := 0
+		for si := range correct {
+			if correct[si][ii] {
+				right++
+			}
+		}
+		st.P = float64(right) / float64(nStudents)
+		st.PointBiserial = pointBiserial(correct, scores, ii)
+		out.Items = append(out.Items, st)
+	}
+	return out, nil
+}
+
+// kr20 computes KR-20 = k/(k-1) * (1 - sum(p*q)/var) over dichotomous
+// items; NaN when undefined.
+func kr20(correct [][]bool, scores []float64, variance float64) float64 {
+	if len(correct) == 0 {
+		return math.NaN()
+	}
+	k := len(correct[0])
+	if k < 2 || variance == 0 {
+		return math.NaN()
+	}
+	n := float64(len(correct))
+	sumPQ := 0.0
+	for ii := 0; ii < k; ii++ {
+		right := 0
+		for si := range correct {
+			if correct[si][ii] {
+				right++
+			}
+		}
+		p := float64(right) / n
+		sumPQ += p * (1 - p)
+	}
+	return float64(k) / float64(k-1) * (1 - sumPQ/variance)
+}
+
+// pointBiserial correlates item ii (0/1) with the rest score (total minus
+// the item). Returns 0 when the item or rest score has zero variance.
+func pointBiserial(correct [][]bool, scores []float64, ii int) float64 {
+	x := make([]float64, len(correct))
+	y := make([]float64, len(correct))
+	for si := range correct {
+		if correct[si][ii] {
+			x[si] = 1
+		}
+		y[si] = scores[si] - x[si]
+	}
+	r, err := PearsonR(x, y)
+	if err != nil {
+		return 0
+	}
+	return r
+}
+
+// SplitHalf computes the odd/even split-half reliability with the
+// Spearman-Brown correction: items are split by position parity, the two
+// half scores are correlated, and the correlation is stepped up to
+// full-test length. Requires at least 2 items and score variance on both
+// halves.
+func SplitHalf(res *analysis.ExamResult) (float64, error) {
+	if err := res.Validate(); err != nil {
+		return 0, err
+	}
+	if len(res.Problems) < 2 {
+		return 0, errors.New("stats: split-half needs at least 2 items")
+	}
+	odd := make([]float64, len(res.Students))
+	even := make([]float64, len(res.Students))
+	for si, s := range res.Students {
+		byProblem := make(map[string]analysis.Response, len(s.Responses))
+		for _, r := range s.Responses {
+			byProblem[r.ProblemID] = r
+		}
+		for ii, p := range res.Problems {
+			r, ok := byProblem[p.ID]
+			if !ok || !r.Correct() {
+				continue
+			}
+			if ii%2 == 0 {
+				even[si]++
+			} else {
+				odd[si]++
+			}
+		}
+	}
+	r, err := PearsonR(odd, even)
+	if err != nil {
+		return 0, fmt.Errorf("stats: split-half: %w", err)
+	}
+	// Spearman-Brown step-up to full length.
+	return 2 * r / (1 + r), nil
+}
+
+// CompareDiscrimination correlates the paper's upper/lower-group D with the
+// point-biserial across an analyzed exam — the ablation DESIGN.md calls
+// out. A strong positive correlation means the simple group method ranks
+// items like the full-information statistic.
+func CompareDiscrimination(a *analysis.ExamAnalysis, st *ExamStatistics) (float64, error) {
+	if len(a.Questions) != len(st.Items) {
+		return 0, fmt.Errorf("stats: analysis has %d questions, statistics %d items",
+			len(a.Questions), len(st.Items))
+	}
+	if len(a.Questions) < 3 {
+		return 0, errors.New("stats: need at least 3 items to correlate")
+	}
+	d := make([]float64, len(a.Questions))
+	pb := make([]float64, len(st.Items))
+	for i := range a.Questions {
+		if a.Questions[i].ProblemID != st.Items[i].ProblemID {
+			return 0, fmt.Errorf("stats: item order mismatch at %d: %s vs %s",
+				i, a.Questions[i].ProblemID, st.Items[i].ProblemID)
+		}
+		d[i] = a.Questions[i].D
+		pb[i] = st.Items[i].PointBiserial
+	}
+	return PearsonR(d, pb)
+}

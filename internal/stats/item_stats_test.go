@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"mineassess/internal/analysis"
+	"mineassess/internal/cognition"
+	"mineassess/internal/item"
+	"mineassess/internal/simulate"
+)
+
+// ladder builds n students × m problems where student s answers problem i
+// correctly iff s > i (strictly increasing ability ladder).
+func ladder(t *testing.T, n, m int) *analysis.ExamResult {
+	t.Helper()
+	e := &analysis.ExamResult{ExamID: "ladder"}
+	for i := 0; i < m; i++ {
+		e.Problems = append(e.Problems, &item.Problem{
+			ID: fmt.Sprintf("p%02d", i), Style: item.TrueFalse,
+			Question: "?", Answer: "true", Level: cognition.Knowledge,
+		})
+	}
+	for s := 0; s < n; s++ {
+		sr := analysis.StudentResult{StudentID: fmt.Sprintf("s%02d", s)}
+		for i := 0; i < m; i++ {
+			credit, opt := 0.0, "false"
+			if s > i {
+				credit, opt = 1, "true"
+			}
+			sr.Responses = append(sr.Responses, analysis.Response{
+				StudentID: sr.StudentID, ProblemID: e.Problems[i].ID,
+				Option: opt, Credit: credit, Answered: true, TimeSpent: time.Second,
+			})
+		}
+		e.Students = append(e.Students, sr)
+	}
+	return e
+}
+
+func TestComputeLadder(t *testing.T) {
+	e := ladder(t, 10, 5)
+	st, err := Compute(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scores.N != 10 {
+		t.Errorf("N = %d", st.Scores.N)
+	}
+	// Problem p0 answered by students 1..9 → P = 0.9; p4 by 5..9 → 0.5.
+	almost(t, "P(p0)", st.Items[0].P, 0.9, 1e-12)
+	almost(t, "P(p4)", st.Items[4].P, 0.5, 1e-12)
+	// A perfectly consistent (Guttman) ladder has near-1 reliability.
+	if st.KR20 < 0.8 {
+		t.Errorf("KR20 = %v on a Guttman ladder, want high", st.KR20)
+	}
+	// Every item correlates positively with the rest score.
+	for _, it := range st.Items {
+		if it.PointBiserial <= 0 {
+			t.Errorf("point-biserial %s = %v, want positive", it.ProblemID, it.PointBiserial)
+		}
+	}
+}
+
+func TestComputeInvalid(t *testing.T) {
+	if _, err := Compute(&analysis.ExamResult{}); err == nil {
+		t.Error("invalid result should fail")
+	}
+}
+
+func TestKR20UndefinedCases(t *testing.T) {
+	// One item → k < 2.
+	e := ladder(t, 6, 1)
+	st, err := Compute(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(st.KR20) {
+		t.Errorf("single-item KR20 = %v, want NaN", st.KR20)
+	}
+	// Zero score variance (everyone identical).
+	e2 := ladder(t, 1, 3)
+	e2.Students = append(e2.Students, e2.Students[0])
+	e2.Students[1].StudentID = "twin"
+	st2, err := Compute(e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(st2.KR20) {
+		t.Errorf("zero-variance KR20 = %v, want NaN", st2.KR20)
+	}
+}
+
+func TestSplitHalfLadder(t *testing.T) {
+	e := ladder(t, 20, 10)
+	r, err := SplitHalf(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A Guttman ladder's halves correlate almost perfectly.
+	if r < 0.9 {
+		t.Errorf("split-half = %v, want near 1", r)
+	}
+	if r > 1.0001 {
+		t.Errorf("split-half = %v exceeds 1", r)
+	}
+}
+
+func TestSplitHalfAgreesWithKR20Roughly(t *testing.T) {
+	e := ladder(t, 30, 12)
+	sh, err := SplitHalf(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Compute(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sh-st.KR20) > 0.25 {
+		t.Errorf("split-half %v far from KR-20 %v", sh, st.KR20)
+	}
+}
+
+func TestSplitHalfErrors(t *testing.T) {
+	if _, err := SplitHalf(&analysis.ExamResult{}); err == nil {
+		t.Error("invalid result should fail")
+	}
+	if _, err := SplitHalf(ladder(t, 5, 1)); err == nil {
+		t.Error("single item should fail")
+	}
+	// Identical students: zero variance halves.
+	e := ladder(t, 1, 4)
+	e.Students = append(e.Students, e.Students[0])
+	e.Students[1].StudentID = "twin"
+	if _, err := SplitHalf(e); err == nil {
+		t.Error("zero variance should fail")
+	}
+}
+
+// Ablation: over a simulated class, the paper's simple upper/lower D ranks
+// items consistently with the point-biserial (strong positive correlation).
+func TestCompareDiscriminationAblation(t *testing.T) {
+	var specs []simulate.ItemSpec
+	for i := 0; i < 20; i++ {
+		p, err := item.NewMultipleChoice(fmt.Sprintf("q%02d", i), "?",
+			[]string{"1", "2", "3", "4"}, i%4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Level = cognition.Knowledge
+		// Vary discrimination so the two indices have something to rank.
+		a := 0.4 + 2.0*float64(i%5)/4
+		specs = append(specs, simulate.ItemSpec{Problem: p,
+			Params: simulate.IRTParams{A: a, B: -1 + 2*float64(i)/19}})
+	}
+	pop, err := simulate.NewPopulation(simulate.PopulationConfig{N: 300, SD: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := simulate.Run(simulate.ExamConfig{ExamID: "abl", Items: specs, Seed: 6}, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := analysis.Analyze(res, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Compute(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := CompareDiscrimination(a, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.6 {
+		t.Errorf("D vs point-biserial correlation = %v, want strongly positive", r)
+	}
+}
+
+func TestCompareDiscriminationErrors(t *testing.T) {
+	a := &analysis.ExamAnalysis{Questions: []*analysis.QuestionReport{{ProblemID: "x"}}}
+	st := &ExamStatistics{}
+	if _, err := CompareDiscrimination(a, st); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	st = &ExamStatistics{Items: []ItemStatistics{{ProblemID: "y"}}}
+	if _, err := CompareDiscrimination(a, st); err == nil {
+		t.Error("too few items should fail")
+	}
+	a3 := &analysis.ExamAnalysis{Questions: []*analysis.QuestionReport{
+		{ProblemID: "a"}, {ProblemID: "b"}, {ProblemID: "c"}}}
+	st3 := &ExamStatistics{Items: []ItemStatistics{
+		{ProblemID: "a"}, {ProblemID: "zzz"}, {ProblemID: "c"}}}
+	if _, err := CompareDiscrimination(a3, st3); err == nil {
+		t.Error("order mismatch should fail")
+	}
+}
