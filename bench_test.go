@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"mineassess/internal/authoring"
 	"mineassess/internal/bank"
 	"mineassess/internal/cognition"
+	"mineassess/internal/delivery"
 	"mineassess/internal/feedback"
 	"mineassess/internal/item"
 	"mineassess/internal/report"
@@ -352,6 +354,84 @@ func BenchmarkSimulatedAdministration(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				benchClass(b, size, 20)
 			}
+		})
+	}
+}
+
+// benchDeliveryExam authors an unlimited-time 10-question exam into any
+// storage backend for engine benchmarks.
+func benchDeliveryExam(b *testing.B, store bank.Storage) string {
+	b.Helper()
+	var ids []string
+	for i := 0; i < 10; i++ {
+		p, err := item.NewMultipleChoice(fmt.Sprintf("q%02d", i+1), "bench",
+			[]string{"a", "b", "c", "d"}, i%4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := store.AddProblem(p); err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, p.ID)
+	}
+	rec := &bank.ExamRecord{ID: "bench-delivery", Title: "Delivery bench",
+		ProblemIDs: ids, Display: item.FixedOrder}
+	if err := store.AddExam(rec); err != nil {
+		b.Fatal(err)
+	}
+	return rec.ID
+}
+
+// BenchmarkEngineParallelSessions measures per-operation latency while
+// b.RunParallel spreads independent learner sessions over the engine. The
+// 1-shard configuration serializes every registry lookup on one shard lock
+// (per-session locks still apply, so it is a conservative stand-in for —
+// not a reproduction of — the old single exclusive engine mutex); the
+// sharded configuration is the production engine. Run with -cpu 1,2,4,8 to
+// watch the sharded engine scale with GOMAXPROCS.
+func BenchmarkEngineParallelSessions(b *testing.B) {
+	configs := []struct {
+		name     string
+		newStore func() bank.Storage
+		shards   int
+	}{
+		{"1shard", func() bank.Storage { return bank.New() }, 1},
+		{"sharded", func() bank.Storage { return bank.NewSharded(0) }, delivery.DefaultSessionShards},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			store := cfg.newStore()
+			examID := benchDeliveryExam(b, store)
+			eng := delivery.NewShardedEngine(store, nil, 0, cfg.shards)
+			var students atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				var sess *delivery.Session
+				qi := 0
+				for pb.Next() {
+					if sess == nil || qi == len(sess.Order) {
+						if sess != nil {
+							if _, err := eng.Finish(sess.ID); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+						n := students.Add(1)
+						var err error
+						sess, err = eng.Start(examID, fmt.Sprintf("s%06d", n), n)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						qi = 0
+					}
+					if err := eng.Answer(sess.ID, sess.Order[qi], "A"); err != nil {
+						b.Error(err)
+						return
+					}
+					qi++
+				}
+			})
 		})
 	}
 }

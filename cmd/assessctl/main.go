@@ -238,7 +238,7 @@ func cmdPreview(args []string) error {
 // SeedBank authors a demo bank: problems spread over concepts, levels and
 // styles, plus one exam covering all of them. Exported for reuse by the
 // examples and tests through the main package's test binary.
-func SeedBank(store *bank.Store, nProblems, nConcepts int) (examID string, err error) {
+func SeedBank(store bank.Storage, nProblems, nConcepts int) (examID string, err error) {
 	concepts := cognition.NumberedConcepts(nConcepts)
 	levels := cognition.Levels()
 	var ids []string
@@ -293,10 +293,14 @@ func cmdSeed(args []string) error {
 	bankPath := fs.String("bank", "bank.json", "bank file to write")
 	nProblems := fs.Int("problems", 60, "number of problems to author")
 	nConcepts := fs.Int("concepts", 5, "number of concepts")
+	backend := fs.String("backend", "memory", "storage backend to author into: memory or sharded")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	store := bank.New()
+	store, err := bank.NewBackend(*backend, 0)
+	if err != nil {
+		return err
+	}
 	examID, err := SeedBank(store, *nProblems, *nConcepts)
 	if err != nil {
 		return err

@@ -46,8 +46,12 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	only := fs.String("experiment", "", "run a single experiment (e.g. E8)")
 	seed := fs.Int64("seed", 7, "seed for simulated experiments")
+	baseline := fs.String("baseline", "", "measure engine throughput and write a JSON baseline to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *baseline != "" {
+		return writeBaseline(*baseline)
 	}
 	experiments := []experiment{
 		{"E1", "Table 1: problem attribute table", runE1},
@@ -67,6 +71,7 @@ func run(args []string) error {
 		{"E15", "3.4 III: instructional sensitivity index", runE15},
 		{"E16", "5.5: SCORM output round trip", runE16},
 		{"E17", "6: adaptive vs fixed test (future work)", runE17},
+		{"E18", "sharded delivery engine throughput", runE18},
 		{"A1", "ablation: group fraction 25% vs Kelly 27% vs 33%", runA1},
 		{"A2", "ablation: group D vs point-biserial", runA2},
 	}

@@ -6,16 +6,27 @@
 // Usage:
 //
 //	examserver -bank bank.json -addr :8080 [-monitor 64]
+//	           [-backend sharded] [-shards 32] [-journal DIR]
+//	           [-session-shards 32] [-drain 30s]
 //
 // The bank file must already hold at least one exam (see `assessctl seed`).
+// With -journal, mutations append to a write-ahead log in DIR instead of
+// rewriting the bank file; the bank file seeds the journal on first boot.
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight requests for up to -drain before exiting, so learners mid-answer
+// are not dropped on redeploy.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mineassess/internal/bank"
@@ -37,18 +48,38 @@ func run(args []string) error {
 	contentExam := fs.String("content", "", "exam ID to package and serve under /package/ (empty = first exam)")
 	readTimeout := fs.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 	writeTimeout := fs.Duration("write-timeout", 10*time.Second, "HTTP write timeout")
+	backend := fs.String("backend", "sharded", "storage backend: memory or sharded")
+	shards := fs.Int("shards", bank.DefaultShards, "bank shard count (sharded backend)")
+	journalDir := fs.String("journal", "", "write-ahead-log directory (empty disables journaling)")
+	sessionShards := fs.Int("session-shards", delivery.DefaultSessionShards, "session registry shard count")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	store, err := bank.Load(*bankPath)
+	store, err := bank.Open(*bankPath, bank.Options{
+		Backend: *backend,
+		Shards:  *shards,
+		Journal: *journalDir,
+	})
 	if err != nil {
 		return err
+	}
+	if j, ok := store.(*bank.Journal); ok {
+		defer func() {
+			if cerr := j.CompactError(); cerr != nil {
+				log.Printf("examserver: WARNING: journal auto-compaction has been failing: %v", cerr)
+			}
+			if cerr := j.Close(); cerr != nil {
+				log.Printf("examserver: journal close: %v", cerr)
+			}
+		}()
+		log.Printf("examserver: journaling mutations under %s", j.Dir())
 	}
 	exams := store.ExamIDs()
 	if len(exams) == 0 {
 		return fmt.Errorf("bank %s holds no exams; seed one with assessctl", *bankPath)
 	}
-	engine := delivery.NewEngine(store, nil, *monitorCap)
+	engine := delivery.NewShardedEngine(store, nil, *monitorCap, *sessionShards)
 	handler := delivery.NewServer(engine)
 
 	examID := *contentExam
@@ -77,7 +108,29 @@ func run(args []string) error {
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,
 	}
-	log.Printf("examserver: serving %d problem(s), exams %v on %s",
-		store.ProblemCount(), exams, *addr)
-	return srv.ListenAndServe()
+	log.Printf("examserver: serving %d problem(s), exams %v on %s (%s backend)",
+		store.ProblemCount(), exams, *addr, *backend)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case err := <-errc:
+		return err
+	case got := <-sig:
+		log.Printf("examserver: %s received, draining in-flight sessions (up to %s)", got, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		// Unblock the ListenAndServe goroutine's send.
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		log.Printf("examserver: drained, shutting down")
+		return nil
+	}
 }

@@ -3,5 +3,6 @@
 // (Hung et al., 2004). The implementation lives under internal/ (see
 // DESIGN.md for the system inventory); runnable tools are under cmd/ and
 // examples under examples/. The benchmarks in bench_test.go regenerate
-// every table and figure of the paper (EXPERIMENTS.md maps them).
+// every table and figure of the paper (DESIGN.md's experiment index maps
+// them) and measure the sharded delivery engine's parallel throughput.
 package mineassess

@@ -9,6 +9,7 @@ import (
 
 	"mineassess/internal/analysis"
 	"mineassess/internal/authoring"
+	"mineassess/internal/bank"
 	"mineassess/internal/cognition"
 	"mineassess/internal/core"
 	"mineassess/internal/item"
@@ -22,7 +23,9 @@ func main() {
 }
 
 func run() error {
-	pipe := core.New()
+	// The fix-the-question loop (update + revision history) works the same
+	// over the sharded backend as over the reference store.
+	pipe := core.NewWith(bank.NewSharded(0))
 	concepts := cognition.NumberedConcepts(3)
 
 	// Author a 9-question exam; question q9 gets a deliberately absurd

@@ -12,6 +12,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"os"
 
 	"mineassess/internal/analysis"
 	"mineassess/internal/authoring"
@@ -30,8 +31,20 @@ func main() {
 }
 
 func run() error {
-	// Author a small exam: 5 MC questions + 1 essay, all resumable.
-	store := bank.New()
+	// Author a small exam: 5 MC questions + 1 essay, all resumable. The
+	// bank is the production arrangement: a sharded store wrapped in a
+	// write-ahead journal, so every authoring step below is appended to the
+	// WAL and would survive a crash.
+	dir, err := os.MkdirTemp("", "onlineexam-journal-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	store, err := bank.OpenJournal(dir, bank.NewSharded(0), 0)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
 	var ids []string
 	for i := 1; i <= 5; i++ {
 		p, err := item.NewMultipleChoice(fmt.Sprintf("q%d", i),

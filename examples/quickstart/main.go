@@ -8,6 +8,7 @@ import (
 
 	"mineassess/internal/analysis"
 	"mineassess/internal/authoring"
+	"mineassess/internal/bank"
 	"mineassess/internal/cognition"
 	"mineassess/internal/core"
 	"mineassess/internal/item"
@@ -21,7 +22,9 @@ func main() {
 }
 
 func run() error {
-	pipe := core.New()
+	// Any bank.Storage backend plugs into the pipeline; the sharded store
+	// is the production choice (core.New() gives the reference store).
+	pipe := core.NewWith(bank.NewSharded(0))
 
 	// 1. Author problems: a spread of styles, concepts and Bloom levels.
 	concepts := cognition.NumberedConcepts(2)

@@ -25,7 +25,8 @@ func main() {
 }
 
 func run() error {
-	store := bank.New()
+	// The exporter is backend-agnostic: any bank.Storage works.
+	var store bank.Storage = bank.NewSharded(0)
 	var ids []string
 	for i := 0; i < 5; i++ {
 		p, err := item.NewMultipleChoice(fmt.Sprintf("q%d", i+1),

@@ -1,0 +1,3 @@
+module mineassess
+
+go 1.22

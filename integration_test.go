@@ -29,9 +29,16 @@ import (
 )
 
 // authorCourse builds a bank with 8 problems over 2 concepts and one exam.
-func authorCourse(t *testing.T) (*bank.Store, string) {
+// It authors over the sharded backend so every integration path below runs
+// on the production storage arrangement (the reference Store is covered by
+// the bank package's conformance suite).
+func authorCourse(t *testing.T) (bank.Storage, string) {
 	t.Helper()
-	store := bank.New()
+	return authorCourseInto(t, bank.NewSharded(8))
+}
+
+func authorCourseInto(t *testing.T, store bank.Storage) (bank.Storage, string) {
+	t.Helper()
 	var ids []string
 	for i := 0; i < 8; i++ {
 		p, err := item.NewMultipleChoice(fmt.Sprintf("q%d", i+1),
@@ -353,5 +360,60 @@ func TestResultPersistenceAcrossPipeline(t *testing.T) {
 		if a1.Questions[i].D != a2.Questions[i].D || a1.Questions[i].P != a2.Questions[i].P {
 			t.Errorf("question %d indices changed across persistence", i+1)
 		}
+	}
+}
+
+// TestJournaledDeliveryAcrossRestart authors a course through the WAL
+// journal, "restarts" (reopen over a fresh sharded backend), serves the exam
+// from the recovered bank, and checks the sitting analyzes — the full
+// crash-safe delivery path.
+func TestJournaledDeliveryAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	j, err := bank.OpenJournal(dir, bank.NewSharded(4), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, examID := authorCourseInto(t, j)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := bank.OpenJournal(dir, bank.NewSharded(4), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if got := reopened.ProblemCount(); got != 8 {
+		t.Fatalf("recovered %d problems, want 8", got)
+	}
+
+	engine := delivery.NewEngine(reopened, nil, 0)
+	for s := 0; s < 2; s++ {
+		sess, err := engine.Start(examID, fmt.Sprintf("r%d", s), int64(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, pid := range sess.Order {
+			opt := "B"
+			if qi <= s*4 {
+				opt = "A"
+			}
+			if err := engine.Answer(sess.ID, pid, opt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := engine.Finish(sess.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := engine.CollectResults(examID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Students) != 2 {
+		t.Fatalf("students = %d", len(res.Students))
+	}
+	if _, err := analysis.Analyze(res, analysis.Options{}); err != nil {
+		t.Fatal(err)
 	}
 }

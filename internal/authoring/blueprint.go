@@ -99,7 +99,7 @@ func (e *ShortfallError) Unwrap() error { return ErrShortfall }
 // deliberately not provided here — shuffle at presentation time instead.
 // When any cell cannot be filled the returned error is a *ShortfallError
 // listing every deficient cell.
-func Assemble(store *bank.Store, bp *Blueprint) ([]string, error) {
+func Assemble(store bank.Storage, bp *Blueprint) ([]string, error) {
 	var picked []string
 	var shortfalls []Shortfall
 	for _, conceptID := range bp.ConceptIDs() {
@@ -133,7 +133,7 @@ func Assemble(store *bank.Store, bp *Blueprint) ([]string, error) {
 // and form B, so both forms match the blueprint shape as closely as parity
 // allows. Problems without concept or level classification alternate
 // globally. The input order is preserved within each form.
-func ParallelForms(store *bank.Store, problemIDs []string) (formA, formB []string, err error) {
+func ParallelForms(store bank.Storage, problemIDs []string) (formA, formB []string, err error) {
 	problems, err := store.Problems(problemIDs)
 	if err != nil {
 		return nil, nil, err
@@ -157,7 +157,7 @@ func ParallelForms(store *bank.Store, problemIDs []string) (formA, formB []strin
 
 // CoverageTable builds the descriptive two-way table for a set of problems
 // drawn from the store, ready for the §4.2.3 analyses.
-func CoverageTable(store *bank.Store, problemIDs []string, concepts []cognition.Concept) (*cognition.TwoWayTable, error) {
+func CoverageTable(store bank.Storage, problemIDs []string, concepts []cognition.Concept) (*cognition.TwoWayTable, error) {
 	table := cognition.NewTwoWayTable(concepts)
 	problems, err := store.Problems(problemIDs)
 	if err != nil {

@@ -84,7 +84,7 @@ func (d *ExamDraft) AddGroup(name string, problemIDs ...string) error {
 
 // Finalize validates the draft against the store (every problem must exist)
 // and returns the persistable record.
-func (d *ExamDraft) Finalize(store *bank.Store) (*bank.ExamRecord, error) {
+func (d *ExamDraft) Finalize(store bank.Storage) (*bank.ExamRecord, error) {
 	if strings.TrimSpace(d.ID) == "" {
 		return nil, errors.New("authoring: exam ID must not be empty")
 	}
@@ -156,7 +156,7 @@ func shuffledOrder(rec *bank.ExamRecord, seed int64) []string {
 
 // CloneProblemAs copies an existing problem under a new ID — the paper's
 // "copy the problem structure for reuse" (§5.3) — and stores it.
-func CloneProblemAs(store *bank.Store, srcID, newID string) (*item.Problem, error) {
+func CloneProblemAs(store bank.Storage, srcID, newID string) (*item.Problem, error) {
 	src, err := store.Problem(srcID)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,499 @@
+package bank
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"mineassess/internal/item"
+)
+
+// Journal adds write-ahead durability to any Storage backend. Instead of
+// rewriting the whole bank file on every change (the reference Store's Save
+// is O(bank)), each mutation appends one JSON line to a WAL; reopening the
+// journal replays snapshot + WAL to rebuild the backend. Once CompactEvery
+// mutations accumulate, the journal folds the WAL into a fresh snapshot and
+// truncates it, bounding both recovery time and log growth.
+//
+// Reads delegate straight to the backend and take no journal lock, so the
+// backend's concurrency (per-shard locks for *Sharded) is preserved;
+// mutations serialize on the appender, which is the WAL ordering point.
+//
+// Durability: the journal is process-crash-safe. WAL appends go through the
+// OS page cache without a per-record fsync (fsyncing every mutation would
+// serialize all writes on the disk), so an OS crash or power failure can
+// lose the most recent acknowledged mutations; replay drops at most a torn
+// final record. Snapshots ARE fsynced before the rename that publishes
+// them, so a compacted state is never torn. If a WAL append itself fails
+// (disk full), the journal closes itself: the failed mutation is live in
+// memory but not durable, and refusing further writes keeps the divergence
+// bounded to that one operation until a restart replays the WAL.
+//
+// Revision history follows the bank file's long-standing semantics: Save
+// never persisted history, so compaction folds superseded revisions into the
+// current state. Until a compaction runs, WAL replay reconstructs history
+// exactly (update and rollback records re-execute).
+type Journal struct {
+	backend Storage
+
+	mu           sync.Mutex // serializes WAL appends and compaction
+	wal          *os.File
+	dir          string
+	snapshotPath string
+	walPath      string
+	dirty        int // mutations since the last compaction
+	compactEvery int
+	closed       bool
+	compactErr   error // last automatic-compaction failure (see CompactError)
+	// epoch counts compactions. Every WAL record carries the epoch it was
+	// written under and the snapshot records the epoch it folded up to, so
+	// a crash between the snapshot rename and the WAL truncation is
+	// harmless: replay skips records from epochs the snapshot already
+	// contains instead of re-applying them.
+	epoch int64
+}
+
+// DefaultCompactEvery is the WAL length that triggers automatic compaction.
+const DefaultCompactEvery = 4096
+
+// walRecord is one journaled mutation.
+type walRecord struct {
+	Op      string        `json:"op"`
+	Problem *item.Problem `json:"problem,omitempty"`
+	Exam    *ExamRecord   `json:"exam,omitempty"`
+	ID      string        `json:"id,omitempty"`
+	// Epoch is the journal epoch the record was written under (see
+	// Journal.epoch).
+	Epoch int64 `json:"epoch,omitempty"`
+}
+
+// WAL operation names.
+const (
+	opAddProblem    = "add_problem"
+	opUpdateProblem = "update_problem"
+	opDeleteProblem = "delete_problem"
+	opAddExam       = "add_exam"
+	opDeleteExam    = "delete_exam"
+	opRollback      = "rollback"
+)
+
+// OpenJournal opens (or creates) the journal in dir over the given backend,
+// replaying any existing snapshot and WAL into it. The backend must be
+// empty. compactEvery <= 0 means DefaultCompactEvery.
+func OpenJournal(dir string, backend Storage, compactEvery int) (*Journal, error) {
+	if backend == nil {
+		backend = New()
+	}
+	if backend.ProblemCount() != 0 || len(backend.ExamIDs()) != 0 {
+		return nil, errors.New("bank: journal backend must start empty")
+	}
+	if compactEvery <= 0 {
+		compactEvery = DefaultCompactEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("bank: journal dir %s: %w", dir, err)
+	}
+	snapshotPath, walPath := journalPaths(dir)
+	j := &Journal{
+		backend:      backend,
+		dir:          dir,
+		snapshotPath: snapshotPath,
+		walPath:      walPath,
+		compactEvery: compactEvery,
+	}
+	if _, err := os.Stat(snapshotPath); err == nil {
+		snap, err := readSnapshotFile(snapshotPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := loadSnapshot(snap, backend); err != nil {
+			return nil, err
+		}
+		j.epoch = snap.WalEpoch
+	}
+	replayed, validBytes, err := j.replayWAL()
+	if err != nil {
+		return nil, err
+	}
+	j.dirty = replayed
+	// Cut off a torn final record before appending: without the truncate,
+	// the next append would concatenate onto the torn bytes and corrupt the
+	// WAL for every later reopen.
+	if validBytes >= 0 {
+		if err := os.Truncate(walPath, validBytes); err != nil {
+			return nil, fmt.Errorf("bank: truncate torn wal: %w", err)
+		}
+	}
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("bank: open wal: %w", err)
+	}
+	j.wal = f
+	return j, nil
+}
+
+// replayWAL applies every complete record in the WAL to the backend. A
+// truncated trailing line (torn write on crash) ends the replay without
+// error; everything before it is recovered. It returns the record count and
+// the byte offset of the end of the last complete record (-1 when the WAL
+// does not exist) so the caller can truncate a torn tail.
+func (j *Journal) replayWAL() (records int, validBytes int64, err error) {
+	f, err := os.Open(j.walPath)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, -1, nil
+	}
+	if err != nil {
+		return 0, -1, fmt.Errorf("bank: open wal: %w", err)
+	}
+	defer f.Close()
+	n := 0
+	var offset int64
+	r := bufio.NewReader(f)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			// io.EOF with a partial line = torn final record: drop it.
+			if errors.Is(err, io.EOF) {
+				return n, offset, nil
+			}
+			return n, offset, fmt.Errorf("bank: read wal: %w", err)
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return n, offset, fmt.Errorf("bank: wal record %d: %w", n+1, err)
+		}
+		// A record from an older epoch is already folded into the snapshot
+		// (crash between snapshot rename and WAL truncation): skip it
+		// rather than re-apply it.
+		if rec.Epoch >= j.epoch {
+			if err := j.apply(rec); err != nil {
+				return n, offset, fmt.Errorf("bank: replay wal record %d: %w", n+1, err)
+			}
+		}
+		offset += int64(len(line))
+		n++
+	}
+}
+
+// apply replays one record against the backend. Replay is idempotent: a
+// crash between compaction's snapshot rename and the WAL truncation leaves
+// snapshot and WAL overlapping, so every WAL record may already be folded
+// into the snapshot — redo errors (already exists / not found) mean exactly
+// that and are skipped rather than failing the boot.
+func (j *Journal) apply(rec walRecord) error {
+	switch rec.Op {
+	case opAddProblem:
+		return ignoreRedo(j.backend.AddProblem(rec.Problem), ErrProblemExists)
+	case opUpdateProblem:
+		return ignoreRedo(j.backend.UpdateProblem(rec.Problem), ErrProblemNotFound)
+	case opDeleteProblem:
+		return ignoreRedo(j.backend.DeleteProblem(rec.ID), ErrProblemNotFound)
+	case opAddExam:
+		if err := j.backend.AddExam(rec.Exam); err != nil {
+			if errors.Is(err, ErrExamExists) {
+				return nil
+			}
+			// The record was valid when appended; a missing problem here
+			// means an earlier tolerant snapshot load carried a dangling
+			// reference forward. Mirror that tolerance.
+			if errors.Is(err, ErrProblemNotFound) {
+				if putter, ok := j.backend.(examPutter); ok {
+					return ignoreRedo(putter.putExamUnchecked(rec.Exam), ErrExamExists)
+				}
+			}
+			return err
+		}
+		return nil
+	case opDeleteExam:
+		return ignoreRedo(j.backend.DeleteExam(rec.ID), ErrExamNotFound)
+	case opRollback:
+		if _, err := j.backend.Rollback(rec.ID); err != nil {
+			// A compaction snapshot earlier in this recovery dropped the
+			// revision history the rollback popped live. The record carries
+			// the restored state, so replay it as an update: the current
+			// problem ends up exactly as it was live, which is the
+			// invariant snapshots guarantee (history itself is folded by
+			// compaction; see the type comment).
+			if rec.Problem != nil {
+				return ignoreRedo(j.backend.UpdateProblem(rec.Problem), ErrProblemNotFound)
+			}
+			return err
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown op %q", rec.Op)
+	}
+}
+
+// ignoreRedo maps a redo error (the record's effect is already present in —
+// or already absent from — the compacted snapshot) to success.
+func ignoreRedo(err, redo error) error {
+	if errors.Is(err, redo) {
+		return nil
+	}
+	return err
+}
+
+// mutate applies one mutation to the backend and journals it as a single
+// critical section, so WAL order always matches backend apply order and a
+// compaction snapshot can never include a mutation whose record would then
+// replay on top of it. Reads stay lock-free; mutations serialize here, which
+// is the WAL append ordering point anyway. Every mutation — including
+// Rollback, whose record depends on the apply result — goes through this one
+// function, so the protocol (closed check, apply, append, poisoning) cannot
+// drift between operations. apply returns the record to journal.
+func (j *Journal) mutate(apply func() (walRecord, error)) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("bank: journal is closed")
+	}
+	rec, err := apply()
+	if err != nil {
+		return err
+	}
+	return j.appendLocked(rec)
+}
+
+// appendLocked journals one already-applied mutation and compacts when due.
+// A failed append poisons the journal: the backend now holds a mutation the
+// WAL does not, so rather than let memory and disk diverge further, every
+// subsequent mutation errors until the process restarts and replays the WAL
+// (which drops the unjournaled mutation). Callers hold j.mu.
+func (j *Journal) appendLocked(rec walRecord) error {
+	rec.Epoch = j.epoch
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		j.closed = true
+		_ = j.wal.Close()
+		return fmt.Errorf("bank: marshal wal record (journal now closed): %w", err)
+	}
+	raw = append(raw, '\n')
+	if _, err := j.wal.Write(raw); err != nil {
+		j.closed = true
+		_ = j.wal.Close()
+		return fmt.Errorf("bank: append wal (journal now closed): %w", err)
+	}
+	j.dirty++
+	if j.dirty >= j.compactEvery {
+		// Compaction is maintenance, not part of the mutation: the change
+		// is applied and durably journaled, so a failed snapshot must not
+		// be reported as a failed write. Defer the retry a full window so a
+		// persistent snapshot error (disk full) doesn't pay O(bank) on
+		// every subsequent mutation; the failure stays visible through
+		// CompactError until a compaction succeeds, and explicit
+		// Compact/Close surface it directly.
+		if err := j.compactLocked(); err != nil {
+			j.dirty = 0
+			j.compactErr = err
+		}
+	}
+	return nil
+}
+
+// CompactError reports the most recent automatic-compaction failure, or nil
+// if the last compaction succeeded. While non-nil the WAL keeps growing past
+// CompactEvery; operators should surface this (examserver logs it at
+// shutdown).
+func (j *Journal) CompactError() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.compactErr
+}
+
+// Compact folds the WAL into a fresh snapshot and truncates it. Safe to call
+// at any time; automatic compaction happens every CompactEvery mutations.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("bank: journal is closed")
+	}
+	return j.compactLocked()
+}
+
+// compactLocked writes the snapshot, syncs it, and resets the WAL. A
+// snapshot failure leaves the WAL fully intact (retryable); a failure
+// rotating the WAL after the snapshot poisons the journal, since the append
+// handle can no longer be trusted. Callers hold j.mu.
+func (j *Journal) compactLocked() error {
+	snap, err := buildSnapshot(j.backend)
+	if err != nil {
+		return err
+	}
+	// Stamp the next epoch into the snapshot BEFORE the rename: if the
+	// process dies between the rename and the truncation below, the stale
+	// WAL's lower-epoch records are skipped on replay. The in-memory epoch
+	// advances whenever the rename LANDED — even if the directory fsync
+	// after it failed — because new appends must match the snapshot a
+	// reopen would read; otherwise replay would silently skip them.
+	snap.WalEpoch = j.epoch + 1
+	published, err := writeSnapshotFile(snap, j.snapshotPath)
+	if published {
+		j.epoch++
+	}
+	if err != nil {
+		return err
+	}
+	if err := j.wal.Close(); err != nil {
+		j.closed = true
+		return fmt.Errorf("bank: close wal (journal now closed): %w", err)
+	}
+	f, err := os.OpenFile(j.walPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		j.closed = true
+		return fmt.Errorf("bank: truncate wal (journal now closed): %w", err)
+	}
+	j.wal = f
+	j.dirty = 0
+	j.compactErr = nil
+	return nil
+}
+
+// Close compacts and releases the WAL file. The journal must not be used
+// afterwards.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	err := j.compactLocked()
+	j.closed = true
+	if cerr := j.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Mutations: backend apply + WAL append under one lock (see mutate).
+
+// AddProblem validates, stores and journals the problem.
+func (j *Journal) AddProblem(p *item.Problem) error {
+	return j.mutate(func() (walRecord, error) {
+		if err := j.backend.AddProblem(p); err != nil {
+			return walRecord{}, err
+		}
+		return walRecord{Op: opAddProblem, Problem: p.Clone()}, nil
+	})
+}
+
+// UpdateProblem replaces the stored problem and journals the change.
+func (j *Journal) UpdateProblem(p *item.Problem) error {
+	return j.mutate(func() (walRecord, error) {
+		if err := j.backend.UpdateProblem(p); err != nil {
+			return walRecord{}, err
+		}
+		return walRecord{Op: opUpdateProblem, Problem: p.Clone()}, nil
+	})
+}
+
+// DeleteProblem removes the problem and journals the deletion.
+func (j *Journal) DeleteProblem(id string) error {
+	return j.mutate(func() (walRecord, error) {
+		if err := j.backend.DeleteProblem(id); err != nil {
+			return walRecord{}, err
+		}
+		return walRecord{Op: opDeleteProblem, ID: id}, nil
+	})
+}
+
+// AddExam stores the exam and journals it.
+func (j *Journal) AddExam(e *ExamRecord) error {
+	return j.mutate(func() (walRecord, error) {
+		if err := j.backend.AddExam(e); err != nil {
+			return walRecord{}, err
+		}
+		return walRecord{Op: opAddExam, Exam: cloneExam(e)}, nil
+	})
+}
+
+// putExamUnchecked journals an exam inserted without reference validation
+// (snapshot loading only; replay mirrors the tolerance in apply).
+func (j *Journal) putExamUnchecked(e *ExamRecord) error {
+	putter, ok := j.backend.(examPutter)
+	if !ok {
+		return j.AddExam(e)
+	}
+	return j.mutate(func() (walRecord, error) {
+		if err := putter.putExamUnchecked(e); err != nil {
+			return walRecord{}, err
+		}
+		return walRecord{Op: opAddExam, Exam: cloneExam(e)}, nil
+	})
+}
+
+// DeleteExam removes the exam and journals the deletion.
+func (j *Journal) DeleteExam(id string) error {
+	return j.mutate(func() (walRecord, error) {
+		if err := j.backend.DeleteExam(id); err != nil {
+			return walRecord{}, err
+		}
+		return walRecord{Op: opDeleteExam, ID: id}, nil
+	})
+}
+
+// Rollback restores the previous problem revision and journals the
+// operation. The record carries the restored state so replay stays correct
+// even when an intervening compaction folded the history away.
+func (j *Journal) Rollback(id string) (*item.Problem, error) {
+	var p *item.Problem
+	err := j.mutate(func() (walRecord, error) {
+		var rerr error
+		p, rerr = j.backend.Rollback(id)
+		if rerr != nil {
+			return walRecord{}, rerr
+		}
+		return walRecord{Op: opRollback, ID: id, Problem: p.Clone()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Reads delegate to the backend.
+
+// Problem returns a copy of the stored problem.
+func (j *Journal) Problem(id string) (*item.Problem, error) { return j.backend.Problem(id) }
+
+// ProblemCount returns the number of stored problems.
+func (j *Journal) ProblemCount() int { return j.backend.ProblemCount() }
+
+// ProblemIDs returns all problem IDs, sorted.
+func (j *Journal) ProblemIDs() []string { return j.backend.ProblemIDs() }
+
+// Problems returns copies of the identified problems.
+func (j *Journal) Problems(ids []string) ([]*item.Problem, error) { return j.backend.Problems(ids) }
+
+// Exam returns a copy of the stored exam record.
+func (j *Journal) Exam(id string) (*ExamRecord, error) { return j.backend.Exam(id) }
+
+// ExamIDs returns all exam IDs, sorted.
+func (j *Journal) ExamIDs() []string { return j.backend.ExamIDs() }
+
+// Search returns copies of matching problems ordered by ID.
+func (j *Journal) Search(q Query) []*item.Problem { return j.backend.Search(q) }
+
+// Subjects returns the distinct subjects present in the bank, sorted.
+func (j *Journal) Subjects() []string { return j.backend.Subjects() }
+
+// CountByStyle tallies stored problems per style.
+func (j *Journal) CountByStyle() map[item.Style]int { return j.backend.CountByStyle() }
+
+// History returns a problem's superseded versions.
+func (j *Journal) History(id string) []Revision { return j.backend.History(id) }
+
+// Version returns the problem's current version number.
+func (j *Journal) Version(id string) int { return j.backend.Version(id) }
+
+// Save exports the full contents as one JSON bank file at path (independent
+// of the journal's own snapshot).
+func (j *Journal) Save(path string) error { return j.backend.Save(path) }

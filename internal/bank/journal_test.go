@@ -1,0 +1,447 @@
+package bank
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// reopen closes j (which compacts) and opens a fresh journal over a new
+// backend of the same directory.
+func reopen(t *testing.T, j *Journal) *Journal {
+	t.Helper()
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	back, err := OpenJournal(j.Dir(), NewSharded(4), 0)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	t.Cleanup(func() { _ = back.Close() })
+	return back
+}
+
+// crashReopen abandons j without compacting — as a crash would — and opens a
+// fresh journal that must rebuild purely from snapshot + WAL replay.
+func crashReopen(t *testing.T, j *Journal) *Journal {
+	t.Helper()
+	j.mu.Lock()
+	j.closed = true
+	_ = j.wal.Close()
+	j.mu.Unlock()
+	back, err := OpenJournal(j.Dir(), NewSharded(4), 0)
+	if err != nil {
+		t.Fatalf("crash reopen: %v", err)
+	}
+	t.Cleanup(func() { _ = back.Close() })
+	return back
+}
+
+func TestJournalReplayAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, NewSharded(4), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.AddProblem(confMC(t, fmt.Sprintf("q%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	upd := confMC(t, "q2")
+	upd.Question = "second thoughts"
+	if err := j.UpdateProblem(upd); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.DeleteProblem("q4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AddExam(&ExamRecord{ID: "e", ProblemIDs: []string{"q0", "q1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Rollback("q2"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash-style reopen: everything, including revision history, must come
+	// back from pure WAL replay (compaction folds history into the current
+	// state, matching Save/Load semantics — so the crash path is the one
+	// that exercises history).
+	back := crashReopen(t, j)
+	if got := back.ProblemCount(); got != 4 {
+		t.Errorf("replayed ProblemCount = %d, want 4", got)
+	}
+	p, err := back.Problem("q2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Question != "question for q2" {
+		t.Errorf("rollback not replayed: question = %q", p.Question)
+	}
+	if got := back.Version("q2"); got != 2 {
+		t.Errorf("replayed Version(q2) = %d, want 2", got)
+	}
+	if hist := back.History("q2"); len(hist) != 1 || hist[0].Problem.Question != "second thoughts" {
+		t.Errorf("replayed history = %+v", hist)
+	}
+	if _, err := back.Exam("e"); err != nil {
+		t.Errorf("replayed exam missing: %v", err)
+	}
+}
+
+// TestJournalWALDoesNotRewriteBank: the whole point of the WAL — each write
+// appends, it does not rewrite the full bank. Verified by watching the
+// snapshot stay absent until compaction while the WAL grows linearly.
+func TestJournalWALAppendOnly(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, New(), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	snapshotPath, walPath := journalPaths(dir)
+	var lastSize int64
+	for i := 0; i < 20; i++ {
+		if err := j.AddProblem(confMC(t, fmt.Sprintf("q%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+		st, err := os.Stat(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() <= lastSize {
+			t.Fatalf("wal did not grow on write %d", i)
+		}
+		lastSize = st.Size()
+		if _, err := os.Stat(snapshotPath); err == nil {
+			t.Fatal("snapshot written before compaction threshold")
+		}
+	}
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(raw), "\n"); got != 20 {
+		t.Errorf("wal lines = %d, want 20", got)
+	}
+}
+
+func TestJournalCompactionTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, NewSharded(2), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ { // crosses the threshold twice
+		if err := j.AddProblem(confMC(t, fmt.Sprintf("q%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snapshotPath, walPath := journalPaths(dir)
+	if _, err := os.Stat(snapshotPath); err != nil {
+		t.Fatalf("snapshot missing after auto-compaction: %v", err)
+	}
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(raw), "\n"); got != 2 {
+		t.Errorf("wal lines after compaction = %d, want 2 (12 mod 5)", got)
+	}
+	back := reopen(t, j)
+	if got := back.ProblemCount(); got != 12 {
+		t.Errorf("post-compaction reopen count = %d, want 12", got)
+	}
+}
+
+// TestJournalTornTailRecovered: a crash mid-append leaves a partial last
+// line; reopen must recover everything before it and keep working.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, New(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.AddProblem(confMC(t, fmt.Sprintf("q%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate the crash: close without compacting, then tear the tail.
+	j.mu.Lock()
+	j.closed = true
+	j.wal.Close()
+	j.mu.Unlock()
+	_, walPath := journalPaths(dir)
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"add_problem","problem":{"id":"tor`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	back, err := OpenJournal(dir, New(), 1000)
+	if err != nil {
+		t.Fatalf("reopen over torn wal: %v", err)
+	}
+	if got := back.ProblemCount(); got != 3 {
+		t.Errorf("recovered count = %d, want 3", got)
+	}
+	if err := back.AddProblem(confMC(t, "after")); err != nil {
+		t.Errorf("write after torn-tail recovery: %v", err)
+	}
+	// The torn bytes must have been truncated before that append: a second
+	// crash-style reopen replays a clean WAL (torn tail + append would
+	// otherwise have fused into one corrupt record).
+	again := crashReopen(t, back)
+	if got := again.ProblemCount(); got != 4 {
+		t.Errorf("second reopen count = %d, want 4 (wal corrupted by post-recovery append?)", got)
+	}
+	if _, err := again.Problem("after"); err != nil {
+		t.Errorf("post-recovery write lost: %v", err)
+	}
+}
+
+func TestOpenBackendSelection(t *testing.T) {
+	dir := t.TempDir()
+	bankPath := filepath.Join(dir, "bank.json")
+	seed := New()
+	for i := 0; i < 4; i++ {
+		if err := seed.AddProblem(confMC(t, fmt.Sprintf("q%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := seed.AddExam(&ExamRecord{ID: "e", ProblemIDs: []string{"q0"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Save(bankPath); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(bankPath, Options{Backend: "sharded", Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(*Sharded); !ok {
+		t.Fatalf("backend = %T, want *Sharded", s)
+	}
+	if got := s.ProblemCount(); got != 4 {
+		t.Errorf("loaded count = %d", got)
+	}
+
+	// Journaled open: first boot imports the bank file...
+	jdir := filepath.Join(dir, "journal")
+	js, err := Open(bankPath, Options{Backend: "sharded", Journal: jdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := js.(*Journal)
+	if got := j.ProblemCount(); got != 4 {
+		t.Errorf("journal first boot count = %d", got)
+	}
+	if err := j.AddProblem(confMC(t, "q9")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// ...second boot replays the journal and must NOT re-import.
+	js2, err := Open(bankPath, Options{Backend: "sharded", Journal: jdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer js2.(*Journal).Close()
+	if got := js2.ProblemCount(); got != 5 {
+		t.Errorf("journal second boot count = %d, want 5", got)
+	}
+
+	if _, err := Open(bankPath, Options{Backend: "bogus"}); err == nil {
+		t.Error("bogus backend accepted")
+	}
+}
+
+// TestJournalConcurrentWriters: appends serialize correctly under parallel
+// mutation; run with -race.
+func TestJournalConcurrentWriters(t *testing.T) {
+	j, err := OpenJournal(t.TempDir(), NewSharded(8), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := j.AddProblem(confMC(t, fmt.Sprintf("q%02d", i))); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	back := reopen(t, j)
+	if got := back.ProblemCount(); got != n {
+		t.Errorf("recovered %d problems, want %d", got, n)
+	}
+}
+
+// TestJournalRollbackAfterCompactionCrash: a rollback journaled after a
+// compaction (which folds history into the snapshot) must still replay —
+// the record carries the restored state and replays as an update when the
+// recovered backend has no history to pop.
+func TestJournalRollbackAfterCompactionCrash(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, NewSharded(2), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := confMC(t, "p1")
+	p.Question = "v1"
+	if err := j.AddProblem(p); err != nil {
+		t.Fatal(err)
+	}
+	p2 := p.Clone()
+	p2.Question = "v2"
+	if err := j.UpdateProblem(p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Compact(); err != nil { // snapshot drops history
+		t.Fatal(err)
+	}
+	restored, err := j.Rollback("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Question != "v1" {
+		t.Fatalf("rollback restored %q", restored.Question)
+	}
+
+	back := crashReopen(t, j) // replay snapshot + [rollback] record
+	got, err := back.Problem("p1")
+	if err != nil {
+		t.Fatalf("reopen after post-compaction rollback: %v", err)
+	}
+	if got.Question != "v1" {
+		t.Errorf("replayed current question = %q, want v1", got.Question)
+	}
+}
+
+// TestJournalDanglingExamSurvivesCompaction: deleting a problem an exam
+// still references is legal, so a compaction snapshot of that state must
+// reopen (the exam loads without reference validation) instead of bricking
+// the journal.
+func TestJournalDanglingExamSurvivesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, NewSharded(2), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AddProblem(confMC(t, "p1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AddProblem(confMC(t, "p2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AddExam(&ExamRecord{ID: "e1", ProblemIDs: []string{"p1", "p2"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.DeleteProblem("p1"); err != nil {
+		t.Fatal(err)
+	}
+
+	back := reopen(t, j) // Close compacts the dangling state into a snapshot
+	e, err := back.Exam("e1")
+	if err != nil {
+		t.Fatalf("dangling exam lost across compaction: %v", err)
+	}
+	if len(e.ProblemIDs) != 2 {
+		t.Errorf("exam problem list altered: %v", e.ProblemIDs)
+	}
+	if _, err := back.Problem("p1"); err == nil {
+		t.Error("deleted problem resurrected")
+	}
+	// Direct AddExam with a dangling reference still errors (the tolerance
+	// is snapshot-load only).
+	if err := back.AddExam(&ExamRecord{ID: "e2", ProblemIDs: []string{"ghost"}}); err == nil {
+		t.Error("live AddExam with dangling reference accepted")
+	}
+}
+
+// TestJournalCompactionCrashOverlap: a crash between compaction's snapshot
+// rename and the WAL truncation leaves every WAL record already folded into
+// the snapshot. An epoch-stamped snapshot (what compactLocked writes) makes
+// replay skip the stale records outright; an epoch-less snapshot (legacy /
+// hand-built) falls back to redo tolerance. Both must boot to the same
+// state, with no duplicated revision history.
+func TestJournalCompactionCrashOverlap(t *testing.T) {
+	for _, mode := range []string{"epoch-stamped", "legacy"} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			j, err := OpenJournal(dir, NewSharded(2), 1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 4; i++ {
+				if err := j.AddProblem(confMC(t, fmt.Sprintf("q%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			upd := confMC(t, "q1")
+			upd.Question = "revised"
+			if err := j.UpdateProblem(upd); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.DeleteProblem("q3"); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.AddExam(&ExamRecord{ID: "e", ProblemIDs: []string{"q0"}}); err != nil {
+				t.Fatal(err)
+			}
+			// Simulate the crash window: snapshot published, WAL NOT
+			// truncated.
+			snapshotPath, _ := journalPaths(dir)
+			snap, err := buildSnapshot(j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mode == "epoch-stamped" {
+				snap.WalEpoch = j.epoch + 1
+			}
+			if _, err := writeSnapshotFile(snap, snapshotPath); err != nil {
+				t.Fatal(err)
+			}
+
+			back := crashReopen(t, j)
+			if got := back.ProblemCount(); got != 3 {
+				t.Errorf("overlap replay count = %d, want 3", got)
+			}
+			p, err := back.Problem("q1")
+			if err != nil || p.Question != "revised" {
+				t.Errorf("overlap replay q1 = %v, %v", p, err)
+			}
+			if mode == "epoch-stamped" {
+				// Stale records skipped entirely: the folded update must
+				// not re-apply and inflate the version.
+				if got := back.Version("q1"); got != 1 {
+					t.Errorf("version inflated by overlap replay: %d", got)
+				}
+			}
+			if _, err := back.Problem("q3"); err == nil {
+				t.Error("deleted problem resurrected by overlap replay")
+			}
+			if _, err := back.Exam("e"); err != nil {
+				t.Errorf("exam lost in overlap replay: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,352 @@
+package bank
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"mineassess/internal/item"
+)
+
+// DefaultShards is the shard count NewSharded uses when given n <= 0.
+const DefaultShards = 32
+
+// Sharded is the high-concurrency bank backend: records are spread over N
+// shards keyed by FNV-1a hash of their ID, each shard guarded by its own
+// RWMutex, so writers to unrelated IDs never contend and readers proceed in
+// parallel with each other. Cross-shard views (ProblemIDs, Search, Save)
+// lock one shard at a time — there is no stop-the-world lock anywhere.
+//
+// Consistency note: operations touching a single ID are as atomic as on the
+// reference Store. AddExam's referenced-problem validation spans shards and
+// is checked without a global lock, so a problem deleted concurrently with
+// AddExam may leave a dangling reference — the same window LMS replicas
+// have in any distributed deployment. A dangling exam persists and reloads
+// but is not servable: delivery.Engine.Start errors on the missing problem
+// until it is restored or the exam record is replaced.
+type Sharded struct {
+	shards []bankShard
+}
+
+type bankShard struct {
+	mu       sync.RWMutex
+	problems map[string]*item.Problem
+	exams    map[string]*ExamRecord
+	history  map[string][]Revision
+}
+
+// NewSharded returns an empty sharded store with n shards (DefaultShards
+// when n <= 0).
+func NewSharded(n int) *Sharded {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	s := &Sharded{shards: make([]bankShard, n)}
+	for i := range s.shards {
+		s.shards[i].problems = make(map[string]*item.Problem)
+		s.shards[i].exams = make(map[string]*ExamRecord)
+		s.shards[i].history = make(map[string][]Revision)
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+func (s *Sharded) shard(id string) *bankShard {
+	return &s.shards[shardIndex(id, len(s.shards))]
+}
+
+// AddProblem validates and stores a copy of the problem.
+func (s *Sharded) AddProblem(p *item.Problem) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	sh := s.shard(p.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.problems[p.ID]; dup {
+		return fmt.Errorf("%w: %s", ErrProblemExists, p.ID)
+	}
+	sh.problems[p.ID] = p.Clone()
+	return nil
+}
+
+// UpdateProblem replaces an existing problem, keeping the old revision.
+func (s *Sharded) UpdateProblem(p *item.Problem) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	sh := s.shard(p.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old, ok := sh.problems[p.ID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrProblemNotFound, p.ID)
+	}
+	sh.history[p.ID] = append(sh.history[p.ID], Revision{
+		Version: len(sh.history[p.ID]) + 1,
+		Problem: old,
+	})
+	sh.problems[p.ID] = p.Clone()
+	return nil
+}
+
+// Problem returns a copy of the stored problem.
+func (s *Sharded) Problem(id string) (*item.Problem, error) {
+	sh := s.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	p, ok := sh.problems[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrProblemNotFound, id)
+	}
+	return p.Clone(), nil
+}
+
+// DeleteProblem removes a problem and its history.
+func (s *Sharded) DeleteProblem(id string) error {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.problems[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrProblemNotFound, id)
+	}
+	delete(sh.problems, id)
+	delete(sh.history, id)
+	return nil
+}
+
+// ProblemCount returns the number of stored problems.
+func (s *Sharded) ProblemCount() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		total += len(sh.problems)
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// ProblemIDs returns all problem IDs, sorted.
+func (s *Sharded) ProblemIDs() []string {
+	var ids []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.problems {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Problems returns copies of the identified problems, erroring on the first
+// missing ID.
+func (s *Sharded) Problems(ids []string) ([]*item.Problem, error) {
+	out := make([]*item.Problem, 0, len(ids))
+	for _, id := range ids {
+		p, err := s.Problem(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// AddExam stores a copy of the exam record after checking that every
+// referenced problem exists (see the type comment for the cross-shard
+// consistency window).
+func (s *Sharded) AddExam(e *ExamRecord) error {
+	for _, pid := range e.ProblemIDs {
+		if !s.hasProblem(pid) {
+			return fmt.Errorf("bank: exam %s references %w: %s", e.ID, ErrProblemNotFound, pid)
+		}
+	}
+	return s.putExamUnchecked(e)
+}
+
+// hasProblem reports existence without the deep clone Problem() performs.
+func (s *Sharded) hasProblem(id string) bool {
+	sh := s.shard(id)
+	sh.mu.RLock()
+	_, ok := sh.problems[id]
+	sh.mu.RUnlock()
+	return ok
+}
+
+// putExamUnchecked stores the exam without reference validation — the
+// insert core shared with AddExam, used directly by snapshot loading (see
+// loadSnapshot).
+func (s *Sharded) putExamUnchecked(e *ExamRecord) error {
+	if strings.TrimSpace(e.ID) == "" {
+		return errors.New("bank: exam ID must not be empty")
+	}
+	sh := s.shard(e.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.exams[e.ID]; dup {
+		return fmt.Errorf("%w: %s", ErrExamExists, e.ID)
+	}
+	sh.exams[e.ID] = cloneExam(e)
+	return nil
+}
+
+// Exam returns a copy of the stored exam record.
+func (s *Sharded) Exam(id string) (*ExamRecord, error) {
+	sh := s.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.exams[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrExamNotFound, id)
+	}
+	return cloneExam(e), nil
+}
+
+// DeleteExam removes an exam record.
+func (s *Sharded) DeleteExam(id string) error {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.exams[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrExamNotFound, id)
+	}
+	delete(sh.exams, id)
+	return nil
+}
+
+// ExamIDs returns all exam IDs, sorted.
+func (s *Sharded) ExamIDs() []string {
+	var ids []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.exams {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Search returns copies of matching problems ordered by ID for determinism.
+// Matching collects the stored pointers (safe: every mutation replaces the
+// pointer, never mutates in place) and only the post-sort, post-limit
+// survivors are cloned — a Limit query over a large bank never deep-copies
+// the losers.
+func (s *Sharded) Search(q Query) []*item.Problem {
+	var matched []*item.Problem
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, p := range sh.problems {
+			if q.matches(p) {
+				matched = append(matched, p)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(matched, func(i, j int) bool { return matched[i].ID < matched[j].ID })
+	if q.Limit > 0 && len(matched) > q.Limit {
+		matched = matched[:q.Limit]
+	}
+	out := make([]*item.Problem, len(matched))
+	for i, p := range matched {
+		out[i] = p.Clone()
+	}
+	return out
+}
+
+// Subjects returns the distinct subjects present in the bank, sorted.
+func (s *Sharded) Subjects() []string {
+	seen := make(map[string]struct{})
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, p := range sh.problems {
+			if p.Subject != "" {
+				seen[p.Subject] = struct{}{}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	out := make([]string, 0, len(seen))
+	for subj := range seen {
+		out = append(out, subj)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CountByStyle tallies stored problems per style.
+func (s *Sharded) CountByStyle() map[item.Style]int {
+	out := make(map[item.Style]int)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, p := range sh.problems {
+			out[p.Style]++
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// History returns a problem's superseded versions, oldest first, as deep
+// copies.
+func (s *Sharded) History(id string) []Revision {
+	sh := s.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	revs := sh.history[id]
+	out := make([]Revision, len(revs))
+	for i, r := range revs {
+		out[i] = Revision{Version: r.Version, Problem: r.Problem.Clone()}
+	}
+	return out
+}
+
+// Rollback restores the most recent superseded version of a problem,
+// pushing the current version onto the history.
+func (s *Sharded) Rollback(id string) (*item.Problem, error) {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur, ok := sh.problems[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrProblemNotFound, id)
+	}
+	revs := sh.history[id]
+	if len(revs) == 0 {
+		return nil, fmt.Errorf("bank: problem %s has no history to roll back", id)
+	}
+	last := revs[len(revs)-1]
+	sh.history[id] = append(revs[:len(revs)-1], Revision{
+		Version: last.Version + 1,
+		Problem: cur,
+	})
+	sh.problems[id] = last.Problem
+	return last.Problem.Clone(), nil
+}
+
+// Version returns the problem's current version number (1 for never
+// updated).
+func (s *Sharded) Version(id string) int {
+	sh := s.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.history[id]) + 1
+}
+
+// Save writes the whole store to path as one JSON bank file.
+func (s *Sharded) Save(path string) error {
+	return WriteSnapshot(s, path)
+}

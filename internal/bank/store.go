@@ -6,10 +6,8 @@
 package bank
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -159,18 +157,31 @@ func (s *Store) Problems(ids []string) ([]*item.Problem, error) {
 // AddExam stores a copy of the exam record after checking that every
 // referenced problem exists.
 func (s *Store) AddExam(e *ExamRecord) error {
-	if strings.TrimSpace(e.ID) == "" {
-		return errors.New("bank: exam ID must not be empty")
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.exams[e.ID]; dup {
-		return fmt.Errorf("%w: %s", ErrExamExists, e.ID)
-	}
 	for _, pid := range e.ProblemIDs {
 		if _, ok := s.problems[pid]; !ok {
 			return fmt.Errorf("bank: exam %s references %w: %s", e.ID, ErrProblemNotFound, pid)
 		}
+	}
+	return s.putExamLocked(e)
+}
+
+// putExamUnchecked stores the exam without reference validation — snapshot
+// loading only (see loadSnapshot).
+func (s *Store) putExamUnchecked(e *ExamRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.putExamLocked(e)
+}
+
+// putExamLocked is the shared insert core. Callers hold s.mu.
+func (s *Store) putExamLocked(e *ExamRecord) error {
+	if strings.TrimSpace(e.ID) == "" {
+		return errors.New("bank: exam ID must not be empty")
+	}
+	if _, dup := s.exams[e.ID]; dup {
+		return fmt.Errorf("%w: %s", ErrExamExists, e.ID)
 	}
 	s.exams[e.ID] = cloneExam(e)
 	return nil
@@ -227,9 +238,14 @@ func cloneExam(e *ExamRecord) *ExamRecord {
 type snapshot struct {
 	Problems []*item.Problem `json:"problems"`
 	Exams    []*ExamRecord   `json:"exams"`
+	// WalEpoch marks, for a journal's own snapshot, the compaction epoch it
+	// folds up to (see Journal.epoch). Plain bank files leave it 0.
+	WalEpoch int64 `json:"walEpoch,omitempty"`
 }
 
-// Save writes the whole store to path as JSON.
+// Save writes the whole store to path as JSON. The scan holds the store
+// lock, so the snapshot is a point-in-time serialization; the write itself
+// is atomic (temp file + fsync + rename).
 func (s *Store) Save(path string) error {
 	s.mu.RLock()
 	snap := snapshot{}
@@ -245,15 +261,8 @@ func (s *Store) Save(path string) error {
 		snap.Exams = append(snap.Exams, s.exams[id])
 	}
 	s.mu.RUnlock()
-
-	raw, err := json.MarshalIndent(snap, "", "  ")
-	if err != nil {
-		return fmt.Errorf("bank: marshal store: %w", err)
-	}
-	if err := os.WriteFile(path, raw, 0o644); err != nil {
-		return fmt.Errorf("bank: write %s: %w", path, err)
-	}
-	return nil
+	_, err := writeSnapshotFile(&snap, path)
+	return err
 }
 
 func (s *Store) problemIDsLocked() []string {
@@ -268,24 +277,9 @@ func (s *Store) problemIDsLocked() []string {
 // Load reads a store previously written by Save. Every problem is
 // re-validated on the way in.
 func Load(path string) (*Store, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("bank: read %s: %w", path, err)
-	}
-	var snap snapshot
-	if err := json.Unmarshal(raw, &snap); err != nil {
-		return nil, fmt.Errorf("bank: parse %s: %w", path, err)
-	}
 	s := New()
-	for _, p := range snap.Problems {
-		if err := s.AddProblem(p); err != nil {
-			return nil, fmt.Errorf("bank: load problem: %w", err)
-		}
-	}
-	for _, e := range snap.Exams {
-		if err := s.AddExam(e); err != nil {
-			return nil, fmt.Errorf("bank: load exam: %w", err)
-		}
+	if err := LoadInto(path, s); err != nil {
+		return nil, err
 	}
 	return s, nil
 }

@@ -24,17 +24,23 @@ import (
 // Version identifies the library release.
 const Version = "1.0.0"
 
-// Pipeline is the assessment system facade. Construct with New; the zero
-// value is not usable.
+// Pipeline is the assessment system facade. Construct with New, NewWith or
+// Open; the zero value is not usable.
 type Pipeline struct {
-	store     *bank.Store
+	store     bank.Storage
 	templates *item.TemplateRegistry
 }
 
-// New builds a pipeline around an empty bank.
+// New builds a pipeline around an empty reference bank.
 func New() *Pipeline {
+	return NewWith(bank.New())
+}
+
+// NewWith builds a pipeline around any storage backend — the reference
+// store, a sharded store, or a journaled one.
+func NewWith(store bank.Storage) *Pipeline {
 	return &Pipeline{
-		store:     bank.New(),
+		store:     store,
 		templates: item.NewTemplateRegistry(),
 	}
 }
@@ -45,11 +51,11 @@ func Open(path string) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{store: store, templates: item.NewTemplateRegistry()}, nil
+	return NewWith(store), nil
 }
 
 // Store exposes the underlying problem & exam database.
-func (p *Pipeline) Store() *bank.Store {
+func (p *Pipeline) Store() bank.Storage {
 	return p.store
 }
 

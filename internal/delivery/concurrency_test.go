@@ -3,8 +3,14 @@ package delivery
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"mineassess/internal/bank"
+	"mineassess/internal/cognition"
+	"mineassess/internal/item"
+	"mineassess/internal/scorm"
 )
 
 // TestEngineConcurrentSessions hammers one engine from many goroutines:
@@ -148,4 +154,178 @@ func TestMonitorConcurrentCapture(t *testing.T) {
 			t.Errorf("captured %s = %d, want 100", sid, got)
 		}
 	}
+}
+
+// shardedExamFixture authors the stress exam over the sharded bank backend,
+// so the stress test exercises the full sharded stack: sharded storage,
+// sharded session registry, sharded monitor.
+func shardedExamFixture(t *testing.T) (bank.Storage, string) {
+	t.Helper()
+	s := bank.NewSharded(8)
+	var ids []string
+	for i := 0; i < 4; i++ {
+		p, err := item.NewMultipleChoice(fmt.Sprintf("q%d", i+1), "?",
+			[]string{"w", "x", "y", "z"}, 0) // correct A
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Level = cognition.Knowledge
+		p.Resumable = true
+		if err := s.AddProblem(p); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, p.ID)
+	}
+	rec := &bank.ExamRecord{ID: "stress", Title: "Stress quiz", ProblemIDs: ids,
+		Display: item.FixedOrder, TestTimeSeconds: 600}
+	if err := s.AddExam(rec); err != nil {
+		t.Fatal(err)
+	}
+	return s, rec.ID
+}
+
+// TestEngineStressAcrossShards drives the full session lifecycle —
+// Start/Answer/Pause/Status/Resume/Finish — from 80 learner goroutines while
+// admin goroutines continuously scan summaries, pending grades, results and
+// monitor rings. Run under -race (CI does); it is the regression net for the
+// per-session locking model.
+func TestEngineStressAcrossShards(t *testing.T) {
+	store, examID := shardedExamFixture(t)
+	eng := NewShardedEngine(store, nil, 8, 16)
+
+	const (
+		workers  = 80 // >= 64 per the issue; spread over 16 registry shards
+		sittings = 3
+	)
+	var (
+		wg   sync.WaitGroup
+		done atomic.Bool
+		errs = make(chan error, workers+8)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for sitting := 0; sitting < sittings; sitting++ {
+				sess, err := eng.Start(examID, fmt.Sprintf("stu%03d", w), int64(w))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := eng.Answer(sess.ID, "q1", "A"); err != nil {
+					errs <- err
+					return
+				}
+				if err := eng.Pause(sess.ID); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := eng.Status(sess.ID); err != nil {
+					errs <- err
+					return
+				}
+				if err := eng.Resume(sess.ID); err != nil {
+					errs <- err
+					return
+				}
+				for q := 2; q <= 4; q++ {
+					opt := "A"
+					if (w+q)%3 == 0 {
+						opt = "B"
+					}
+					if err := eng.Answer(sess.ID, fmt.Sprintf("q%d", q), opt); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if _, err := eng.Finish(sess.ID); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// Admin scanners overlap every learner operation.
+	var adminWG sync.WaitGroup
+	for a := 0; a < 8; a++ {
+		adminWG.Add(1)
+		go func(a int) {
+			defer adminWG.Done()
+			for !done.Load() {
+				_ = eng.SessionSummaries(examID)
+				_ = eng.PendingGrades(examID)
+				if _, err := eng.CollectResults(examID); err != nil {
+					errs <- err
+					return
+				}
+				_ = eng.Monitor().Snapshots(fmt.Sprintf("sess-%06d", a+1))
+				_ = eng.SessionCount()
+			}
+		}(a)
+	}
+	wg.Wait()
+	done.Store(true)
+	adminWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if got := eng.SessionCount(); got != workers*sittings {
+		t.Fatalf("SessionCount = %d, want %d", got, workers*sittings)
+	}
+	res, err := eng.CollectResults(examID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Students) != workers*sittings {
+		t.Fatalf("collected %d sittings, want %d", len(res.Students), workers*sittings)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatalf("collected result invalid: %v", err)
+	}
+	for _, s := range res.Students {
+		if s.AnsweredCount() != 4 {
+			t.Errorf("student %s answered %d, want 4", s.StudentID, s.AnsweredCount())
+		}
+	}
+}
+
+// TestRTEConcurrentWithAnswers races SCO-side RTE traffic (RTEExec) against
+// the learner's Answer stream on the same session; both write the CMI data
+// model, so this must be clean under -race.
+func TestRTEConcurrentWithAnswers(t *testing.T) {
+	store, examID := shardedExamFixture(t)
+	eng := NewEngine(store, nil, 0)
+	sess, err := eng.Start(examID, "sco-learner", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for q := 1; q <= 4; q++ {
+			if err := eng.Answer(sess.ID, fmt.Sprintf("q%d", q), "A"); err != nil {
+				t.Errorf("answer q%d: %v", q, err)
+			}
+		}
+		if _, err := eng.Finish(sess.ID); err != nil {
+			t.Errorf("finish: %v", err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			err := eng.RTEExec(sess.ID, func(api *scorm.API) {
+				_ = api.LMSGetValue("cmi.core.lesson_location")
+				_ = api.LMSSetValue("cmi.core.lesson_status", "incomplete")
+			})
+			if err != nil {
+				t.Errorf("rte exec: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
 }

@@ -3,7 +3,6 @@ package delivery
 import (
 	"errors"
 	"fmt"
-	"sort"
 )
 
 // Manual grading: essay answers cannot be auto-graded (item.Problem.Grade
@@ -27,21 +26,15 @@ type PendingGrade struct {
 }
 
 // PendingGrades lists every answered-but-ungradable response for the exam,
-// ordered by session then problem for stable instructor worklists.
+// ordered by session then problem for stable instructor worklists. Sessions
+// are locked one at a time; the worklist never freezes active learners.
 func (e *Engine) PendingGrades(examID string) []PendingGrade {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	var out []PendingGrade
-	ids := make([]string, 0, len(e.sessions))
-	for id := range e.sessions {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		s := e.sessions[id]
+	for _, s := range e.registry.all() {
 		if s.ExamID != examID {
 			continue
 		}
+		s.mu.Lock()
 		for _, pid := range s.Order {
 			a, ok := s.answers[pid]
 			if !ok || a.gradable {
@@ -54,6 +47,7 @@ func (e *Engine) PendingGrades(examID string) []PendingGrade {
 				Response:  a.response,
 			})
 		}
+		s.mu.Unlock()
 	}
 	return out
 }
@@ -65,12 +59,11 @@ func (e *Engine) AssignGrade(sessionID, problemID string, credit float64) error 
 	if credit < 0 || credit > 1 {
 		return fmt.Errorf("%w: %v", ErrInvalidCredit, credit)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s, err := e.get(sessionID)
+	s, err := e.lock(sessionID)
 	if err != nil {
 		return err
 	}
+	defer s.mu.Unlock()
 	a, ok := s.answers[problemID]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotAnswered, problemID)
@@ -85,24 +78,18 @@ func (e *Engine) AssignGrade(sessionID, problemID string, credit float64) error 
 
 // SessionSummaries lists the status of every session for an exam, ordered
 // by session ID — the administrator's monitor view of who is taking the
-// exam right now.
+// exam right now. Summaries are taken per session without a global lock.
 func (e *Engine) SessionSummaries(examID string) []Status {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	now := e.now()
-	ids := make([]string, 0, len(e.sessions))
-	for id := range e.sessions {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
 	var out []Status
-	for _, id := range ids {
-		s := e.sessions[id]
+	for _, s := range e.registry.all() {
 		if s.ExamID != examID {
 			continue
 		}
+		s.mu.Lock()
 		_ = e.checkTime(s, now)
 		st := s.snapshotStatus(now)
+		s.mu.Unlock()
 		st.StateName = st.State.String()
 		out = append(out, st)
 	}

@@ -18,28 +18,47 @@ type Snapshot struct {
 	FrameHash uint64 `json:"frameHash"`
 }
 
+// monitorShards spreads capture traffic: every Answer triggers a Capture, so
+// a single monitor mutex would re-serialize the sessions the sharded engine
+// just decoupled.
+const monitorShards = 16
+
 // Monitor is the on-line exam monitor subsystem: a bounded per-session ring
-// of snapshots an administrator can query while exams run.
+// of snapshots an administrator can query while exams run. Rings are spread
+// over shards keyed by session ID so captures from unrelated sessions do not
+// contend.
 type Monitor struct {
-	mu       sync.Mutex
 	capacity int
-	rings    map[string][]Snapshot
-	seqs     map[string]int
+	shards   []monitorShard
+}
+
+type monitorShard struct {
+	mu    sync.Mutex
+	rings map[string][]Snapshot
+	seqs  map[string]int
 }
 
 // NewMonitor builds a monitor keeping up to capacity snapshots per session;
 // capacity <= 0 disables capture.
 func NewMonitor(capacity int) *Monitor {
-	return &Monitor{
+	m := &Monitor{
 		capacity: capacity,
-		rings:    make(map[string][]Snapshot),
-		seqs:     make(map[string]int),
+		shards:   make([]monitorShard, monitorShards),
 	}
+	for i := range m.shards {
+		m.shards[i].rings = make(map[string][]Snapshot)
+		m.shards[i].seqs = make(map[string]int)
+	}
+	return m
 }
 
 // Enabled reports whether capture is active.
 func (m *Monitor) Enabled() bool {
 	return m.capacity > 0
+}
+
+func (m *Monitor) shard(sessionID string) *monitorShard {
+	return &m.shards[fnvShard(sessionID, len(m.shards))]
 }
 
 // Capture records one snapshot for the session; oldest entries fall off the
@@ -48,29 +67,31 @@ func (m *Monitor) Capture(sessionID string, at time.Time) {
 	if m.capacity <= 0 {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.seqs[sessionID]++
-	seq := m.seqs[sessionID]
+	sh := m.shard(sessionID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.seqs[sessionID]++
+	seq := sh.seqs[sessionID]
 	snap := Snapshot{
 		SessionID: sessionID,
 		Seq:       seq,
 		At:        at,
 		FrameHash: frameHash(sessionID, seq),
 	}
-	ring := append(m.rings[sessionID], snap)
+	ring := append(sh.rings[sessionID], snap)
 	if len(ring) > m.capacity {
 		ring = ring[len(ring)-m.capacity:]
 	}
-	m.rings[sessionID] = ring
+	sh.rings[sessionID] = ring
 }
 
 // Snapshots returns a copy of the session's retained snapshots in capture
 // order.
 func (m *Monitor) Snapshots(sessionID string) []Snapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ring := m.rings[sessionID]
+	sh := m.shard(sessionID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ring := sh.rings[sessionID]
 	out := make([]Snapshot, len(ring))
 	copy(out, ring)
 	return out
@@ -79,9 +100,10 @@ func (m *Monitor) Snapshots(sessionID string) []Snapshot {
 // Captured returns the total number of captures ever taken for the session
 // (including ones that have fallen off the ring).
 func (m *Monitor) Captured(sessionID string) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.seqs[sessionID]
+	sh := m.shard(sessionID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.seqs[sessionID]
 }
 
 // frameHash simulates a frame digest deterministically from identity and

@@ -1,0 +1,104 @@
+package delivery
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultSessionShards is the engine's session-registry shard count when not
+// overridden. One shard reproduces the old global-map behaviour (useful as a
+// benchmark baseline); production engines want enough shards that unrelated
+// learners rarely hash together.
+const DefaultSessionShards = 32
+
+// registry is the sharded session index. The shard lock guards only the map
+// (insert/lookup); per-session state is guarded by each Session's own mutex,
+// so two learners answering different exams never contend on anything.
+type registry struct {
+	shards []registryShard
+}
+
+type registryShard struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+}
+
+func newRegistry(shards int) *registry {
+	if shards <= 0 {
+		shards = DefaultSessionShards
+	}
+	r := &registry{shards: make([]registryShard, shards)}
+	for i := range r.shards {
+		r.shards[i].sessions = make(map[string]*Session)
+	}
+	return r
+}
+
+// fnvShard maps an ID onto one of n shards with FNV-1a — the same scheme
+// the bank's sharded backend uses, so hot-key behaviour is predictable
+// across layers. Shared by the session registry and the monitor; inlined
+// (rather than hash/fnv) because it runs twice per learner operation and
+// the hash.Hash32 interface would allocate on every call.
+func fnvShard(id string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
+
+func (r *registry) shard(id string) *registryShard {
+	return &r.shards[fnvShard(id, len(r.shards))]
+}
+
+// get returns the session by ID without locking it.
+func (r *registry) get(id string) (*Session, error) {
+	sh := r.shard(id)
+	sh.mu.RLock()
+	s, ok := sh.sessions[id]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrSessionNotFound, id)
+	}
+	return s, nil
+}
+
+// put registers a new session.
+func (r *registry) put(s *Session) {
+	sh := r.shard(s.ID)
+	sh.mu.Lock()
+	sh.sessions[s.ID] = s
+	sh.mu.Unlock()
+}
+
+// all returns every registered session sorted by ID. Shards are copied one
+// at a time under their read locks — no stop-the-world; sessions started
+// concurrently with the scan may or may not appear, which is the same
+// guarantee any registry scan can give.
+func (r *registry) all() []*Session {
+	var out []*Session
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.sessions {
+			out = append(out, s)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// count returns the number of registered sessions.
+func (r *registry) count() int {
+	n := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		n += len(sh.sessions)
+		sh.mu.RUnlock()
+	}
+	return n
+}

@@ -307,29 +307,38 @@ func (s *Server) handleRTE(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sessionID := strings.TrimPrefix(r.URL.Path, "/api/rte/")
-	api, err := s.engine.RTE(sessionID)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
 	var req rteRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body"})
 		return
 	}
-	var result string
-	switch strings.ToLower(req.Method) {
-	case "getvalue":
-		result = api.LMSGetValue(req.Element)
-	case "setvalue":
-		result = api.LMSSetValue(req.Element, req.Value)
-	case "commit":
-		result = api.LMSCommit("")
-	case "geterrorstring":
-		result = api.LMSGetErrorString(req.Value)
-	default:
+	var resp rteResponse
+	known := true
+	// RTEExec holds the session lock so SCO traffic cannot race the
+	// learner's Answer/Pause/Finish writes into the same CMI data model.
+	err := s.engine.RTEExec(sessionID, func(api *scorm.API) {
+		switch strings.ToLower(req.Method) {
+		case "getvalue":
+			resp.Result = api.LMSGetValue(req.Element)
+		case "setvalue":
+			resp.Result = api.LMSSetValue(req.Element, req.Value)
+		case "commit":
+			resp.Result = api.LMSCommit("")
+		case "geterrorstring":
+			resp.Result = api.LMSGetErrorString(req.Value)
+		default:
+			known = false
+			return
+		}
+		resp.LastError = api.LMSGetLastError()
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if !known {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "unknown RTE method " + req.Method})
 		return
 	}
-	writeJSON(w, http.StatusOK, rteResponse{Result: result, LastError: api.LMSGetLastError()})
+	writeJSON(w, http.StatusOK, resp)
 }

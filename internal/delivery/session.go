@@ -3,13 +3,21 @@
 // automatic grading, a monitor subsystem that captures client pictures
 // during the exam (§5), and an HTTP LMS front end exposing the SCORM RTE
 // API. Results stream into the analysis package's response matrices.
+//
+// Concurrency model: the engine keeps sessions in a sharded registry
+// (registry.go); each Session carries its own mutex. A per-learner operation
+// — Answer, Status, Pause, Resume, Finish, AssignGrade — takes one shard
+// read-lock for the lookup and then only that session's lock, so unrelated
+// learners never contend and a slow grade computation stalls nobody else.
+// Cross-session views (CollectResults, SessionSummaries, PendingGrades)
+// iterate shard by shard without any stop-the-world lock.
 package delivery
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mineassess/internal/analysis"
@@ -65,7 +73,11 @@ type answer struct {
 	spent    time.Duration
 }
 
-// Session is one learner's sitting of one exam.
+// Session is one learner's sitting of one exam. ID, ExamID, StudentID and
+// Order are fixed at Start and safe to read without locking; all other
+// state — including the SCORM API and its data model — is guarded by mu.
+// Engine operations and RTEExec take the lock; the raw RTE accessor is the
+// single-threaded escape hatch (see its comment).
 type Session struct {
 	ID        string
 	ExamID    string
@@ -73,6 +85,7 @@ type Session struct {
 	// Order is the presentation order of problem IDs for this sitting.
 	Order []string
 
+	mu          sync.Mutex
 	state       SessionState
 	startedAt   time.Time
 	lastEvent   time.Time // previous answer/pause boundary, for per-item time
@@ -88,8 +101,7 @@ type Session struct {
 	data       *scorm.DataModel
 }
 
-// State returns the session state (callers hold no lock; reads go through
-// the engine).
+// snapshotStatus summarizes the session. Callers hold s.mu.
 func (s *Session) snapshotStatus(now time.Time) Status {
 	st := Status{
 		SessionID: s.ID,
@@ -129,26 +141,34 @@ type Status struct {
 }
 
 // Engine manages sessions over a problem/exam bank. The clock is injectable
-// for tests and simulations.
+// for tests and simulations. It holds no global lock: per-session operations
+// synchronize only on the session itself (see the package comment).
 type Engine struct {
-	mu       sync.Mutex
-	store    *bank.Store
-	sessions map[string]*Session
+	store    bank.Storage
+	registry *registry
 	now      func() time.Time
 	monitor  *Monitor
-	nextID   int
+	nextID   atomic.Int64
 }
 
-// NewEngine builds an engine over the store. now may be nil for wall-clock
-// time; monitorCapacity bounds the per-session snapshot ring (0 disables
-// monitoring).
-func NewEngine(store *bank.Store, now func() time.Time, monitorCapacity int) *Engine {
+// NewEngine builds an engine over any bank.Storage with the default session
+// shard count. now may be nil for wall-clock time; monitorCapacity bounds
+// the per-session snapshot ring (0 disables monitoring).
+func NewEngine(store bank.Storage, now func() time.Time, monitorCapacity int) *Engine {
+	return NewShardedEngine(store, now, monitorCapacity, DefaultSessionShards)
+}
+
+// NewShardedEngine is NewEngine with an explicit session shard count.
+// shards <= 0 means DefaultSessionShards; shards == 1 serializes all session
+// lookups on one shard lock (per-session locks still apply) and exists
+// mainly as a contention baseline for benchmarks.
+func NewShardedEngine(store bank.Storage, now func() time.Time, monitorCapacity, shards int) *Engine {
 	if now == nil {
 		now = time.Now
 	}
 	return &Engine{
 		store:    store,
-		sessions: make(map[string]*Session),
+		registry: newRegistry(shards),
 		now:      now,
 		monitor:  NewMonitor(monitorCapacity),
 	}
@@ -159,8 +179,16 @@ func (e *Engine) Monitor() *Monitor {
 	return e.monitor
 }
 
+// SessionCount returns the number of sessions the engine has registered
+// (any state).
+func (e *Engine) SessionCount() int {
+	return e.registry.count()
+}
+
 // Start opens a session for the student on the exam, computing the
 // presentation order with the given seed (used only for RandomOrder exams).
+// All assembly work happens before the session is published, so Start holds
+// no lock while reading the bank or shuffling options.
 func (e *Engine) Start(examID, studentID string, seed int64) (*Session, error) {
 	rec, err := e.store.Exam(examID)
 	if err != nil {
@@ -191,12 +219,9 @@ func (e *Engine) Start(examID, studentID string, seed int64) (*Session, error) {
 		byID[p.ID] = p
 	}
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.nextID++
 	now := e.now()
 	s := &Session{
-		ID:         fmt.Sprintf("sess-%06d", e.nextID),
+		ID:         fmt.Sprintf("sess-%06d", e.nextID.Add(1)),
 		ExamID:     examID,
 		StudentID:  studentID,
 		Order:      order,
@@ -213,21 +238,22 @@ func (e *Engine) Start(examID, studentID string, seed int64) (*Session, error) {
 	if got := s.api.LMSInitialize(""); got != "true" {
 		return nil, fmt.Errorf("delivery: RTE initialize failed (%s)", s.api.LMSGetLastError())
 	}
-	e.sessions[s.ID] = s
+	e.registry.put(s)
 	e.monitor.Capture(s.ID, now)
 	return s, nil
 }
 
-// get returns the locked session. Callers must hold e.mu.
-func (e *Engine) get(sessionID string) (*Session, error) {
-	s, ok := e.sessions[sessionID]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrSessionNotFound, sessionID)
+// lock looks up the session and returns it locked. The caller must Unlock.
+func (e *Engine) lock(sessionID string) (*Session, error) {
+	s, err := e.registry.get(sessionID)
+	if err != nil {
+		return nil, err
 	}
+	s.mu.Lock()
 	return s, nil
 }
 
-// checkTime expires the session if its limit has passed. Callers hold e.mu.
+// checkTime expires the session if its limit has passed. Callers hold s.mu.
 func (e *Engine) checkTime(s *Session, now time.Time) error {
 	if s.limit > 0 && s.state == StateRunning && s.elapsedActive(now) > s.limit {
 		s.activeSpent = s.limit
@@ -240,14 +266,14 @@ func (e *Engine) checkTime(s *Session, now time.Time) error {
 
 // Answer records the learner's response to a problem and grades it. Every
 // answer triggers a monitor capture ("monitor function captures the client
-// picture", §5).
+// picture", §5). Only this learner's session is locked; grading a slow
+// problem never delays other sessions.
 func (e *Engine) Answer(sessionID, problemID, response string) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s, err := e.get(sessionID)
+	s, err := e.lock(sessionID)
 	if err != nil {
 		return err
 	}
+	defer s.mu.Unlock()
 	now := e.now()
 	if err := e.checkTime(s, now); err != nil {
 		return err
@@ -277,12 +303,11 @@ func (e *Engine) Answer(sessionID, problemID, response string) error {
 // Pause suspends a session. Allowed only when every problem in the exam is
 // resumable (§3.2 VI B: paused to resume at a later time).
 func (e *Engine) Pause(sessionID string) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s, err := e.get(sessionID)
+	s, err := e.lock(sessionID)
 	if err != nil {
 		return err
 	}
+	defer s.mu.Unlock()
 	now := e.now()
 	if err := e.checkTime(s, now); err != nil {
 		return err
@@ -305,12 +330,11 @@ func (e *Engine) Pause(sessionID string) error {
 // Resume reactivates a paused session; paused time does not count against
 // the limit.
 func (e *Engine) Resume(sessionID string) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s, err := e.get(sessionID)
+	s, err := e.lock(sessionID)
 	if err != nil {
 		return err
 	}
+	defer s.mu.Unlock()
 	if s.state != StatePaused {
 		return fmt.Errorf("%w: %s is %s", ErrNotPaused, s.ID, s.state)
 	}
@@ -322,12 +346,11 @@ func (e *Engine) Resume(sessionID string) error {
 // Finish closes the session, grades it, and writes score and status into
 // the CMI data model.
 func (e *Engine) Finish(sessionID string) (*analysis.StudentResult, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s, err := e.get(sessionID)
+	s, err := e.lock(sessionID)
 	if err != nil {
 		return nil, err
 	}
+	defer s.mu.Unlock()
 	now := e.now()
 	if s.state == StateRunning {
 		_ = e.checkTime(s, now) // expiry still produces a result
@@ -345,12 +368,12 @@ func (e *Engine) Finish(sessionID string) (*analysis.StudentResult, error) {
 	case StateFinished:
 		// idempotent: re-emit the result
 	}
-	res := e.resultLocked(s)
+	res := s.result()
 	return &res, nil
 }
 
 // finishRTE writes score/status and finishes the RTE attempt. Callers hold
-// e.mu.
+// s.mu.
 func (e *Engine) finishRTE(s *Session) {
 	score, max := 0.0, 0.0
 	for _, p := range s.problems {
@@ -381,8 +404,8 @@ func (e *Engine) finishRTE(s *Session) {
 	}
 }
 
-// resultLocked converts the session into an analysis row. Callers hold e.mu.
-func (e *Engine) resultLocked(s *Session) analysis.StudentResult {
+// result converts the session into an analysis row. Callers hold s.mu.
+func (s *Session) result() analysis.StudentResult {
 	res := analysis.StudentResult{StudentID: s.StudentID}
 	for _, pid := range s.Order {
 		p := s.problems[pid]
@@ -406,12 +429,11 @@ func (e *Engine) resultLocked(s *Session) analysis.StudentResult {
 
 // Status reports a session's current summary.
 func (e *Engine) Status(sessionID string) (Status, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s, err := e.get(sessionID)
+	s, err := e.lock(sessionID)
 	if err != nil {
 		return Status{}, err
 	}
+	defer s.mu.Unlock()
 	now := e.now()
 	_ = e.checkTime(s, now)
 	st := s.snapshotStatus(now)
@@ -419,13 +441,28 @@ func (e *Engine) Status(sessionID string) (Status, error) {
 	return st, nil
 }
 
-// RTE exposes a session's SCORM API for the HTTP bridge. The returned API
-// must only be used while holding no engine lock; per-session serialization
-// is the caller's responsibility (the HTTP server serializes by session).
+// RTEExec runs fn against the session's SCORM API while holding the session
+// lock, serializing SCO-originated RTE traffic with the learner operations
+// (Answer/Pause/Finish) that write the same CMI data model. This is the only
+// safe way to touch a live session's API concurrently.
+func (e *Engine) RTEExec(sessionID string, fn func(api *scorm.API)) error {
+	s, err := e.registry.get(sessionID)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(s.api)
+	return nil
+}
+
+// RTE exposes a session's SCORM API without synchronization. The scorm.API
+// is not thread-safe and engine operations mutate the same data model under
+// the session lock, so callers must guarantee no concurrent engine calls
+// for this session — single-threaded harnesses and tests only. Concurrent
+// callers (the HTTP bridge) use RTEExec.
 func (e *Engine) RTE(sessionID string) (*scorm.API, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s, err := e.get(sessionID)
+	s, err := e.registry.get(sessionID)
 	if err != nil {
 		return nil, err
 	}
@@ -433,7 +470,10 @@ func (e *Engine) RTE(sessionID string) (*scorm.API, error) {
 }
 
 // CollectResults assembles the full response matrix of an exam from every
-// finished or expired session, ready for analysis.
+// finished or expired session, ready for analysis. Sessions are visited
+// shard by shard and locked one at a time — collection never blocks the
+// whole engine, so learners on other exams keep answering while an
+// instructor exports results.
 func (e *Engine) CollectResults(examID string) (*analysis.ExamResult, error) {
 	rec, err := e.store.Exam(examID)
 	if err != nil {
@@ -448,22 +488,15 @@ func (e *Engine) CollectResults(examID string) (*analysis.ExamResult, error) {
 		Problems: problems,
 		TestTime: time.Duration(rec.TestTimeSeconds) * time.Second,
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	ids := make([]string, 0, len(e.sessions))
-	for id := range e.sessions {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		s := e.sessions[id]
+	for _, s := range e.registry.all() {
 		if s.ExamID != examID {
 			continue
 		}
-		if s.state != StateFinished && s.state != StateExpired {
-			continue
+		s.mu.Lock()
+		if s.state == StateFinished || s.state == StateExpired {
+			out.Students = append(out.Students, s.result())
 		}
-		out.Students = append(out.Students, e.resultLocked(s))
+		s.mu.Unlock()
 	}
 	return out, nil
 }
