@@ -1,20 +1,25 @@
 // Command examserver runs the on-line exam delivery service: learners take
-// exams with a browser against the HTTP API, SCO content talks to the SCORM
-// RTE bridge, and administrators watch sessions through the monitor
-// endpoint (the paper's §5 architecture).
+// exams with a browser against the versioned /v1 HTTP API, SCO content
+// talks to the SCORM RTE bridge, administrators watch sessions and author
+// banks over the same API (the paper's §5 architecture), and the seed-era
+// /api/* routes remain as deprecated aliases. See API.md for the endpoint
+// and error-code reference.
 //
 // Usage:
 //
 //	examserver -bank bank.json -addr :8080 [-monitor 64]
 //	           [-backend sharded] [-shards 32] [-journal DIR]
 //	           [-session-shards 32] [-drain 30s]
+//	           [-rate 50 -burst 100] [-quiet]
 //
 // The bank file must already hold at least one exam (see `assessctl seed`).
 // With -journal, mutations append to a write-ahead log in DIR instead of
 // rewriting the bank file; the bank file seeds the journal on first boot.
-// On SIGINT/SIGTERM the server stops accepting connections and drains
-// in-flight requests for up to -drain before exiting, so learners mid-answer
-// are not dropped on redeploy.
+// -rate enables per-learner token-bucket rate limiting (requests/second,
+// 0 disables) with -burst capacity; -quiet suppresses per-request access
+// logging. On SIGINT/SIGTERM the server stops accepting connections and
+// drains in-flight requests for up to -drain before exiting, so learners
+// mid-answer are not dropped on redeploy.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 
 	"mineassess/internal/bank"
 	"mineassess/internal/delivery"
+	"mineassess/internal/httpapi"
 	"mineassess/internal/scorm"
 )
 
@@ -53,6 +59,9 @@ func run(args []string) error {
 	journalDir := fs.String("journal", "", "write-ahead-log directory (empty disables journaling)")
 	sessionShards := fs.Int("session-shards", delivery.DefaultSessionShards, "session registry shard count")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	rate := fs.Float64("rate", 0, "per-learner rate limit in requests/second (0 disables)")
+	burst := fs.Int("burst", 20, "per-learner rate-limit burst capacity")
+	quiet := fs.Bool("quiet", false, "suppress per-request access logging")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,7 +89,15 @@ func run(args []string) error {
 		return fmt.Errorf("bank %s holds no exams; seed one with assessctl", *bankPath)
 	}
 	engine := delivery.NewShardedEngine(store, nil, *monitorCap, *sessionShards)
-	handler := delivery.NewServer(engine)
+	accessLog := log.Default()
+	if *quiet {
+		accessLog = nil
+	}
+	handler := httpapi.NewServer(engine, store, httpapi.Options{
+		Logger:     accessLog,
+		RatePerSec: *rate,
+		Burst:      *burst,
+	})
 
 	examID := *contentExam
 	if examID == "" {

@@ -1,27 +1,27 @@
-// Onlineexam runs the whole §5 delivery architecture in one process: it
-// seeds a bank, starts the HTTP LMS with a mounted SCORM package, drives a
-// class of learners through the exam as HTTP clients (with one pause/resume
-// and one manual essay grade), pulls the monitor snapshots and the exported
-// results, and analyzes them.
+// Onlineexam runs the whole §5 delivery architecture in one process, now
+// entirely through the versioned /v1 HTTP API and the typed Go SDK
+// (pkg/client): it authors a bank over HTTP (the paper's authoring system —
+// problems created and the exam assembled from a blueprint, no CLI), mounts
+// the SCORM package, drives a class of learners through the exam (with one
+// pause/resume and manual essay grades), pulls the monitor snapshots, the
+// server metrics, and the exported results, and analyzes them.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
 	"log"
-	"net/http"
 	"net/http/httptest"
 	"os"
 
 	"mineassess/internal/analysis"
-	"mineassess/internal/authoring"
 	"mineassess/internal/bank"
 	"mineassess/internal/cognition"
 	"mineassess/internal/delivery"
+	"mineassess/internal/httpapi"
 	"mineassess/internal/item"
 	"mineassess/internal/report"
 	"mineassess/internal/scorm"
+	"mineassess/pkg/client"
 )
 
 func main() {
@@ -31,9 +31,8 @@ func main() {
 }
 
 func run() error {
-	// Author a small exam: 5 MC questions + 1 essay, all resumable. The
-	// bank is the production arrangement: a sharded store wrapped in a
-	// write-ahead journal, so every authoring step below is appended to the
+	// The bank is the production arrangement: a sharded store wrapped in a
+	// write-ahead journal, so every authoring call below is appended to the
 	// WAL and would survive a crash.
 	dir, err := os.MkdirTemp("", "onlineexam-journal-*")
 	if err != nil {
@@ -45,7 +44,20 @@ func run() error {
 		return err
 	}
 	defer store.Close()
-	var ids []string
+
+	// Start the LMS: engine + /v1 API with access logging off (the demo
+	// prints its own narrative) and a generous per-learner rate limit.
+	engine := delivery.NewEngine(store, nil, 16)
+	handler := httpapi.NewServer(engine, store, httpapi.Options{
+		RatePerSec: 500, Burst: 500,
+	})
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+	fmt.Printf("LMS serving /v1 at %s\n", srv.URL)
+
+	// Author the exam over HTTP: 5 MC questions + 1 essay, all resumable,
+	// then assemble the exam from a blueprint instead of listing IDs.
+	author := client.New(srv.URL, client.WithLearnerID("instructor"))
 	for i := 1; i <= 5; i++ {
 		p, err := item.NewMultipleChoice(fmt.Sprintf("q%d", i),
 			fmt.Sprintf("Online question %d", i),
@@ -53,35 +65,35 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		p.ConceptID = "web-delivery"
 		p.Level = cognition.Levels()[i%3]
 		p.Resumable = true
-		if err := store.AddProblem(p); err != nil {
+		if err := author.CreateProblem(p); err != nil {
 			return err
 		}
-		ids = append(ids, p.ID)
 	}
 	essay := &item.Problem{ID: "essay", Style: item.Essay,
-		Question: "Why does assessment close the learning cycle?",
-		Level:    cognition.Evaluation, Resumable: true}
-	if err := store.AddProblem(essay); err != nil {
+		Question:  "Why does assessment close the learning cycle?",
+		ConceptID: "web-delivery",
+		Level:     cognition.Evaluation, Resumable: true}
+	if err := author.CreateProblem(essay); err != nil {
 		return err
 	}
-	ids = append(ids, essay.ID)
-	draft := authoring.NewExamDraft("online", "Online exam")
-	if err := draft.Add(ids...); err != nil {
-		return err
-	}
-	rec, err := draft.Finalize(store)
+	rec, err := author.AssembleExam(httpapi.AssembleExamRequest{
+		ID: "online", Title: "Online exam",
+		Require: []httpapi.BlueprintCell{
+			{ConceptID: "web-delivery", Level: cognition.Knowledge, Count: 1},
+			{ConceptID: "web-delivery", Level: cognition.Comprehension, Count: 2},
+			{ConceptID: "web-delivery", Level: cognition.Application, Count: 2},
+			{ConceptID: "web-delivery", Level: cognition.Evaluation, Count: 1},
+		},
+	})
 	if err != nil {
 		return err
 	}
-	if err := store.AddExam(rec); err != nil {
-		return err
-	}
+	fmt.Printf("assembled exam %q with %d problems over HTTP\n", rec.ID, len(rec.ProblemIDs))
 
-	// Start the LMS with the SCORM package mounted.
-	engine := delivery.NewEngine(store, nil, 16)
-	handler := delivery.NewServer(engine)
+	// Mount the SCORM package so SCO content loads straight from the LMS.
 	problems, err := store.Problems(rec.ProblemIDs)
 	if err != nil {
 		return err
@@ -91,48 +103,24 @@ func run() error {
 		return err
 	}
 	handler.MountPackage(pkg)
-	srv := httptest.NewServer(handler)
-	defer srv.Close()
-	fmt.Printf("LMS serving at %s with %d-file SCORM package\n", srv.URL, len(pkg.Files))
-
-	post := func(url string, body any, out any) error {
-		raw, err := json.Marshal(body)
-		if err != nil {
-			return err
-		}
-		resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
-		if err != nil {
-			return err
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("POST %s: %s", url, resp.Status)
-		}
-		if out != nil {
-			return json.NewDecoder(resp.Body).Decode(out)
-		}
-		return nil
-	}
+	fmt.Printf("mounted %d-file SCORM package under /package/\n", len(pkg.Files))
 
 	// Eight learners: learner i answers the first i questions correctly.
 	var firstSession string
 	for i := 0; i < 8; i++ {
-		var started struct {
-			SessionID string   `json:"sessionId"`
-			Order     []string `json:"order"`
-		}
-		if err := post(srv.URL+"/api/session/start", map[string]any{
-			"examId": "online", "studentId": fmt.Sprintf("learner%02d", i),
-		}, &started); err != nil {
+		learner := client.New(srv.URL,
+			client.WithLearnerID(fmt.Sprintf("learner%02d", i)))
+		started, err := learner.StartSession("online", fmt.Sprintf("learner%02d", i), int64(i))
+		if err != nil {
 			return err
 		}
 		if firstSession == "" {
 			firstSession = started.SessionID
 			// Demonstrate pause/resume on the first learner.
-			if err := post(srv.URL+"/api/session/"+started.SessionID+"/pause", nil, nil); err != nil {
+			if err := learner.Pause(started.SessionID); err != nil {
 				return err
 			}
-			if err := post(srv.URL+"/api/session/"+started.SessionID+"/resume", nil, nil); err != nil {
+			if err := learner.Resume(started.SessionID); err != nil {
 				return err
 			}
 		}
@@ -143,59 +131,51 @@ func run() error {
 			} else if qi < i {
 				response = "A"
 			}
-			if err := post(srv.URL+"/api/session/"+started.SessionID+"/answer",
-				map[string]string{"problemId": pid, "response": response}, nil); err != nil {
+			if err := learner.Answer(started.SessionID, pid, response); err != nil {
 				return err
 			}
 		}
-		if err := post(srv.URL+"/api/session/"+started.SessionID+"/finish", nil, nil); err != nil {
+		if _, err := learner.Finish(started.SessionID); err != nil {
 			return err
 		}
 	}
 
 	// Instructor grades every pending essay over the admin API.
-	var pending []delivery.PendingGrade
-	if err := getInto(srv.URL+"/api/admin/grades?exam=online", &pending); err != nil {
+	pending, err := author.PendingGrades("online")
+	if err != nil {
 		return err
 	}
 	fmt.Printf("%d essays awaiting manual grades\n", len(pending))
 	for _, pg := range pending {
-		if err := post(srv.URL+"/api/admin/grades", map[string]any{
-			"sessionId": pg.SessionID, "problemId": pg.ProblemID, "credit": 1.0,
-		}, nil); err != nil {
+		if err := author.AssignGrade(pg.SessionID, pg.ProblemID, 1.0); err != nil {
 			return err
 		}
 	}
 
-	// Monitor evidence for the first learner.
-	var snaps []delivery.Snapshot
-	if err := getInto(srv.URL+"/api/monitor/"+firstSession, &snaps); err != nil {
+	// Monitor evidence for the first learner, plus the server's own view of
+	// the traffic it just served.
+	snaps, err := author.Monitor(firstSession)
+	if err != nil {
 		return err
 	}
 	fmt.Printf("monitor captured %d snapshots of %s\n", len(snaps), firstSession)
-
-	// Export the results and analyze.
-	var res analysis.ExamResult
-	if err := getInto(srv.URL+"/api/admin/results?exam=online", &res); err != nil {
+	metrics, err := author.Metrics()
+	if err != nil {
 		return err
 	}
-	a, err := analysis.Analyze(&res, analysis.Options{})
+	fmt.Printf("server handled %d requests (%d rate-limited, %d 5xx)\n",
+		metrics.Requests, metrics.RateLimited, metrics.Errors5xx)
+
+	// Export the results and analyze.
+	res, err := author.Results("online")
+	if err != nil {
+		return err
+	}
+	a, err := analysis.Analyze(res, analysis.Options{})
 	if err != nil {
 		return err
 	}
 	fmt.Println()
 	fmt.Print(report.SignalBoard(a))
 	return nil
-}
-
-func getInto(url string, out any) error {
-	resp, err := http.Get(url)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET %s: %s", url, resp.Status)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
 }

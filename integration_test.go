@@ -7,9 +7,8 @@ package mineassess
 
 import (
 	"bytes"
-	"encoding/json"
+	"errors"
 	"fmt"
-	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -21,11 +20,13 @@ import (
 	"mineassess/internal/core"
 	"mineassess/internal/delivery"
 	"mineassess/internal/feedback"
+	"mineassess/internal/httpapi"
 	"mineassess/internal/item"
 	"mineassess/internal/qti"
 	"mineassess/internal/scorm"
 	"mineassess/internal/simulate"
 	"mineassess/internal/stats"
+	"mineassess/pkg/client"
 )
 
 // authorCourse builds a bank with 8 problems over 2 concepts and one exam.
@@ -73,43 +74,22 @@ type httpClock struct{ t time.Time }
 
 func (c *httpClock) now() time.Time { return c.t }
 
-// TestFullLoopOverHTTP drives 12 students through the HTTP LMS, collects
-// results, analyzes them, and produces feedback.
+// TestFullLoopOverHTTP drives 12 students through the /v1 LMS with the
+// typed Go SDK, collects results, analyzes them, and produces feedback.
 func TestFullLoopOverHTTP(t *testing.T) {
 	store, examID := authorCourse(t)
 	clock := &httpClock{t: time.Date(2004, 4, 1, 9, 0, 0, 0, time.UTC)}
 	engine := delivery.NewEngine(store, clock.now, 8)
-	srv := httptest.NewServer(delivery.NewServer(engine))
+	srv := httptest.NewServer(httpapi.NewServer(engine, store, httpapi.Options{}))
 	defer srv.Close()
-
-	post := func(url string, body any, out any) int {
-		raw, err := json.Marshal(body)
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer resp.Body.Close()
-		if out != nil {
-			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-				t.Fatal(err)
-			}
-		}
-		return resp.StatusCode
-	}
 
 	// Student s answers the first s questions correctly (A), the rest B.
 	for s := 0; s < 12; s++ {
-		var started struct {
-			SessionID string   `json:"sessionId"`
-			Order     []string `json:"order"`
-		}
-		if code := post(srv.URL+"/api/session/start", map[string]any{
-			"examId": examID, "studentId": fmt.Sprintf("s%02d", s),
-		}, &started); code != http.StatusOK {
-			t.Fatalf("start %d: code %d", s, code)
+		student := fmt.Sprintf("s%02d", s)
+		c := client.New(srv.URL, client.WithLearnerID(student))
+		started, err := c.StartSession(examID, student, 0)
+		if err != nil {
+			t.Fatalf("start %d: %v", s, err)
 		}
 		for qi, pid := range started.Order {
 			opt := "B"
@@ -117,13 +97,12 @@ func TestFullLoopOverHTTP(t *testing.T) {
 				opt = "A"
 			}
 			clock.t = clock.t.Add(30 * time.Second)
-			if code := post(srv.URL+"/api/session/"+started.SessionID+"/answer",
-				map[string]string{"problemId": pid, "response": opt}, nil); code != http.StatusOK {
-				t.Fatalf("answer: code %d", code)
+			if err := c.Answer(started.SessionID, pid, opt); err != nil {
+				t.Fatalf("answer: %v", err)
 			}
 		}
-		if code := post(srv.URL+"/api/session/"+started.SessionID+"/finish", nil, nil); code != http.StatusOK {
-			t.Fatalf("finish: code %d", code)
+		if _, err := c.Finish(started.SessionID); err != nil {
+			t.Fatalf("finish: %v", err)
 		}
 	}
 
@@ -415,5 +394,106 @@ func TestJournaledDeliveryAcrossRestart(t *testing.T) {
 	}
 	if _, err := analysis.Analyze(res, analysis.Options{}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestAuthoringOverHTTP exercises the paper's authoring workflow entirely
+// through the /v1 API and the SDK: problems created over HTTP, the exam
+// assembled from a blueprint server-side, a sitting delivered, a problem
+// fixed mid-life, and the results exported — no CLI, no direct store access.
+func TestAuthoringOverHTTP(t *testing.T) {
+	store := bank.NewSharded(8)
+	engine := delivery.NewEngine(store, nil, 0)
+	srv := httptest.NewServer(httpapi.NewServer(engine, store, httpapi.Options{}))
+	defer srv.Close()
+	c := client.New(srv.URL, client.WithLearnerID("instructor"))
+
+	// Author 6 problems over 2 concepts.
+	for i := 0; i < 6; i++ {
+		p, err := item.NewMultipleChoice(fmt.Sprintf("h%d", i+1),
+			fmt.Sprintf("HTTP-authored question %d", i+1),
+			[]string{"w", "x", "y", "z"}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.ConceptID = fmt.Sprintf("c%d", i%2+1)
+		p.Level = cognition.Knowledge
+		if err := c.CreateProblem(p); err != nil {
+			t.Fatalf("create problem: %v", err)
+		}
+	}
+
+	// A blueprint the bank cannot satisfy is a typed 422 with cell details.
+	_, err := c.AssembleExam(httpapi.AssembleExamRequest{
+		ID: "too-big", Title: "Too big",
+		Require: []httpapi.BlueprintCell{
+			{ConceptID: "c1", Level: cognition.Knowledge, Count: 99},
+		},
+	})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != httpapi.CodeBlueprintShortfall {
+		t.Fatalf("shortfall = %v, want BLUEPRINT_SHORTFALL", err)
+	}
+	if apiErr.Details["shortfalls"] == nil {
+		t.Error("shortfall details missing")
+	}
+
+	// A satisfiable blueprint assembles and stores the exam.
+	rec, err := c.AssembleExam(httpapi.AssembleExamRequest{
+		ID: "httpexam", Title: "HTTP-authored exam", TestTimeSeconds: 3600,
+		Require: []httpapi.BlueprintCell{
+			{ConceptID: "c1", Level: cognition.Knowledge, Count: 2},
+			{ConceptID: "c2", Level: cognition.Knowledge, Count: 2},
+		},
+	})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if len(rec.ProblemIDs) != 4 {
+		t.Fatalf("assembled problems = %v", rec.ProblemIDs)
+	}
+
+	// Fix a flagged problem over HTTP; the bank keeps the revision.
+	p, err := c.Problem(rec.ProblemIDs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Question = "Clarified wording"
+	if err := c.UpdateProblem(p); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if got := store.Version(p.ID); got != 2 {
+		t.Errorf("version after HTTP update = %d, want 2", got)
+	}
+
+	// Search finds the updated problem by keyword.
+	found, err := c.ListProblems(client.ProblemQuery{Keyword: "clarified"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found.Total != 1 || found.Problems[0].ID != p.ID {
+		t.Errorf("search = %+v", found)
+	}
+
+	// Deliver one sitting and export the matrix.
+	learner := client.New(srv.URL, client.WithLearnerID("zoe"))
+	started, err := learner.StartSession("httpexam", "zoe", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pid := range started.Order {
+		if err := learner.Answer(started.SessionID, pid, "A"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := learner.Finish(started.SessionID); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Results("httpexam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Students) != 1 || res.Students[0].StudentID != "zoe" {
+		t.Errorf("results = %+v", res.Students)
 	}
 }

@@ -2,8 +2,6 @@ package delivery
 
 import (
 	"errors"
-	"net/http"
-	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -11,14 +9,6 @@ import (
 	"mineassess/internal/cognition"
 	"mineassess/internal/item"
 )
-
-// newTestHTTP serves the engine over HTTP for the admin-endpoint tests.
-func newTestHTTP(t *testing.T, eng *Engine) string {
-	t.Helper()
-	srv := httptest.NewServer(NewServer(eng))
-	t.Cleanup(srv.Close)
-	return srv.URL
-}
 
 // essayExamFixture: one essay + one MC problem.
 func essayExamFixture(t *testing.T) (*bank.Store, string) {
@@ -143,91 +133,5 @@ func TestSessionSummaries(t *testing.T) {
 	}
 	if got := eng.SessionSummaries("other"); len(got) != 0 {
 		t.Errorf("other exam summaries = %v", got)
-	}
-}
-
-func TestHTTPAdminEndpoints(t *testing.T) {
-	store, examID := essayExamFixture(t)
-	clock := newFakeClock()
-	eng := NewEngine(store, clock.Now, 0)
-	srv := newTestHTTP(t, eng)
-
-	var sr startResponse
-	if code := postJSON(t, srv+"/api/session/start",
-		startRequest{ExamID: examID, StudentID: "carol"}, &sr); code != http.StatusOK {
-		t.Fatalf("start = %d", code)
-	}
-	if code := postJSON(t, srv+"/api/session/"+sr.SessionID+"/answer",
-		answerRequest{ProblemID: "essay1", Response: "my essay"}, nil); code != http.StatusOK {
-		t.Fatal("answer failed")
-	}
-
-	var sums []Status
-	if code := getJSON(t, srv+"/api/admin/sessions?exam="+examID, &sums); code != http.StatusOK {
-		t.Fatalf("admin sessions = %d", code)
-	}
-	if len(sums) != 1 || sums[0].StudentID != "carol" {
-		t.Errorf("sums = %+v", sums)
-	}
-	if code := getJSON(t, srv+"/api/admin/sessions", nil); code != http.StatusBadRequest {
-		t.Errorf("missing exam param = %d", code)
-	}
-
-	var pending []PendingGrade
-	if code := getJSON(t, srv+"/api/admin/grades?exam="+examID, &pending); code != http.StatusOK {
-		t.Fatalf("admin grades = %d", code)
-	}
-	if len(pending) != 1 || pending[0].ProblemID != "essay1" {
-		t.Errorf("pending = %+v", pending)
-	}
-	if code := postJSON(t, srv+"/api/admin/grades",
-		gradeRequest{SessionID: sr.SessionID, ProblemID: "essay1", Credit: 0.9}, nil); code != http.StatusOK {
-		t.Error("grade post failed")
-	}
-	if code := postJSON(t, srv+"/api/admin/grades",
-		gradeRequest{SessionID: sr.SessionID, ProblemID: "essay1", Credit: 2}, nil); code != http.StatusBadRequest {
-		t.Errorf("bad credit = %d", code)
-	}
-}
-
-func TestHTTPAdminResultsExport(t *testing.T) {
-	store, examID := examFixture(t, false)
-	clock := newFakeClock()
-	eng := NewEngine(store, clock.Now, 0)
-	srv := newTestHTTP(t, eng)
-
-	var sr startResponse
-	if code := postJSON(t, srv+"/api/session/start",
-		startRequest{ExamID: examID, StudentID: "dora"}, &sr); code != http.StatusOK {
-		t.Fatal("start failed")
-	}
-	for _, q := range []string{"q1", "q2", "q3", "q4"} {
-		clock.Advance(20 * time.Second)
-		if code := postJSON(t, srv+"/api/session/"+sr.SessionID+"/answer",
-			answerRequest{ProblemID: q, Response: "A"}, nil); code != http.StatusOK {
-			t.Fatal("answer failed")
-		}
-	}
-	if code := postJSON(t, srv+"/api/session/"+sr.SessionID+"/finish", nil, nil); code != http.StatusOK {
-		t.Fatal("finish failed")
-	}
-
-	var res struct {
-		ExamID   string `json:"examId"`
-		Students []struct {
-			StudentID string `json:"studentId"`
-		} `json:"students"`
-	}
-	if code := getJSON(t, srv+"/api/admin/results?exam="+examID, &res); code != http.StatusOK {
-		t.Fatalf("results export = %d", code)
-	}
-	if res.ExamID != examID || len(res.Students) != 1 || res.Students[0].StudentID != "dora" {
-		t.Errorf("exported result = %+v", res)
-	}
-	if code := getJSON(t, srv+"/api/admin/results", nil); code != http.StatusBadRequest {
-		t.Errorf("missing exam param = %d", code)
-	}
-	if code := getJSON(t, srv+"/api/admin/results?exam=ghost", nil); code != http.StatusNotFound {
-		t.Errorf("unknown exam = %d", code)
 	}
 }

@@ -1,8 +1,9 @@
 // Package delivery is the on-line exam runtime: learners take exams through
 // sessions with time limits (§3.4 II), pause/resume semantics (§3.2 VI B),
-// automatic grading, a monitor subsystem that captures client pictures
-// during the exam (§5), and an HTTP LMS front end exposing the SCORM RTE
-// API. Results stream into the analysis package's response matrices.
+// automatic grading, and a monitor subsystem that captures client pictures
+// during the exam (§5). Results stream into the analysis package's response
+// matrices. The HTTP front end (versioned /v1 API, SCORM RTE bridge,
+// authoring CRUD) lives in internal/httpapi.
 //
 // Concurrency model: the engine keeps sessions in a sharded registry
 // (registry.go); each Session carries its own mutex. A per-learner operation
@@ -183,6 +184,14 @@ func (e *Engine) Monitor() *Monitor {
 // (any state).
 func (e *Engine) SessionCount() int {
 	return e.registry.count()
+}
+
+// HasSession reports whether a session ID is registered, in any state. The
+// HTTP layer uses it to distinguish "no such session" (404) from "a session
+// with no data yet" before reading monitor rings.
+func (e *Engine) HasSession(sessionID string) bool {
+	_, err := e.registry.get(sessionID)
+	return err == nil
 }
 
 // Start opens a session for the student on the exam, computing the

@@ -1,0 +1,340 @@
+package httpapi
+
+// Authoring over HTTP: the paper's authoring system (§5.3-§5.4) as v1
+// resources — problem CRUD with search, exam CRUD, and blueprint-driven
+// assembly — so banks are maintained through the API, not only the
+// assessctl CLI.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"mineassess/internal/authoring"
+	"mineassess/internal/bank"
+	"mineassess/internal/cognition"
+	"mineassess/internal/item"
+)
+
+// checkResourceID rejects IDs the path router cannot address: an ID
+// containing '/' would be created fine by the bank but could never be
+// fetched, updated, or deleted through /v1/problems/{id} or
+// /v1/exams/{id} (URL paths arrive percent-decoded, so %2F is no escape
+// hatch). It writes the 400 envelope itself on failure.
+func checkResourceID(w http.ResponseWriter, id string) bool {
+	if strings.Contains(id, "/") {
+		writeErr(w, &Error{Code: CodeValidation,
+			Message: fmt.Sprintf("id %q must not contain '/'", id)})
+		return false
+	}
+	return true
+}
+
+// writeAuthoringError maps store mutation failures: sentinel errors keep
+// their taxonomy codes; anything else from the bank layer is a validation
+// failure of the submitted payload, not a server fault.
+func writeAuthoringError(w http.ResponseWriter, err error) {
+	e := FromError(err)
+	if e.Code == CodeInternal {
+		e = &Error{Code: CodeValidation, Message: err.Error()}
+	}
+	writeErr(w, e)
+}
+
+// --- Problems ---
+
+func (s *Server) handleProblemsRoot(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.listProblems(w, r)
+	case http.MethodPost:
+		s.createProblem(w, r)
+	default:
+		methodNotAllowed(w, http.MethodGet, http.MethodPost)
+	}
+}
+
+// parseQuery builds a bank.Query from GET /v1/problems parameters.
+func parseQuery(r *http.Request) (bank.Query, error) {
+	v := r.URL.Query()
+	q := bank.Query{
+		Subject:   v.Get("subject"),
+		Keyword:   v.Get("keyword"),
+		ConceptID: v.Get("concept"),
+	}
+	if raw := v.Get("style"); raw != "" {
+		st, err := item.ParseStyle(raw)
+		if err != nil {
+			return q, err
+		}
+		q.Style = st
+	}
+	if raw := v.Get("level"); raw != "" {
+		lvl, err := cognition.ParseLevel(raw)
+		if err != nil {
+			return q, err
+		}
+		q.Level = lvl
+	}
+	for _, f := range []struct {
+		name string
+		dst  *float64
+	}{
+		{"minDifficulty", &q.MinDifficulty},
+		{"maxDifficulty", &q.MaxDifficulty},
+		{"minDiscrimination", &q.MinDiscrimination},
+	} {
+		raw := v.Get(f.name)
+		if raw == "" {
+			continue
+		}
+		x, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return q, errors.New("bad " + f.name + " parameter")
+		}
+		*f.dst = x
+	}
+	if raw := v.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			return q, errors.New("bad limit parameter")
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+func (s *Server) listProblems(w http.ResponseWriter, r *http.Request) {
+	q, err := parseQuery(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	found := s.store.Search(q)
+	if found == nil {
+		found = []*item.Problem{} // JSON [] for empty, never null
+	}
+	writeJSON(w, http.StatusOK, ProblemList{Problems: found, Total: len(found)})
+}
+
+func (s *Server) createProblem(w http.ResponseWriter, r *http.Request) {
+	var p item.Problem
+	if !decodeBody(w, r, &p) {
+		return
+	}
+	if !checkResourceID(w, p.ID) {
+		return
+	}
+	if err := s.store.AddProblem(&p); err != nil {
+		writeAuthoringError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, &p)
+}
+
+// handleProblemByID routes /v1/problems/{id}.
+func (s *Server) handleProblemByID(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/problems/")
+	if id == "" || strings.Contains(id, "/") {
+		notFoundRoute(w, r.URL.Path)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		p, err := s.store.Problem(id)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, p)
+	case http.MethodPut:
+		var p item.Problem
+		if !decodeBody(w, r, &p) {
+			return
+		}
+		if p.ID == "" {
+			p.ID = id
+		} else if p.ID != id {
+			badRequest(w, "body ID %q does not match URL ID %q", p.ID, id)
+			return
+		}
+		if err := s.store.UpdateProblem(&p); err != nil {
+			writeAuthoringError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, &p)
+	case http.MethodDelete:
+		if err := s.store.DeleteProblem(id); err != nil {
+			writeError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		methodNotAllowed(w, http.MethodGet, http.MethodPut, http.MethodDelete)
+	}
+}
+
+// --- Exams ---
+
+func (s *Server) handleExamsRoot(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, ExamList{ExamIDs: s.store.ExamIDs()})
+	case http.MethodPost:
+		s.createExam(w, r)
+	default:
+		methodNotAllowed(w, http.MethodGet, http.MethodPost)
+	}
+}
+
+func (s *Server) createExam(w http.ResponseWriter, r *http.Request) {
+	var rec bank.ExamRecord
+	if !decodeBody(w, r, &rec) {
+		return
+	}
+	if !checkResourceID(w, rec.ID) {
+		return
+	}
+	if rec.Display == 0 {
+		rec.Display = item.FixedOrder
+	}
+	if !rec.Display.Valid() {
+		badRequest(w, "invalid display order %d", int(rec.Display))
+		return
+	}
+	if err := s.store.AddExam(&rec); err != nil {
+		// A dangling problem reference is a payload defect, not a lookup on
+		// a problem resource — report it as validation, not 404.
+		if errors.Is(err, bank.ErrProblemNotFound) {
+			writeErr(w, &Error{Code: CodeValidation, Message: err.Error()})
+			return
+		}
+		writeAuthoringError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, &rec)
+}
+
+// handleExamByID routes /v1/exams/{id} and its subresources
+// (sessions, grades, results).
+func (s *Server) handleExamByID(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/exams/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" {
+		badRequest(w, "missing exam ID")
+		return
+	}
+	switch sub {
+	case "":
+		switch r.Method {
+		case http.MethodGet:
+			rec, err := s.store.Exam(id)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, rec)
+		case http.MethodDelete:
+			if err := s.store.DeleteExam(id); err != nil {
+				writeError(w, err)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			methodNotAllowed(w, http.MethodGet, http.MethodDelete)
+		}
+	case "sessions":
+		switch r.Method {
+		case http.MethodPost:
+			s.startSession(w, r, id)
+		case http.MethodGet:
+			s.listSessions(w, id)
+		default:
+			methodNotAllowed(w, http.MethodGet, http.MethodPost)
+		}
+	case "grades":
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, http.MethodGet)
+			return
+		}
+		s.listGrades(w, id)
+	case "results":
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, http.MethodGet)
+			return
+		}
+		s.exportResults(w, id)
+	default:
+		notFoundRoute(w, r.URL.Path)
+	}
+}
+
+// handleAssemble implements POST /v1/exams:assemble — the paper's
+// blueprint-driven authoring workflow over HTTP. The server selects problems
+// satisfying every (concept, level) cell, finalizes the draft, stores the
+// exam, and returns the record; an underfilled bank is a 422
+// BLUEPRINT_SHORTFALL whose details list every deficient cell.
+func (s *Server) handleAssemble(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	var req AssembleExamRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.ID) == "" {
+		badRequest(w, "missing exam ID")
+		return
+	}
+	if !checkResourceID(w, req.ID) {
+		return
+	}
+	if len(req.Require) == 0 {
+		badRequest(w, "empty blueprint")
+		return
+	}
+	if req.Display == 0 {
+		req.Display = item.FixedOrder
+	}
+	if !req.Display.Valid() {
+		badRequest(w, "invalid display order %d", int(req.Display))
+		return
+	}
+	bp := authoring.NewBlueprint()
+	for _, cell := range req.Require {
+		if cell.ConceptID == "" {
+			badRequest(w, "blueprint cell missing conceptId")
+			return
+		}
+		if err := bp.Require(cell.ConceptID, cell.Level, cell.Count); err != nil {
+			badRequest(w, "%v", err)
+			return
+		}
+	}
+	ids, err := authoring.Assemble(s.store, bp)
+	if err != nil {
+		writeError(w, err) // ShortfallError -> 422 with cell details
+		return
+	}
+	draft := authoring.NewExamDraft(req.ID, req.Title)
+	draft.Display = req.Display
+	draft.TestTime = time.Duration(req.TestTimeSeconds) * time.Second
+	if err := draft.Add(ids...); err != nil {
+		writeAuthoringError(w, err)
+		return
+	}
+	rec, err := draft.Finalize(s.store)
+	if err != nil {
+		writeAuthoringError(w, err)
+		return
+	}
+	if err := s.store.AddExam(rec); err != nil {
+		writeAuthoringError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, AssembleExamResponse{Exam: rec})
+}

@@ -1,0 +1,119 @@
+package httpapi
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the in-process observability registry, exported at
+// GET /v1/metrics. Per-route counters are keyed by the registered route
+// pattern (not the raw path), so session-ID fan-out never explodes the
+// cardinality.
+type Metrics struct {
+	start       time.Time
+	inFlight    atomic.Int64
+	rateLimited atomic.Int64
+	panics      atomic.Int64
+
+	mu     sync.Mutex
+	routes map[string]*routeStats
+}
+
+type routeStats struct {
+	count    int64
+	byStatus map[int]int64
+	total    time.Duration
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), routes: make(map[string]*routeStats)}
+}
+
+// observe records one completed request against a route pattern.
+func (m *Metrics) observe(route string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.routes[route]
+	if !ok {
+		rs = &routeStats{byStatus: make(map[int]int64)}
+		m.routes[route] = rs
+	}
+	rs.count++
+	rs.byStatus[status]++
+	rs.total += d
+}
+
+// instrument wraps a handler so every request is timed and counted under the
+// route pattern it was registered with.
+func (m *Metrics) instrument(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.inFlight.Add(1)
+		defer m.inFlight.Add(-1)
+		sr := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sr, r)
+		if sr.status == 0 {
+			sr.status = http.StatusOK
+		}
+		m.observe(route, sr.status, time.Since(start))
+	})
+}
+
+// RouteMetrics is one route's exported counters.
+type RouteMetrics struct {
+	Route    string           `json:"route"`
+	Count    int64            `json:"count"`
+	ByStatus map[string]int64 `json:"byStatus"`
+	AvgMs    float64          `json:"avgMs"`
+}
+
+// MetricsSnapshot is the GET /v1/metrics response body.
+type MetricsSnapshot struct {
+	UptimeSeconds float64        `json:"uptimeSeconds"`
+	InFlight      int64          `json:"inFlight"`
+	Requests      int64          `json:"requests"`
+	Errors5xx     int64          `json:"errors5xx"`
+	RateLimited   int64          `json:"rateLimited"`
+	Panics        int64          `json:"panics"`
+	Routes        []RouteMetrics `json:"routes"`
+}
+
+// Snapshot exports the registry. Routes are sorted by pattern for stable
+// output; scraping the snapshot does not reset any counter.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	snap := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		InFlight:      m.inFlight.Load(),
+		RateLimited:   m.rateLimited.Load(),
+		Panics:        m.panics.Load(),
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for route, rs := range m.routes {
+		rm := RouteMetrics{
+			Route:    route,
+			Count:    rs.count,
+			ByStatus: make(map[string]int64, len(rs.byStatus)),
+		}
+		for status, n := range rs.byStatus {
+			rm.ByStatus[strconv.Itoa(status)] = n
+			if status >= 500 {
+				snap.Errors5xx += n
+			}
+		}
+		if rs.count > 0 {
+			rm.AvgMs = float64(rs.total.Microseconds()) / 1000 / float64(rs.count)
+		}
+		snap.Requests += rs.count
+		snap.Routes = append(snap.Routes, rm)
+	}
+	sort.Slice(snap.Routes, func(i, j int) bool {
+		return snap.Routes[i].Route < snap.Routes[j].Route
+	})
+	return snap
+}

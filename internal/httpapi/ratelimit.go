@@ -1,0 +1,98 @@
+package httpapi
+
+import (
+	"sync"
+	"time"
+)
+
+// RateLimiter is a per-key token bucket: each learner gets Burst tokens that
+// refill at Rate per second. It exists so a single runaway SCO or scripted
+// client cannot monopolize the delivery engine during an exam.
+type RateLimiter struct {
+	rate  float64 // tokens added per second
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBuckets bounds limiter memory: when exceeded, fully refilled (idle)
+// buckets are swept. Active learners are never evicted — a full bucket is
+// indistinguishable from a brand-new one.
+const maxBuckets = 8192
+
+// NewRateLimiter builds a limiter allowing rate requests/second with the
+// given burst per key. rate <= 0 returns nil, which disables limiting.
+// now may be nil for wall-clock time.
+func NewRateLimiter(rate float64, burst int, now func() time.Time) *RateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &RateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// Allow reports whether the key may proceed, consuming one token if so.
+func (l *RateLimiter) Allow(key string) bool {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= maxBuckets {
+			l.sweepLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// sweepLocked drops buckets that have refilled completely, then — only if
+// an adversarial flood of never-full buckets left the map still at the cap
+// — evicts arbitrary entries down to half so maxBuckets is a hard bound and
+// the O(n) sweep amortizes over the next maxBuckets/2 inserts. An evicted
+// active key restarts with a full burst, which is the lesser harm next to
+// unbounded memory. Callers hold mu.
+func (l *RateLimiter) sweepLocked(now time.Time) {
+	for key, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, key)
+		}
+	}
+	if len(l.buckets) < maxBuckets {
+		return
+	}
+	for key := range l.buckets {
+		if len(l.buckets) <= maxBuckets/2 {
+			break
+		}
+		delete(l.buckets, key)
+	}
+}

@@ -1,0 +1,415 @@
+// Package client is the typed Go SDK for the LMS /v1 API. It is built
+// around the same request/response structs the server serializes
+// (internal/httpapi wire types plus the canonical item/bank/delivery/
+// analysis payloads), so a client and server compiled from the same tree
+// can never disagree about the contract.
+//
+// Every non-2xx response is returned as *APIError carrying the server's
+// machine-readable error code; the codes are re-exported here so callers
+// can branch without importing internal packages:
+//
+//	c := client.New(baseURL, client.WithLearnerID("alice"))
+//	start, err := c.StartSession("midterm", "alice", 7)
+//	var apiErr *client.APIError
+//	if errors.As(err, &apiErr) && apiErr.Code == client.CodeExamNotFound {
+//		// handle the typo'd exam ID
+//	}
+//
+// Scope: domain payloads (item.Problem, bank.ExamRecord, delivery.Status,
+// analysis results) are types of this module's internal packages, so the
+// SDK is for tools built inside this module (examples, benchmarks, tests,
+// sibling services in this tree). Promoting the wire types to a public
+// package for external importers is tracked in ROADMAP.md.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"mineassess/internal/analysis"
+	"mineassess/internal/bank"
+	"mineassess/internal/delivery"
+	"mineassess/internal/httpapi"
+	"mineassess/internal/item"
+)
+
+// Code aliases the server's error-code type; the values below re-export
+// the full taxonomy (see API.md for status mapping and semantics).
+type Code = httpapi.Code
+
+// The v1 error taxonomy, re-exported for callers.
+const (
+	CodeBadRequest         = httpapi.CodeBadRequest
+	CodeValidation         = httpapi.CodeValidation
+	CodeNotFound           = httpapi.CodeNotFound
+	CodeMethodNotAllowed   = httpapi.CodeMethodNotAllowed
+	CodeSessionNotFound    = httpapi.CodeSessionNotFound
+	CodeExamNotFound       = httpapi.CodeExamNotFound
+	CodeProblemNotFound    = httpapi.CodeProblemNotFound
+	CodeExamExists         = httpapi.CodeExamExists
+	CodeProblemExists      = httpapi.CodeProblemExists
+	CodeSessionNotActive   = httpapi.CodeSessionNotActive
+	CodeSessionNotPaused   = httpapi.CodeSessionNotPaused
+	CodeNotResumable       = httpapi.CodeNotResumable
+	CodeTimeExpired        = httpapi.CodeTimeExpired
+	CodeUnknownProblem     = httpapi.CodeUnknownProblem
+	CodeAlreadyAnswered    = httpapi.CodeAlreadyAnswered
+	CodeNotAnswered        = httpapi.CodeNotAnswered
+	CodeAutoGraded         = httpapi.CodeAutoGraded
+	CodeInvalidCredit      = httpapi.CodeInvalidCredit
+	CodeBlueprintShortfall = httpapi.CodeBlueprintShortfall
+	CodeRateLimited        = httpapi.CodeRateLimited
+	CodeInternal           = httpapi.CodeInternal
+)
+
+// APIError is a non-2xx response decoded from the server's error envelope.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the stable machine-readable error identifier.
+	Code httpapi.Code
+	// Message is the human-readable explanation.
+	Message string
+	// Details carries code-specific structured context (e.g. blueprint
+	// shortfall cells).
+	Details map[string]any
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("api: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// Client talks to one LMS server. The zero value is not usable; call New.
+type Client struct {
+	base      string
+	http      *http.Client
+	learnerID string
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// DefaultTimeout bounds every request of a default-configured client so a
+// wedged server cannot hang a learner tool forever; override with
+// WithHTTPClient.
+const DefaultTimeout = 30 * time.Second
+
+// WithHTTPClient substitutes the transport (custom timeouts, test doubles).
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// WithLearnerID sets the X-Learner-ID header on every request, giving the
+// server's per-learner rate limiter a stable key independent of NAT.
+func WithLearnerID(id string) Option {
+	return func(c *Client) { c.learnerID = id }
+}
+
+// New builds a client for the server at baseURL (e.g. "http://lms:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		http: &http.Client{Timeout: DefaultTimeout},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do issues one request. in == nil sends no body; out == nil discards the
+// response body. Non-2xx responses become *APIError.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: marshal request: %w", err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.learnerID != "" {
+		req.Header.Set("X-Learner-ID", c.learnerID)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return decodeAPIError(resp)
+	}
+	if out != nil && resp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("client: decode %s %s response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// decodeAPIError reads the error envelope; a body that is not an envelope
+// (e.g. a proxy's HTML error page) still yields a usable APIError.
+func decodeAPIError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var env httpapi.Error
+	if err := json.Unmarshal(raw, &env); err != nil || env.Code == "" {
+		return &APIError{
+			Status:  resp.StatusCode,
+			Code:    httpapi.CodeInternal,
+			Message: strings.TrimSpace(string(raw)),
+		}
+	}
+	return &APIError{
+		Status:  resp.StatusCode,
+		Code:    env.Code,
+		Message: env.Message,
+		Details: env.Details,
+	}
+}
+
+// --- Session delivery ---
+
+// StartSession opens a session on an exam and returns the presentation
+// order.
+func (c *Client) StartSession(examID, studentID string, seed int64) (*httpapi.StartSessionResponse, error) {
+	var out httpapi.StartSessionResponse
+	err := c.do(http.MethodPost, "/v1/exams/"+url.PathEscape(examID)+"/sessions",
+		httpapi.StartSessionRequest{StudentID: studentID, Seed: seed}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Session reports a session's current status.
+func (c *Client) Session(sessionID string) (*delivery.Status, error) {
+	var out delivery.Status
+	if err := c.do(http.MethodGet, "/v1/sessions/"+url.PathEscape(sessionID), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Answer records a learner's response.
+func (c *Client) Answer(sessionID, problemID, response string) error {
+	return c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(sessionID)+":answer",
+		httpapi.AnswerRequest{ProblemID: problemID, Response: response}, nil)
+}
+
+// Pause suspends a resumable session.
+func (c *Client) Pause(sessionID string) error {
+	return c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(sessionID)+":pause", nil, nil)
+}
+
+// Resume reactivates a paused session.
+func (c *Client) Resume(sessionID string) error {
+	return c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(sessionID)+":resume", nil, nil)
+}
+
+// Finish closes a session and returns its graded result row.
+func (c *Client) Finish(sessionID string) (*analysis.StudentResult, error) {
+	var out analysis.StudentResult
+	if err := c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(sessionID)+":finish", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Monitor returns the session's captured monitor snapshots.
+func (c *Client) Monitor(sessionID string) ([]delivery.Snapshot, error) {
+	var out []delivery.Snapshot
+	if err := c.do(http.MethodGet, "/v1/sessions/"+url.PathEscape(sessionID)+"/monitor", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RTE bridges one SCORM RTE call (getvalue, setvalue, commit,
+// geterrorstring) for SCO content.
+func (c *Client) RTE(sessionID string, req httpapi.RTERequest) (*httpapi.RTEResponse, error) {
+	var out httpapi.RTEResponse
+	if err := c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(sessionID)+"/rte", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// --- Problem authoring ---
+
+// CreateProblem stores a new problem in the bank.
+func (c *Client) CreateProblem(p *item.Problem) error {
+	return c.do(http.MethodPost, "/v1/problems", p, nil)
+}
+
+// Problem fetches one problem by ID.
+func (c *Client) Problem(id string) (*item.Problem, error) {
+	var out item.Problem
+	if err := c.do(http.MethodGet, "/v1/problems/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// UpdateProblem replaces an existing problem (the previous version is kept
+// in the bank's revision history).
+func (c *Client) UpdateProblem(p *item.Problem) error {
+	return c.do(http.MethodPut, "/v1/problems/"+url.PathEscape(p.ID), p, nil)
+}
+
+// DeleteProblem removes a problem from the bank.
+func (c *Client) DeleteProblem(id string) error {
+	return c.do(http.MethodDelete, "/v1/problems/"+url.PathEscape(id), nil, nil)
+}
+
+// ProblemQuery filters ListProblems; zero-valued fields are wildcards.
+// Style and Level use their text forms (e.g. "MultipleChoice", "Knowledge"
+// or "A"). The difficulty/discrimination bounds mirror bank.Query: both
+// difficulty bounds zero means unbounded, and unmeasured items match only
+// when no bound is set.
+type ProblemQuery struct {
+	Subject           string
+	Keyword           string
+	Style             string
+	Level             string
+	ConceptID         string
+	MinDifficulty     float64
+	MaxDifficulty     float64
+	MinDiscrimination float64
+	Limit             int
+}
+
+// ListProblems searches the bank.
+func (c *Client) ListProblems(q ProblemQuery) (*httpapi.ProblemList, error) {
+	v := url.Values{}
+	set := func(key, val string) {
+		if val != "" {
+			v.Set(key, val)
+		}
+	}
+	set("subject", q.Subject)
+	set("keyword", q.Keyword)
+	set("style", q.Style)
+	set("level", q.Level)
+	set("concept", q.ConceptID)
+	setF := func(key string, val float64) {
+		if val != 0 {
+			v.Set(key, strconv.FormatFloat(val, 'g', -1, 64))
+		}
+	}
+	setF("minDifficulty", q.MinDifficulty)
+	setF("maxDifficulty", q.MaxDifficulty)
+	setF("minDiscrimination", q.MinDiscrimination)
+	if q.Limit > 0 {
+		v.Set("limit", fmt.Sprint(q.Limit))
+	}
+	path := "/v1/problems"
+	if enc := v.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var out httpapi.ProblemList
+	if err := c.do(http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// --- Exam authoring ---
+
+// CreateExam stores an exam record referencing existing problems.
+func (c *Client) CreateExam(rec *bank.ExamRecord) error {
+	return c.do(http.MethodPost, "/v1/exams", rec, nil)
+}
+
+// Exam fetches one exam record.
+func (c *Client) Exam(id string) (*bank.ExamRecord, error) {
+	var out bank.ExamRecord
+	if err := c.do(http.MethodGet, "/v1/exams/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeleteExam removes an exam record.
+func (c *Client) DeleteExam(id string) error {
+	return c.do(http.MethodDelete, "/v1/exams/"+url.PathEscape(id), nil, nil)
+}
+
+// ListExams returns all exam IDs.
+func (c *Client) ListExams() ([]string, error) {
+	var out httpapi.ExamList
+	if err := c.do(http.MethodGet, "/v1/exams", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.ExamIDs, nil
+}
+
+// AssembleExam runs blueprint-driven assembly server-side and returns the
+// stored exam. An underfilled bank yields an *APIError with
+// httpapi.CodeBlueprintShortfall and per-cell details.
+func (c *Client) AssembleExam(req httpapi.AssembleExamRequest) (*bank.ExamRecord, error) {
+	var out httpapi.AssembleExamResponse
+	if err := c.do(http.MethodPost, "/v1/exams:assemble", req, &out); err != nil {
+		return nil, err
+	}
+	return out.Exam, nil
+}
+
+// --- Administration ---
+
+// SessionSummaries lists the status of every session on an exam.
+func (c *Client) SessionSummaries(examID string) ([]delivery.Status, error) {
+	var out []delivery.Status
+	if err := c.do(http.MethodGet, "/v1/exams/"+url.PathEscape(examID)+"/sessions", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PendingGrades lists responses awaiting manual credit.
+func (c *Client) PendingGrades(examID string) ([]delivery.PendingGrade, error) {
+	var out []delivery.PendingGrade
+	if err := c.do(http.MethodGet, "/v1/exams/"+url.PathEscape(examID)+"/grades", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AssignGrade records an instructor's credit for a manually graded
+// response.
+func (c *Client) AssignGrade(sessionID, problemID string, credit float64) error {
+	return c.do(http.MethodPost, "/v1/grades",
+		httpapi.GradeRequest{SessionID: sessionID, ProblemID: problemID, Credit: credit}, nil)
+}
+
+// Results exports the exam's collected response matrix for analysis.
+func (c *Client) Results(examID string) (*analysis.ExamResult, error) {
+	var out analysis.ExamResult
+	if err := c.do(http.MethodGet, "/v1/exams/"+url.PathEscape(examID)+"/results", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches the server's metrics snapshot.
+func (c *Client) Metrics() (*httpapi.MetricsSnapshot, error) {
+	var out httpapi.MetricsSnapshot
+	if err := c.do(http.MethodGet, "/v1/metrics", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
