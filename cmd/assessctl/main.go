@@ -7,6 +7,8 @@
 //	assessctl seed        -bank bank.json [-problems 60] [-concepts 5]
 //	assessctl search      -bank bank.json [-keyword k] [-style s] [-level l]
 //	assessctl analyze     -bank bank.json -exam final [-class 44] [-seed 7]
+//	assessctl calibrate   -bank bank.json -exam final [-results result.json]
+//	                      [-a 1.5] [-min 10] [-init]
 //	assessctl coverage    -bank bank.json -exam final [-concepts 5]
 //	assessctl export-scorm -bank bank.json -exam final -out exam.zip
 //	assessctl export-qti   -bank bank.json -exam final -out exam.xml
@@ -17,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"mineassess/internal/adaptive"
 	"mineassess/internal/analysis"
 	"mineassess/internal/authoring"
 	"mineassess/internal/bank"
@@ -57,6 +60,8 @@ func run(args []string) error {
 		return cmdAnalyzeFile(args[1:])
 	case "history":
 		return cmdHistory(args[1:])
+	case "calibrate":
+		return cmdCalibrate(args[1:])
 	case "stats":
 		return cmdStats(args[1:])
 	case "preview":
@@ -65,7 +70,7 @@ func run(args []string) error {
 		fmt.Println("assessctl", core.Version)
 		return nil
 	case "help":
-		fmt.Println("subcommands: seed, search, analyze, analyze-file, coverage, history, feedback, stats, preview, export-scorm, export-qti, version")
+		fmt.Println("subcommands: seed, search, analyze, analyze-file, calibrate, coverage, history, feedback, stats, preview, export-scorm, export-qti, version")
 		return nil
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
@@ -165,6 +170,117 @@ func cmdHistory(args []string) error {
 	}
 	fmt.Print(report.ItemHistories(hist))
 	return nil
+}
+
+// cmdCalibrate turns an exam into (or refines) a calibrated adaptive pool.
+// With -init (or when the exam has no parameters yet) it seeds per-item IRT
+// parameters from each problem's measured classical difficulty (falling
+// back to an average item when unmeasured). With -results it runs the
+// calibration feedback pass offline: per-student abilities are estimated
+// from the saved sitting under the current parameters, then each item's
+// difficulty is refit from those responses — the same pass the server runs
+// on POST /v1/exams/{id}:recalibrate.
+func cmdCalibrate(args []string) error {
+	fs := flag.NewFlagSet("calibrate", flag.ContinueOnError)
+	bankPath := fs.String("bank", "bank.json", "bank file")
+	examID := fs.String("exam", "final", "exam ID")
+	resultPath := fs.String("results", "", "saved exam result JSON to calibrate from")
+	discrimination := fs.Float64("a", 1.5, "discrimination for seeded parameters")
+	minObs := fs.Int("min", adaptive.DefaultMinCalibrationObs, "minimum responses per item")
+	initOnly := fs.Bool("init", false, "(re)seed parameters from classical difficulty even if present")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, err := bank.Load(*bankPath)
+	if err != nil {
+		return err
+	}
+	rec, err := store.Exam(*examID)
+	if err != nil {
+		return err
+	}
+	if *initOnly || len(rec.ItemParams) == 0 {
+		problems, err := store.Problems(rec.ProblemIDs)
+		if err != nil {
+			return err
+		}
+		rec.ItemParams = make(map[string]simulate.IRTParams, len(problems))
+		for _, p := range problems {
+			params := simulate.IRTParams{A: *discrimination}
+			if p.Measured() && p.Difficulty > 0 && p.Difficulty < 1 {
+				if fit, err := simulate.ParamsForTargetP(p.Difficulty, *discrimination, 0); err == nil {
+					params = fit
+				}
+			}
+			rec.ItemParams[p.ID] = params
+		}
+		fmt.Printf("seeded IRT parameters for %d items of exam %q\n",
+			len(rec.ItemParams), rec.ID)
+	}
+	if *resultPath != "" {
+		res, err := analysis.LoadResult(*resultPath)
+		if err != nil {
+			return err
+		}
+		obs, err := calibrationObservations(res, rec.ItemParams)
+		if err != nil {
+			return err
+		}
+		cal := adaptive.CalibratePool(rec.ItemParams, obs, *minObs)
+		for pid, params := range cal.Updated {
+			fmt.Printf("  %-10s b %+.3f -> %+.3f\n", pid, rec.ItemParams[pid].B, params.B)
+			rec.ItemParams[pid] = params
+		}
+		for pid, n := range cal.Skipped {
+			fmt.Printf("  %-10s skipped (%d responses < %d)\n", pid, n, *minObs)
+		}
+		fmt.Printf("recalibrated %d item(s) from %d responses\n",
+			len(cal.Updated), cal.Observations)
+	}
+	if err := store.UpdateExam(rec); err != nil {
+		return err
+	}
+	if err := store.Save(*bankPath); err != nil {
+		return err
+	}
+	fmt.Printf("saved calibrated pool %q (%d items) into %s\n",
+		rec.ID, len(rec.ItemParams), *bankPath)
+	return nil
+}
+
+// calibrationObservations estimates each student's ability from a saved
+// sitting under the current parameters, then regroups the dichotomized
+// responses by item.
+func calibrationObservations(res *analysis.ExamResult, params map[string]simulate.IRTParams) (map[string][]adaptive.CalibrationObservation, error) {
+	if err := res.Validate(); err != nil {
+		return nil, err
+	}
+	obs := make(map[string][]adaptive.CalibrationObservation)
+	for _, student := range res.Students {
+		var records []adaptive.ResponseRecord
+		var answered []analysis.Response
+		for _, r := range student.Responses {
+			p, ok := params[r.ProblemID]
+			if !ok || !r.Answered {
+				continue
+			}
+			records = append(records, adaptive.ResponseRecord{Params: p, Correct: r.Correct()})
+			answered = append(answered, r)
+		}
+		if len(records) == 0 {
+			continue
+		}
+		theta, _, err := adaptive.EstimateEAP(records)
+		if err != nil {
+			return nil, fmt.Errorf("estimate %s: %w", student.StudentID, err)
+		}
+		for _, r := range answered {
+			obs[r.ProblemID] = append(obs[r.ProblemID], adaptive.CalibrationObservation{
+				Theta: theta, Correct: r.Correct(),
+			})
+		}
+	}
+	return obs, nil
 }
 
 func cmdFeedback(args []string) error {

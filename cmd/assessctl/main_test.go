@@ -197,3 +197,62 @@ func fileExists(path string) bool {
 	_, err := os.Stat(path)
 	return err == nil
 }
+
+// TestCalibrateCommand: seed a bank, init parameters, collect a simulated
+// sitting, and run the offline calibration feedback pass over it.
+func TestCalibrateCommand(t *testing.T) {
+	path := seededBankPath(t)
+	// First pass seeds parameters (the seeded bank has none).
+	if err := run([]string{"calibrate", "-bank", path, "-exam", "final", "-a", "1.6"}); err != nil {
+		t.Fatalf("calibrate init: %v", err)
+	}
+	store, err := bank.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := store.Exam("final")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.ItemParams) != 30 {
+		t.Fatalf("seeded params = %d, want 30", len(rec.ItemParams))
+	}
+
+	// Collect a sitting and calibrate from it.
+	pipe, err := core.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pipe.RunSimulated("final", core.SimulationConfig{
+		Class: simulate.PopulationConfig{N: 80, Mean: 1.0, SD: 1, Seed: 5},
+		Seed:  6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultPath := filepath.Join(t.TempDir(), "result.json")
+	if err := analysis.SaveResult(resultPath, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"calibrate", "-bank", path, "-exam", "final",
+		"-results", resultPath, "-min", "20"}); err != nil {
+		t.Fatalf("calibrate from results: %v", err)
+	}
+	after, err := bank.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2, err := after.Exam("final")
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for pid := range rec2.ItemParams {
+		if rec2.ItemParams[pid].B != rec.ItemParams[pid].B {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("calibration changed no difficulties")
+	}
+}

@@ -73,6 +73,7 @@ func run(args []string) error {
 		{"E17", "6: adaptive vs fixed test (future work)", runE17},
 		{"E18", "sharded delivery engine throughput", runE18},
 		{"E19", "HTTP /v1 stack throughput vs direct engine calls", runE19},
+		{"E20", "live adaptive (CAT) delivery vs fixed form", runE20},
 		{"A1", "ablation: group fraction 25% vs Kelly 27% vs 33%", runA1},
 		{"A2", "ablation: group D vs point-biserial", runA2},
 	}

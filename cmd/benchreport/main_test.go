@@ -44,3 +44,14 @@ func TestPaperFixtureIntegrity(t *testing.T) {
 		t.Errorf("worked q6 LA = %d, want 0", got)
 	}
 }
+
+// TestRunE20Smoke keeps the adaptive-delivery experiment from bit-rotting:
+// it must run end to end (CI invokes it explicitly as well).
+func TestRunE20Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput experiment in -short mode")
+	}
+	if err := run([]string{"-experiment", "E20", "-seed", "3"}); err != nil {
+		t.Errorf("E20: %v", err)
+	}
+}

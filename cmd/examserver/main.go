@@ -2,8 +2,11 @@
 // exams with a browser against the versioned /v1 HTTP API, SCO content
 // talks to the SCORM RTE bridge, administrators watch sessions and author
 // banks over the same API (the paper's §5 architecture), and the seed-era
-// /api/* routes remain as deprecated aliases. See API.md for the endpoint
-// and error-code reference.
+// /api/* routes remain as deprecated aliases. Exams carrying calibrated
+// item parameters are additionally served adaptively through the
+// /v1/adaptive-sessions routes (one item at a time with online ability
+// re-estimation); persisted adaptive sessions are restored on boot. See
+// API.md for the endpoint and error-code reference.
 //
 // Usage:
 //
@@ -35,6 +38,7 @@ import (
 	"time"
 
 	"mineassess/internal/bank"
+	"mineassess/internal/catdelivery"
 	"mineassess/internal/delivery"
 	"mineassess/internal/httpapi"
 	"mineassess/internal/scorm"
@@ -89,6 +93,18 @@ func run(args []string) error {
 		return fmt.Errorf("bank %s holds no exams; seed one with assessctl", *bankPath)
 	}
 	engine := delivery.NewShardedEngine(store, nil, *monitorCap, *sessionShards)
+	// The adaptive engine restores any persisted CAT sessions from the
+	// bank — with -journal, live adaptive sittings survive a restart.
+	cat, err := catdelivery.NewEngine(store, nil, *monitorCap)
+	if err != nil {
+		return fmt.Errorf("restore adaptive sessions: %w", err)
+	}
+	if n := cat.SessionCount(); n > 0 {
+		log.Printf("examserver: restored %d adaptive session(s)", n)
+	}
+	if n := cat.RestoreSkipped(); n > 0 {
+		log.Printf("examserver: WARNING: skipped %d unrecoverable adaptive session(s) (exam or pool items deleted)", n)
+	}
 	accessLog := log.Default()
 	if *quiet {
 		accessLog = nil
@@ -97,6 +113,7 @@ func run(args []string) error {
 		Logger:     accessLog,
 		RatePerSec: *rate,
 		Burst:      *burst,
+		Adaptive:   cat,
 	})
 
 	examID := *contentExam

@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"mineassess/internal/analysis"
 	"mineassess/internal/authoring"
 	"mineassess/internal/bank"
+	"mineassess/internal/catdelivery"
 	"mineassess/internal/cognition"
 	"mineassess/internal/core"
 	"mineassess/internal/delivery"
@@ -26,6 +28,7 @@ import (
 	"mineassess/internal/scorm"
 	"mineassess/internal/simulate"
 	"mineassess/internal/stats"
+	"mineassess/pkg/api"
 	"mineassess/pkg/client"
 )
 
@@ -495,5 +498,174 @@ func TestAuthoringOverHTTP(t *testing.T) {
 	}
 	if len(res.Students) != 1 || res.Students[0].StudentID != "zoe" {
 		t.Errorf("results = %+v", res.Students)
+	}
+}
+
+// TestAdaptiveDeliveryOverHTTP drives the live CAT subsystem end to end
+// through the /v1 API and the SDK: author a calibrated pool over HTTP, run
+// adaptive sessions one item at a time, check the SE-threshold stopping
+// rule fires before max-items on a well-separated learner, and close the
+// calibration feedback loop — a recalibration pass over the logged
+// responses must move stored difficulties in the expected direction.
+func TestAdaptiveDeliveryOverHTTP(t *testing.T) {
+	store := bank.NewSharded(8)
+	engine := delivery.NewEngine(store, nil, 0)
+	cat, err := catdelivery.NewEngine(store, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(httpapi.NewServer(engine, store, httpapi.Options{Adaptive: cat}))
+	defer srv.Close()
+	admin := client.New(srv.URL, client.WithLearnerID("admin"))
+
+	// Author a 40-item calibrated pool entirely over HTTP: problems first,
+	// then an exam record carrying per-item IRT parameters.
+	const poolSize = 40
+	params := make(map[string]api.IRTParams, poolSize)
+	var ids []string
+	for i := 0; i < poolSize; i++ {
+		id := fmt.Sprintf("cat-q%02d", i+1)
+		p, err := item.NewMultipleChoice(id, fmt.Sprintf("CAT question %d", i+1),
+			[]string{"w", "x", "y", "z"}, 0) // correct A
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.ConceptID = "c1"
+		p.Level = cognition.Knowledge
+		if err := admin.CreateProblem(p); err != nil {
+			t.Fatalf("create problem: %v", err)
+		}
+		params[id] = api.IRTParams{A: 2.0, B: -2 + 4*float64(i)/float64(poolSize-1)}
+		ids = append(ids, id)
+	}
+	if err := admin.CreateExam(&api.ExamRecord{
+		ID: "catexam", Title: "Adaptive pool", ProblemIDs: ids, ItemParams: params,
+	}); err != nil {
+		t.Fatalf("create exam: %v", err)
+	}
+
+	// A well-separated learner (true theta 1.2) with a high-discrimination
+	// pool: the SE threshold must fire well before max-items.
+	learner := client.New(srv.URL, client.WithLearnerID("theta12"))
+	req := api.StartAdaptiveSessionRequest{ExamID: "catexam", StudentID: "theta12", Seed: 17}
+	req.MaxItems = poolSize
+	req.TargetSE = 0.4
+	started, err := learner.StartAdaptiveSession(req)
+	if err != nil {
+		t.Fatalf("start adaptive: %v", err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	const truth = 1.2
+	pending := started.Next
+	var finalProg *api.AdaptiveProgress
+	for steps := 0; steps < poolSize+1; steps++ {
+		response := "B"
+		if rng.Float64() < params[pending.ProblemID].ProbCorrect(truth) {
+			response = "A"
+		}
+		prog, err := learner.AdaptiveRespond(started.SessionID, pending.ProblemID, response)
+		if err != nil {
+			t.Fatalf("respond: %v", err)
+		}
+		if prog.Done {
+			finalProg = prog
+			break
+		}
+		pending = prog.Next
+	}
+	if finalProg == nil {
+		t.Fatal("session never stopped")
+	}
+	out, err := learner.FinishAdaptiveSession(started.SessionID)
+	if err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	if out.StopReason != catdelivery.StopSETarget {
+		t.Fatalf("stop = %q after %d items (SE %.3f), want se-target",
+			out.StopReason, len(out.Administered), out.SE)
+	}
+	if len(out.Administered) >= poolSize {
+		t.Errorf("SE rule fired only at pool exhaustion: %d items", len(out.Administered))
+	}
+	if out.SE > 0.4 {
+		t.Errorf("final SE = %.3f, want <= 0.4", out.SE)
+	}
+	if out.Theta < 0.3 {
+		t.Errorf("theta = %.2f for a strong learner, want clearly positive", out.Theta)
+	}
+
+	// Feed the loop: a cohort of strong learners answers everything
+	// correctly, so the administered items are easier than authored and a
+	// recalibration pass must LOWER their stored difficulties. The cohort
+	// runs on its own exam record (same problems, same parameters) so the
+	// mixed-response session above doesn't blur the direction check.
+	if err := admin.CreateExam(&api.ExamRecord{
+		ID: "catexam2", Title: "Adaptive pool 2", ProblemIDs: ids, ItemParams: params,
+	}); err != nil {
+		t.Fatalf("create exam 2: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		c := client.New(srv.URL)
+		req := api.StartAdaptiveSessionRequest{
+			ExamID: "catexam2", StudentID: fmt.Sprintf("ace%d", i), Seed: int64(i)}
+		req.MaxItems = 10
+		s, err := c.StartAdaptiveSession(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := s.Next
+		for {
+			prog, err := c.AdaptiveRespond(s.SessionID, next.ProblemID, "A")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prog.Done {
+				break
+			}
+			next = prog.Next
+		}
+	}
+	before, err := admin.Exam("catexam2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := admin.RecalibrateExam("catexam2", 5)
+	if err != nil {
+		t.Fatalf("recalibrate: %v", err)
+	}
+	if len(cal.Updated) == 0 {
+		t.Fatal("recalibration updated nothing")
+	}
+	after, err := admin.Exam("catexam2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowered, raised := 0, 0
+	for pid, newParams := range cal.Updated {
+		if after.ItemParams[pid].B != newParams.B {
+			t.Errorf("item %s: stored b %.3f != reported %.3f",
+				pid, after.ItemParams[pid].B, newParams.B)
+		}
+		switch old := before.ItemParams[pid].B; {
+		case newParams.B < old-1e-9:
+			lowered++
+		case newParams.B > old+0.05: // grid resolution slack
+			raised++
+		}
+		// Items already far easier than the cohort barely move: the
+		// likelihood is flat there and the prior pins them — that is the
+		// regularization working, not a direction failure.
+	}
+	if raised > 0 {
+		t.Errorf("%d recalibrated items moved HARDER for an all-correct cohort", raised)
+	}
+	if lowered < len(cal.Updated)/2 {
+		t.Errorf("only %d/%d recalibrated items moved easier for an all-correct cohort",
+			lowered, len(cal.Updated))
+	}
+	// The adaptive monitor captured the sitting.
+	snaps, err := learner.AdaptiveMonitor(started.SessionID)
+	if err != nil || len(snaps) == 0 {
+		t.Errorf("monitor snapshots = %d, %v", len(snaps), err)
 	}
 }

@@ -1,6 +1,7 @@
 package adaptive
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -255,9 +256,58 @@ func TestRandomesqueDegeneratesToMaxInfo(t *testing.T) {
 }
 
 func TestExposureRatesEmpty(t *testing.T) {
+	// Every pool item gets an explicit 0 entry even with no outcomes, so
+	// exposure caps never mistake "absent key" for "unconstrained".
 	pool := UniformPool(3, 1, 1)
-	if got := ExposureRates(pool, nil); len(got) != 0 {
-		t.Errorf("empty outcomes = %v", got)
+	got := ExposureRates(pool, nil)
+	if len(got) != len(pool) {
+		t.Fatalf("entries = %d, want one per pool item (%d): %v", len(got), len(pool), got)
+	}
+	for _, it := range pool {
+		if rate, ok := got[it.ID]; !ok || rate != 0 {
+			t.Errorf("rate[%s] = %v, %v; want explicit 0", it.ID, rate, ok)
+		}
+	}
+}
+
+func TestExposureRatesCoverUnadministered(t *testing.T) {
+	pool := UniformPool(4, 1, 1)
+	outcomes := []*Outcome{
+		{Administered: []string{"pool-001", "pool-002"}},
+		{Administered: []string{"pool-001"}},
+	}
+	got := ExposureRates(pool, outcomes)
+	if len(got) != 4 {
+		t.Fatalf("entries = %d, want 4: %v", len(got), got)
+	}
+	if got["pool-001"] != 1 || got["pool-002"] != 0.5 {
+		t.Errorf("rates = %v", got)
+	}
+	if rate, ok := got["pool-004"]; !ok || rate != 0 {
+		t.Errorf("never-administered item missing explicit 0: %v, %v", rate, ok)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	pool := UniformPool(5, 1, 1)
+	oracle := func(PoolItem) bool { return true }
+	for _, cfg := range []Config{
+		{MaxItems: 0},
+		{MaxItems: -3},
+		{MaxItems: 3, TargetSE: -0.1},
+	} {
+		if _, err := Run(cfg, pool, oracle, 1); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("Run(%+v) = %v, want ErrInvalidConfig", cfg, err)
+		}
+		if _, err := Compare(cfg, pool, []float64{0}, 1); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("Compare(%+v) = %v, want ErrInvalidConfig", cfg, err)
+		}
+	}
+	if _, err := Run(Config{MaxItems: 6}, pool, oracle, 1); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("MaxItems > pool = %v, want ErrInvalidConfig", err)
+	}
+	if _, err := Run(Config{MaxItems: 2}, nil, oracle, 1); !errors.Is(err, ErrEmptyPool) {
+		t.Errorf("empty pool = %v, want ErrEmptyPool", err)
 	}
 }
 

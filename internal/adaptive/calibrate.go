@@ -1,0 +1,132 @@
+package adaptive
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mineassess/internal/simulate"
+)
+
+// Calibration: re-estimate item difficulty from collected live responses.
+// This is the feedback half of the CAT loop — delivery estimates abilities
+// from item parameters, calibration re-estimates item parameters from the
+// responses of learners with (now-)known abilities. The method is the
+// standard fixed-ability marginal step: hold each respondent's theta at its
+// final estimate and each item's discrimination/guessing fixed, and fit the
+// difficulty b by maximum likelihood with a weak normal prior that keeps
+// tiny samples from running to the scale edges.
+
+// CalibrationObservation is one scored response annotated with the
+// respondent's ability estimate.
+type CalibrationObservation struct {
+	// Theta is the respondent's ability estimate at the time of scoring
+	// (usually the session's final EAP estimate).
+	Theta float64
+	// Correct is the dichotomized response.
+	Correct bool
+}
+
+// ErrTooFewObservations is returned when an item has fewer responses than
+// the requested minimum.
+var ErrTooFewObservations = errors.New("adaptive: too few observations to calibrate")
+
+// priorSD is the spread of the weak normal prior centred on the item's
+// current difficulty. With n observations the data term grows like n, so
+// the prior washes out quickly but pins near-degenerate response patterns
+// (all correct / all incorrect) to a finite update.
+const priorSD = 2.0
+
+// CalibrateDifficulty refits one item's difficulty from observations,
+// keeping its discrimination and guessing fixed. minObs guards against
+// recalibrating from noise; pass 0 for the package default of 10.
+func CalibrateDifficulty(p simulate.IRTParams, obs []CalibrationObservation, minObs int) (float64, error) {
+	if minObs <= 0 {
+		minObs = DefaultMinCalibrationObs
+	}
+	if len(obs) < minObs {
+		return 0, fmt.Errorf("%w: have %d, need %d", ErrTooFewObservations, len(obs), minObs)
+	}
+	// Penalized log-likelihood of difficulty b on a fixed grid, refined once
+	// around the coarse optimum. The function is unimodal in b for the 3PL
+	// with a <= fixed, so two grid passes land within ~1e-3 of the optimum —
+	// far below calibration noise.
+	best := gridFitB(p, obs, thetaMin, thetaMax, 161)
+	span := (thetaMax - thetaMin) / 160
+	return gridFitB(p, obs, best-span, best+span, 81), nil
+}
+
+// DefaultMinCalibrationObs is the default minimum response count per item.
+const DefaultMinCalibrationObs = 10
+
+func gridFitB(p simulate.IRTParams, obs []CalibrationObservation, lo, hi float64, points int) float64 {
+	if lo < thetaMin {
+		lo = thetaMin
+	}
+	if hi > thetaMax {
+		hi = thetaMax
+	}
+	bestB, bestLL := lo, math.Inf(-1)
+	cand := p
+	for i := 0; i < points; i++ {
+		b := lo + (hi-lo)*float64(i)/float64(points-1)
+		cand.B = b
+		ll := -((b - p.B) * (b - p.B)) / (2 * priorSD * priorSD)
+		for _, o := range obs {
+			prob := cand.ProbCorrect(o.Theta)
+			if prob < 1e-9 {
+				prob = 1e-9
+			}
+			if prob > 1-1e-9 {
+				prob = 1 - 1e-9
+			}
+			if o.Correct {
+				ll += math.Log(prob)
+			} else {
+				ll += math.Log(1 - prob)
+			}
+		}
+		if ll > bestLL {
+			bestLL = ll
+			bestB = b
+		}
+	}
+	return bestB
+}
+
+// PoolCalibration summarizes one Recalibrate pass.
+type PoolCalibration struct {
+	// Updated maps item ID to its refitted parameters.
+	Updated map[string]simulate.IRTParams
+	// Skipped maps item ID to the number of observations it had, for items
+	// below the minimum.
+	Skipped map[string]int
+	// Observations is the total response count consumed.
+	Observations int
+}
+
+// CalibratePool refits difficulty for every item with enough observations.
+// params carries the current pool parameters; obs maps item ID to its
+// collected observations. Items without observations are left untouched
+// (and not reported as skipped — they were never up for calibration).
+func CalibratePool(params map[string]simulate.IRTParams, obs map[string][]CalibrationObservation, minObs int) *PoolCalibration {
+	out := &PoolCalibration{
+		Updated: make(map[string]simulate.IRTParams),
+		Skipped: make(map[string]int),
+	}
+	for id, responses := range obs {
+		p, ok := params[id]
+		if !ok {
+			continue // not part of the calibrated pool
+		}
+		out.Observations += len(responses)
+		b, err := CalibrateDifficulty(p, responses, minObs)
+		if err != nil {
+			out.Skipped[id] = len(responses)
+			continue
+		}
+		p.B = b
+		out.Updated[id] = p
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package adaptive
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mineassess/internal/simulate"
+)
+
+// TestCalibrateDifficultyRecovers simulates responses from a known item and
+// checks the refit difficulty lands near the truth, starting from a wrong
+// authored value.
+func TestCalibrateDifficultyRecovers(t *testing.T) {
+	truth := simulate.IRTParams{A: 1.6, B: 0.8}
+	authored := simulate.IRTParams{A: 1.6, B: -0.5} // mis-authored
+	rng := rand.New(rand.NewSource(11))
+	var obs []CalibrationObservation
+	for i := 0; i < 400; i++ {
+		theta := rng.NormFloat64()
+		obs = append(obs, CalibrationObservation{
+			Theta:   theta,
+			Correct: rng.Float64() < truth.ProbCorrect(theta),
+		})
+	}
+	b, err := CalibrateDifficulty(authored, obs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := b - truth.B; diff < -0.3 || diff > 0.3 {
+		t.Errorf("calibrated b = %.3f, want near %.1f", b, truth.B)
+	}
+}
+
+// TestCalibrateDirection: an item answered correctly far more often than its
+// authored difficulty predicts must calibrate easier (lower b), and vice
+// versa.
+func TestCalibrateDirection(t *testing.T) {
+	p := simulate.IRTParams{A: 1.5, B: 0}
+	easy := make([]CalibrationObservation, 40)
+	hard := make([]CalibrationObservation, 40)
+	for i := range easy {
+		theta := -1.0 + 0.05*float64(i%5)
+		easy[i] = CalibrationObservation{Theta: theta, Correct: true}
+		hard[i] = CalibrationObservation{Theta: -theta, Correct: false}
+	}
+	bEasy, err := CalibrateDifficulty(p, easy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bEasy >= p.B {
+		t.Errorf("all-correct calibration raised difficulty: %.3f", bEasy)
+	}
+	bHard, err := CalibrateDifficulty(p, hard, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bHard <= p.B {
+		t.Errorf("all-incorrect calibration lowered difficulty: %.3f", bHard)
+	}
+}
+
+func TestCalibrateTooFew(t *testing.T) {
+	p := simulate.IRTParams{A: 1, B: 0}
+	_, err := CalibrateDifficulty(p, make([]CalibrationObservation, 3), 10)
+	if !errors.Is(err, ErrTooFewObservations) {
+		t.Errorf("err = %v, want ErrTooFewObservations", err)
+	}
+}
+
+func TestCalibratePoolPartial(t *testing.T) {
+	params := map[string]simulate.IRTParams{
+		"q1": {A: 1.5, B: 0},
+		"q2": {A: 1.5, B: 0.5},
+	}
+	obs := map[string][]CalibrationObservation{
+		"q1":    make([]CalibrationObservation, 20),
+		"q2":    make([]CalibrationObservation, 2), // below minimum
+		"ghost": make([]CalibrationObservation, 20),
+	}
+	for i := range obs["q1"] {
+		obs["q1"][i] = CalibrationObservation{Theta: 0.5, Correct: i%4 != 0}
+	}
+	cal := CalibratePool(params, obs, 10)
+	if _, ok := cal.Updated["q1"]; !ok {
+		t.Error("q1 should calibrate")
+	}
+	if n, ok := cal.Skipped["q2"]; !ok || n != 2 {
+		t.Errorf("q2 skip = %d, %v", n, ok)
+	}
+	if _, ok := cal.Updated["ghost"]; ok {
+		t.Error("items outside the pool must not calibrate")
+	}
+	if cal.Observations != 22 {
+		t.Errorf("observations = %d, want 22", cal.Observations)
+	}
+}

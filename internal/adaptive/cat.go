@@ -26,6 +26,26 @@ type Config struct {
 	Selector Selector
 }
 
+// Config validation errors, matchable through ErrInvalidConfig.
+var (
+	// ErrInvalidConfig is the common sentinel every Config rejection wraps.
+	ErrInvalidConfig = errors.New("adaptive: invalid config")
+	// ErrEmptyPool is returned when there are no items to administer.
+	ErrEmptyPool = errors.New("adaptive: empty item pool")
+)
+
+// Validate rejects unusable configurations with typed errors — no silent
+// defaulting of nonsense values.
+func (c Config) Validate() error {
+	if c.MaxItems <= 0 {
+		return fmt.Errorf("%w: MaxItems must be positive, got %d", ErrInvalidConfig, c.MaxItems)
+	}
+	if c.TargetSE < 0 {
+		return fmt.Errorf("%w: TargetSE must not be negative, got %v", ErrInvalidConfig, c.TargetSE)
+	}
+	return nil
+}
+
 // Selector chooses the next item index from the remaining pool given the
 // current ability estimate.
 type Selector func(rng *rand.Rand, remaining []PoolItem, theta float64) int
@@ -88,7 +108,10 @@ func Randomesque(k int) Selector {
 }
 
 // ExposureRates counts how often each pool item was administered across
-// outcomes, as a fraction of the number of sessions.
+// outcomes, as a fraction of the number of sessions. Every pool item gets an
+// entry — never-administered items report an explicit 0 rate even when there
+// are no outcomes at all, so downstream exposure caps see unseen items as
+// fully available rather than unconstrained-by-omission.
 func ExposureRates(pool []PoolItem, outcomes []*Outcome) map[string]float64 {
 	counts := make(map[string]int, len(pool))
 	for _, o := range outcomes {
@@ -97,10 +120,11 @@ func ExposureRates(pool []PoolItem, outcomes []*Outcome) map[string]float64 {
 		}
 	}
 	out := make(map[string]float64, len(pool))
-	if len(outcomes) == 0 {
-		return out
-	}
 	for _, it := range pool {
+		if len(outcomes) == 0 {
+			out[it.ID] = 0
+			continue
+		}
 		out[it.ID] = float64(counts[it.ID]) / float64(len(outcomes))
 	}
 	return out
@@ -129,15 +153,15 @@ func SimulatedOracle(rng *rand.Rand, trueTheta float64) Oracle {
 
 // Run administers an adaptive test against the oracle.
 func Run(cfg Config, pool []PoolItem, oracle Oracle, seed int64) (*Outcome, error) {
-	if cfg.MaxItems <= 0 {
-		return nil, errors.New("adaptive: MaxItems must be positive")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if len(pool) == 0 {
-		return nil, errors.New("adaptive: empty item pool")
+		return nil, ErrEmptyPool
 	}
 	if cfg.MaxItems > len(pool) {
-		return nil, fmt.Errorf("adaptive: MaxItems %d exceeds pool size %d",
-			cfg.MaxItems, len(pool))
+		return nil, fmt.Errorf("%w: MaxItems %d exceeds pool size %d",
+			ErrInvalidConfig, cfg.MaxItems, len(pool))
 	}
 	selector := cfg.Selector
 	if selector == nil {
@@ -205,6 +229,9 @@ type CompareResult struct {
 // maximum length, adaptive recovers ability with lower RMSE, and with a
 // TargetSE it does so using fewer items.
 func Compare(cfg Config, pool []PoolItem, abilities []float64, seed int64) (*CompareResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if len(abilities) == 0 {
 		return nil, errors.New("adaptive: no abilities to compare")
 	}
@@ -247,11 +274,4 @@ func UniformPool(n int, a, spread float64) []PoolItem {
 		})
 	}
 	return pool
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

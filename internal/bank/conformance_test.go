@@ -15,6 +15,7 @@ import (
 
 	"mineassess/internal/cognition"
 	"mineassess/internal/item"
+	"mineassess/internal/simulate"
 )
 
 // storageBackends enumerates every backend under conformance test. The
@@ -329,6 +330,145 @@ func TestConformanceConcurrentMixedOps(t *testing.T) {
 		}
 		if got := s.ProblemCount(); got != workers {
 			t.Errorf("ProblemCount = %d, want %d", got, workers)
+		}
+	})
+}
+
+func TestConformanceUpdateExam(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s Storage) {
+		for _, id := range []string{"q1", "q2"} {
+			if err := s.AddProblem(confMC(t, id)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rec := &ExamRecord{ID: "pool", Title: "Pool",
+			ProblemIDs: []string{"q1", "q2"}}
+		if err := s.UpdateExam(rec); !errors.Is(err, ErrExamNotFound) {
+			t.Errorf("update missing exam = %v, want ErrExamNotFound", err)
+		}
+		if err := s.AddExam(rec); err != nil {
+			t.Fatal(err)
+		}
+		upd := cloneExam(rec)
+		upd.Title = "Calibrated pool"
+		upd.ItemParams = map[string]simulate.IRTParams{
+			"q1": {A: 1.5, B: -0.5},
+			"q2": {A: 1.5, B: 0.5},
+		}
+		if err := s.UpdateExam(upd); err != nil {
+			t.Fatalf("UpdateExam: %v", err)
+		}
+		got, err := s.Exam("pool")
+		if err != nil || got.Title != "Calibrated pool" || len(got.ItemParams) != 2 {
+			t.Fatalf("updated exam = %+v, %v", got, err)
+		}
+		// Stored params are copied, not shared.
+		got.ItemParams["q1"] = simulate.IRTParams{A: 9, B: 9}
+		if again, _ := s.Exam("pool"); again.ItemParams["q1"].A != 1.5 {
+			t.Error("exam ItemParams must be copied out")
+		}
+		bad := cloneExam(upd)
+		bad.ProblemIDs = append(bad.ProblemIDs, "ghost")
+		if err := s.UpdateExam(bad); !errors.Is(err, ErrProblemNotFound) {
+			t.Errorf("dangling update = %v, want ErrProblemNotFound", err)
+		}
+		// Both preconditions violated at once: every backend must report
+		// the missing exam, not the missing problem, so clients see one
+		// error code regardless of backend.
+		missing := &ExamRecord{ID: "no-such-exam", ProblemIDs: []string{"ghost"}}
+		if err := s.UpdateExam(missing); !errors.Is(err, ErrExamNotFound) {
+			t.Errorf("missing exam + dangling refs = %v, want ErrExamNotFound", err)
+		}
+	})
+}
+
+func TestConformanceAdaptiveSessions(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s Storage) {
+		if _, err := s.AdaptiveSession("ghost"); !errors.Is(err, ErrAdaptiveSessionNotFound) {
+			t.Errorf("missing session = %v, want ErrAdaptiveSessionNotFound", err)
+		}
+		rec := &AdaptiveSessionRecord{
+			ID: "cat-000001", ExamID: "pool", StudentID: "alice",
+			MaxItems: 10, TargetSE: 0.35, State: AdaptiveStateActive,
+			PendingID: "q3",
+		}
+		if err := s.PutAdaptiveSession(rec); err != nil {
+			t.Fatalf("PutAdaptiveSession: %v", err)
+		}
+		// Upsert: re-putting with progress replaces the record.
+		rec.Administered = []string{"q3"}
+		rec.Correct = []bool{true}
+		rec.PendingID = "q5"
+		rec.Theta = 0.42
+		if err := s.PutAdaptiveSession(rec); err != nil {
+			t.Fatalf("upsert: %v", err)
+		}
+		got, err := s.AdaptiveSession("cat-000001")
+		if err != nil || got.PendingID != "q5" || len(got.Administered) != 1 {
+			t.Fatalf("AdaptiveSession = %+v, %v", got, err)
+		}
+		got.Administered[0] = "mutated"
+		if again, _ := s.AdaptiveSession("cat-000001"); again.Administered[0] != "q3" {
+			t.Error("adaptive records must be copied out")
+		}
+		if err := s.PutAdaptiveSession(&AdaptiveSessionRecord{ID: " "}); err == nil {
+			t.Error("blank session ID accepted")
+		}
+		if err := s.PutAdaptiveSession(&AdaptiveSessionRecord{
+			ID: "bad", State: "warp"}); err == nil {
+			t.Error("unknown state accepted")
+		}
+		if err := s.PutAdaptiveSession(&AdaptiveSessionRecord{
+			ID: "bad", State: AdaptiveStateActive,
+			Administered: []string{"a"}, Correct: nil}); err == nil {
+			t.Error("administered/correct length mismatch accepted")
+		}
+		if ids := s.AdaptiveSessionIDs(); !reflect.DeepEqual(ids, []string{"cat-000001"}) {
+			t.Errorf("AdaptiveSessionIDs = %v", ids)
+		}
+		if err := s.DeleteAdaptiveSession("cat-000001"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.DeleteAdaptiveSession("cat-000001"); !errors.Is(err, ErrAdaptiveSessionNotFound) {
+			t.Errorf("double delete = %v, want ErrAdaptiveSessionNotFound", err)
+		}
+	})
+}
+
+// TestConformanceAdaptiveRoundTrip proves adaptive sessions and calibrated
+// pool parameters survive Save/Load across backend styles — the restart
+// path live CAT delivery depends on.
+func TestConformanceAdaptiveRoundTrip(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s Storage) {
+		if err := s.AddProblem(confMC(t, "q1")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddExam(&ExamRecord{ID: "pool", ProblemIDs: []string{"q1"},
+			ItemParams: map[string]simulate.IRTParams{"q1": {A: 2, B: 0.25}}}); err != nil {
+			t.Fatal(err)
+		}
+		rec := &AdaptiveSessionRecord{
+			ID: "cat-000002", ExamID: "pool", StudentID: "bob", Seed: 7,
+			MaxItems: 5, State: AdaptiveStateActive, PendingID: "q1",
+		}
+		if err := s.PutAdaptiveSession(rec); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "bank.json")
+		if err := s.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		back := NewSharded(4)
+		if err := LoadInto(path, back); err != nil {
+			t.Fatal(err)
+		}
+		exam, err := back.Exam("pool")
+		if err != nil || exam.ItemParams["q1"].B != 0.25 {
+			t.Fatalf("round-tripped params = %+v, %v", exam, err)
+		}
+		sess, err := back.AdaptiveSession("cat-000002")
+		if err != nil || sess.PendingID != "q1" || sess.MaxItems != 5 {
+			t.Fatalf("round-tripped session = %+v, %v", sess, err)
 		}
 	})
 }

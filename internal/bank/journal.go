@@ -62,10 +62,11 @@ const DefaultCompactEvery = 4096
 
 // walRecord is one journaled mutation.
 type walRecord struct {
-	Op      string        `json:"op"`
-	Problem *item.Problem `json:"problem,omitempty"`
-	Exam    *ExamRecord   `json:"exam,omitempty"`
-	ID      string        `json:"id,omitempty"`
+	Op      string                 `json:"op"`
+	Problem *item.Problem          `json:"problem,omitempty"`
+	Exam    *ExamRecord            `json:"exam,omitempty"`
+	Session *AdaptiveSessionRecord `json:"session,omitempty"`
+	ID      string                 `json:"id,omitempty"`
 	// Epoch is the journal epoch the record was written under (see
 	// Journal.epoch).
 	Epoch int64 `json:"epoch,omitempty"`
@@ -73,12 +74,15 @@ type walRecord struct {
 
 // WAL operation names.
 const (
-	opAddProblem    = "add_problem"
-	opUpdateProblem = "update_problem"
-	opDeleteProblem = "delete_problem"
-	opAddExam       = "add_exam"
-	opDeleteExam    = "delete_exam"
-	opRollback      = "rollback"
+	opAddProblem     = "add_problem"
+	opUpdateProblem  = "update_problem"
+	opDeleteProblem  = "delete_problem"
+	opAddExam        = "add_exam"
+	opUpdateExam     = "update_exam"
+	opDeleteExam     = "delete_exam"
+	opRollback       = "rollback"
+	opPutAdaptive    = "put_adaptive_session"
+	opDeleteAdaptive = "delete_adaptive_session"
 )
 
 // OpenJournal opens (or creates) the journal in dir over the given backend,
@@ -88,7 +92,8 @@ func OpenJournal(dir string, backend Storage, compactEvery int) (*Journal, error
 	if backend == nil {
 		backend = New()
 	}
-	if backend.ProblemCount() != 0 || len(backend.ExamIDs()) != 0 {
+	if backend.ProblemCount() != 0 || len(backend.ExamIDs()) != 0 ||
+		len(backend.AdaptiveSessionIDs()) != 0 {
 		return nil, errors.New("bank: journal backend must start empty")
 	}
 	if compactEvery <= 0 {
@@ -208,8 +213,23 @@ func (j *Journal) apply(rec walRecord) error {
 			return err
 		}
 		return nil
+	case opUpdateExam:
+		// UpdateExam replay is naturally idempotent; a vanished exam means a
+		// later deletion is already folded into the snapshot, and missing
+		// problems mirror the add_exam tolerance for dangling references
+		// carried forward by a tolerant snapshot load.
+		if err := j.backend.UpdateExam(rec.Exam); err != nil &&
+			!errors.Is(err, ErrExamNotFound) && !errors.Is(err, ErrProblemNotFound) {
+			return err
+		}
+		return nil
 	case opDeleteExam:
 		return ignoreRedo(j.backend.DeleteExam(rec.ID), ErrExamNotFound)
+	case opPutAdaptive:
+		// Upsert: replay is naturally idempotent.
+		return j.backend.PutAdaptiveSession(rec.Session)
+	case opDeleteAdaptive:
+		return ignoreRedo(j.backend.DeleteAdaptiveSession(rec.ID), ErrAdaptiveSessionNotFound)
 	case opRollback:
 		if _, err := j.backend.Rollback(rec.ID); err != nil {
 			// A compaction snapshot earlier in this recovery dropped the
@@ -430,6 +450,16 @@ func (j *Journal) putExamUnchecked(e *ExamRecord) error {
 	})
 }
 
+// UpdateExam replaces the stored exam record and journals the change.
+func (j *Journal) UpdateExam(e *ExamRecord) error {
+	return j.mutate(func() (walRecord, error) {
+		if err := j.backend.UpdateExam(e); err != nil {
+			return walRecord{}, err
+		}
+		return walRecord{Op: opUpdateExam, Exam: cloneExam(e)}, nil
+	})
+}
+
 // DeleteExam removes the exam and journals the deletion.
 func (j *Journal) DeleteExam(id string) error {
 	return j.mutate(func() (walRecord, error) {
@@ -437,6 +467,26 @@ func (j *Journal) DeleteExam(id string) error {
 			return walRecord{}, err
 		}
 		return walRecord{Op: opDeleteExam, ID: id}, nil
+	})
+}
+
+// PutAdaptiveSession stores the adaptive-session record and journals it.
+func (j *Journal) PutAdaptiveSession(rec *AdaptiveSessionRecord) error {
+	return j.mutate(func() (walRecord, error) {
+		if err := j.backend.PutAdaptiveSession(rec); err != nil {
+			return walRecord{}, err
+		}
+		return walRecord{Op: opPutAdaptive, Session: cloneAdaptive(rec)}, nil
+	})
+}
+
+// DeleteAdaptiveSession removes the record and journals the deletion.
+func (j *Journal) DeleteAdaptiveSession(id string) error {
+	return j.mutate(func() (walRecord, error) {
+		if err := j.backend.DeleteAdaptiveSession(id); err != nil {
+			return walRecord{}, err
+		}
+		return walRecord{Op: opDeleteAdaptive, ID: id}, nil
 	})
 }
 
@@ -478,6 +528,14 @@ func (j *Journal) Exam(id string) (*ExamRecord, error) { return j.backend.Exam(i
 
 // ExamIDs returns all exam IDs, sorted.
 func (j *Journal) ExamIDs() []string { return j.backend.ExamIDs() }
+
+// AdaptiveSession returns a copy of the stored adaptive-session record.
+func (j *Journal) AdaptiveSession(id string) (*AdaptiveSessionRecord, error) {
+	return j.backend.AdaptiveSession(id)
+}
+
+// AdaptiveSessionIDs returns all adaptive-session IDs, sorted.
+func (j *Journal) AdaptiveSessionIDs() []string { return j.backend.AdaptiveSessionIDs() }
 
 // Search returns copies of matching problems ordered by ID.
 func (j *Journal) Search(q Query) []*item.Problem { return j.backend.Search(q) }

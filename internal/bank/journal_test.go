@@ -1,6 +1,7 @@
 package bank
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -443,5 +444,55 @@ func TestJournalCompactionCrashOverlap(t *testing.T) {
 				t.Errorf("exam lost in overlap replay: %v", err)
 			}
 		})
+	}
+}
+
+// TestJournalAdaptiveSessionReplay proves adaptive-session mutations are
+// journaled and replayed across reopen — the crash-safe live-CAT path.
+func TestJournalAdaptiveSessionReplay(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, New(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(rec *AdaptiveSessionRecord) {
+		t.Helper()
+		if err := j.PutAdaptiveSession(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(&AdaptiveSessionRecord{ID: "cat-1", ExamID: "pool", State: AdaptiveStateActive,
+		MaxItems: 5, PendingID: "q1"})
+	put(&AdaptiveSessionRecord{ID: "cat-1", ExamID: "pool", State: AdaptiveStateActive,
+		MaxItems: 5, Administered: []string{"q1"}, Correct: []bool{true},
+		Theta: 0.8, PendingID: "q2"})
+	put(&AdaptiveSessionRecord{ID: "cat-2", ExamID: "pool", State: AdaptiveStateFinished,
+		MaxItems: 5, StopReason: "max-items"})
+	if err := j.DeleteAdaptiveSession("cat-2"); err != nil {
+		t.Fatal(err)
+	}
+	// Close WITHOUT compacting would be ideal; Close compacts, so reopen
+	// twice: once from the WAL (no close), once from the snapshot.
+	reopened, err := OpenJournal(dir, New(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reopened.AdaptiveSession("cat-1")
+	if err != nil || got.PendingID != "q2" || got.Theta != 0.8 {
+		t.Fatalf("replayed session = %+v, %v", got, err)
+	}
+	if _, err := reopened.AdaptiveSession("cat-2"); !errors.Is(err, ErrAdaptiveSessionNotFound) {
+		t.Errorf("deleted session survived replay: %v", err)
+	}
+	if err := reopened.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fromSnapshot, err := OpenJournal(dir, New(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fromSnapshot.Close()
+	if got, err := fromSnapshot.AdaptiveSession("cat-1"); err != nil || got.PendingID != "q2" {
+		t.Fatalf("compacted session = %+v, %v", got, err)
 	}
 }

@@ -35,6 +35,7 @@ type bankShard struct {
 	problems map[string]*item.Problem
 	exams    map[string]*ExamRecord
 	history  map[string][]Revision
+	adaptive map[string]*AdaptiveSessionRecord
 }
 
 // NewSharded returns an empty sharded store with n shards (DefaultShards
@@ -48,6 +49,7 @@ func NewSharded(n int) *Sharded {
 		s.shards[i].problems = make(map[string]*item.Problem)
 		s.shards[i].exams = make(map[string]*ExamRecord)
 		s.shards[i].history = make(map[string][]Revision)
+		s.shards[i].adaptive = make(map[string]*AdaptiveSessionRecord)
 	}
 	return s
 }
@@ -198,6 +200,33 @@ func (s *Sharded) putExamUnchecked(e *ExamRecord) error {
 	return nil
 }
 
+// UpdateExam replaces an existing exam record after the same cross-shard
+// reference validation as AddExam (and with the same concurrent-delete
+// window; see the type comment). Preconditions are checked in the same
+// order as Store.UpdateExam — exam existence before problem references —
+// so every backend reports the same sentinel for the same bad input.
+func (s *Sharded) UpdateExam(e *ExamRecord) error {
+	sh := s.shard(e.ID)
+	sh.mu.RLock()
+	_, exists := sh.exams[e.ID]
+	sh.mu.RUnlock()
+	if !exists {
+		return fmt.Errorf("%w: %s", ErrExamNotFound, e.ID)
+	}
+	for _, pid := range e.ProblemIDs {
+		if !s.hasProblem(pid) {
+			return fmt.Errorf("bank: exam %s references %w: %s", e.ID, ErrProblemNotFound, pid)
+		}
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.exams[e.ID]; !ok {
+		return fmt.Errorf("%w: %s", ErrExamNotFound, e.ID)
+	}
+	sh.exams[e.ID] = cloneExam(e)
+	return nil
+}
+
 // Exam returns a copy of the stored exam record.
 func (s *Sharded) Exam(id string) (*ExamRecord, error) {
 	sh := s.shard(id)
@@ -229,6 +258,57 @@ func (s *Sharded) ExamIDs() []string {
 		sh := &s.shards[i]
 		sh.mu.RLock()
 		for id := range sh.exams {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// PutAdaptiveSession stores (or replaces) an adaptive-session record.
+func (s *Sharded) PutAdaptiveSession(rec *AdaptiveSessionRecord) error {
+	if err := rec.validate(); err != nil {
+		return err
+	}
+	sh := s.shard(rec.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.adaptive[rec.ID] = cloneAdaptive(rec)
+	return nil
+}
+
+// AdaptiveSession returns a copy of the stored adaptive-session record.
+func (s *Sharded) AdaptiveSession(id string) (*AdaptiveSessionRecord, error) {
+	sh := s.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, ok := sh.adaptive[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrAdaptiveSessionNotFound, id)
+	}
+	return cloneAdaptive(rec), nil
+}
+
+// DeleteAdaptiveSession removes an adaptive-session record.
+func (s *Sharded) DeleteAdaptiveSession(id string) error {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.adaptive[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrAdaptiveSessionNotFound, id)
+	}
+	delete(sh.adaptive, id)
+	return nil
+}
+
+// AdaptiveSessionIDs returns all adaptive-session IDs, sorted.
+func (s *Sharded) AdaptiveSessionIDs() []string {
+	var ids []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.adaptive {
 			ids = append(ids, id)
 		}
 		sh.mu.RUnlock()

@@ -29,9 +29,17 @@ type Storage interface {
 
 	// Exams.
 	AddExam(e *ExamRecord) error
+	UpdateExam(e *ExamRecord) error
 	Exam(id string) (*ExamRecord, error)
 	DeleteExam(id string) error
 	ExamIDs() []string
+
+	// Adaptive sessions: persisted live-CAT sitting state (upsert
+	// semantics on Put; see adaptive_record.go).
+	PutAdaptiveSession(rec *AdaptiveSessionRecord) error
+	AdaptiveSession(id string) (*AdaptiveSessionRecord, error)
+	DeleteAdaptiveSession(id string) error
+	AdaptiveSessionIDs() []string
 
 	// Search and browse.
 	Search(q Query) []*item.Problem
@@ -109,6 +117,16 @@ func buildSnapshot(s Storage) (*snapshot, error) {
 			return nil, fmt.Errorf("bank: snapshot exam %s: %w", id, err)
 		}
 		snap.Exams = append(snap.Exams, e)
+	}
+	for _, id := range s.AdaptiveSessionIDs() {
+		rec, err := s.AdaptiveSession(id)
+		if errors.Is(err, ErrAdaptiveSessionNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bank: snapshot adaptive session %s: %w", id, err)
+		}
+		snap.AdaptiveSessions = append(snap.AdaptiveSessions, rec)
 	}
 	return snap, nil
 }
@@ -213,6 +231,11 @@ func loadSnapshot(snap *snapshot, dst Storage) error {
 		}
 		if err != nil {
 			return fmt.Errorf("bank: load exam: %w", err)
+		}
+	}
+	for _, rec := range snap.AdaptiveSessions {
+		if err := dst.PutAdaptiveSession(rec); err != nil {
+			return fmt.Errorf("bank: load adaptive session: %w", err)
 		}
 	}
 	return nil

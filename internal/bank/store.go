@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"mineassess/internal/item"
+	"mineassess/internal/simulate"
 )
 
 // Errors callers may match.
@@ -36,6 +37,27 @@ type ExamRecord struct {
 	// Groups names the presentation groups of §5.4's group service, in
 	// order; each group lists problem IDs it contains.
 	Groups []ExamGroup `json:"groups,omitempty"`
+	// ItemParams holds calibrated IRT parameters per problem ID. An exam
+	// with parameters for its problems is a calibrated pool and can be
+	// delivered adaptively (internal/catdelivery); parameters start as
+	// authored estimates and are refined by Recalibrate passes over
+	// collected responses.
+	ItemParams map[string]simulate.IRTParams `json:"itemParams,omitempty"`
+}
+
+// CalibratedPool returns the subset of the exam's problem IDs that carry
+// IRT parameters, in exam order.
+func (e *ExamRecord) CalibratedPool() []string {
+	if len(e.ItemParams) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(e.ItemParams))
+	for _, pid := range e.ProblemIDs {
+		if _, ok := e.ItemParams[pid]; ok {
+			out = append(out, pid)
+		}
+	}
+	return out
 }
 
 // ExamGroup is one §5.4 presentation group.
@@ -52,6 +74,9 @@ type Store struct {
 	// history keeps superseded problem versions, oldest first (see
 	// history.go).
 	history map[string][]Revision
+	// adaptive holds live and finished adaptive-session records keyed by
+	// session ID (see adaptive_record.go).
+	adaptive map[string]*AdaptiveSessionRecord
 }
 
 // New returns an empty store.
@@ -60,6 +85,7 @@ func New() *Store {
 		problems: make(map[string]*item.Problem),
 		exams:    make(map[string]*ExamRecord),
 		history:  make(map[string][]Revision),
+		adaptive: make(map[string]*AdaptiveSessionRecord),
 	}
 }
 
@@ -187,6 +213,24 @@ func (s *Store) putExamLocked(e *ExamRecord) error {
 	return nil
 }
 
+// UpdateExam replaces an existing exam record after checking that every
+// referenced problem exists (recalibration passes rewrite ItemParams this
+// way).
+func (s *Store) UpdateExam(e *ExamRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.exams[e.ID]; !ok {
+		return fmt.Errorf("%w: %s", ErrExamNotFound, e.ID)
+	}
+	for _, pid := range e.ProblemIDs {
+		if _, ok := s.problems[pid]; !ok {
+			return fmt.Errorf("bank: exam %s references %w: %s", e.ID, ErrProblemNotFound, pid)
+		}
+	}
+	s.exams[e.ID] = cloneExam(e)
+	return nil
+}
+
 // Exam returns a copy of the stored exam record.
 func (s *Store) Exam(id string) (*ExamRecord, error) {
 	s.mu.RLock()
@@ -231,13 +275,69 @@ func cloneExam(e *ExamRecord) *ExamRecord {
 			ProblemIDs: append([]string(nil), g.ProblemIDs...),
 		}
 	}
+	if e.ItemParams != nil {
+		cp.ItemParams = make(map[string]simulate.IRTParams, len(e.ItemParams))
+		for pid, params := range e.ItemParams {
+			cp.ItemParams[pid] = params
+		}
+	}
 	return &cp
+}
+
+// PutAdaptiveSession stores (or replaces) an adaptive-session record.
+// Upsert semantics: the catdelivery engine persists the session after every
+// mutation, and replays may legitimately land on an existing record.
+func (s *Store) PutAdaptiveSession(rec *AdaptiveSessionRecord) error {
+	if err := rec.validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.adaptive[rec.ID] = cloneAdaptive(rec)
+	return nil
+}
+
+// AdaptiveSession returns a copy of the stored adaptive-session record.
+func (s *Store) AdaptiveSession(id string) (*AdaptiveSessionRecord, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.adaptive[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrAdaptiveSessionNotFound, id)
+	}
+	return cloneAdaptive(rec), nil
+}
+
+// DeleteAdaptiveSession removes an adaptive-session record.
+func (s *Store) DeleteAdaptiveSession(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.adaptive[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrAdaptiveSessionNotFound, id)
+	}
+	delete(s.adaptive, id)
+	return nil
+}
+
+// AdaptiveSessionIDs returns all adaptive-session IDs, sorted.
+func (s *Store) AdaptiveSessionIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]string, 0, len(s.adaptive))
+	for id := range s.adaptive {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // snapshot is the JSON persistence format.
 type snapshot struct {
 	Problems []*item.Problem `json:"problems"`
 	Exams    []*ExamRecord   `json:"exams"`
+	// AdaptiveSessions carries live/finished adaptive-session records so a
+	// CAT sitting survives restart (see adaptive_record.go).
+	AdaptiveSessions []*AdaptiveSessionRecord `json:"adaptiveSessions,omitempty"`
 	// WalEpoch marks, for a journal's own snapshot, the compaction epoch it
 	// folds up to (see Journal.epoch). Plain bank files leave it 0.
 	WalEpoch int64 `json:"walEpoch,omitempty"`
@@ -259,6 +359,14 @@ func (s *Store) Save(path string) error {
 	sort.Strings(examIDs)
 	for _, id := range examIDs {
 		snap.Exams = append(snap.Exams, s.exams[id])
+	}
+	sessIDs := make([]string, 0, len(s.adaptive))
+	for id := range s.adaptive {
+		sessIDs = append(sessIDs, id)
+	}
+	sort.Strings(sessIDs)
+	for _, id := range sessIDs {
+		snap.AdaptiveSessions = append(snap.AdaptiveSessions, s.adaptive[id])
 	}
 	s.mu.RUnlock()
 	_, err := writeSnapshotFile(&snap, path)

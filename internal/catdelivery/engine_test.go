@@ -1,0 +1,733 @@
+package catdelivery
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mineassess/internal/adaptive"
+	"mineassess/internal/bank"
+	"mineassess/internal/item"
+	"mineassess/internal/simulate"
+	"mineassess/internal/stats"
+)
+
+// calibratedExam authors n multiple-choice problems (correct answer "A")
+// with difficulties spread over [-spread, spread] and stores them as a
+// calibrated exam.
+func calibratedExam(t *testing.T, store bank.Storage, examID string, n int, a, spread float64) {
+	t.Helper()
+	params := make(map[string]simulate.IRTParams, n)
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("%s-q%03d", examID, i+1)
+		p, err := newMC(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.AddProblem(p); err != nil {
+			t.Fatal(err)
+		}
+		b := 0.0
+		if n > 1 {
+			b = -spread + 2*spread*float64(i)/float64(n-1)
+		}
+		params[id] = simulate.IRTParams{A: a, B: b}
+		ids = append(ids, id)
+	}
+	if err := store.AddExam(&bank.ExamRecord{
+		ID: examID, Title: "Calibrated " + examID,
+		ProblemIDs: ids, ItemParams: params,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// answerAs drives one full adaptive session with a simulated learner of the
+// given true ability: correct answers submit "A", wrong ones "B".
+func answerAs(t *testing.T, e *Engine, examID, student string, truth float64, cfg Config, seed int64) *Outcome {
+	t.Helper()
+	s, first, err := e.Start(examID, student, cfg, seed)
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+	exam, err := e.store.Exam(examID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := first
+	for step := 0; step < 10_000; step++ {
+		params := exam.ItemParams[view.ProblemID]
+		response := "B"
+		if rng.Float64() < params.ProbCorrect(truth) {
+			response = "A"
+		}
+		prog, err := e.SubmitResponse(s.ID, view.ProblemID, response)
+		if err != nil {
+			t.Fatalf("submit %s: %v", view.ProblemID, err)
+		}
+		if prog.Done {
+			out, err := e.Outcome(s.ID)
+			if err != nil {
+				t.Fatalf("outcome: %v", err)
+			}
+			return out
+		}
+		view = prog.Next
+	}
+	t.Fatal("session never stopped")
+	return nil
+}
+
+// newMC builds an auto-gradable multiple-choice item whose correct answer
+// is always "A".
+func newMC(id string) (*item.Problem, error) {
+	return item.NewMultipleChoice(id, "Adaptive question "+id,
+		[]string{"alpha", "beta", "gamma", "delta"}, 0)
+}
+
+func TestSETargetStopsBeforeMaxItems(t *testing.T) {
+	store := bank.NewSharded(4)
+	calibratedExam(t, store, "pool", 60, 2.0, 3)
+	e, err := NewEngine(store, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := answerAs(t, e, "pool", "alice", 0.5,
+		Config{MaxItems: 60, TargetSE: 0.4}, 7)
+	if out.StopReason != StopSETarget {
+		t.Fatalf("stop = %s, want %s (administered %d, SE %.3f)",
+			out.StopReason, StopSETarget, len(out.Administered), out.SE)
+	}
+	if len(out.Administered) >= 60 {
+		t.Errorf("SE rule should fire before max items; used %d", len(out.Administered))
+	}
+	if out.SE > 0.4 {
+		t.Errorf("final SE = %.3f, want <= 0.4", out.SE)
+	}
+}
+
+func TestMaxItemsStops(t *testing.T) {
+	store := bank.NewSharded(4)
+	calibratedExam(t, store, "pool", 20, 1.2, 2)
+	e, err := NewEngine(store, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := answerAs(t, e, "pool", "bob", 0, Config{MaxItems: 5}, 3)
+	if out.StopReason != StopMaxItems || len(out.Administered) != 5 {
+		t.Fatalf("stop = %s after %d items, want max-items after 5",
+			out.StopReason, len(out.Administered))
+	}
+	// No item repeats.
+	seen := make(map[string]bool)
+	for _, id := range out.Administered {
+		if seen[id] {
+			t.Fatalf("item %s administered twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestPoolExhaustionBeforeSETarget: a tiny weak pool cannot reach an
+// aggressive SE target; the session must stop with pool-exhausted, not spin.
+func TestPoolExhaustionBeforeSETarget(t *testing.T) {
+	store := bank.NewSharded(4)
+	calibratedExam(t, store, "tiny", 3, 0.5, 1)
+	e, err := NewEngine(store, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MaxItems above the pool size: the SE target is unreachable with 3
+	// weak items, so the session must end on pool exhaustion.
+	out := answerAs(t, e, "tiny", "carol", 0, Config{MaxItems: 10, TargetSE: 0.05}, 11)
+	if len(out.Administered) != 3 {
+		t.Fatalf("administered = %d, want the whole pool (3)", len(out.Administered))
+	}
+	if out.StopReason != StopPoolExhausted {
+		t.Fatalf("stop = %s, want %s", out.StopReason, StopPoolExhausted)
+	}
+	if out.SE <= 0.05 {
+		t.Errorf("SE target should not have been reachable; got %.3f", out.SE)
+	}
+}
+
+func TestSingleItemPool(t *testing.T) {
+	store := bank.NewSharded(4)
+	calibratedExam(t, store, "one", 1, 1.5, 0)
+	e, err := NewEngine(store, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := answerAs(t, e, "one", "dave", 1, Config{}, 5)
+	if len(out.Administered) != 1 {
+		t.Fatalf("administered = %d, want 1", len(out.Administered))
+	}
+	if math.IsNaN(out.Theta) || math.IsInf(out.Theta, 0) {
+		t.Errorf("theta = %v", out.Theta)
+	}
+}
+
+// TestAllCorrectAllIncorrectStreams: degenerate response patterns must keep
+// the EAP estimate finite and inside the quadrature bounds (the divergence
+// guard MLE would need is built into EAP's standard-normal prior).
+func TestAllCorrectAllIncorrectStreams(t *testing.T) {
+	store := bank.NewSharded(4)
+	calibratedExam(t, store, "pool", 15, 1.8, 2)
+	e, err := NewEngine(store, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, response := range map[string]string{"all-correct": "A", "all-incorrect": "B"} {
+		t.Run(name, func(t *testing.T) {
+			s, view, err := e.Start("pool", name, Config{MaxItems: 15}, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for {
+				prog, err := e.SubmitResponse(s.ID, view.ProblemID, response)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.IsNaN(prog.Theta) || prog.Theta < -4 || prog.Theta > 4 {
+					t.Fatalf("theta diverged: %v after %d items", prog.Theta, prog.Administered)
+				}
+				if math.IsNaN(prog.SE) || math.IsInf(prog.SE, 0) {
+					t.Fatalf("SE diverged: %v", prog.SE)
+				}
+				if prog.Done {
+					break
+				}
+				view = prog.Next
+			}
+			out, err := e.Outcome(s.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if name == "all-correct" && out.Theta < 1 {
+				t.Errorf("all-correct theta = %.2f, want high", out.Theta)
+			}
+			if name == "all-incorrect" && out.Theta > -1 {
+				t.Errorf("all-incorrect theta = %.2f, want low", out.Theta)
+			}
+		})
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	store := bank.NewSharded(4)
+	calibratedExam(t, store, "pool", 5, 1.5, 1)
+	e, err := NewEngine(store, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Start("ghost", "x", Config{}, 1); !errors.Is(err, bank.ErrExamNotFound) {
+		t.Errorf("unknown exam = %v", err)
+	}
+	if _, _, err := e.Start("pool", "x", Config{MaxItems: -1}, 1); !errors.Is(err, adaptive.ErrInvalidConfig) {
+		t.Errorf("bad config = %v", err)
+	}
+	if _, err := e.SubmitResponse("cat-999999", "q", "A"); !errors.Is(err, ErrSessionNotFound) {
+		t.Errorf("unknown session = %v", err)
+	}
+	s, view, err := e.Start("pool", "erin", Config{MaxItems: 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SubmitResponse(s.ID, "not-the-pending-item", "A"); !errors.Is(err, ErrItemNotPending) {
+		t.Errorf("wrong item = %v", err)
+	}
+	prog, err := e.SubmitResponse(s.ID, view.ProblemID, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SubmitResponse(s.ID, view.ProblemID, "A"); !errors.Is(err, ErrItemNotPending) {
+		t.Errorf("stale item = %v", err)
+	}
+	if _, err := e.SubmitResponse(s.ID, prog.Next.ProblemID, "A"); err != nil {
+		t.Fatal(err)
+	}
+	// Session is now finished (max-items 2).
+	if _, err := e.SubmitResponse(s.ID, "anything", "A"); !errors.Is(err, ErrSessionFinished) {
+		t.Errorf("finished submit = %v", err)
+	}
+	if _, err := e.NextItem(s.ID); !errors.Is(err, ErrSessionFinished) {
+		t.Errorf("finished next = %v", err)
+	}
+	// Finish is idempotent and reports the recorded stop reason.
+	out, err := e.Finish(s.ID)
+	if err != nil || out.StopReason != StopMaxItems {
+		t.Errorf("finish after stop = %+v, %v", out, err)
+	}
+}
+
+func TestUncalibratedExamRejected(t *testing.T) {
+	store := bank.NewSharded(4)
+	p, err := newMC("plain-q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AddProblem(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AddExam(&bank.ExamRecord{ID: "plain", ProblemIDs: []string{"plain-q1"}}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(store, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Start("plain", "x", Config{}, 1); !errors.Is(err, ErrNotCalibrated) {
+		t.Errorf("uncalibrated start = %v, want ErrNotCalibrated", err)
+	}
+}
+
+// TestExposureCapSpreadsItems: with a cap, the most informative item cannot
+// be handed to every session; exposure rates stay at or near the cap with
+// the least-exposed fallback keeping sessions progressing.
+func TestExposureCapSpreadsItems(t *testing.T) {
+	store := bank.NewSharded(4)
+	calibratedExam(t, store, "pool", 30, 1.5, 2)
+	e, err := NewEngine(store, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sessions = 20
+	uncapped, err := NewEngine(store, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstItems := make(map[string]int)
+	for i := 0; i < sessions; i++ {
+		student := fmt.Sprintf("s%02d", i)
+		answerAs(t, e, "pool", student, 0, Config{MaxItems: 5, MaxExposure: 0.3}, int64(i))
+		_, first, err := uncapped.Start("pool", student, Config{MaxItems: 5}, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		firstItems[first.ProblemID]++
+	}
+	// Uncapped max-information hands every session the same first item.
+	if len(firstItems) != 1 {
+		t.Fatalf("uncapped first items = %v, want a single hot item", firstItems)
+	}
+	rates, err := e.ExposureRates("pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) != 30 {
+		t.Fatalf("rates entries = %d, want 30 (explicit zeros included)", len(rates))
+	}
+	over := 0
+	for id, rate := range rates {
+		// The cap admits the administration that crosses it, so allow one
+		// session of slack.
+		if rate > 0.3+1.0/sessions+1e-9 {
+			over++
+			t.Logf("item %s rate %.2f", id, rate)
+		}
+	}
+	if over > 0 {
+		t.Errorf("%d items exceeded the exposure cap", over)
+	}
+}
+
+// TestRestartRestoresActiveSession: a mid-test session persisted through a
+// journaled bank continues after an engine restart with identical state.
+func TestRestartRestoresActiveSession(t *testing.T) {
+	dir := t.TempDir()
+	j, err := bank.OpenJournal(dir, bank.NewSharded(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calibratedExam(t, j, "pool", 12, 1.6, 2)
+	e1, err := NewEngine(j, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, view, err := e1.Start("pool", "frank", Config{MaxItems: 6, TargetSE: 0.1}, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := e1.SubmitResponse(s.ID, view.ProblemID, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err = e1.SubmitResponse(s.ID, prog.Next.ProblemID, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pendingBefore := prog.Next.ProblemID
+	thetaBefore := prog.Theta
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: reopen the journal and build a fresh engine over it.
+	j2, err := bank.OpenJournal(dir, bank.NewSharded(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	e2, err := NewEngine(j2, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e2.HasSession(s.ID) {
+		t.Fatal("restored engine lost the session")
+	}
+	st, err := e2.Status(s.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Administered != 2 || st.PendingID != pendingBefore {
+		t.Fatalf("restored status = %+v, want 2 administered pending %s", st, pendingBefore)
+	}
+	if math.Abs(st.Theta-thetaBefore) > 1e-9 {
+		t.Errorf("restored theta = %v, want %v", st.Theta, thetaBefore)
+	}
+	// The session continues to completion on the new engine.
+	next, err := e2.NextItem(s.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		prog, err := e2.SubmitResponse(s.ID, next.ProblemID, "A")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prog.Done {
+			break
+		}
+		next = prog.Next
+	}
+	// New sessions on the restarted engine must not reuse restored IDs.
+	s2, _, err := e2.Start("pool", "grace", Config{MaxItems: 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.ID == s.ID {
+		t.Error("session ID collision after restart")
+	}
+}
+
+// TestRecalibrateFeedbackLoop: sessions from an easier-than-authored item
+// pull its stored difficulty down; the stats bridge sees the same data.
+func TestRecalibrateFeedbackLoop(t *testing.T) {
+	store := bank.NewSharded(4)
+	calibratedExam(t, store, "pool", 8, 1.5, 1.5)
+	e, err := NewEngine(store, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := store.Exam("pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Learners of middling true ability answer everything correctly: the
+	// pool is easier than authored, so calibration must lower difficulty.
+	for i := 0; i < 6; i++ {
+		s, view, err := e.Start("pool", fmt.Sprintf("h%d", i), Config{MaxItems: 8}, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			prog, err := e.SubmitResponse(s.ID, view.ProblemID, "A")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prog.Done {
+				break
+			}
+			view = prog.Next
+		}
+	}
+	if got := e.ResponseLog().Len(); got != 6 {
+		t.Fatalf("logged sessions = %d, want 6", got)
+	}
+	// The stats bridge: classical item statistics over live CAT data.
+	res, err := e.ExamResult("pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := stats.Compute(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scores.N != 6 {
+		t.Errorf("stats N = %d", st.Scores.N)
+	}
+	cal, err := e.Recalibrate("pool", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cal.Updated) == 0 {
+		t.Fatal("no items recalibrated")
+	}
+	after, err := store.Exam("pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid := range cal.Updated {
+		if after.ItemParams[pid].B >= before.ItemParams[pid].B {
+			t.Errorf("item %s difficulty did not drop: %.3f -> %.3f",
+				pid, before.ItemParams[pid].B, after.ItemParams[pid].B)
+		}
+	}
+	// Recalibrating with no new responses is still well-defined.
+	if _, err := e.Recalibrate("pool", 5); err != nil {
+		t.Errorf("second recalibrate: %v", err)
+	}
+	if _, err := e.Recalibrate("ghost", 5); !errors.Is(err, bank.ErrExamNotFound) {
+		t.Errorf("ghost recalibrate = %v", err)
+	}
+}
+
+// TestConcurrentAdaptiveSessions hammers one shared pool with parallel
+// sessions; run under -race. Exposure accounting, the registry, the
+// response log and the storage backend are all on the contended path.
+func TestConcurrentAdaptiveSessions(t *testing.T) {
+	store := bank.NewSharded(8)
+	calibratedExam(t, store, "pool", 40, 1.5, 2)
+	e, err := NewEngine(store, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			s, view, err := e.Start("pool", fmt.Sprintf("racer-%02d", w),
+				Config{MaxItems: 10, TargetSE: 0.3, MaxExposure: 0.5, Selector: SelectorRandomesque}, int64(w))
+			if err != nil {
+				errs <- err
+				return
+			}
+			for {
+				response := "B"
+				if rng.Float64() < 0.6 {
+					response = "A"
+				}
+				prog, err := e.SubmitResponse(s.ID, view.ProblemID, response)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := e.Status(s.ID); err != nil {
+					errs <- err
+					return
+				}
+				if prog.Done {
+					return
+				}
+				view = prog.Next
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := e.SessionCount(); got != workers {
+		t.Errorf("sessions = %d, want %d", got, workers)
+	}
+	if got := e.ResponseLog().Len(); got != workers {
+		t.Errorf("logged = %d, want %d", got, workers)
+	}
+}
+
+// TestRestoreTolerance: persisted sessions whose exam was deleted must not
+// crash-loop engine construction; finished sessions restore without a pool.
+func TestRestoreTolerance(t *testing.T) {
+	store := bank.NewSharded(4)
+	calibratedExam(t, store, "pool", 6, 1.5, 1)
+	e1, err := NewEngine(store, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One finished, one active session.
+	answerAs(t, e1, "pool", "fin", 0, Config{MaxItems: 2}, 1)
+	s, _, err := e1.Start("pool", "act", Config{MaxItems: 6}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete the exam out from under both sessions (legal: no cascade).
+	if err := store.DeleteExam("pool"); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewEngine(store, nil, 0)
+	if err != nil {
+		t.Fatalf("NewEngine over orphaned sessions: %v", err)
+	}
+	// The finished session restores (no pool needed); the active one is
+	// skipped and reported.
+	if got := e2.RestoreSkipped(); got != 1 {
+		t.Errorf("RestoreSkipped = %d, want 1 (the active session)", got)
+	}
+	if e2.HasSession(s.ID) {
+		t.Error("orphaned active session should not be registered")
+	}
+	if e2.ResponseLog().Len() != 1 {
+		t.Errorf("finished session's log entry lost: len = %d", e2.ResponseLog().Len())
+	}
+}
+
+// TestPurgeFinished: the retention pass drops finished sessions from both
+// registry and storage while active ones keep running.
+func TestPurgeFinished(t *testing.T) {
+	store := bank.NewSharded(4)
+	calibratedExam(t, store, "pool", 8, 1.5, 1)
+	e, err := NewEngine(store, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		answerAs(t, e, "pool", fmt.Sprintf("done%d", i), 0, Config{MaxItems: 2}, int64(i))
+	}
+	active, view, err := e.Start("pool", "live", Config{MaxItems: 8}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.PurgeFinished()
+	if err != nil || n != 3 {
+		t.Fatalf("PurgeFinished = %d, %v; want 3", n, err)
+	}
+	if got := e.SessionCount(); got != 1 {
+		t.Errorf("registry after purge = %d, want 1", got)
+	}
+	if got := len(store.AdaptiveSessionIDs()); got != 1 {
+		t.Errorf("stored records after purge = %d, want 1", got)
+	}
+	// The response log keeps the purged sessions' calibration data.
+	if got := e.ResponseLog().Len(); got != 3 {
+		t.Errorf("log after purge = %d, want 3", got)
+	}
+	// The active session is untouched and still answers.
+	if _, err := e.SubmitResponse(active.ID, view.ProblemID, "A"); err != nil {
+		t.Errorf("active session broken by purge: %v", err)
+	}
+	// Idempotent.
+	if n, err := e.PurgeFinished(); err != nil || n != 0 {
+		t.Errorf("second purge = %d, %v", n, err)
+	}
+}
+
+// failingStore wraps a Storage and fails PutAdaptiveSession on demand.
+type failingStore struct {
+	bank.Storage
+	failPuts bool
+}
+
+func (f *failingStore) PutAdaptiveSession(rec *bank.AdaptiveSessionRecord) error {
+	if f.failPuts {
+		return errors.New("disk full")
+	}
+	return f.Storage.PutAdaptiveSession(rec)
+}
+
+// TestSubmitRollsBackOnPersistFailure: a failed persist must leave the
+// session exactly as before the submit, so the client's retry of the same
+// item succeeds instead of hitting ITEM_NOT_PENDING.
+func TestSubmitRollsBackOnPersistFailure(t *testing.T) {
+	inner := bank.NewSharded(4)
+	calibratedExam(t, inner, "pool", 6, 1.5, 1)
+	store := &failingStore{Storage: inner}
+	e, err := NewEngine(store, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, view, err := e.Start("pool", "rb", Config{MaxItems: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.failPuts = true
+	if _, err := e.SubmitResponse(s.ID, view.ProblemID, "A"); err == nil {
+		t.Fatal("submit should surface the persist failure")
+	}
+	st, err := e.Status(s.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Administered != 0 || st.PendingID != view.ProblemID || st.State != bank.AdaptiveStateActive {
+		t.Fatalf("state after failed submit = %+v, want untouched pre-submit state", st)
+	}
+	// The retry of the SAME item succeeds once the store recovers.
+	store.failPuts = false
+	prog, err := e.SubmitResponse(s.ID, view.ProblemID, "A")
+	if err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if prog.Administered != 1 {
+		t.Errorf("retry administered = %d", prog.Administered)
+	}
+	// A rolled-back finish leaves no phantom log entry and stays active.
+	store.failPuts = true
+	if _, err := e.SubmitResponse(s.ID, prog.Next.ProblemID, "A"); err == nil {
+		t.Fatal("finishing submit should surface the persist failure")
+	}
+	if e.ResponseLog().Len() != 0 {
+		t.Error("rolled-back finish leaked a response-log entry")
+	}
+	store.failPuts = false
+	final, err := e.SubmitResponse(s.ID, prog.Next.ProblemID, "A")
+	if err != nil || !final.Done {
+		t.Fatalf("final retry = %+v, %v", final, err)
+	}
+	if e.ResponseLog().Len() != 1 {
+		t.Errorf("log after durable finish = %d, want 1", e.ResponseLog().Len())
+	}
+}
+
+// TestMinItemsAboveMaxRejected: a floor above the ceiling would silently
+// disable the SE rule, so Start must reject it with a typed error — both
+// explicitly and when MaxItems defaults to the pool size.
+func TestMinItemsAboveMaxRejected(t *testing.T) {
+	store := bank.NewSharded(4)
+	calibratedExam(t, store, "pool", 5, 1.5, 1)
+	e, err := NewEngine(store, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Start("pool", "x", Config{MaxItems: 3, MinItems: 4, TargetSE: 0.4}, 1); !errors.Is(err, adaptive.ErrInvalidConfig) {
+		t.Errorf("MinItems > MaxItems = %v, want ErrInvalidConfig", err)
+	}
+	if _, _, err := e.Start("pool", "x", Config{MinItems: 6, TargetSE: 0.4}, 1); !errors.Is(err, adaptive.ErrInvalidConfig) {
+		t.Errorf("MinItems > pool size = %v, want ErrInvalidConfig", err)
+	}
+	if _, _, err := e.Start("pool", "x", Config{MaxItems: 3, MinItems: 3}, 1); err != nil {
+		t.Errorf("MinItems == MaxItems should be legal: %v", err)
+	}
+}
+
+// TestPurgeForgetsMonitor: purged sessions must release their monitor
+// rings, or monitor memory scales with lifetime session count.
+func TestPurgeForgetsMonitor(t *testing.T) {
+	store := bank.NewSharded(4)
+	calibratedExam(t, store, "pool", 4, 1.5, 1)
+	e, err := NewEngine(store, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := answerAs(t, e, "pool", "m", 0, Config{MaxItems: 2}, 1)
+	if got := len(e.Monitor().Snapshots(out.SessionID)); got == 0 {
+		t.Fatal("no snapshots captured before purge")
+	}
+	if _, err := e.PurgeFinished(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.Monitor().Snapshots(out.SessionID)); got != 0 {
+		t.Errorf("monitor retained %d snapshots after purge", got)
+	}
+	if got := e.Monitor().Captured(out.SessionID); got != 0 {
+		t.Errorf("monitor retained capture counter %d after purge", got)
+	}
+}

@@ -1,0 +1,190 @@
+package catdelivery
+
+import (
+	"fmt"
+	"sync"
+
+	"mineassess/internal/adaptive"
+	"mineassess/internal/analysis"
+	"mineassess/internal/bank"
+)
+
+// LoggedResponse is one scored administration inside a log entry.
+type LoggedResponse struct {
+	ProblemID string `json:"problemId"`
+	Correct   bool   `json:"correct"`
+}
+
+// LogEntry is one finished adaptive session's contribution to calibration:
+// the final ability estimate plus the dichotomized response stream.
+type LogEntry struct {
+	SessionID string           `json:"sessionId"`
+	ExamID    string           `json:"examId"`
+	StudentID string           `json:"studentId"`
+	Theta     float64          `json:"theta"`
+	SE        float64          `json:"se"`
+	Items     []LoggedResponse `json:"items"`
+}
+
+// ResponseLog is the calibration sink finished adaptive sessions drain
+// into. It is the bridge between live delivery and the offline feedback
+// loop: ExamResult feeds internal/stats item statistics, and
+// Engine.Recalibrate folds the entries back into stored pool parameters.
+// Entries are deduplicated by session ID so a restart's re-drain of
+// restored finished sessions cannot double-count.
+type ResponseLog struct {
+	mu      sync.Mutex
+	entries []LogEntry
+	seen    map[string]bool
+}
+
+// NewResponseLog returns an empty log.
+func NewResponseLog() *ResponseLog {
+	return &ResponseLog{seen: make(map[string]bool)}
+}
+
+// entryOf projects a finished session record into a log entry.
+func entryOf(rec *bank.AdaptiveSessionRecord) LogEntry {
+	entry := LogEntry{
+		SessionID: rec.ID,
+		ExamID:    rec.ExamID,
+		StudentID: rec.StudentID,
+		Theta:     rec.Theta,
+		SE:        rec.SE,
+	}
+	for i, pid := range rec.Administered {
+		entry.Items = append(entry.Items, LoggedResponse{ProblemID: pid, Correct: rec.Correct[i]})
+	}
+	return entry
+}
+
+// Add appends one finished session; duplicate session IDs are ignored.
+func (l *ResponseLog) Add(entry LogEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seen[entry.SessionID] {
+		return
+	}
+	l.seen[entry.SessionID] = true
+	l.entries = append(l.entries, entry)
+}
+
+// Len returns the number of logged sessions.
+func (l *ResponseLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// ByExam returns copies of the entries logged for one exam, in drain order.
+func (l *ResponseLog) ByExam(examID string) []LogEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []LogEntry
+	for _, entry := range l.entries {
+		if entry.ExamID != examID {
+			continue
+		}
+		cp := entry
+		cp.Items = append([]LoggedResponse(nil), entry.Items...)
+		out = append(out, cp)
+	}
+	return out
+}
+
+// observations regroups an exam's entries by item for calibration.
+func (l *ResponseLog) observations(examID string) map[string][]adaptive.CalibrationObservation {
+	obs := make(map[string][]adaptive.CalibrationObservation)
+	for _, entry := range l.ByExam(examID) {
+		for _, r := range entry.Items {
+			obs[r.ProblemID] = append(obs[r.ProblemID], adaptive.CalibrationObservation{
+				Theta: entry.Theta, Correct: r.Correct,
+			})
+		}
+	}
+	return obs
+}
+
+// ExamResult assembles the logged adaptive responses of an exam into the
+// analysis package's response-matrix form, so the classical item statistics
+// (internal/stats: P values, point-biserial, KR-20) run unchanged on live
+// CAT data. Skipped pool items appear as unanswered responses — adaptive
+// sessions answer a subset of the pool by design.
+func (e *Engine) ExamResult(examID string) (*analysis.ExamResult, error) {
+	rec, err := e.store.Exam(examID)
+	if err != nil {
+		return nil, err
+	}
+	ids := rec.CalibratedPool()
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNotCalibrated, examID)
+	}
+	problems, err := e.store.Problems(ids)
+	if err != nil {
+		return nil, err
+	}
+	entries := e.log.ByExam(examID)
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoResponses, examID)
+	}
+	out := &analysis.ExamResult{ExamID: examID, Problems: problems}
+	for _, entry := range entries {
+		sr := analysis.StudentResult{StudentID: entry.StudentID}
+		correct := make(map[string]bool, len(entry.Items))
+		answered := make(map[string]bool, len(entry.Items))
+		for _, r := range entry.Items {
+			answered[r.ProblemID] = true
+			correct[r.ProblemID] = r.Correct
+		}
+		for _, pid := range ids {
+			resp := analysis.Response{StudentID: entry.StudentID, ProblemID: pid}
+			if answered[pid] {
+				resp.Answered = true
+				if correct[pid] {
+					resp.Credit = 1
+				}
+			}
+			sr.Responses = append(sr.Responses, resp)
+		}
+		out.Students = append(out.Students, sr)
+	}
+	return out, nil
+}
+
+// Recalibrate refits the exam's stored pool difficulties from the logged
+// adaptive responses and persists the updated parameters — the feedback
+// loop's write-back half. minObs guards against recalibrating from noise
+// (0 means adaptive.DefaultMinCalibrationObs). Items with too few responses
+// are reported in the result's Skipped map and left untouched.
+//
+// Concurrent Recalibrate calls are serialized on the engine, so two passes
+// cannot overwrite each other. An authoring edit to the same exam record
+// racing the read-modify-write window here can still be lost — the same
+// advisory window bank.Sharded documents for cross-shard validation;
+// recalibration is an administrative pass, run it when the exam is not
+// being re-authored.
+func (e *Engine) Recalibrate(examID string, minObs int) (*adaptive.PoolCalibration, error) {
+	e.recalMu.Lock()
+	defer e.recalMu.Unlock()
+	rec, err := e.store.Exam(examID)
+	if err != nil {
+		return nil, err
+	}
+	if len(rec.ItemParams) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNotCalibrated, examID)
+	}
+	obs := e.log.observations(examID)
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoResponses, examID)
+	}
+	cal := adaptive.CalibratePool(rec.ItemParams, obs, minObs)
+	if len(cal.Updated) > 0 {
+		for pid, params := range cal.Updated {
+			rec.ItemParams[pid] = params
+		}
+		if err := e.store.UpdateExam(rec); err != nil {
+			return nil, err
+		}
+	}
+	return cal, nil
+}

@@ -97,6 +97,17 @@ func (m *Monitor) Snapshots(sessionID string) []Snapshot {
 	return out
 }
 
+// Forget drops a session's ring and capture counter — retention passes
+// call this when a session is purged so monitor memory does not scale
+// with lifetime session count.
+func (m *Monitor) Forget(sessionID string) {
+	sh := m.shard(sessionID)
+	sh.mu.Lock()
+	delete(sh.rings, sessionID)
+	delete(sh.seqs, sessionID)
+	sh.mu.Unlock()
+}
+
 // Captured returns the total number of captures ever taken for the session
 // (including ones that have fallen off the ring).
 func (m *Monitor) Captured(sessionID string) int {

@@ -23,11 +23,12 @@ import (
 // containing '/' would be created fine by the bank but could never be
 // fetched, updated, or deleted through /v1/problems/{id} or
 // /v1/exams/{id} (URL paths arrive percent-decoded, so %2F is no escape
-// hatch). It writes the 400 envelope itself on failure.
+// hatch), and ':' is the colon-verb separator (an exam named "x:recalibrate"
+// would shadow the verb). It writes the 400 envelope itself on failure.
 func checkResourceID(w http.ResponseWriter, id string) bool {
-	if strings.Contains(id, "/") {
+	if strings.ContainsAny(id, "/:") {
 		writeErr(w, &Error{Code: CodeValidation,
-			Message: fmt.Sprintf("id %q must not contain '/'", id)})
+			Message: fmt.Sprintf("id %q must not contain '/' or ':'", id)})
 		return false
 	}
 	return true
@@ -223,6 +224,21 @@ func (s *Server) createExam(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleExamByID(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/exams/")
 	id, sub, _ := strings.Cut(rest, "/")
+	// Only the known verb is routed as a verb: a pre-existing exam whose
+	// ID happens to contain ':' (legal before checkResourceID rejected
+	// it) still resolves as a plain resource.
+	if seg, verb, hasVerb := strings.Cut(id, ":"); hasVerb && verb == "recalibrate" && sub == "" {
+		if seg == "" {
+			badRequest(w, "missing exam ID")
+			return
+		}
+		if r.Method != http.MethodPost {
+			methodNotAllowed(w, http.MethodPost)
+			return
+		}
+		s.recalibrateExam(w, r, seg)
+		return
+	}
 	if id == "" {
 		badRequest(w, "missing exam ID")
 		return

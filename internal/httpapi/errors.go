@@ -6,54 +6,54 @@ import (
 	"fmt"
 	"net/http"
 
+	"mineassess/internal/adaptive"
 	"mineassess/internal/authoring"
 	"mineassess/internal/bank"
+	"mineassess/internal/catdelivery"
 	"mineassess/internal/delivery"
+	"mineassess/pkg/api"
 )
 
-// Code is a stable machine-readable error identifier. Codes are part of the
-// v1 API contract: clients branch on them, so existing codes never change
-// meaning and removed features keep their codes reserved.
-type Code string
+// Code is a stable machine-readable error identifier, promoted to the
+// public pkg/api package; this alias keeps the server code reading
+// naturally. Codes are part of the v1 API contract: clients branch on them,
+// so existing codes never change meaning and removed features keep their
+// codes reserved.
+type Code = api.Code
 
-// The v1 error taxonomy. Each code maps to exactly one HTTP status (see
-// statusOf); the mapping from internal sentinel errors lives in FromError.
+// The v1 error taxonomy, re-exported from pkg/api. Each code maps to
+// exactly one HTTP status (see statusOf); the mapping from internal
+// sentinel errors lives in FromError.
 const (
-	CodeBadRequest         Code = "BAD_REQUEST"
-	CodeValidation         Code = "VALIDATION_FAILED"
-	CodeNotFound           Code = "NOT_FOUND"
-	CodeMethodNotAllowed   Code = "METHOD_NOT_ALLOWED"
-	CodeSessionNotFound    Code = "SESSION_NOT_FOUND"
-	CodeExamNotFound       Code = "EXAM_NOT_FOUND"
-	CodeProblemNotFound    Code = "PROBLEM_NOT_FOUND"
-	CodeExamExists         Code = "EXAM_EXISTS"
-	CodeProblemExists      Code = "PROBLEM_EXISTS"
-	CodeSessionNotActive   Code = "SESSION_NOT_ACTIVE"
-	CodeSessionNotPaused   Code = "SESSION_NOT_PAUSED"
-	CodeNotResumable       Code = "EXAM_NOT_RESUMABLE"
-	CodeTimeExpired        Code = "TIME_EXPIRED"
-	CodeUnknownProblem     Code = "UNKNOWN_PROBLEM"
-	CodeAlreadyAnswered    Code = "ALREADY_ANSWERED"
-	CodeNotAnswered        Code = "NOT_ANSWERED"
-	CodeAutoGraded         Code = "AUTO_GRADED"
-	CodeInvalidCredit      Code = "INVALID_CREDIT"
-	CodeBlueprintShortfall Code = "BLUEPRINT_SHORTFALL"
-	CodeRateLimited        Code = "RATE_LIMITED"
-	CodeInternal           Code = "INTERNAL"
+	CodeBadRequest         = api.CodeBadRequest
+	CodeValidation         = api.CodeValidation
+	CodeNotFound           = api.CodeNotFound
+	CodeMethodNotAllowed   = api.CodeMethodNotAllowed
+	CodeSessionNotFound    = api.CodeSessionNotFound
+	CodeExamNotFound       = api.CodeExamNotFound
+	CodeProblemNotFound    = api.CodeProblemNotFound
+	CodeExamExists         = api.CodeExamExists
+	CodeProblemExists      = api.CodeProblemExists
+	CodeSessionNotActive   = api.CodeSessionNotActive
+	CodeSessionNotPaused   = api.CodeSessionNotPaused
+	CodeNotResumable       = api.CodeNotResumable
+	CodeTimeExpired        = api.CodeTimeExpired
+	CodeUnknownProblem     = api.CodeUnknownProblem
+	CodeAlreadyAnswered    = api.CodeAlreadyAnswered
+	CodeNotAnswered        = api.CodeNotAnswered
+	CodeAutoGraded         = api.CodeAutoGraded
+	CodeInvalidCredit      = api.CodeInvalidCredit
+	CodeBlueprintShortfall = api.CodeBlueprintShortfall
+	CodeRateLimited        = api.CodeRateLimited
+	CodeInternal           = api.CodeInternal
+	CodeNotCalibrated      = api.CodeNotCalibrated
+	CodeItemNotPending     = api.CodeItemNotPending
+	CodeInsufficientData   = api.CodeInsufficientData
 )
 
-// Error is the wire error envelope every non-2xx response carries.
-type Error struct {
-	Code    Code           `json:"code"`
-	Message string         `json:"message"`
-	Details map[string]any `json:"details,omitempty"`
-}
-
-// Error implements the error interface so the envelope can be returned
-// through Go call chains (the client SDK wraps it in client.APIError).
-func (e *Error) Error() string {
-	return fmt.Sprintf("%s: %s", e.Code, e.Message)
-}
+// Error is the wire error envelope every non-2xx response carries (defined
+// in pkg/api; aliased for the server's internal use).
+type Error = api.Error
 
 // statusOf maps a code to its HTTP status.
 func statusOf(c Code) int {
@@ -68,7 +68,9 @@ func statusOf(c Code) int {
 	case CodeSessionNotActive, CodeSessionNotPaused, CodeNotResumable,
 		CodeTimeExpired, CodeAlreadyAnswered, CodeExamExists, CodeProblemExists:
 		return http.StatusConflict
-	case CodeBlueprintShortfall:
+	case CodeItemNotPending:
+		return http.StatusConflict
+	case CodeBlueprintShortfall, CodeNotCalibrated, CodeInsufficientData:
 		return http.StatusUnprocessableEntity
 	case CodeRateLimited:
 		return http.StatusTooManyRequests
@@ -111,6 +113,20 @@ func FromError(err error) *Error {
 		code = CodeAutoGraded
 	case errors.Is(err, delivery.ErrInvalidCredit):
 		code = CodeInvalidCredit
+	case errors.Is(err, catdelivery.ErrSessionNotFound):
+		code = CodeSessionNotFound
+	case errors.Is(err, catdelivery.ErrSessionFinished):
+		code = CodeSessionNotActive
+	case errors.Is(err, catdelivery.ErrItemNotPending):
+		code = CodeItemNotPending
+	case errors.Is(err, catdelivery.ErrNotCalibrated):
+		code = CodeNotCalibrated
+	case errors.Is(err, catdelivery.ErrNoResponses),
+		errors.Is(err, adaptive.ErrTooFewObservations):
+		code = CodeInsufficientData
+	case errors.Is(err, adaptive.ErrInvalidConfig),
+		errors.Is(err, catdelivery.ErrNotGradable):
+		code = CodeValidation
 	case errors.Is(err, authoring.ErrShortfall):
 		return shortfallError(err)
 	case errors.Is(err, authoring.ErrEmptyExam),

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mineassess/pkg/api"
 )
 
 // Metrics is the in-process observability registry, exported at
@@ -64,24 +66,13 @@ func (m *Metrics) instrument(route string, next http.Handler) http.Handler {
 	})
 }
 
-// RouteMetrics is one route's exported counters.
-type RouteMetrics struct {
-	Route    string           `json:"route"`
-	Count    int64            `json:"count"`
-	ByStatus map[string]int64 `json:"byStatus"`
-	AvgMs    float64          `json:"avgMs"`
-}
+// RouteMetrics is one route's exported counters (wire type promoted to
+// pkg/api).
+type RouteMetrics = api.RouteMetrics
 
-// MetricsSnapshot is the GET /v1/metrics response body.
-type MetricsSnapshot struct {
-	UptimeSeconds float64        `json:"uptimeSeconds"`
-	InFlight      int64          `json:"inFlight"`
-	Requests      int64          `json:"requests"`
-	Errors5xx     int64          `json:"errors5xx"`
-	RateLimited   int64          `json:"rateLimited"`
-	Panics        int64          `json:"panics"`
-	Routes        []RouteMetrics `json:"routes"`
-}
+// MetricsSnapshot is the GET /v1/metrics response body (wire type promoted
+// to pkg/api).
+type MetricsSnapshot = api.MetricsSnapshot
 
 // Snapshot exports the registry. Routes are sorted by pattern for stable
 // output; scraping the snapshot does not reset any counter.

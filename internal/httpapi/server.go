@@ -22,6 +22,13 @@
 //	POST   /v1/sessions/{id}:finish    finish and grade
 //	GET    /v1/sessions/{id}/monitor   captured snapshots
 //	POST   /v1/sessions/{id}/rte       SCORM RTE bridge
+//	POST   /v1/adaptive-sessions       start a live adaptive (CAT) session
+//	GET    /v1/adaptive-sessions/{id}  adaptive session status
+//	GET    /v1/adaptive-sessions/{id}/next     pending item
+//	POST   /v1/adaptive-sessions/{id}:respond  answer the pending item
+//	POST   /v1/adaptive-sessions/{id}:finish   close / fetch the outcome
+//	GET    /v1/adaptive-sessions/{id}/monitor  captured snapshots
+//	POST   /v1/exams/{id}:recalibrate  fold logged responses into params
 //	GET    /v1/problems                search problems
 //	POST   /v1/problems                create a problem
 //	GET    /v1/problems/{id}           fetch a problem
@@ -49,11 +56,12 @@ import (
 	"time"
 
 	"mineassess/internal/bank"
+	"mineassess/internal/catdelivery"
 	"mineassess/internal/delivery"
 	"mineassess/internal/scorm"
 )
 
-// Options configures the server's middleware stack.
+// Options configures the server's middleware stack and optional subsystems.
 type Options struct {
 	// Logger receives access-log and panic lines; nil disables logging.
 	Logger *log.Logger
@@ -64,12 +72,16 @@ type Options struct {
 	Burst int
 	// Now is the rate limiter's clock; nil means wall-clock time.
 	Now func() time.Time
+	// Adaptive enables the /v1/adaptive-sessions routes and the
+	// exams:recalibrate verb; nil leaves them answering a typed 404.
+	Adaptive *catdelivery.Engine
 }
 
 // Server is the LMS HTTP front end. Build with NewServer; it implements
 // http.Handler.
 type Server struct {
 	engine  *delivery.Engine
+	cat     *catdelivery.Engine
 	store   bank.Storage
 	metrics *Metrics
 	mux     *http.ServeMux
@@ -86,6 +98,7 @@ var _ http.Handler = (*Server)(nil)
 func NewServer(engine *delivery.Engine, store bank.Storage, o Options) *Server {
 	s := &Server{
 		engine:  engine,
+		cat:     o.Adaptive,
 		store:   store,
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
@@ -142,6 +155,9 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 func (s *Server) routes() {
 	// v1 resources.
 	s.route("/v1/sessions/", s.handleSessions)
+	s.route("/v1/adaptive-sessions", s.handleAdaptiveRoot)
+	s.route("/v1/adaptive-sessions:purge", s.handleAdaptivePurge)
+	s.route("/v1/adaptive-sessions/", s.handleAdaptiveSessions)
 	s.route("/v1/problems", s.handleProblemsRoot)
 	s.route("/v1/problems/", s.handleProblemByID)
 	s.route("/v1/exams", s.handleExamsRoot)

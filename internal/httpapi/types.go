@@ -1,97 +1,64 @@
 package httpapi
 
-import (
-	"mineassess/internal/bank"
-	"mineassess/internal/cognition"
-	"mineassess/internal/item"
-)
+import "mineassess/pkg/api"
 
-// Wire types of the v1 API. The Go client SDK (pkg/client) is built around
-// these same structs, so server and client can never drift; domain payloads
-// (item.Problem, bank.ExamRecord, delivery.Status, analysis.ExamResult)
-// travel in their canonical JSON forms.
+// Wire types of the v1 API. The definitions were promoted to the public
+// pkg/api package so external modules can name them; the server keeps these
+// aliases so its handlers and the whole test suite read naturally. The Go
+// client SDK (pkg/client) is built around the same structs, so server and
+// client can never drift.
 
-// StartSessionRequest opens a session. ExamID is taken from the URL on the
-// v1 route (POST /v1/exams/{id}/sessions) and from the body on the legacy
-// alias (POST /api/session/start).
-type StartSessionRequest struct {
-	ExamID    string `json:"examId,omitempty"`
-	StudentID string `json:"studentId"`
-	Seed      int64  `json:"seed"`
-}
+// StartSessionRequest opens a session (see api.StartSessionRequest).
+type StartSessionRequest = api.StartSessionRequest
 
 // StartSessionResponse reports the opened session and its presentation
 // order.
-type StartSessionResponse struct {
-	SessionID string   `json:"sessionId"`
-	Order     []string `json:"order"`
-}
+type StartSessionResponse = api.StartSessionResponse
 
 // AnswerRequest records one response (POST /v1/sessions/{id}:answer).
-type AnswerRequest struct {
-	ProblemID string `json:"problemId"`
-	Response  string `json:"response"`
-}
+type AnswerRequest = api.AnswerRequest
 
 // ActionResponse acknowledges a state-changing session action.
-type ActionResponse struct {
-	Status string `json:"status"`
-}
+type ActionResponse = api.ActionResponse
 
-// RTERequest is one SCORM RTE call bridged over HTTP
-// (POST /v1/sessions/{id}/rte).
-type RTERequest struct {
-	Method  string `json:"method"`
-	Element string `json:"element,omitempty"`
-	Value   string `json:"value,omitempty"`
-}
+// RTERequest is one SCORM RTE call bridged over HTTP.
+type RTERequest = api.RTERequest
 
 // RTEResponse carries the RTE result and the API's last error code.
-type RTEResponse struct {
-	Result    string `json:"result"`
-	LastError string `json:"lastError"`
-}
+type RTEResponse = api.RTEResponse
 
-// GradeRequest assigns manual credit to an answered, not-auto-graded
-// response (POST /v1/grades).
-type GradeRequest struct {
-	SessionID string  `json:"sessionId"`
-	ProblemID string  `json:"problemId"`
-	Credit    float64 `json:"credit"`
-}
+// GradeRequest assigns manual credit (POST /v1/grades).
+type GradeRequest = api.GradeRequest
 
 // ProblemList is the GET /v1/problems response.
-type ProblemList struct {
-	Problems []*item.Problem `json:"problems"`
-	Total    int             `json:"total"`
-}
+type ProblemList = api.ProblemList
 
 // ExamList is the GET /v1/exams response.
-type ExamList struct {
-	ExamIDs []string `json:"examIds"`
-}
+type ExamList = api.ExamList
 
-// BlueprintCell is one (concept, cognition level) requirement of an
-// assembly request. Level uses the cognition package's text form
-// ("Knowledge".."Evaluation" or letters A-F).
-type BlueprintCell struct {
-	ConceptID string          `json:"conceptId"`
-	Level     cognition.Level `json:"level"`
-	Count     int             `json:"count"`
-}
+// BlueprintCell is one (concept, cognition level) assembly requirement.
+type BlueprintCell = api.BlueprintCell
 
-// AssembleExamRequest drives blueprint assembly (POST /v1/exams:assemble):
-// the server selects problems satisfying every cell, finalizes the exam, and
-// stores it. Display 0 defaults to FixedOrder.
-type AssembleExamRequest struct {
-	ID              string            `json:"id"`
-	Title           string            `json:"title"`
-	Display         item.DisplayOrder `json:"display,omitempty"`
-	TestTimeSeconds int               `json:"testTimeSeconds,omitempty"`
-	Require         []BlueprintCell   `json:"require"`
-}
+// AssembleExamRequest drives blueprint assembly (POST /v1/exams:assemble).
+type AssembleExamRequest = api.AssembleExamRequest
 
 // AssembleExamResponse returns the stored exam record.
-type AssembleExamResponse struct {
-	Exam *bank.ExamRecord `json:"exam"`
-}
+type AssembleExamResponse = api.AssembleExamResponse
+
+// StartAdaptiveSessionRequest opens a live adaptive session
+// (POST /v1/adaptive-sessions).
+type StartAdaptiveSessionRequest = api.StartAdaptiveSessionRequest
+
+// StartAdaptiveSessionResponse reports the opened adaptive session and its
+// first item.
+type StartAdaptiveSessionResponse = api.StartAdaptiveSessionResponse
+
+// RecalibrateRequest tunes a recalibration pass
+// (POST /v1/exams/{id}:recalibrate).
+type RecalibrateRequest = api.RecalibrateRequest
+
+// RecalibrateResponse summarizes a recalibration pass.
+type RecalibrateResponse = api.RecalibrateResponse
+
+// PurgeAdaptiveSessionsResponse reports a retention pass.
+type PurgeAdaptiveSessionsResponse = api.PurgeAdaptiveSessionsResponse

@@ -1,0 +1,80 @@
+package api
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestErrorEnvelopeRoundTrip pins the wire shape of the error envelope —
+// the one structure every client decodes.
+func TestErrorEnvelopeRoundTrip(t *testing.T) {
+	e := &Error{
+		Code:    CodeNotCalibrated,
+		Message: "exam final has no calibrated item parameters",
+		Details: map[string]any{"examId": "final"},
+	}
+	raw, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Error
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Code != CodeNotCalibrated || back.Message != e.Message {
+		t.Errorf("round trip = %+v", back)
+	}
+	if back.Error() != "EXAM_NOT_CALIBRATED: exam final has no calibrated item parameters" {
+		t.Errorf("Error() = %q", back.Error())
+	}
+}
+
+// TestAdaptiveStartRequestShape pins the embedded-config JSON layout: the
+// AdaptiveConfig fields must flatten into the request object, not nest.
+func TestAdaptiveStartRequestShape(t *testing.T) {
+	req := StartAdaptiveSessionRequest{
+		ExamID:    "pool",
+		StudentID: "alice",
+		Seed:      7,
+		AdaptiveConfig: AdaptiveConfig{
+			MaxItems: 20, TargetSE: 0.35, Selector: SelectorRandomesque, RandomesqueK: 4,
+		},
+	}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat map[string]any
+	if err := json.Unmarshal(raw, &flat); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"examId", "studentId", "seed", "maxItems", "targetSE", "selector"} {
+		if _, ok := flat[key]; !ok {
+			t.Errorf("key %q missing from flattened request: %s", key, raw)
+		}
+	}
+	var back StartAdaptiveSessionRequest
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.MaxItems != 20 || back.Selector != SelectorRandomesque {
+		t.Errorf("round trip = %+v", back)
+	}
+}
+
+// TestDomainAliasesUsable constructs domain payloads through their public
+// names — the external-module authoring path the aliases exist for.
+func TestDomainAliasesUsable(t *testing.T) {
+	p := Problem{ID: "q1", Question: "2+2?"}
+	if p.ID != "q1" {
+		t.Fatal("Problem alias not usable")
+	}
+	rec := ExamRecord{
+		ID:         "pool",
+		ProblemIDs: []string{"q1"},
+		ItemParams: map[string]IRTParams{"q1": {A: 1.5, B: 0}},
+	}
+	if got := rec.CalibratedPool(); len(got) != 1 || got[0] != "q1" {
+		t.Errorf("CalibratedPool through alias = %v", got)
+	}
+}

@@ -1,0 +1,96 @@
+package api
+
+import (
+	"mineassess/internal/analysis"
+	"mineassess/internal/bank"
+	"mineassess/internal/catdelivery"
+	"mineassess/internal/cognition"
+	"mineassess/internal/delivery"
+	"mineassess/internal/item"
+	"mineassess/internal/simulate"
+)
+
+// Domain payload aliases. These are ALIASES (= not named types): an
+// api.Problem IS an item.Problem, so values flow between the public API and
+// the engine with zero conversion, and external modules get a public name
+// for every type that crosses the wire. The alias is the supported way to
+// reference these types from outside the module; the internal packages
+// behind them remain unimportable.
+
+// Problem is one authored question with its assessment metadata.
+type Problem = item.Problem
+
+// Option is one selectable answer of a multiple-choice problem.
+type Option = item.Option
+
+// Style is a problem's answering style (MultipleChoice, TrueFalse, ...).
+type Style = item.Style
+
+// DisplayOrder is an exam's presentation-order policy.
+type DisplayOrder = item.DisplayOrder
+
+// Level is a Bloom cognition level ("Knowledge".."Evaluation", letters A-F
+// in text form).
+type Level = cognition.Level
+
+// ExamRecord is a stored exam definition, including the optional per-item
+// IRT parameters (ItemParams) that make it a calibrated adaptive pool.
+type ExamRecord = bank.ExamRecord
+
+// ExamGroup is one presentation group of an exam.
+type ExamGroup = bank.ExamGroup
+
+// IRTParams are one item's 3PL response-model parameters (discrimination a,
+// difficulty b, guessing floor c).
+type IRTParams = simulate.IRTParams
+
+// SessionStatus is a fixed-form session's externally visible summary
+// (GET /v1/sessions/{id}).
+type SessionStatus = delivery.Status
+
+// MonitorSnapshot is one captured monitor event
+// (GET /v1/sessions/{id}/monitor).
+type MonitorSnapshot = delivery.Snapshot
+
+// PendingGrade is one response awaiting manual credit
+// (GET /v1/exams/{id}/grades).
+type PendingGrade = delivery.PendingGrade
+
+// StudentResult is one student's graded sitting
+// (POST /v1/sessions/{id}:finish).
+type StudentResult = analysis.StudentResult
+
+// ExamResult is a full administration's response matrix
+// (GET /v1/exams/{id}/results).
+type ExamResult = analysis.ExamResult
+
+// ResultResponse is one student's answer inside an ExamResult.
+type ResultResponse = analysis.Response
+
+// AdaptiveConfig selects an adaptive session's stopping rules and
+// item-selection strategy (embedded in StartAdaptiveSessionRequest).
+type AdaptiveConfig = catdelivery.Config
+
+// AdaptiveItem is the learner-facing projection of the item to answer next
+// — question and options, never the answer key.
+type AdaptiveItem = catdelivery.ItemView
+
+// AdaptiveProgress reports the session after a response: updated
+// theta/SE and either the next item or the stop decision
+// (POST /v1/adaptive-sessions/{id}:respond).
+type AdaptiveProgress = catdelivery.Progress
+
+// AdaptiveOutcome is a finished adaptive session's result
+// (POST /v1/adaptive-sessions/{id}:finish).
+type AdaptiveOutcome = catdelivery.Outcome
+
+// AdaptiveStatus is an adaptive session's current summary
+// (GET /v1/adaptive-sessions/{id}).
+type AdaptiveStatus = catdelivery.Status
+
+// Adaptive selector names accepted in AdaptiveConfig.Selector.
+const (
+	SelectorMaxInformation = catdelivery.SelectorMaxInformation
+	SelectorRandomesque    = catdelivery.SelectorRandomesque
+	SelectorRandom         = catdelivery.SelectorRandom
+)

@@ -1,0 +1,52 @@
+package api
+
+import "fmt"
+
+// Code is a stable machine-readable error identifier. Codes are part of the
+// v1 API contract: clients branch on them, so existing codes never change
+// meaning and removed features keep their codes reserved.
+type Code string
+
+// The v1 error taxonomy. Each code maps to exactly one HTTP status (the
+// server's mapping lives in internal/httpapi; API.md documents it).
+const (
+	CodeBadRequest         Code = "BAD_REQUEST"
+	CodeValidation         Code = "VALIDATION_FAILED"
+	CodeNotFound           Code = "NOT_FOUND"
+	CodeMethodNotAllowed   Code = "METHOD_NOT_ALLOWED"
+	CodeSessionNotFound    Code = "SESSION_NOT_FOUND"
+	CodeExamNotFound       Code = "EXAM_NOT_FOUND"
+	CodeProblemNotFound    Code = "PROBLEM_NOT_FOUND"
+	CodeExamExists         Code = "EXAM_EXISTS"
+	CodeProblemExists      Code = "PROBLEM_EXISTS"
+	CodeSessionNotActive   Code = "SESSION_NOT_ACTIVE"
+	CodeSessionNotPaused   Code = "SESSION_NOT_PAUSED"
+	CodeNotResumable       Code = "EXAM_NOT_RESUMABLE"
+	CodeTimeExpired        Code = "TIME_EXPIRED"
+	CodeUnknownProblem     Code = "UNKNOWN_PROBLEM"
+	CodeAlreadyAnswered    Code = "ALREADY_ANSWERED"
+	CodeNotAnswered        Code = "NOT_ANSWERED"
+	CodeAutoGraded         Code = "AUTO_GRADED"
+	CodeInvalidCredit      Code = "INVALID_CREDIT"
+	CodeBlueprintShortfall Code = "BLUEPRINT_SHORTFALL"
+	CodeRateLimited        Code = "RATE_LIMITED"
+	CodeInternal           Code = "INTERNAL"
+
+	// Adaptive (CAT) delivery codes.
+	CodeNotCalibrated    Code = "EXAM_NOT_CALIBRATED"
+	CodeItemNotPending   Code = "ITEM_NOT_PENDING"
+	CodeInsufficientData Code = "INSUFFICIENT_DATA"
+)
+
+// Error is the wire error envelope every non-2xx response carries.
+type Error struct {
+	Code    Code           `json:"code"`
+	Message string         `json:"message"`
+	Details map[string]any `json:"details,omitempty"`
+}
+
+// Error implements the error interface so the envelope can be returned
+// through Go call chains (the client SDK wraps it in client.APIError).
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}

@@ -1,8 +1,8 @@
 // Package client is the typed Go SDK for the LMS /v1 API. It is built
-// around the same request/response structs the server serializes
-// (internal/httpapi wire types plus the canonical item/bank/delivery/
-// analysis payloads), so a client and server compiled from the same tree
-// can never disagree about the contract.
+// around the same request/response structs the server serializes (the
+// public pkg/api wire types plus the canonical domain payloads aliased
+// there), so a client and server compiled from the same tree can never
+// disagree about the contract.
 //
 // Every non-2xx response is returned as *APIError carrying the server's
 // machine-readable error code; the codes are re-exported here so callers
@@ -15,11 +15,10 @@
 //		// handle the typo'd exam ID
 //	}
 //
-// Scope: domain payloads (item.Problem, bank.ExamRecord, delivery.Status,
-// analysis results) are types of this module's internal packages, so the
-// SDK is for tools built inside this module (examples, benchmarks, tests,
-// sibling services in this tree). Promoting the wire types to a public
-// package for external importers is tracked in ROADMAP.md.
+// External modules construct requests and destructure responses through
+// pkg/api's public names (api.Problem, api.ExamRecord, api.SessionStatus,
+// ...), which alias the exact types this module uses internally — no
+// conversion layer, no drift.
 package client
 
 import (
@@ -36,37 +35,40 @@ import (
 	"mineassess/internal/analysis"
 	"mineassess/internal/bank"
 	"mineassess/internal/delivery"
-	"mineassess/internal/httpapi"
 	"mineassess/internal/item"
+	"mineassess/pkg/api"
 )
 
 // Code aliases the server's error-code type; the values below re-export
 // the full taxonomy (see API.md for status mapping and semantics).
-type Code = httpapi.Code
+type Code = api.Code
 
 // The v1 error taxonomy, re-exported for callers.
 const (
-	CodeBadRequest         = httpapi.CodeBadRequest
-	CodeValidation         = httpapi.CodeValidation
-	CodeNotFound           = httpapi.CodeNotFound
-	CodeMethodNotAllowed   = httpapi.CodeMethodNotAllowed
-	CodeSessionNotFound    = httpapi.CodeSessionNotFound
-	CodeExamNotFound       = httpapi.CodeExamNotFound
-	CodeProblemNotFound    = httpapi.CodeProblemNotFound
-	CodeExamExists         = httpapi.CodeExamExists
-	CodeProblemExists      = httpapi.CodeProblemExists
-	CodeSessionNotActive   = httpapi.CodeSessionNotActive
-	CodeSessionNotPaused   = httpapi.CodeSessionNotPaused
-	CodeNotResumable       = httpapi.CodeNotResumable
-	CodeTimeExpired        = httpapi.CodeTimeExpired
-	CodeUnknownProblem     = httpapi.CodeUnknownProblem
-	CodeAlreadyAnswered    = httpapi.CodeAlreadyAnswered
-	CodeNotAnswered        = httpapi.CodeNotAnswered
-	CodeAutoGraded         = httpapi.CodeAutoGraded
-	CodeInvalidCredit      = httpapi.CodeInvalidCredit
-	CodeBlueprintShortfall = httpapi.CodeBlueprintShortfall
-	CodeRateLimited        = httpapi.CodeRateLimited
-	CodeInternal           = httpapi.CodeInternal
+	CodeBadRequest         = api.CodeBadRequest
+	CodeValidation         = api.CodeValidation
+	CodeNotFound           = api.CodeNotFound
+	CodeMethodNotAllowed   = api.CodeMethodNotAllowed
+	CodeSessionNotFound    = api.CodeSessionNotFound
+	CodeExamNotFound       = api.CodeExamNotFound
+	CodeProblemNotFound    = api.CodeProblemNotFound
+	CodeExamExists         = api.CodeExamExists
+	CodeProblemExists      = api.CodeProblemExists
+	CodeSessionNotActive   = api.CodeSessionNotActive
+	CodeSessionNotPaused   = api.CodeSessionNotPaused
+	CodeNotResumable       = api.CodeNotResumable
+	CodeTimeExpired        = api.CodeTimeExpired
+	CodeUnknownProblem     = api.CodeUnknownProblem
+	CodeAlreadyAnswered    = api.CodeAlreadyAnswered
+	CodeNotAnswered        = api.CodeNotAnswered
+	CodeAutoGraded         = api.CodeAutoGraded
+	CodeInvalidCredit      = api.CodeInvalidCredit
+	CodeBlueprintShortfall = api.CodeBlueprintShortfall
+	CodeRateLimited        = api.CodeRateLimited
+	CodeInternal           = api.CodeInternal
+	CodeNotCalibrated      = api.CodeNotCalibrated
+	CodeItemNotPending     = api.CodeItemNotPending
+	CodeInsufficientData   = api.CodeInsufficientData
 )
 
 // APIError is a non-2xx response decoded from the server's error envelope.
@@ -74,7 +76,7 @@ type APIError struct {
 	// Status is the HTTP status code.
 	Status int
 	// Code is the stable machine-readable error identifier.
-	Code httpapi.Code
+	Code api.Code
 	// Message is the human-readable explanation.
 	Message string
 	// Details carries code-specific structured context (e.g. blueprint
@@ -166,11 +168,11 @@ func (c *Client) do(method, path string, in, out any) error {
 // (e.g. a proxy's HTML error page) still yields a usable APIError.
 func decodeAPIError(resp *http.Response) error {
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-	var env httpapi.Error
+	var env api.Error
 	if err := json.Unmarshal(raw, &env); err != nil || env.Code == "" {
 		return &APIError{
 			Status:  resp.StatusCode,
-			Code:    httpapi.CodeInternal,
+			Code:    api.CodeInternal,
 			Message: strings.TrimSpace(string(raw)),
 		}
 	}
@@ -186,10 +188,10 @@ func decodeAPIError(resp *http.Response) error {
 
 // StartSession opens a session on an exam and returns the presentation
 // order.
-func (c *Client) StartSession(examID, studentID string, seed int64) (*httpapi.StartSessionResponse, error) {
-	var out httpapi.StartSessionResponse
+func (c *Client) StartSession(examID, studentID string, seed int64) (*api.StartSessionResponse, error) {
+	var out api.StartSessionResponse
 	err := c.do(http.MethodPost, "/v1/exams/"+url.PathEscape(examID)+"/sessions",
-		httpapi.StartSessionRequest{StudentID: studentID, Seed: seed}, &out)
+		api.StartSessionRequest{StudentID: studentID, Seed: seed}, &out)
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +210,7 @@ func (c *Client) Session(sessionID string) (*delivery.Status, error) {
 // Answer records a learner's response.
 func (c *Client) Answer(sessionID, problemID, response string) error {
 	return c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(sessionID)+":answer",
-		httpapi.AnswerRequest{ProblemID: problemID, Response: response}, nil)
+		api.AnswerRequest{ProblemID: problemID, Response: response}, nil)
 }
 
 // Pause suspends a resumable session.
@@ -241,8 +243,8 @@ func (c *Client) Monitor(sessionID string) ([]delivery.Snapshot, error) {
 
 // RTE bridges one SCORM RTE call (getvalue, setvalue, commit,
 // geterrorstring) for SCO content.
-func (c *Client) RTE(sessionID string, req httpapi.RTERequest) (*httpapi.RTEResponse, error) {
-	var out httpapi.RTEResponse
+func (c *Client) RTE(sessionID string, req api.RTERequest) (*api.RTEResponse, error) {
+	var out api.RTEResponse
 	if err := c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(sessionID)+"/rte", req, &out); err != nil {
 		return nil, err
 	}
@@ -294,7 +296,7 @@ type ProblemQuery struct {
 }
 
 // ListProblems searches the bank.
-func (c *Client) ListProblems(q ProblemQuery) (*httpapi.ProblemList, error) {
+func (c *Client) ListProblems(q ProblemQuery) (*api.ProblemList, error) {
 	v := url.Values{}
 	set := func(key, val string) {
 		if val != "" {
@@ -321,7 +323,7 @@ func (c *Client) ListProblems(q ProblemQuery) (*httpapi.ProblemList, error) {
 	if enc := v.Encode(); enc != "" {
 		path += "?" + enc
 	}
-	var out httpapi.ProblemList
+	var out api.ProblemList
 	if err := c.do(http.MethodGet, path, nil, &out); err != nil {
 		return nil, err
 	}
@@ -351,7 +353,7 @@ func (c *Client) DeleteExam(id string) error {
 
 // ListExams returns all exam IDs.
 func (c *Client) ListExams() ([]string, error) {
-	var out httpapi.ExamList
+	var out api.ExamList
 	if err := c.do(http.MethodGet, "/v1/exams", nil, &out); err != nil {
 		return nil, err
 	}
@@ -360,9 +362,9 @@ func (c *Client) ListExams() ([]string, error) {
 
 // AssembleExam runs blueprint-driven assembly server-side and returns the
 // stored exam. An underfilled bank yields an *APIError with
-// httpapi.CodeBlueprintShortfall and per-cell details.
-func (c *Client) AssembleExam(req httpapi.AssembleExamRequest) (*bank.ExamRecord, error) {
-	var out httpapi.AssembleExamResponse
+// api.CodeBlueprintShortfall and per-cell details.
+func (c *Client) AssembleExam(req api.AssembleExamRequest) (*bank.ExamRecord, error) {
+	var out api.AssembleExamResponse
 	if err := c.do(http.MethodPost, "/v1/exams:assemble", req, &out); err != nil {
 		return nil, err
 	}
@@ -393,7 +395,7 @@ func (c *Client) PendingGrades(examID string) ([]delivery.PendingGrade, error) {
 // response.
 func (c *Client) AssignGrade(sessionID, problemID string, credit float64) error {
 	return c.do(http.MethodPost, "/v1/grades",
-		httpapi.GradeRequest{SessionID: sessionID, ProblemID: problemID, Credit: credit}, nil)
+		api.GradeRequest{SessionID: sessionID, ProblemID: problemID, Credit: credit}, nil)
 }
 
 // Results exports the exam's collected response matrix for analysis.
@@ -406,10 +408,99 @@ func (c *Client) Results(examID string) (*analysis.ExamResult, error) {
 }
 
 // Metrics fetches the server's metrics snapshot.
-func (c *Client) Metrics() (*httpapi.MetricsSnapshot, error) {
-	var out httpapi.MetricsSnapshot
+func (c *Client) Metrics() (*api.MetricsSnapshot, error) {
+	var out api.MetricsSnapshot
 	if err := c.do(http.MethodGet, "/v1/metrics", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// --- Adaptive (CAT) delivery ---
+
+// StartAdaptiveSession opens a live adaptive session on a calibrated exam
+// and returns the first item to administer. Uncalibrated exams yield an
+// *APIError with CodeNotCalibrated.
+func (c *Client) StartAdaptiveSession(req api.StartAdaptiveSessionRequest) (*api.StartAdaptiveSessionResponse, error) {
+	var out api.StartAdaptiveSessionResponse
+	if err := c.do(http.MethodPost, "/v1/adaptive-sessions", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AdaptiveStatus reports an adaptive session's current summary (state,
+// theta, SE, administered count, pending item).
+func (c *Client) AdaptiveStatus(sessionID string) (*api.AdaptiveStatus, error) {
+	var out api.AdaptiveStatus
+	if err := c.do(http.MethodGet, "/v1/adaptive-sessions/"+url.PathEscape(sessionID), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AdaptiveNext re-fetches the pending item without mutating the session —
+// safe after a client crash mid-test.
+func (c *Client) AdaptiveNext(sessionID string) (*api.AdaptiveItem, error) {
+	var out api.AdaptiveItem
+	if err := c.do(http.MethodGet, "/v1/adaptive-sessions/"+url.PathEscape(sessionID)+"/next", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AdaptiveRespond answers the pending item and returns the updated ability
+// estimate plus either the next item or the stop decision.
+func (c *Client) AdaptiveRespond(sessionID, problemID, response string) (*api.AdaptiveProgress, error) {
+	var out api.AdaptiveProgress
+	err := c.do(http.MethodPost, "/v1/adaptive-sessions/"+url.PathEscape(sessionID)+":respond",
+		api.AnswerRequest{ProblemID: problemID, Response: response}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// FinishAdaptiveSession closes an adaptive session (idempotent) and returns
+// its outcome.
+func (c *Client) FinishAdaptiveSession(sessionID string) (*api.AdaptiveOutcome, error) {
+	var out api.AdaptiveOutcome
+	if err := c.do(http.MethodPost, "/v1/adaptive-sessions/"+url.PathEscape(sessionID)+":finish", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AdaptiveMonitor returns the adaptive session's captured monitor
+// snapshots.
+func (c *Client) AdaptiveMonitor(sessionID string) ([]api.MonitorSnapshot, error) {
+	var out []api.MonitorSnapshot
+	if err := c.do(http.MethodGet, "/v1/adaptive-sessions/"+url.PathEscape(sessionID)+"/monitor", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RecalibrateExam folds the server's logged adaptive responses back into
+// the exam's stored item parameters and reports what changed.
+// minObservations 0 uses the server default.
+func (c *Client) RecalibrateExam(examID string, minObservations int) (*api.RecalibrateResponse, error) {
+	var out api.RecalibrateResponse
+	err := c.do(http.MethodPost, "/v1/exams/"+url.PathEscape(examID)+":recalibrate",
+		api.RecalibrateRequest{MinObservations: minObservations}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PurgeAdaptiveSessions removes finished adaptive sessions from the
+// server's registry and storage (retention pass); run after
+// RecalibrateExam to keep calibration input.
+func (c *Client) PurgeAdaptiveSessions() (int, error) {
+	var out api.PurgeAdaptiveSessionsResponse
+	if err := c.do(http.MethodPost, "/v1/adaptive-sessions:purge", nil, &out); err != nil {
+		return 0, err
+	}
+	return out.Purged, nil
 }
