@@ -74,6 +74,7 @@ func run(args []string) error {
 		{"E18", "sharded delivery engine throughput", runE18},
 		{"E19", "HTTP /v1 stack throughput vs direct engine calls", runE19},
 		{"E20", "live adaptive (CAT) delivery vs fixed form", runE20},
+		{"E21", "group-commit WAL: journaled write throughput and commit latency", runE21},
 		{"A1", "ablation: group fraction 25% vs Kelly 27% vs 33%", runA1},
 		{"A2", "ablation: group D vs point-biserial", runA2},
 	}

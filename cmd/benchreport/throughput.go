@@ -152,6 +152,10 @@ type Baseline struct {
 	GOMAXPROCS int                `json:"gomaxprocs"`
 	Workers    int                `json:"workers"`
 	Results    []ThroughputResult `json:"results"`
+	// Journal tracks the E21 write-path configurations (single-lock
+	// baseline vs group-commit, per sync policy, plus the CAT
+	// SubmitResponse persist latency).
+	Journal []JournalResult `json:"journal"`
 }
 
 // writeBaseline measures every engine configuration and writes the JSON
@@ -176,6 +180,11 @@ func writeBaseline(path string) error {
 		}
 		base.Results = append(base.Results, res)
 	}
+	journal, err := measureJournalSuite(48)
+	if err != nil {
+		return err
+	}
+	base.Journal = journal
 	raw, err := json.MarshalIndent(base, "", "  ")
 	if err != nil {
 		return err

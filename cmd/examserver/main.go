@@ -11,13 +11,17 @@
 // Usage:
 //
 //	examserver -bank bank.json -addr :8080 [-monitor 64]
-//	           [-backend sharded] [-shards 32] [-journal DIR]
+//	           [-backend sharded] [-shards 32] [-journal DIR] [-fsync group]
 //	           [-session-shards 32] [-drain 30s]
 //	           [-rate 50 -burst 100] [-quiet]
 //
 // The bank file must already hold at least one exam (see `assessctl seed`).
 // With -journal, mutations append to a write-ahead log in DIR instead of
 // rewriting the bank file; the bank file seeds the journal on first boot.
+// -fsync picks the WAL sync policy: "group" (default) batches concurrent
+// writes into one fsync before acknowledging them, "always" fsyncs every
+// record individually, and "none" trusts the OS page cache (process-crash
+// safe, but a power failure can lose recent acknowledged writes).
 // -rate enables per-learner token-bucket rate limiting (requests/second,
 // 0 disables) with -burst capacity; -quiet suppresses per-request access
 // logging. On SIGINT/SIGTERM the server stops accepting connections and
@@ -61,6 +65,7 @@ func run(args []string) error {
 	backend := fs.String("backend", "sharded", "storage backend: memory or sharded")
 	shards := fs.Int("shards", bank.DefaultShards, "bank shard count (sharded backend)")
 	journalDir := fs.String("journal", "", "write-ahead-log directory (empty disables journaling)")
+	fsync := fs.String("fsync", string(bank.SyncGroup), "WAL sync policy: always, group or none (with -journal)")
 	sessionShards := fs.Int("session-shards", delivery.DefaultSessionShards, "session registry shard count")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	rate := fs.Float64("rate", 0, "per-learner rate limit in requests/second (0 disables)")
@@ -69,10 +74,15 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	syncPolicy, err := bank.ParseSyncPolicy(*fsync)
+	if err != nil {
+		return err
+	}
 	store, err := bank.Open(*bankPath, bank.Options{
 		Backend: *backend,
 		Shards:  *shards,
 		Journal: *journalDir,
+		Sync:    syncPolicy,
 	})
 	if err != nil {
 		return err
@@ -86,7 +96,7 @@ func run(args []string) error {
 				log.Printf("examserver: journal close: %v", cerr)
 			}
 		}()
-		log.Printf("examserver: journaling mutations under %s", j.Dir())
+		log.Printf("examserver: journaling mutations under %s (fsync=%s)", j.Dir(), j.Sync())
 	}
 	exams := store.ExamIDs()
 	if len(exams) == 0 {

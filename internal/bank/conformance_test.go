@@ -44,6 +44,24 @@ func storageBackends(t *testing.T) map[string]func(t *testing.T) Storage {
 			t.Cleanup(func() { _ = j.Close() })
 			return j
 		},
+		// The non-default sync policies must not change any observable
+		// semantics — only what survives a power failure.
+		"journal/always": func(t *testing.T) Storage {
+			j, err := OpenJournalSync(t.TempDir(), NewSharded(4), 3, SyncAlways)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { _ = j.Close() })
+			return j
+		},
+		"journal/none": func(t *testing.T) Storage {
+			j, err := OpenJournalSync(t.TempDir(), NewSharded(4), 3, SyncNone)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { _ = j.Close() })
+			return j
+		},
 	}
 }
 

@@ -7,10 +7,58 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 
 	"mineassess/internal/item"
 )
+
+// SyncPolicy selects when acknowledged WAL appends are forced to stable
+// storage. It trades write latency against what survives a power failure;
+// see the Journal type comment for the guarantee each policy carries.
+type SyncPolicy string
+
+// Sync policies.
+const (
+	// SyncAlways fsyncs every record individually before acknowledging it.
+	// No acknowledged mutation is lost on power failure. Slowest: one
+	// fsync per mutation, with no coalescing.
+	SyncAlways SyncPolicy = "always"
+	// SyncGroup (the default) coalesces concurrently submitted records
+	// into one batched write plus one fsync, and acknowledges the whole
+	// batch only after that fsync returns. Same power-failure guarantee as
+	// SyncAlways for acknowledged writes — the fsync cost is amortized
+	// over the batch instead of paid per record.
+	SyncGroup SyncPolicy = "group"
+	// SyncNone appends through the OS page cache and never fsyncs the WAL
+	// (snapshots are still fsynced). Process-crash-safe only: a power
+	// failure can lose recently acknowledged mutations.
+	SyncNone SyncPolicy = "none"
+)
+
+// ParseSyncPolicy resolves a -fsync style flag value; empty means SyncGroup.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch SyncPolicy(s) {
+	case "":
+		return SyncGroup, nil
+	case SyncAlways, SyncGroup, SyncNone:
+		return SyncPolicy(s), nil
+	default:
+		return "", fmt.Errorf("bank: unknown sync policy %q (always, group or none)", s)
+	}
+}
+
+// errJournalClosed is returned by every operation on a closed or poisoned
+// journal.
+var errJournalClosed = errors.New("bank: journal is closed")
+
+// walSink is the journal's append target — *os.File in production, wrapped
+// by tests to inject write failures and simulated power cuts.
+type walSink interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
 
 // Journal adds write-ahead durability to any Storage backend. Instead of
 // rewriting the whole bank file on every change (the reference Store's Save
@@ -19,19 +67,40 @@ import (
 // mutations accumulate, the journal folds the WAL into a fresh snapshot and
 // truncates it, bounding both recovery time and log growth.
 //
-// Reads delegate straight to the backend and take no journal lock, so the
-// backend's concurrency (per-shard locks for *Sharded) is preserved;
-// mutations serialize on the appender, which is the WAL ordering point.
+// Write path (group commit): a mutation applies to the backend and enqueues
+// its record under a short ordering lock — the only serialization point —
+// then marshals its record OUTSIDE the lock and blocks until a dedicated
+// committer goroutine has made it durable. The committer drains the queue
+// in order, coalescing everything queued since its last pass into one
+// batched write plus (policy permitting) one fsync, and wakes every waiter
+// in the batch afterwards. Concurrent writers therefore overlap their
+// marshaling and share fsyncs instead of serializing apply + marshal +
+// write + sync through one critical section; reads delegate straight to
+// the backend and take no journal lock at all, so the backend's concurrency
+// (per-shard locks for *Sharded) is preserved.
 //
-// Durability: the journal is process-crash-safe. WAL appends go through the
-// OS page cache without a per-record fsync (fsyncing every mutation would
-// serialize all writes on the disk), so an OS crash or power failure can
-// lose the most recent acknowledged mutations; replay drops at most a torn
-// final record. Snapshots ARE fsynced before the rename that publishes
-// them, so a compacted state is never torn. If a WAL append itself fails
-// (disk full), the journal closes itself: the failed mutation is live in
-// memory but not durable, and refusing further writes keeps the divergence
-// bounded to that one operation until a restart replays the WAL.
+// Durability is governed by SyncPolicy:
+//
+//   - SyncAlways / SyncGroup: an acknowledged mutation has been fsynced and
+//     survives OS crash and power failure. Group merely amortizes the fsync
+//     across the batch; the per-write guarantee is identical.
+//   - SyncNone: appends ride the OS page cache. Process-crash-safe (the
+//     kernel completes the write), but a power failure can lose the most
+//     recent acknowledged mutations.
+//
+// Under every policy replay drops at most a torn final record, and
+// snapshots are fsynced before the rename that publishes them, so a
+// compacted state is never torn. If a WAL append itself fails (disk full),
+// the journal poisons itself: the failed batch is live in memory but not
+// durable, and refusing further writes keeps the divergence bounded until
+// a restart replays the WAL.
+//
+// Compaction runs on the committer goroutine, off every mutation's call
+// path: the backend scan takes the ordering lock (memory-speed, writers
+// briefly quiesced — this is what makes the snapshot a consistent cut),
+// the epoch advances with the scan, and the snapshot file I/O, rename and
+// WAL rotation happen with no lock held. Mutations submitted during the
+// file I/O queue up and commit in the next batch.
 //
 // Revision history follows the bank file's long-standing semantics: Save
 // never persisted history, so compaction folds superseded revisions into the
@@ -39,22 +108,52 @@ import (
 // exactly (update and rollback records re-execute).
 type Journal struct {
 	backend Storage
+	policy  SyncPolicy
 
-	mu           sync.Mutex // serializes WAL appends and compaction
-	wal          *os.File
 	dir          string
 	snapshotPath string
 	walPath      string
-	dirty        int // mutations since the last compaction
 	compactEvery int
-	closed       bool
-	compactErr   error // last automatic-compaction failure (see CompactError)
-	// epoch counts compactions. Every WAL record carries the epoch it was
-	// written under and the snapshot records the epoch it folded up to, so
-	// a crash between the snapshot rename and the WAL truncation is
-	// harmless: replay skips records from epochs the snapshot already
-	// contains instead of re-applying them.
-	epoch int64
+
+	// mu is the ordering lock: it serializes backend apply + queue append
+	// (so WAL order always matches apply order) and guards the lifecycle
+	// flags and epoch. It is never held across file I/O.
+	mu         sync.Mutex
+	queue      []*pendingCommit
+	closed     bool  // Close called; no further mutations
+	poisoned   bool  // WAL can no longer be trusted; see commitBatch
+	epoch      int64 // counts compactions; see the epoch comment below
+	compactErr error // last automatic-compaction failure (see CompactError)
+
+	// Committer-goroutine state: the WAL handle and the mutation count
+	// since the last compaction are touched only on the committer (and by
+	// Open/Close while no committer runs), never under mu.
+	wal   walSink
+	dirty int
+
+	kick          chan struct{}   // wakes the committer; cap 1
+	compactReqs   chan chan error // explicit Compact runs on the committer
+	quit          chan struct{}
+	committerDone chan struct{}
+	stopOnce      sync.Once
+}
+
+// The epoch counts compactions. Every WAL record carries the epoch it was
+// written under and the snapshot records the epoch it folded up to, so a
+// crash between the snapshot rename and the WAL truncation is harmless:
+// replay skips records from epochs the snapshot already contains instead of
+// re-applying them.
+
+// pendingCommit is one enqueued mutation waiting for the committer. The
+// writer fills payload (or marshalErr) and closes ready; the committer
+// fills err and closes done.
+type pendingCommit struct {
+	ready      chan struct{}
+	payload    []byte
+	marshalErr error
+
+	done chan struct{}
+	err  error
 }
 
 // DefaultCompactEvery is the WAL length that triggers automatic compaction.
@@ -85,10 +184,21 @@ const (
 	opDeleteAdaptive = "delete_adaptive_session"
 )
 
-// OpenJournal opens (or creates) the journal in dir over the given backend,
-// replaying any existing snapshot and WAL into it. The backend must be
-// empty. compactEvery <= 0 means DefaultCompactEvery.
+// OpenJournal opens (or creates) the journal in dir over the given backend
+// with the default SyncGroup policy, replaying any existing snapshot and
+// WAL into it. The backend must be empty. compactEvery <= 0 means
+// DefaultCompactEvery.
 func OpenJournal(dir string, backend Storage, compactEvery int) (*Journal, error) {
+	return OpenJournalSync(dir, backend, compactEvery, SyncGroup)
+}
+
+// OpenJournalSync is OpenJournal with an explicit SyncPolicy (empty means
+// SyncGroup).
+func OpenJournalSync(dir string, backend Storage, compactEvery int, policy SyncPolicy) (*Journal, error) {
+	policy, err := ParseSyncPolicy(string(policy))
+	if err != nil {
+		return nil, err
+	}
 	if backend == nil {
 		backend = New()
 	}
@@ -104,11 +214,16 @@ func OpenJournal(dir string, backend Storage, compactEvery int) (*Journal, error
 	}
 	snapshotPath, walPath := journalPaths(dir)
 	j := &Journal{
-		backend:      backend,
-		dir:          dir,
-		snapshotPath: snapshotPath,
-		walPath:      walPath,
-		compactEvery: compactEvery,
+		backend:       backend,
+		policy:        policy,
+		dir:           dir,
+		snapshotPath:  snapshotPath,
+		walPath:       walPath,
+		compactEvery:  compactEvery,
+		kick:          make(chan struct{}, 1),
+		compactReqs:   make(chan chan error),
+		quit:          make(chan struct{}),
+		committerDone: make(chan struct{}),
 	}
 	if _, err := os.Stat(snapshotPath); err == nil {
 		snap, err := readSnapshotFile(snapshotPath)
@@ -137,7 +252,23 @@ func OpenJournal(dir string, backend Storage, compactEvery int) (*Journal, error
 	if err != nil {
 		return nil, fmt.Errorf("bank: open wal: %w", err)
 	}
+	// The WAL (and possibly the journal directory itself) may have just
+	// been created: fsync the directory so the dentry survives power loss.
+	// Without this, a fresh journal could come back with no wal.log at all
+	// — losing acknowledged writes even under SyncAlways, since no
+	// snapshot (whose publish path fsyncs the directory) exists until the
+	// first compaction.
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
 	j.wal = f
+	go j.committer()
+	if j.dirty >= j.compactEvery {
+		// A long replayed WAL is compacted in the background rather than
+		// stalling the boot.
+		j.kickCommitter()
+	}
 	return j, nil
 }
 
@@ -258,61 +389,215 @@ func ignoreRedo(err, redo error) error {
 	return err
 }
 
-// mutate applies one mutation to the backend and journals it as a single
-// critical section, so WAL order always matches backend apply order and a
-// compaction snapshot can never include a mutation whose record would then
-// replay on top of it. Reads stay lock-free; mutations serialize here, which
-// is the WAL append ordering point anyway. Every mutation — including
-// Rollback, whose record depends on the apply result — goes through this one
-// function, so the protocol (closed check, apply, append, poisoning) cannot
-// drift between operations. apply returns the record to journal.
+// mutate applies one mutation to the backend and submits its record for
+// group commit. Apply + enqueue happen under the ordering lock so WAL order
+// always matches backend apply order and a compaction snapshot can never
+// include a mutation whose record would then replay on top of it; the
+// expensive parts — JSON marshal, the WAL write, the fsync — happen outside
+// the lock, concurrently across writers. mutate returns only once the
+// record is durable under the journal's SyncPolicy (or the journal is
+// poisoned). Every mutation — including Rollback, whose record depends on
+// the apply result — goes through this one function, so the protocol
+// (closed check, apply, enqueue, commit wait) cannot drift between
+// operations. apply returns the record to journal.
 func (j *Journal) mutate(apply func() (walRecord, error)) error {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.closed {
-		return errors.New("bank: journal is closed")
+	if j.closed || j.poisoned {
+		j.mu.Unlock()
+		return errJournalClosed
 	}
 	rec, err := apply()
 	if err != nil {
+		j.mu.Unlock()
 		return err
 	}
-	return j.appendLocked(rec)
+	rec.Epoch = j.epoch
+	p := &pendingCommit{ready: make(chan struct{}), done: make(chan struct{})}
+	j.queue = append(j.queue, p)
+	j.mu.Unlock()
+
+	j.kickCommitter()
+	raw, merr := json.Marshal(rec)
+	if merr != nil {
+		p.marshalErr = merr
+	} else {
+		p.payload = append(raw, '\n')
+	}
+	close(p.ready)
+	<-p.done
+	return p.err
 }
 
-// appendLocked journals one already-applied mutation and compacts when due.
-// A failed append poisons the journal: the backend now holds a mutation the
-// WAL does not, so rather than let memory and disk diverge further, every
-// subsequent mutation errors until the process restarts and replays the WAL
-// (which drops the unjournaled mutation). Callers hold j.mu.
-func (j *Journal) appendLocked(rec walRecord) error {
-	rec.Epoch = j.epoch
-	raw, err := json.Marshal(rec)
-	if err != nil {
-		j.closed = true
-		_ = j.wal.Close()
-		return fmt.Errorf("bank: marshal wal record (journal now closed): %w", err)
+// kickCommitter wakes the committer without blocking; a pending kick
+// already covers the new work.
+func (j *Journal) kickCommitter() {
+	select {
+	case j.kick <- struct{}{}:
+	default:
 	}
-	raw = append(raw, '\n')
-	if _, err := j.wal.Write(raw); err != nil {
-		j.closed = true
-		_ = j.wal.Close()
-		return fmt.Errorf("bank: append wal (journal now closed): %w", err)
-	}
-	j.dirty++
-	if j.dirty >= j.compactEvery {
-		// Compaction is maintenance, not part of the mutation: the change
-		// is applied and durably journaled, so a failed snapshot must not
-		// be reported as a failed write. Defer the retry a full window so a
-		// persistent snapshot error (disk full) doesn't pay O(bank) on
-		// every subsequent mutation; the failure stays visible through
-		// CompactError until a compaction succeeds, and explicit
-		// Compact/Close surface it directly.
-		if err := j.compactLocked(); err != nil {
-			j.dirty = 0
-			j.compactErr = err
+}
+
+// committer is the single goroutine that owns the WAL file. It drains the
+// submit queue into batched commits, runs automatic and explicit
+// compactions between batches, and exits when Close (or a test crash
+// helper) closes quit — draining whatever is still queued first, so no
+// waiter is left blocked.
+func (j *Journal) committer() {
+	defer close(j.committerDone)
+	for {
+		select {
+		case <-j.kick:
+			j.drainQueue()
+			j.maybeCompact()
+		case req := <-j.compactReqs:
+			// Mutations acknowledged before the Compact call must be in
+			// the WAL (and thus the snapshot's backend state) first.
+			j.drainQueue()
+			req <- j.compactCommitter()
+		case <-j.quit:
+			j.drainQueue()
+			return
 		}
 	}
-	return nil
+}
+
+// drainQueue commits everything queued, batch by batch, until the queue is
+// observed empty.
+func (j *Journal) drainQueue() {
+	for {
+		// Let writers that are already runnable reach their enqueue before
+		// the swap: on a loaded (or single-core) scheduler the committer
+		// often wakes after the first enqueue of a stampede, and committing
+		// a one-record batch per fsync squanders exactly the coalescing
+		// this pipeline exists for. One yield turns those stampedes into
+		// one batch; an idle journal pays a few hundred nanoseconds.
+		runtime.Gosched()
+		j.mu.Lock()
+		batch := j.queue
+		j.queue = nil
+		poisoned := j.poisoned
+		j.mu.Unlock()
+		if len(batch) == 0 {
+			return
+		}
+		if poisoned {
+			failBatch(batch, errJournalClosed)
+			continue
+		}
+		j.commitBatch(batch)
+	}
+}
+
+// commitBatch writes one batch to the WAL and acknowledges its waiters.
+// Under SyncGroup/SyncNone the records coalesce into a single write (plus
+// one fsync for group); under SyncAlways each record is written and
+// fsynced individually before its waiter wakes. A write or sync failure
+// poisons the journal — the backend now holds mutations the WAL does not,
+// so rather than let memory and disk diverge further, every waiter in the
+// batch errors and every subsequent mutation errors until the process
+// restarts and replays the WAL (which drops the unjournaled mutations).
+func (j *Journal) commitBatch(batch []*pendingCommit) {
+	if j.policy == SyncAlways {
+		for i, p := range batch {
+			<-p.ready
+			if p.marshalErr != nil {
+				j.poisonBatch(batch[i:], fmt.Errorf("bank: marshal wal record (journal now closed): %w", p.marshalErr))
+				return
+			}
+			if _, err := j.wal.Write(p.payload); err != nil {
+				j.poisonBatch(batch[i:], fmt.Errorf("bank: append wal (journal now closed): %w", err))
+				return
+			}
+			if err := j.wal.Sync(); err != nil {
+				j.poisonBatch(batch[i:], fmt.Errorf("bank: sync wal (journal now closed): %w", err))
+				return
+			}
+			j.dirty++
+			close(p.done)
+		}
+		return
+	}
+
+	// Group/none: coalesce the longest marshalable prefix into one write.
+	good := batch
+	var bad []*pendingCommit
+	var marshalErr error
+	size := 0
+	for i, p := range batch {
+		<-p.ready
+		if p.marshalErr != nil {
+			good, bad, marshalErr = batch[:i], batch[i:], p.marshalErr
+			break
+		}
+		size += len(p.payload)
+	}
+	if len(good) > 0 {
+		buf := make([]byte, 0, size)
+		for _, p := range good {
+			buf = append(buf, p.payload...)
+		}
+		if _, err := j.wal.Write(buf); err != nil {
+			j.poisonBatch(batch, fmt.Errorf("bank: append wal (journal now closed): %w", err))
+			return
+		}
+		if j.policy != SyncNone {
+			if err := j.wal.Sync(); err != nil {
+				j.poisonBatch(batch, fmt.Errorf("bank: sync wal (journal now closed): %w", err))
+				return
+			}
+		}
+		j.dirty += len(good)
+		for _, p := range good {
+			close(p.done)
+		}
+	}
+	if bad != nil {
+		j.poisonBatch(bad, fmt.Errorf("bank: marshal wal record (journal now closed): %w", marshalErr))
+	}
+}
+
+// poisonBatch marks the journal unusable, closes the WAL handle, and fails
+// every still-waiting commit in batch with err.
+func (j *Journal) poisonBatch(batch []*pendingCommit, err error) {
+	j.mu.Lock()
+	already := j.poisoned
+	j.poisoned = true
+	j.mu.Unlock()
+	if !already {
+		_ = j.wal.Close()
+	}
+	failBatch(batch, err)
+}
+
+// failBatch wakes waiters with an error without writing anything.
+func failBatch(batch []*pendingCommit, err error) {
+	for _, p := range batch {
+		p.err = err
+		close(p.done)
+	}
+}
+
+// maybeCompact runs an automatic compaction once CompactEvery mutations
+// have committed since the last one. Compaction is maintenance, not part
+// of any mutation: the changes are applied and durably journaled, so a
+// failed snapshot must not be reported as a failed write. Defer the retry
+// a full window so a persistent snapshot error (disk full) doesn't pay
+// O(bank) on every batch; the failure stays visible through CompactError
+// until a compaction succeeds, and explicit Compact/Close surface it
+// directly.
+func (j *Journal) maybeCompact() {
+	j.mu.Lock()
+	skip := j.poisoned || j.dirty < j.compactEvery
+	j.mu.Unlock()
+	if skip {
+		return
+	}
+	if err := j.compactCommitter(); err != nil {
+		j.dirty = 0
+		j.mu.Lock()
+		j.compactErr = err
+		j.mu.Unlock()
+	}
 }
 
 // CompactError reports the most recent automatic-compaction failure, or nil
@@ -326,64 +611,128 @@ func (j *Journal) CompactError() error {
 }
 
 // Compact folds the WAL into a fresh snapshot and truncates it. Safe to call
-// at any time; automatic compaction happens every CompactEvery mutations.
+// at any time; the work runs on the committer goroutine after everything
+// already queued has committed. Automatic compaction happens every
+// CompactEvery mutations.
 func (j *Journal) Compact() error {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.closed {
-		return errors.New("bank: journal is closed")
+	if j.closed || j.poisoned {
+		j.mu.Unlock()
+		return errJournalClosed
 	}
-	return j.compactLocked()
+	j.mu.Unlock()
+	req := make(chan error, 1)
+	select {
+	case j.compactReqs <- req:
+		return <-req
+	case <-j.committerDone:
+		return errJournalClosed
+	}
 }
 
-// compactLocked writes the snapshot, syncs it, and resets the WAL. A
-// snapshot failure leaves the WAL fully intact (retryable); a failure
-// rotating the WAL after the snapshot poisons the journal, since the append
-// handle can no longer be trusted. Callers hold j.mu.
-func (j *Journal) compactLocked() error {
-	snap, err := buildSnapshot(j.backend)
-	if err != nil {
-		return err
-	}
-	// Stamp the next epoch into the snapshot BEFORE the rename: if the
-	// process dies between the rename and the truncation below, the stale
-	// WAL's lower-epoch records are skipped on replay. The in-memory epoch
-	// advances whenever the rename LANDED — even if the directory fsync
-	// after it failed — because new appends must match the snapshot a
-	// reopen would read; otherwise replay would silently skip them.
-	snap.WalEpoch = j.epoch + 1
-	published, err := writeSnapshotFile(snap, j.snapshotPath)
-	if published {
+// compactCommitter writes the snapshot, syncs it, and rotates the WAL. It
+// runs only on the committer goroutine (or after the committer has exited,
+// in Close), which owns the WAL handle — so no record can land in the WAL
+// between the backend scan and the rotation, and every rotated-away record
+// is provably folded into the published snapshot. A snapshot failure leaves
+// the WAL fully intact (retryable); a failure rotating the WAL after the
+// snapshot poisons the journal, since the append handle can no longer be
+// trusted.
+func (j *Journal) compactCommitter() error {
+	// The scan holds the ordering lock: writers are quiesced for the
+	// in-memory clone of the bank (no file I/O), which makes the snapshot
+	// a consistent cut containing exactly the mutations stamped with the
+	// pre-bump epoch. The epoch advances atomically with the scan so every
+	// later mutation is stamped with the new epoch and replays on top of
+	// the snapshot. Advancing the in-memory epoch even though the snapshot
+	// write below may still fail is harmless: replay filters on
+	// rec.Epoch >= snapshot.WalEpoch, and the on-disk snapshot's epoch
+	// only ever lags the in-memory one.
+	//
+	// The scan may only run while the commit queue is EMPTY under the
+	// lock: an applied-but-uncommitted mutation would be captured by the
+	// scan, and if its batch write then failed, the published snapshot
+	// would durably resurrect a mutation whose caller was told it failed.
+	// Draining first and re-checking under the lock closes that window —
+	// with the queue empty, every applied mutation is already in the WAL.
+	var snap *snapshot
+	for {
+		j.drainQueue()
+		j.mu.Lock()
+		if j.poisoned {
+			j.mu.Unlock()
+			return errJournalClosed
+		}
+		if len(j.queue) != 0 {
+			j.mu.Unlock()
+			continue
+		}
+		var err error
+		snap, err = buildSnapshot(j.backend)
+		if err != nil {
+			j.mu.Unlock()
+			return err
+		}
 		j.epoch++
+		snap.WalEpoch = j.epoch
+		j.mu.Unlock()
+		break
 	}
-	if err != nil {
+
+	if _, err := writeSnapshotFile(snap, j.snapshotPath); err != nil {
 		return err
 	}
 	if err := j.wal.Close(); err != nil {
-		j.closed = true
+		j.markPoisoned()
 		return fmt.Errorf("bank: close wal (journal now closed): %w", err)
 	}
 	f, err := os.OpenFile(j.walPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
-		j.closed = true
+		j.markPoisoned()
 		return fmt.Errorf("bank: truncate wal (journal now closed): %w", err)
 	}
 	j.wal = f
 	j.dirty = 0
+	j.mu.Lock()
 	j.compactErr = nil
+	j.mu.Unlock()
 	return nil
 }
 
-// Close compacts and releases the WAL file. The journal must not be used
-// afterwards.
+// markPoisoned flags the journal unusable without touching the WAL handle
+// (rotation failures have already lost it).
+func (j *Journal) markPoisoned() {
+	j.mu.Lock()
+	j.poisoned = true
+	j.mu.Unlock()
+}
+
+// stopCommitter asks the committer to drain and exit, then waits for it.
+// Idempotent.
+func (j *Journal) stopCommitter() {
+	j.stopOnce.Do(func() { close(j.quit) })
+	<-j.committerDone
+}
+
+// Close drains pending commits, compacts, and releases the WAL file. The
+// journal must not be used afterwards.
 func (j *Journal) Close() error {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.closed {
+	wasClosed := j.closed
+	j.closed = true
+	j.mu.Unlock()
+	j.stopCommitter()
+	if wasClosed {
 		return nil
 	}
-	err := j.compactLocked()
-	j.closed = true
+	j.mu.Lock()
+	poisoned := j.poisoned
+	j.mu.Unlock()
+	if poisoned {
+		_ = j.wal.Close() // usually already closed by the poisoning batch
+		return nil
+	}
+	err := j.compactCommitter()
 	if cerr := j.wal.Close(); err == nil {
 		err = cerr
 	}
@@ -393,7 +742,11 @@ func (j *Journal) Close() error {
 // Dir returns the journal directory.
 func (j *Journal) Dir() string { return j.dir }
 
-// Mutations: backend apply + WAL append under one lock (see mutate).
+// Sync reports the journal's sync policy.
+func (j *Journal) Sync() SyncPolicy { return j.policy }
+
+// Mutations: backend apply + commit-queue submit under the ordering lock,
+// durable acknowledgment via the committer (see mutate).
 
 // AddProblem validates, stores and journals the problem.
 func (j *Journal) AddProblem(p *item.Problem) error {

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // reopen closes j (which compacts) and opens a fresh journal over a new
@@ -25,14 +26,22 @@ func reopen(t *testing.T, j *Journal) *Journal {
 	return back
 }
 
+// crashStop abandons j as a process crash would: already-submitted records
+// drain to the WAL (they were handed to the kernel before the "crash"),
+// but no compaction runs and the journal refuses further use.
+func crashStop(j *Journal) {
+	j.mu.Lock()
+	j.closed = true
+	j.mu.Unlock()
+	j.stopCommitter()
+	_ = j.wal.Close()
+}
+
 // crashReopen abandons j without compacting — as a crash would — and opens a
 // fresh journal that must rebuild purely from snapshot + WAL replay.
 func crashReopen(t *testing.T, j *Journal) *Journal {
 	t.Helper()
-	j.mu.Lock()
-	j.closed = true
-	_ = j.wal.Close()
-	j.mu.Unlock()
+	crashStop(j)
 	back, err := OpenJournal(j.Dir(), NewSharded(4), 0)
 	if err != nil {
 		t.Fatalf("crash reopen: %v", err)
@@ -136,26 +145,43 @@ func TestJournalCompactionTruncatesWAL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 12; i++ { // crosses the threshold twice
+	for i := 0; i < 12; i++ { // crosses the threshold at least twice
 		if err := j.AddProblem(confMC(t, fmt.Sprintf("q%02d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
+	// Automatic compaction is asynchronous — it runs on the committer
+	// goroutine, off the mutation path — so wait for it to settle: once
+	// quiescent, a snapshot exists and the WAL holds fewer lines than
+	// CompactEvery (the exact count depends on how writes interleaved
+	// with the background compactions).
 	snapshotPath, walPath := journalPaths(dir)
-	if _, err := os.Stat(snapshotPath); err != nil {
-		t.Fatalf("snapshot missing after auto-compaction: %v", err)
-	}
-	raw, err := os.ReadFile(walPath)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := strings.Count(string(raw), "\n"); got != 2 {
-		t.Errorf("wal lines after compaction = %d, want 2 (12 mod 5)", got)
-	}
+	waitFor(t, func() bool {
+		if _, err := os.Stat(snapshotPath); err != nil {
+			return false
+		}
+		raw, err := os.ReadFile(walPath)
+		return err == nil && strings.Count(string(raw), "\n") < 5
+	}, "snapshot written and WAL truncated below CompactEvery")
 	back := reopen(t, j)
 	if got := back.ProblemCount(); got != 12 {
 		t.Errorf("post-compaction reopen count = %d, want 12", got)
 	}
+}
+
+// waitFor polls cond until it holds or a generous deadline passes —
+// needed wherever a test observes the committer's asynchronous
+// maintenance work.
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for: %s", what)
 }
 
 // TestJournalTornTailRecovered: a crash mid-append leaves a partial last
@@ -172,10 +198,7 @@ func TestJournalTornTail(t *testing.T) {
 		}
 	}
 	// Simulate the crash: close without compacting, then tear the tail.
-	j.mu.Lock()
-	j.closed = true
-	j.wal.Close()
-	j.mu.Unlock()
+	crashStop(j)
 	_, walPath := journalPaths(dir)
 	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {

@@ -166,18 +166,28 @@ func writeSnapshotFile(snap *snapshot, path string) (published bool, err error) 
 	// take dependent actions — compaction truncates the WAL next, and a
 	// power failure must not revert to the old snapshot beside an
 	// already-empty WAL.
-	dir, err := os.Open(filepath.Dir(path))
-	if err != nil {
-		return true, fmt.Errorf("bank: open snapshot dir: %w", err)
-	}
-	if err := dir.Sync(); err != nil {
-		dir.Close()
-		return true, fmt.Errorf("bank: sync snapshot dir: %w", err)
-	}
-	if err := dir.Close(); err != nil {
-		return true, fmt.Errorf("bank: close snapshot dir: %w", err)
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return true, err
 	}
 	return true, nil
+}
+
+// syncDir fsyncs a directory so recently created or renamed entries survive
+// power loss — a file fsync persists the file's bytes, not the dentry that
+// makes it reachable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("bank: open dir %s: %w", dir, err)
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("bank: sync dir %s: %w", dir, err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("bank: close dir %s: %w", dir, err)
+	}
+	return nil
 }
 
 // LoadInto reads a bank file written by Save/WriteSnapshot into an existing
@@ -266,6 +276,9 @@ type Options struct {
 	Journal string
 	// CompactEvery bounds WAL growth (see OpenJournal); 0 means the default.
 	CompactEvery int
+	// Sync selects the journal's WAL sync policy (SyncAlways, SyncGroup or
+	// SyncNone); empty means SyncGroup. Ignored without a journal.
+	Sync SyncPolicy
 }
 
 // Open builds a Storage from options. When journaling is enabled the
@@ -322,7 +335,7 @@ func Open(path string, o Options) (Storage, error) {
 			return nil, err
 		}
 	}
-	return OpenJournal(o.Journal, backend, o.CompactEvery)
+	return OpenJournalSync(o.Journal, backend, o.CompactEvery, o.Sync)
 }
 
 // journalPaths returns the snapshot and WAL file paths inside dir.

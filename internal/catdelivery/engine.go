@@ -900,8 +900,14 @@ func numericSuffix(id string) (int64, bool) {
 // Purged sessions' calibration data stays in the response log for the
 // rest of this process's lifetime, so Recalibrate keeps its input; purge
 // after recalibrating to retain nothing.
+//
+// A storage failure on one session does not abort the sweep: the failed
+// session stays registered (a later purge retries it) and the remaining
+// finished sessions are still purged. The purged count is always valid;
+// per-session failures come back joined into one error.
 func (e *Engine) PurgeFinished() (int, error) {
 	purged := 0
+	var errs []error
 	for _, id := range e.SessionIDs() {
 		s, err := e.registry.get(id)
 		if err != nil {
@@ -911,8 +917,9 @@ func (e *Engine) PurgeFinished() (int, error) {
 		if s.rec.State == bank.AdaptiveStateFinished {
 			err := e.store.DeleteAdaptiveSession(id)
 			if err != nil && !errors.Is(err, bank.ErrAdaptiveSessionNotFound) {
+				errs = append(errs, fmt.Errorf("purge session %s: %w", id, err))
 				s.mu.Unlock()
-				return purged, err
+				continue
 			}
 			e.registry.delete(id)
 			e.monitor.Forget(id)
@@ -920,7 +927,7 @@ func (e *Engine) PurgeFinished() (int, error) {
 		}
 		s.mu.Unlock()
 	}
-	return purged, nil
+	return purged, errors.Join(errs...)
 }
 
 // SessionIDs returns every registered session ID, sorted (admin views and

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 
@@ -618,6 +619,62 @@ func TestPurgeFinished(t *testing.T) {
 	// Idempotent.
 	if n, err := e.PurgeFinished(); err != nil || n != 0 {
 		t.Errorf("second purge = %d, %v", n, err)
+	}
+}
+
+// flakyDeleteStore fails DeleteAdaptiveSession for one session ID.
+type flakyDeleteStore struct {
+	bank.Storage
+	failID string
+}
+
+func (f *flakyDeleteStore) DeleteAdaptiveSession(id string) error {
+	if id != "" && id == f.failID {
+		return errors.New("backend flake")
+	}
+	return f.Storage.DeleteAdaptiveSession(id)
+}
+
+// TestPurgeFinishedContinuesPastErrors: one session's storage failure must
+// not abort the sweep — the other finished sessions still purge, the count
+// reflects what actually happened, the failure surfaces in the joined
+// error, and the failed session remains purgeable once the backend
+// recovers.
+func TestPurgeFinishedContinuesPastErrors(t *testing.T) {
+	inner := bank.NewSharded(4)
+	calibratedExam(t, inner, "pool", 8, 1.5, 1)
+	store := &flakyDeleteStore{Storage: inner}
+	e, err := NewEngine(store, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		answerAs(t, e, "pool", fmt.Sprintf("done%d", i), 0, Config{MaxItems: 2}, int64(i))
+	}
+	ids := e.SessionIDs()
+	if len(ids) != 3 {
+		t.Fatalf("session count = %d", len(ids))
+	}
+	store.failID = ids[1]
+
+	n, err := e.PurgeFinished()
+	if n != 2 {
+		t.Errorf("purged = %d, want 2 (sweep must continue past the failure)", n)
+	}
+	if err == nil || !strings.Contains(err.Error(), ids[1]) {
+		t.Errorf("error = %v, want a joined error naming session %s", err, ids[1])
+	}
+	if got := e.SessionCount(); got != 1 {
+		t.Errorf("registry after flaky purge = %d, want the failed session only", got)
+	}
+
+	// Backend recovers: the survivor purges on the next sweep.
+	store.failID = ""
+	if n, err := e.PurgeFinished(); err != nil || n != 1 {
+		t.Errorf("retry purge = %d, %v; want 1, nil", n, err)
+	}
+	if got := len(inner.AdaptiveSessionIDs()); got != 0 {
+		t.Errorf("stored records after retry = %d, want 0", got)
 	}
 }
 

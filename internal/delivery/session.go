@@ -112,12 +112,17 @@ func (s *Session) snapshotStatus(now time.Time) Status {
 		Answered:  len(s.answers),
 		Total:     len(s.Order),
 	}
-	if s.limit > 0 && s.state == StateRunning {
+	if s.limit > 0 && (s.state == StateRunning || s.state == StatePaused) {
 		remaining := s.limit - s.elapsedActive(now)
 		if remaining < 0 {
 			remaining = 0
 		}
-		st.RemainingSeconds = int(remaining / time.Second)
+		// Round up: a live session with any time left — even a fraction of
+		// a second — reports at least 1, so RemainingSeconds == 0 uniquely
+		// means the clock has run out (truncation used to report 0 on a
+		// session that was still accepting answers). Paused sessions report
+		// the remainder they would resume with; their clock is stopped.
+		st.RemainingSeconds = int((remaining + time.Second - 1) / time.Second)
 	}
 	return st
 }
@@ -262,9 +267,12 @@ func (e *Engine) lock(sessionID string) (*Session, error) {
 	return s, nil
 }
 
-// checkTime expires the session if its limit has passed. Callers hold s.mu.
+// checkTime expires the session once its limit is reached. The boundary is
+// inclusive (>=) so the status contract stays exact: a running session
+// always has remaining time and reports RemainingSeconds >= 1, and 0
+// appears only together with the expired state. Callers hold s.mu.
 func (e *Engine) checkTime(s *Session, now time.Time) error {
-	if s.limit > 0 && s.state == StateRunning && s.elapsedActive(now) > s.limit {
+	if s.limit > 0 && s.state == StateRunning && s.elapsedActive(now) >= s.limit {
 		s.activeSpent = s.limit
 		s.state = StateExpired
 		e.finishRTE(s)

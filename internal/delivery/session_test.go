@@ -116,6 +116,63 @@ func TestSessionLifecycle(t *testing.T) {
 	}
 }
 
+// TestStatusRemainingSecondsRoundsUp: a running session with a sub-second
+// remainder must not report RemainingSeconds == 0 — integer truncation used
+// to show 0 while the session still accepted answers, so clients could not
+// distinguish "about to expire" from "expired". Zero now uniquely means the
+// clock has run out.
+func TestStatusRemainingSecondsRoundsUp(t *testing.T) {
+	store, examID := examFixture(t, false)
+	clock := newFakeClock()
+	eng := NewEngine(store, clock.Now, 0)
+	sess, err := eng.Start(examID, "alice", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn the 10-minute limit down to 400ms.
+	clock.Advance(10*time.Minute - 400*time.Millisecond)
+	st, err := eng.Status(sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateRunning {
+		t.Fatalf("state = %v, want running", st.State)
+	}
+	if st.RemainingSeconds != 1 {
+		t.Errorf("RemainingSeconds = %d, want 1 (400ms left rounds up)", st.RemainingSeconds)
+	}
+	// The session genuinely is still live: an answer lands.
+	if err := eng.Answer(sess.ID, "q1", "A"); err != nil {
+		t.Fatalf("answer with time on the clock: %v", err)
+	}
+	// Once the limit passes, 0 appears together with the expired state.
+	clock.Advance(time.Second)
+	st, err = eng.Status(sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateExpired || st.RemainingSeconds != 0 {
+		t.Errorf("after expiry: state = %v remaining = %d, want expired/0",
+			st.State, st.RemainingSeconds)
+	}
+
+	// The boundary itself is exhausted time: a session at exactly its
+	// limit is expired, never "running with 0 seconds left".
+	sess2, err := eng.Start(examID, "brinkman", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(10 * time.Minute)
+	st, err = eng.Status(sess2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateExpired || st.RemainingSeconds != 0 {
+		t.Errorf("at exact limit: state = %v remaining = %d, want expired/0",
+			st.State, st.RemainingSeconds)
+	}
+}
+
 func TestSessionTimeExpiry(t *testing.T) {
 	store, examID := examFixture(t, false)
 	clock := newFakeClock()
@@ -166,7 +223,12 @@ func TestPauseResumeExcludesPausedTime(t *testing.T) {
 	if err := eng.Pause(sess.ID); !errors.Is(err, ErrSessionNotActive) {
 		t.Errorf("double pause = %v", err)
 	}
+	// A paused session reports the remainder it would resume with — 0 is
+	// reserved for an exhausted clock, and the pause stops the clock.
 	clock.Advance(30 * time.Minute) // a long break, beyond the 10m limit
+	if st, err := eng.Status(sess.ID); err != nil || st.RemainingSeconds != 480 {
+		t.Errorf("paused status = %+v, %v; want 480s remaining", st, err)
+	}
 	if err := eng.Resume(sess.ID); err != nil {
 		t.Fatalf("Resume: %v", err)
 	}

@@ -15,6 +15,11 @@ import (
 // GET /v1/metrics. Per-route counters are keyed by the registered route
 // pattern (not the raw path), so session-ID fan-out never explodes the
 // cardinality.
+//
+// Per-route stats are pre-registered when the route is (instrument), so
+// the request hot path is a few atomic increments against a *routeStats
+// captured in the handler closure — no lock and no map lookup is taken per
+// request. The registry mutex guards only registration and Snapshot.
 type Metrics struct {
 	start       time.Time
 	inFlight    atomic.Int64
@@ -25,10 +30,35 @@ type Metrics struct {
 	routes map[string]*routeStats
 }
 
+// Status codes outside [statusMin, statusMin+statusSlots) are clamped into
+// the histogram's edge buckets; real handlers only emit 1xx–5xx.
+const (
+	statusMin   = 100
+	statusSlots = 500
+)
+
+// routeStats is one route's counters. All fields are atomics: observe is
+// called concurrently from every in-flight request without locking.
+// Snapshot reads the fields individually, so a scrape racing a request may
+// see a count without its duration — the skew is one request's worth and
+// irrelevant for averages.
 type routeStats struct {
-	count    int64
-	byStatus map[int]int64
-	total    time.Duration
+	count      atomic.Int64
+	totalNanos atomic.Int64
+	byStatus   [statusSlots]atomic.Int64
+}
+
+// observe records one completed request.
+func (rs *routeStats) observe(status int, d time.Duration) {
+	rs.count.Add(1)
+	rs.totalNanos.Add(int64(d))
+	slot := status - statusMin
+	if slot < 0 {
+		slot = 0
+	} else if slot >= statusSlots {
+		slot = statusSlots - 1
+	}
+	rs.byStatus[slot].Add(1)
 }
 
 // NewMetrics returns an empty registry.
@@ -36,23 +66,25 @@ func NewMetrics() *Metrics {
 	return &Metrics{start: time.Now(), routes: make(map[string]*routeStats)}
 }
 
-// observe records one completed request against a route pattern.
-func (m *Metrics) observe(route string, status int, d time.Duration) {
+// register returns the route's stats, creating them on first registration.
+// Routes registered twice (e.g. a legacy alias sharing a pattern) share one
+// entry.
+func (m *Metrics) register(route string) *routeStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	rs, ok := m.routes[route]
 	if !ok {
-		rs = &routeStats{byStatus: make(map[int]int64)}
+		rs = &routeStats{}
 		m.routes[route] = rs
 	}
-	rs.count++
-	rs.byStatus[status]++
-	rs.total += d
+	return rs
 }
 
 // instrument wraps a handler so every request is timed and counted under the
-// route pattern it was registered with.
+// route pattern it was registered with. The stats cell is resolved here,
+// once, at registration time.
 func (m *Metrics) instrument(route string, next http.Handler) http.Handler {
+	rs := m.register(route)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		m.inFlight.Add(1)
 		defer m.inFlight.Add(-1)
@@ -62,7 +94,7 @@ func (m *Metrics) instrument(route string, next http.Handler) http.Handler {
 		if sr.status == 0 {
 			sr.status = http.StatusOK
 		}
-		m.observe(route, sr.status, time.Since(start))
+		rs.observe(sr.status, time.Since(start))
 	})
 }
 
@@ -75,7 +107,9 @@ type RouteMetrics = api.RouteMetrics
 type MetricsSnapshot = api.MetricsSnapshot
 
 // Snapshot exports the registry. Routes are sorted by pattern for stable
-// output; scraping the snapshot does not reset any counter.
+// output; scraping the snapshot does not reset any counter. Routes that
+// have never served a request are omitted, matching the lazily-populated
+// output of earlier versions.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	snap := MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
@@ -86,21 +120,28 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for route, rs := range m.routes {
+		count := rs.count.Load()
+		if count == 0 {
+			continue
+		}
 		rm := RouteMetrics{
 			Route:    route,
-			Count:    rs.count,
-			ByStatus: make(map[string]int64, len(rs.byStatus)),
+			Count:    count,
+			ByStatus: make(map[string]int64),
 		}
-		for status, n := range rs.byStatus {
+		for slot := range rs.byStatus {
+			n := rs.byStatus[slot].Load()
+			if n == 0 {
+				continue
+			}
+			status := slot + statusMin
 			rm.ByStatus[strconv.Itoa(status)] = n
 			if status >= 500 {
 				snap.Errors5xx += n
 			}
 		}
-		if rs.count > 0 {
-			rm.AvgMs = float64(rs.total.Microseconds()) / 1000 / float64(rs.count)
-		}
-		snap.Requests += rs.count
+		rm.AvgMs = float64(rs.totalNanos.Load()) / 1e6 / float64(count)
+		snap.Requests += count
 		snap.Routes = append(snap.Routes, rm)
 	}
 	sort.Slice(snap.Routes, func(i, j int) bool {

@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"bufio"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
@@ -66,6 +67,12 @@ func RequestID() Middleware {
 
 // statusRecorder captures the response status and size for logging and
 // metrics. WriteHeader-less handlers are recorded as 200 on first Write.
+//
+// The wrapper must not hide the underlying writer's optional interfaces:
+// a streaming handler that type-asserts http.Flusher (SSE, long polls) or
+// http.Hijacker (websockets) has to keep working behind AccessLog, Recover
+// and the metrics instrumentation, so both are forwarded, and Unwrap lets
+// http.ResponseController reach every capability of the wrapped writer.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
@@ -86,6 +93,34 @@ func (sr *statusRecorder) Write(p []byte) (int, error) {
 	n, err := sr.ResponseWriter.Write(p)
 	sr.bytes += n
 	return n, err
+}
+
+// Unwrap exposes the wrapped writer to http.ResponseController.
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
+
+// Flush forwards to the underlying writer when it streams; flushing commits
+// the headers, so an unset status is recorded as 200. A non-flushing
+// underlying writer makes this a no-op (http.ResponseController reports
+// the capability faithfully via Unwrap).
+func (sr *statusRecorder) Flush() {
+	f, ok := sr.ResponseWriter.(http.Flusher)
+	if !ok {
+		return
+	}
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	f.Flush()
+}
+
+// Hijack forwards to the underlying writer; writers that cannot hijack
+// return the standard http.ErrNotSupported so callers distinguish "not a
+// hijacker" from a hijack failure.
+func (sr *statusRecorder) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	if h, ok := sr.ResponseWriter.(http.Hijacker); ok {
+		return h.Hijack()
+	}
+	return nil, nil, http.ErrNotSupported
 }
 
 // AccessLog emits one structured line per request: who asked for what, what

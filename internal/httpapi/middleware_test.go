@@ -1,14 +1,18 @@
 package httpapi
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -253,6 +257,121 @@ func TestRecoverLogsRequestID(t *testing.T) {
 	h.ServeHTTP(httptest.NewRecorder(), req)
 	if !strings.Contains(buf.String(), "request_id=corr-42") {
 		t.Errorf("panic line missing request ID: %s", buf.String())
+	}
+}
+
+// TestStreamingThroughMiddleware: a handler that flushes (SSE-style) must
+// keep its http.Flusher capability behind the full logging + metrics
+// wrapping — the statusRecorder forwards Flush instead of hiding it.
+func TestStreamingThroughMiddleware(t *testing.T) {
+	m := NewMetrics()
+	flushed := 0
+	h := Chain(RequestID(), AccessLog(log.New(io.Discard, "", 0)), Recover(nil, nil))(
+		m.instrument("/v1/stream", http.HandlerFunc(
+			func(w http.ResponseWriter, r *http.Request) {
+				f, ok := w.(http.Flusher)
+				if !ok {
+					t.Fatal("middleware chain hid http.Flusher from the handler")
+				}
+				_, _ = w.Write([]byte("data: tick\n\n"))
+				f.Flush()
+				flushed++
+			})))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stream", nil))
+	if flushed != 1 {
+		t.Fatalf("handler flushed %d times", flushed)
+	}
+	if !rec.Flushed {
+		t.Error("flush never reached the underlying writer")
+	}
+}
+
+// TestResponseControllerThroughMiddleware: the modern flush path —
+// http.NewResponseController — must reach the underlying writer via the
+// recorder's Unwrap chain.
+func TestResponseControllerThroughMiddleware(t *testing.T) {
+	m := NewMetrics()
+	h := Chain(AccessLog(log.New(io.Discard, "", 0)))(
+		m.instrument("/v1/stream", http.HandlerFunc(
+			func(w http.ResponseWriter, r *http.Request) {
+				_, _ = w.Write([]byte("x"))
+				if err := http.NewResponseController(w).Flush(); err != nil {
+					t.Errorf("ResponseController.Flush: %v", err)
+				}
+			})))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stream", nil))
+	if !rec.Flushed {
+		t.Error("controller flush never reached the underlying writer")
+	}
+}
+
+// hijackProbe is a ResponseWriter that records whether Hijack was reached.
+type hijackProbe struct {
+	http.ResponseWriter
+	hijacked bool
+}
+
+func (h *hijackProbe) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	h.hijacked = true
+	return nil, nil, nil
+}
+
+// TestHijackThroughMiddleware: the recorder forwards Hijack when the
+// underlying writer supports it and reports http.ErrNotSupported when not.
+func TestHijackThroughMiddleware(t *testing.T) {
+	probe := &hijackProbe{ResponseWriter: httptest.NewRecorder()}
+	h := AccessLog(log.New(io.Discard, "", 0))(http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("middleware chain hid http.Hijacker")
+			}
+			if _, _, err := hj.Hijack(); err != nil {
+				t.Errorf("Hijack: %v", err)
+			}
+		}))
+	h.ServeHTTP(probe, httptest.NewRequest(http.MethodGet, "/", nil))
+	if !probe.hijacked {
+		t.Error("hijack never reached the underlying writer")
+	}
+
+	// A plain recorder cannot hijack: the wrapper must say so, not panic.
+	h = AccessLog(log.New(io.Discard, "", 0))(http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			if _, _, err := w.(http.Hijacker).Hijack(); !errors.Is(err, http.ErrNotSupported) {
+				t.Errorf("Hijack on non-hijacker = %v, want http.ErrNotSupported", err)
+			}
+		}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+}
+
+// TestMetricsConcurrentObserve: the per-route stats are pre-registered and
+// lock-free; hammering one route from many goroutines (run with -race) must
+// lose no count.
+func TestMetricsConcurrentObserve(t *testing.T) {
+	m := NewMetrics()
+	h := m.instrument("/v1/hot", http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusNoContent) }))
+	const workers, per = 16, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/v1/hot", nil))
+			}
+		}()
+	}
+	wg.Wait()
+	snap := m.Snapshot()
+	if len(snap.Routes) != 1 || snap.Routes[0].Count != workers*per {
+		t.Fatalf("snapshot = %+v, want one route with %d requests", snap.Routes, workers*per)
+	}
+	if snap.Routes[0].ByStatus["204"] != workers*per {
+		t.Errorf("byStatus = %v", snap.Routes[0].ByStatus)
 	}
 }
 
