@@ -1,0 +1,130 @@
+package main
+
+// assessctl events tail — the operator's live view of a running examserver:
+// subscribes to the SSE event stream over the Go SDK and prints one line
+// per event until interrupted. With -exam it follows a single exam and also
+// prints the live incremental statistics frames the server interleaves.
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"mineassess/pkg/api"
+	"mineassess/pkg/client"
+)
+
+func cmdEvents(args []string) error {
+	if len(args) == 0 || args[0] != "tail" {
+		return errors.New("usage: assessctl events tail -addr http://host:8080 [-exam ID] [-last SEQ] [-no-stats]")
+	}
+	fs := flag.NewFlagSet("events tail", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "examserver base URL")
+	exam := fs.String("exam", "", "follow one exam's /live stream (empty = firehose)")
+	last := fs.String("last", "", "resume token: replay events after this sequence number")
+	noStats := fs.Bool("no-stats", false, "suppress live-statistics frames on an exam stream")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	c := client.New(*addr)
+	var stream *client.EventStream
+	var err error
+	if *exam != "" {
+		stream, err = c.StreamExamLive(ctx, *exam, *last)
+	} else {
+		stream, err = c.StreamEvents(ctx, *last)
+	}
+	if err != nil {
+		return err
+	}
+	defer stream.Close()
+
+	for {
+		f, err := stream.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) || ctx.Err() != nil {
+				return nil // server closed the stream, or Ctrl-C
+			}
+			return err
+		}
+		switch {
+		case f.IsStats():
+			if *noStats {
+				continue
+			}
+			printStats(f)
+		case f.IsGap():
+			e, err := f.DecodeEvent()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("-- stream gap: %d event(s) dropped --\n", e.Dropped)
+		default:
+			e, err := f.DecodeEvent()
+			if err != nil {
+				return err
+			}
+			printEvent(f.ID, e)
+		}
+	}
+}
+
+func printEvent(id string, e *api.Event) {
+	parts := []string{fmt.Sprintf("#%-6s %-20s", id, e.Type)}
+	if e.ExamID != "" {
+		parts = append(parts, "exam="+e.ExamID)
+	}
+	if e.SessionID != "" {
+		parts = append(parts, "session="+e.SessionID)
+	}
+	if e.StudentID != "" {
+		parts = append(parts, "student="+e.StudentID)
+	}
+	if e.ProblemID != "" {
+		parts = append(parts, fmt.Sprintf("problem=%s correct=%v", e.ProblemID, e.Correct))
+	}
+	if e.Total > 0 {
+		parts = append(parts, fmt.Sprintf("progress=%d/%d", e.Answered, e.Total))
+	}
+	if e.Type == api.EventSessionFinished || e.Type == api.EventSessionExpired {
+		parts = append(parts, fmt.Sprintf("score=%.1f/%.1f", e.Score, e.MaxScore))
+	}
+	if strings.HasPrefix(string(e.Type), "adaptive.") && e.Type != api.EventAdaptiveStarted {
+		parts = append(parts, fmt.Sprintf("theta=%.2f se=%.2f", e.Theta, e.SE))
+	}
+	if e.StopReason != "" {
+		parts = append(parts, "stop="+e.StopReason)
+	}
+	fmt.Println(strings.Join(parts, " "))
+}
+
+func printStats(f *client.StreamFrame) {
+	s, err := f.DecodeStats()
+	if err != nil {
+		fmt.Printf("stats: %v\n", err)
+		return
+	}
+	kr := "n/a"
+	if s.KR20 != nil {
+		kr = fmt.Sprintf("%.3f", *s.KR20)
+	}
+	fmt.Printf("        stats seq=%d active=%d finished=%d responses=%d mean=%.2f sd=%.2f kr20=%s\n",
+		s.Seq, s.ActiveSessions, s.FinishedSessions, s.Responses, s.MeanScore, s.ScoreSD, kr)
+	for _, it := range s.Items {
+		pb := "  n/a"
+		if it.PointBiserial != nil {
+			pb = fmt.Sprintf("%+.2f", *it.PointBiserial)
+		}
+		fmt.Printf("          %-12s P=%.2f (%d/%d) r_pb=%s\n",
+			it.ProblemID, it.P, it.Correct, it.Attempts, pb)
+	}
+}

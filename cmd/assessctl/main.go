@@ -12,6 +12,7 @@
 //	assessctl coverage    -bank bank.json -exam final [-concepts 5]
 //	assessctl export-scorm -bank bank.json -exam final -out exam.zip
 //	assessctl export-qti   -bank bank.json -exam final -out exam.xml
+//	assessctl events tail  -addr http://host:8080 [-exam final] [-last SEQ]
 package main
 
 import (
@@ -66,11 +67,13 @@ func run(args []string) error {
 		return cmdStats(args[1:])
 	case "preview":
 		return cmdPreview(args[1:])
+	case "events":
+		return cmdEvents(args[1:])
 	case "version":
 		fmt.Println("assessctl", core.Version)
 		return nil
 	case "help":
-		fmt.Println("subcommands: seed, search, analyze, analyze-file, calibrate, coverage, history, feedback, stats, preview, export-scorm, export-qti, version")
+		fmt.Println("subcommands: seed, search, analyze, analyze-file, calibrate, coverage, history, feedback, stats, preview, events, export-scorm, export-qti, version")
 		return nil
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])

@@ -75,6 +75,7 @@ func run(args []string) error {
 		{"E19", "HTTP /v1 stack throughput vs direct engine calls", runE19},
 		{"E20", "live adaptive (CAT) delivery vs fixed form", runE20},
 		{"E21", "group-commit WAL: journaled write throughput and commit latency", runE21},
+		{"E22", "event bus: fan-out throughput and emitter overhead", runE22},
 		{"A1", "ablation: group fraction 25% vs Kelly 27% vs 33%", runA1},
 		{"A2", "ablation: group D vs point-biserial", runA2},
 	}

@@ -156,6 +156,10 @@ type Baseline struct {
 	// baseline vs group-commit, per sync policy, plus the CAT
 	// SubmitResponse persist latency).
 	Journal []JournalResult `json:"journal"`
+	// Events tracks the E22 bus configurations: fan-out delivery rates per
+	// subscriber count, and the engine workload with the bus disabled /
+	// unwatched / subscribed (emitter overhead).
+	Events []EventsResult `json:"events"`
 }
 
 // writeBaseline measures every engine configuration and writes the JSON
@@ -185,6 +189,11 @@ func writeBaseline(path string) error {
 		return err
 	}
 	base.Journal = journal
+	ev, err := measureEventsSuite()
+	if err != nil {
+		return err
+	}
+	base.Events = ev
 	raw, err := json.MarshalIndent(base, "", "  ")
 	if err != nil {
 		return err

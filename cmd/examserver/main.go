@@ -14,6 +14,14 @@
 //	           [-backend sharded] [-shards 32] [-journal DIR] [-fsync group]
 //	           [-session-shards 32] [-drain 30s]
 //	           [-rate 50 -burst 100] [-quiet]
+//	           [-events] [-event-log DIR] [-event-ring 1024]
+//
+// With -events (the default) the server runs a live event bus: engines
+// publish session/adaptive lifecycle events, a streaming aggregator keeps
+// incremental per-exam item statistics, and watchers subscribe over SSE at
+// GET /v1/events:stream and GET /v1/exams/{id}/live (with Last-Event-ID
+// resume). -event-log makes the event stream durable (same fsync policy as
+// the WAL), extending the resume window across restarts.
 //
 // The bank file must already hold at least one exam (see `assessctl seed`).
 // With -journal, mutations append to a write-ahead log in DIR instead of
@@ -44,7 +52,9 @@ import (
 	"mineassess/internal/bank"
 	"mineassess/internal/catdelivery"
 	"mineassess/internal/delivery"
+	"mineassess/internal/events"
 	"mineassess/internal/httpapi"
+	"mineassess/internal/livestats"
 	"mineassess/internal/scorm"
 )
 
@@ -71,6 +81,9 @@ func run(args []string) error {
 	rate := fs.Float64("rate", 0, "per-learner rate limit in requests/second (0 disables)")
 	burst := fs.Int("burst", 20, "per-learner rate-limit burst capacity")
 	quiet := fs.Bool("quiet", false, "suppress per-request access logging")
+	eventsOn := fs.Bool("events", true, "live event bus + SSE streaming endpoints")
+	eventLog := fs.String("event-log", "", "durable event-log directory (empty = in-memory replay ring only; fsync policy follows -fsync)")
+	eventRing := fs.Int("event-ring", events.DefaultRing, "per-exam event replay-ring size (Last-Event-ID resume window)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -115,6 +128,29 @@ func run(args []string) error {
 	if n := cat.RestoreSkipped(); n > 0 {
 		log.Printf("examserver: WARNING: skipped %d unrecoverable adaptive session(s) (exam or pool items deleted)", n)
 	}
+	// The live event bus wires the engines to the SSE endpoints and the
+	// streaming statistics aggregator. Emission is fire-and-forget, so an
+	// unwatched bus costs the request path almost nothing.
+	var bus *events.Bus
+	var live *livestats.Aggregator
+	if *eventsOn {
+		var evlog *events.Log
+		if *eventLog != "" {
+			evlog, err = events.OpenLog(*eventLog, syncPolicy)
+			if err != nil {
+				return err
+			}
+			log.Printf("examserver: durable event log under %s (fsync=%s)", *eventLog, syncPolicy)
+		}
+		bus = events.NewBus(events.Options{Ring: *eventRing, Log: evlog})
+		live = livestats.New(bus)
+		engine.SetEventBus(bus)
+		cat.SetEventBus(bus)
+		defer func() {
+			bus.Close() // flushes the durable log, ends every subscription
+			live.Close()
+		}()
+	}
 	accessLog := log.Default()
 	if *quiet {
 		accessLog = nil
@@ -124,6 +160,8 @@ func run(args []string) error {
 		RatePerSec: *rate,
 		Burst:      *burst,
 		Adaptive:   cat,
+		Events:     bus,
+		LiveStats:  live,
 	})
 
 	examID := *contentExam
@@ -165,6 +203,14 @@ func run(args []string) error {
 		return err
 	case got := <-sig:
 		log.Printf("examserver: %s received, draining in-flight sessions (up to %s)", got, *drain)
+		// SSE connections stay in-flight until their subscription ends, so
+		// subscribers must detach before Shutdown or the drain would always
+		// run its full timeout waiting on live streams. Only subscribers:
+		// the bus keeps accepting publishes, so learner requests completing
+		// during the drain still land in the durable event log (the
+		// deferred bus.Close flushes it after the drain).
+		bus.DetachSubscribers()
+		live.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

@@ -7,8 +7,11 @@ package mineassess
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"math/rand"
 	"net/http/httptest"
 	"testing"
@@ -21,9 +24,11 @@ import (
 	"mineassess/internal/cognition"
 	"mineassess/internal/core"
 	"mineassess/internal/delivery"
+	"mineassess/internal/events"
 	"mineassess/internal/feedback"
 	"mineassess/internal/httpapi"
 	"mineassess/internal/item"
+	"mineassess/internal/livestats"
 	"mineassess/internal/qti"
 	"mineassess/internal/scorm"
 	"mineassess/internal/simulate"
@@ -667,5 +672,191 @@ func TestAdaptiveDeliveryOverHTTP(t *testing.T) {
 	snaps, err := learner.AdaptiveMonitor(started.SessionID)
 	if err != nil || len(snaps) == 0 {
 		t.Errorf("monitor snapshots = %d, %v", len(snaps), err)
+	}
+}
+
+// TestLiveEventStreamOverHTTP is the live-monitoring loop end to end: a
+// watcher subscribes to /v1/exams/{id}/live through the full middleware
+// stack while a learner sits the exam over /v1, sees the raw lifecycle
+// events and the incremental item statistics arrive in order, then
+// reconnects with Last-Event-ID and receives exactly the events missed
+// while disconnected.
+func TestLiveEventStreamOverHTTP(t *testing.T) {
+	store, examID := authorCourse(t)
+	engine := delivery.NewEngine(store, nil, 8)
+	bus := events.NewBus(events.Options{})
+	defer bus.Close()
+	engine.SetEventBus(bus)
+	live := livestats.New(bus)
+	defer live.Close()
+	srv := httptest.NewServer(httpapi.NewServer(engine, store, httpapi.Options{
+		Logger:     log.New(io.Discard, "", 0), // full chain incl. statusRecorder
+		RatePerSec: 1e6, Burst: 1 << 20,
+		Events:    bus,
+		LiveStats: live,
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watcher := client.New(srv.URL, client.WithLearnerID("instructor"))
+	stream, err := watcher.StreamExamLive(ctx, examID, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The learner sits the exam over the same API: 3 answers while the
+	// watcher is connected (2 correct, 1 wrong).
+	learner := client.New(srv.URL, client.WithLearnerID("alice"))
+	started, err := learner.StartSession(examID, "alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers := []string{"A", "A", "B"}
+	for i, opt := range answers {
+		if err := learner.Answer(started.SessionID, started.Order[i], opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Raw events arrive in order with contiguous sequence numbers.
+	nextEvent := func(s *client.EventStream) (*client.StreamFrame, *api.Event) {
+		t.Helper()
+		for {
+			f, err := s.Next()
+			if err != nil {
+				t.Fatalf("stream next: %v", err)
+			}
+			if f.IsStats() {
+				continue
+			}
+			e, err := f.DecodeEvent()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f, e
+		}
+	}
+	wantTypes := []api.EventType{api.EventSessionStarted, api.EventResponseSubmitted,
+		api.EventResponseSubmitted, api.EventResponseSubmitted}
+	var lastID string
+	for i, want := range wantTypes {
+		f, e := nextEvent(stream)
+		if e.Type != want {
+			t.Fatalf("event %d: type %s, want %s", i, e.Type, want)
+		}
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d: seq %d, want %d", i, e.Seq, i+1)
+		}
+		if e.Type == api.EventResponseSubmitted {
+			wantCorrect := answers[e.Answered-1] == "A"
+			if e.Correct != wantCorrect {
+				t.Fatalf("event %d: correct=%v, want %v", i, e.Correct, wantCorrect)
+			}
+		}
+		lastID = f.ID
+	}
+
+	// A stats frame catches up to the delivered events and reflects the
+	// running difficulty of what was answered so far.
+	deadlineStats := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadlineStats) {
+			t.Fatal("no stats frame caught up to the delivered events")
+		}
+		f, err := stream.Next()
+		if err != nil {
+			t.Fatalf("stream next: %v", err)
+		}
+		if !f.IsStats() {
+			continue
+		}
+		snap, err := f.DecodeStats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Seq < 4 {
+			continue // aggregator still folding; a fresher frame follows
+		}
+		if snap.ActiveSessions != 1 || snap.Responses != 3 {
+			t.Fatalf("stats: %+v", snap)
+		}
+		correct := 0
+		for _, it := range snap.Items {
+			correct += it.Correct
+		}
+		if correct != 2 {
+			t.Fatalf("stats count %d correct, want 2", correct)
+		}
+		break
+	}
+
+	// Watcher disconnects; the sitting continues without it.
+	cancel()
+	for i := 3; i < len(started.Order); i++ {
+		if err := learner.Answer(started.SessionID, started.Order[i], "A"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := learner.Finish(started.SessionID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reconnect with Last-Event-ID: exactly the missed events replay —
+	// the remaining answers and the finish, in order, nothing duplicated.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	stream2, err := watcher.StreamExamLive(ctx2, examID, lastID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := uint64(4)
+	for i := 3; i < len(started.Order); i++ {
+		f, e := nextEvent(stream2)
+		if f.Event == string(api.EventGap) {
+			t.Fatal("gap marker on an in-window resume")
+		}
+		if e.Type != api.EventResponseSubmitted || e.Seq != seq+1 {
+			t.Fatalf("resumed event: type %s seq %d, want response.submitted %d", e.Type, e.Seq, seq+1)
+		}
+		seq = e.Seq
+	}
+	_, e := nextEvent(stream2)
+	if e.Type != api.EventSessionFinished || e.Seq != seq+1 {
+		t.Fatalf("final resumed event: %+v", e)
+	}
+
+	// The post-reconnect stats converge on the finished sitting: 8 items
+	// attempted, 7 correct, the sitting folded into the histogram.
+	deadlineStats = time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadlineStats) {
+			t.Fatal("no final stats frame after reconnect")
+		}
+		f, err := stream2.Next()
+		if err != nil {
+			t.Fatalf("stream2 next: %v", err)
+		}
+		if !f.IsStats() {
+			continue
+		}
+		snap, err := f.DecodeStats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Seq < e.Seq {
+			continue
+		}
+		if snap.FinishedSessions != 1 || snap.ActiveSessions != 0 || snap.Responses != 8 {
+			t.Fatalf("final stats: %+v", snap)
+		}
+		total := 0
+		for _, n := range snap.ScoreHistogram {
+			total += n
+		}
+		if total != 1 {
+			t.Fatalf("histogram holds %d sittings, want 1", total)
+		}
+		break
 	}
 }

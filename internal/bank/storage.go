@@ -175,7 +175,12 @@ func writeSnapshotFile(snap *snapshot, path string) (published bool, err error) 
 // syncDir fsyncs a directory so recently created or renamed entries survive
 // power loss — a file fsync persists the file's bytes, not the dentry that
 // makes it reachable.
-func syncDir(dir string) error {
+func syncDir(dir string) error { return SyncDir(dir) }
+
+// SyncDir fsyncs a directory so freshly created or renamed entries survive
+// power loss — the dentry-durability half of the journal machinery,
+// exported for sibling append-only logs (the event log) to reuse.
+func SyncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return fmt.Errorf("bank: open dir %s: %w", dir, err)

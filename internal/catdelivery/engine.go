@@ -36,6 +36,7 @@ import (
 	"mineassess/internal/adaptive"
 	"mineassess/internal/bank"
 	"mineassess/internal/delivery"
+	"mineassess/internal/events"
 	"mineassess/internal/item"
 	"mineassess/internal/simulate"
 )
@@ -274,6 +275,11 @@ type Engine struct {
 	nextID   atomic.Int64
 	log      *ResponseLog
 
+	// bus receives adaptive.* lifecycle events. Events are published only
+	// AFTER the session record is durably persisted, so a subscriber never
+	// observes state a crash could roll back; a nil bus disables emission.
+	bus *events.Bus
+
 	expoMu   sync.Mutex
 	exposure map[string]*examExposure
 
@@ -326,6 +332,12 @@ func NewEngine(store bank.Storage, now func() time.Time, monitorCapacity int) (*
 // RestoreSkipped reports how many persisted sessions could not be
 // rehydrated at construction (exam deleted, pool item removed).
 func (e *Engine) RestoreSkipped() int { return e.restoreSkipped }
+
+// SetEventBus attaches a live event bus; session mutations publish
+// adaptive.* events onto it after their durable persist. Call before
+// serving traffic (the field is not synchronized against in-flight
+// operations).
+func (e *Engine) SetEventBus(b *events.Bus) { e.bus = b }
 
 // Monitor exposes the engine's monitor subsystem.
 func (e *Engine) Monitor() *delivery.Monitor { return e.monitor }
@@ -440,6 +452,10 @@ func (e *Engine) Start(examID, studentID string, cfg Config, seed int64) (*Sessi
 	}
 	e.registry.put(s)
 	e.monitor.Capture(s.ID, e.now())
+	e.bus.Publish(events.Event{
+		Type: events.AdaptiveStarted, ExamID: examID, SessionID: s.ID,
+		StudentID: studentID, Total: maxItems,
+	})
 	return s, s.itemView(first), nil
 }
 
@@ -688,10 +704,22 @@ func (e *Engine) SubmitResponse(sessionID, problemID, response string) (*Progres
 		rollback()
 		return nil, err
 	}
-	// Drain into the calibration log only after the finish is durable, so
-	// a rolled-back finish never leaves a phantom log entry.
+	// Drain into the calibration log — and publish events — only after the
+	// finish is durable, so a rolled-back mutation never leaves a phantom
+	// log entry or a phantom event.
+	e.bus.Publish(events.Event{
+		Type: events.AdaptiveResponded, ExamID: s.ExamID, SessionID: s.ID,
+		StudentID: s.StudentID, ProblemID: problemID, Correct: correct,
+		Credit: credit, Answered: len(s.rec.Administered), Total: s.rec.MaxItems,
+		Theta: theta, SE: sd,
+	})
 	if s.rec.State == bank.AdaptiveStateFinished {
 		e.log.Add(entryOf(s.rec))
+		e.bus.Publish(events.Event{
+			Type: events.AdaptiveFinished, ExamID: s.ExamID, SessionID: s.ID,
+			StudentID: s.StudentID, Answered: len(s.rec.Administered),
+			Theta: s.rec.Theta, SE: s.rec.SE, StopReason: s.rec.StopReason,
+		})
 	}
 	e.monitor.Capture(s.ID, e.now())
 	return prog, nil
@@ -734,6 +762,11 @@ func (e *Engine) Finish(sessionID string) (*Outcome, error) {
 			return nil, err
 		}
 		e.log.Add(entryOf(s.rec))
+		e.bus.Publish(events.Event{
+			Type: events.AdaptiveFinished, ExamID: s.ExamID, SessionID: s.ID,
+			StudentID: s.StudentID, Answered: len(s.rec.Administered),
+			Theta: s.rec.Theta, SE: s.rec.SE, StopReason: s.rec.StopReason,
+		})
 		e.monitor.Capture(s.ID, e.now())
 	}
 	return outcomeOf(s.rec), nil

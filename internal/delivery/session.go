@@ -24,6 +24,7 @@ import (
 	"mineassess/internal/analysis"
 	"mineassess/internal/authoring"
 	"mineassess/internal/bank"
+	"mineassess/internal/events"
 	"mineassess/internal/item"
 	"mineassess/internal/scorm"
 )
@@ -155,7 +156,18 @@ type Engine struct {
 	now      func() time.Time
 	monitor  *Monitor
 	nextID   atomic.Int64
+	// bus receives lifecycle events (nil disables emission — a nil
+	// *events.Bus is a valid no-op publisher, so emit sites are
+	// unconditional). Emission is fire-and-forget and never blocks, so it
+	// adds only memory-op cost to the learner's request.
+	bus *events.Bus
 }
+
+// SetEventBus attaches a live event bus; engine operations publish
+// session.started / response.submitted / session.finished / session.expired
+// events onto it. Call before serving traffic (the field is not
+// synchronized against in-flight operations).
+func (e *Engine) SetEventBus(b *events.Bus) { e.bus = b }
 
 // NewEngine builds an engine over any bank.Storage with the default session
 // shard count. now may be nil for wall-clock time; monitorCapacity bounds
@@ -254,6 +266,10 @@ func (e *Engine) Start(examID, studentID string, seed int64) (*Session, error) {
 	}
 	e.registry.put(s)
 	e.monitor.Capture(s.ID, now)
+	e.bus.Publish(events.Event{
+		Type: events.SessionStarted, ExamID: examID, SessionID: s.ID,
+		StudentID: studentID, Problems: order, Total: len(order), At: now,
+	})
 	return s, nil
 }
 
@@ -276,6 +292,12 @@ func (e *Engine) checkTime(s *Session, now time.Time) error {
 		s.activeSpent = s.limit
 		s.state = StateExpired
 		e.finishRTE(s)
+		score, max := s.scoreLocked()
+		e.bus.Publish(events.Event{
+			Type: events.SessionExpired, ExamID: s.ExamID, SessionID: s.ID,
+			StudentID: s.StudentID, Answered: len(s.answers), Total: len(s.Order),
+			Score: score, MaxScore: max, At: now,
+		})
 		return fmt.Errorf("%w: session %s", ErrTimeExpired, s.ID)
 	}
 	return nil
@@ -314,6 +336,12 @@ func (e *Engine) Answer(sessionID, problemID, response string) error {
 	}
 	s.api.LMSSetValue("cmi.core.lesson_location", problemID)
 	e.monitor.Capture(s.ID, now)
+	e.bus.Publish(events.Event{
+		Type: events.ResponseSubmitted, ExamID: s.ExamID, SessionID: s.ID,
+		StudentID: s.StudentID, ProblemID: problemID,
+		Correct: gradable && credit >= 1-1e-9, Credit: credit,
+		Answered: len(s.answers), Total: len(s.Order), At: now,
+	})
 	return nil
 }
 
@@ -372,18 +400,31 @@ func (e *Engine) Finish(sessionID string) (*analysis.StudentResult, error) {
 	if s.state == StateRunning {
 		_ = e.checkTime(s, now) // expiry still produces a result
 	}
+	finished := false
 	switch s.state {
 	case StateRunning:
 		s.activeSpent += now.Sub(s.lastEvent)
 		s.state = StateFinished
 		e.finishRTE(s)
+		finished = true
 	case StateExpired:
 		// already closed by checkTime
 	case StatePaused:
 		s.state = StateFinished
 		e.finishRTE(s)
+		finished = true
 	case StateFinished:
 		// idempotent: re-emit the result
+	}
+	if finished {
+		// Only the transition emits; an idempotent re-finish does not
+		// double-count the sitting in downstream aggregations.
+		score, max := s.scoreLocked()
+		e.bus.Publish(events.Event{
+			Type: events.SessionFinished, ExamID: s.ExamID, SessionID: s.ID,
+			StudentID: s.StudentID, Answered: len(s.answers), Total: len(s.Order),
+			Score: score, MaxScore: max, At: now,
+		})
 	}
 	res := s.result()
 	return &res, nil
@@ -392,16 +433,7 @@ func (e *Engine) Finish(sessionID string) (*analysis.StudentResult, error) {
 // finishRTE writes score/status and finishes the RTE attempt. Callers hold
 // s.mu.
 func (e *Engine) finishRTE(s *Session) {
-	score, max := 0.0, 0.0
-	for _, p := range s.problems {
-		if !p.Style.Scored() {
-			continue
-		}
-		max += p.Weight()
-		if a, ok := s.answers[p.ID]; ok && a.gradable {
-			score += a.credit * p.Weight()
-		}
-	}
+	score, max := s.scoreLocked()
 	if s.api.Running() {
 		if max > 0 {
 			raw := score / max * 100
@@ -419,6 +451,21 @@ func (e *Engine) finishRTE(s *Session) {
 			secs/3600, (secs%3600)/60, secs%60))
 		s.api.LMSFinish("")
 	}
+}
+
+// scoreLocked totals earned and maximum weighted credit over the scored
+// problems. Callers hold s.mu.
+func (s *Session) scoreLocked() (score, max float64) {
+	for _, p := range s.problems {
+		if !p.Style.Scored() {
+			continue
+		}
+		max += p.Weight()
+		if a, ok := s.answers[p.ID]; ok && a.gradable {
+			score += a.credit * p.Weight()
+		}
+	}
+	return score, max
 }
 
 // result converts the session into an analysis row. Callers hold s.mu.

@@ -1,0 +1,262 @@
+package events
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"mineassess/internal/bank"
+)
+
+// Log is the optional durable side of the bus: an append-only JSONL file of
+// every published event, written off the publish path by a dedicated writer
+// goroutine. It reuses the bank WAL's durability machinery — the same
+// bank.SyncPolicy vocabulary (always / group / none), group-commit batching
+// of concurrent appends into one write plus one fsync, and torn-tail
+// truncation on open — so an event acknowledged into the log under
+// always/group survives power loss exactly like a journaled bank mutation.
+//
+// The log exists for replay: a subscriber reconnecting with a Last-Event-ID
+// older than the in-memory replay ring reads the missed events back from
+// here, including across process restarts (Open restores the sequence
+// counters so the bus keeps numbering where it left off).
+type Log struct {
+	path   string
+	policy bank.SyncPolicy
+
+	// Restored on Open; read by NewBus to seed the counters.
+	examSeqs  map[string]uint64
+	globalSeq uint64
+
+	ch      chan Event
+	done    chan struct{}
+	dropped atomic.Int64
+
+	mu   sync.Mutex
+	file *os.File
+	err  error // first write/sync failure; the log stops appending after it
+}
+
+// logQueueCap bounds the publish-to-writer handoff. A full queue means the
+// disk cannot keep up with the emitters; rather than block them (the bus
+// contract), further events are counted in Dropped and lost from the
+// durable log only — live subscribers still receive them.
+const logQueueCap = 8192
+
+// OpenLog opens (or creates) the event log in dir. Existing events are
+// scanned to restore the sequence counters; a torn final line (crash during
+// append) is truncated away so later appends cannot corrupt the file.
+func OpenLog(dir string, policy bank.SyncPolicy) (*Log, error) {
+	policy, err := bank.ParseSyncPolicy(string(policy))
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("events: log dir %s: %w", dir, err)
+	}
+	l := &Log{
+		path:     filepath.Join(dir, "events.log"),
+		policy:   policy,
+		examSeqs: make(map[string]uint64),
+		ch:       make(chan Event, logQueueCap),
+		done:     make(chan struct{}),
+	}
+	validBytes, err := l.scan()
+	if err != nil {
+		return nil, err
+	}
+	if validBytes >= 0 {
+		if err := os.Truncate(l.path, validBytes); err != nil {
+			return nil, fmt.Errorf("events: truncate torn log: %w", err)
+		}
+	}
+	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("events: open log: %w", err)
+	}
+	// Fsync the directory so a freshly created log file survives power loss
+	// (the same dentry-durability step the bank journal takes).
+	if err := bank.SyncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.file = f
+	go l.writer()
+	return l, nil
+}
+
+// scan restores sequence counters from the existing log and returns the
+// byte offset of the last complete record (-1 when the file does not
+// exist).
+func (l *Log) scan() (int64, error) {
+	f, err := os.Open(l.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return -1, nil
+	}
+	if err != nil {
+		return -1, fmt.Errorf("events: open log: %w", err)
+	}
+	defer f.Close()
+	var offset int64
+	r := bufio.NewReader(f)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return offset, nil // partial trailing line = torn append
+			}
+			return offset, fmt.Errorf("events: read log: %w", err)
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return offset, fmt.Errorf("events: log record at byte %d: %w", offset, err)
+		}
+		if e.Seq > l.examSeqs[e.ExamID] {
+			l.examSeqs[e.ExamID] = e.Seq
+		}
+		if e.GlobalSeq > l.globalSeq {
+			l.globalSeq = e.GlobalSeq
+		}
+		offset += int64(len(line))
+	}
+}
+
+// enqueue hands an event to the writer without blocking. Called by the bus
+// under its lock, so file order always matches sequence order.
+func (l *Log) enqueue(e Event) {
+	select {
+	case l.ch <- e:
+	default:
+		l.dropped.Add(1)
+	}
+}
+
+// Dropped reports how many events the durable log discarded because the
+// writer could not keep up (live delivery was unaffected).
+func (l *Log) Dropped() int64 { return l.dropped.Load() }
+
+// Err reports the first append failure, if any; the log stops writing after
+// one (the live bus keeps running).
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// writer is the single goroutine owning the file. It coalesces everything
+// queued since its last pass into one write (plus one fsync under the group
+// policy), mirroring the bank journal's group commit.
+func (l *Log) writer() {
+	defer close(l.done)
+	for e := range l.ch {
+		batch := []Event{e}
+	drain:
+		for {
+			select {
+			case more, ok := <-l.ch:
+				if !ok {
+					l.writeBatch(batch)
+					return
+				}
+				batch = append(batch, more)
+			default:
+				break drain
+			}
+		}
+		l.writeBatch(batch)
+	}
+}
+
+func (l *Log) writeBatch(batch []Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		l.dropped.Add(int64(len(batch)))
+		return
+	}
+	var buf []byte
+	for _, e := range batch {
+		raw, err := json.Marshal(e)
+		if err != nil {
+			l.err = fmt.Errorf("events: marshal event: %w", err)
+			return
+		}
+		buf = append(buf, raw...)
+		buf = append(buf, '\n')
+		if l.policy == bank.SyncAlways {
+			if l.err = l.flush(buf); l.err != nil {
+				return
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		l.err = l.flush(buf)
+	}
+}
+
+// flush writes one chunk and fsyncs it per policy. Callers hold l.mu.
+func (l *Log) flush(buf []byte) error {
+	if _, err := l.file.Write(buf); err != nil {
+		return fmt.Errorf("events: append log: %w", err)
+	}
+	if l.policy != bank.SyncNone {
+		if err := l.file.Sync(); err != nil {
+			return fmt.Errorf("events: sync log: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadSince returns logged events newer than afterSeq, oldest first —
+// filtered to one exam's Seq when examID is set, by GlobalSeq otherwise.
+// It reads a private handle, so it is safe concurrently with appends; a
+// torn final line ends the read. Events still queued for the writer are
+// not visible here — the bus's replay ring covers them, and when the ring
+// is disabled or too small, Subscribe announces the shortfall as a gap.
+func (l *Log) ReadSince(examID string, afterSeq uint64) []Event {
+	f, err := os.Open(l.path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	var out []Event
+	r := bufio.NewReader(f)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			return out
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return out
+		}
+		if examID != "" {
+			if e.ExamID == examID && e.Seq > afterSeq {
+				out = append(out, e)
+			}
+		} else if e.GlobalSeq > afterSeq {
+			out = append(out, e)
+		}
+	}
+}
+
+// Close flushes queued events and releases the file. The caller must
+// guarantee no concurrent enqueue (the bus closes itself first).
+func (l *Log) Close() error {
+	close(l.ch)
+	<-l.done
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.err
+	if cerr := l.file.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -220,7 +220,7 @@ func (s *Server) createExam(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleExamByID routes /v1/exams/{id} and its subresources
-// (sessions, grades, results).
+// (sessions, grades, results, live).
 func (s *Server) handleExamByID(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/exams/")
 	id, sub, _ := strings.Cut(rest, "/")
@@ -283,6 +283,8 @@ func (s *Server) handleExamByID(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.exportResults(w, id)
+	case "live":
+		s.handleExamLive(w, r, id)
 	default:
 		notFoundRoute(w, r.URL.Path)
 	}

@@ -100,8 +100,9 @@ func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWrite
 
 // Flush forwards to the underlying writer when it streams; flushing commits
 // the headers, so an unset status is recorded as 200. A non-flushing
-// underlying writer makes this a no-op (http.ResponseController reports
-// the capability faithfully via Unwrap).
+// underlying writer makes this a no-op — direct http.Flusher asserts have
+// no error channel — so FlushError below is what reports the capability
+// faithfully.
 func (sr *statusRecorder) Flush() {
 	f, ok := sr.ResponseWriter.(http.Flusher)
 	if !ok {
@@ -111,6 +112,19 @@ func (sr *statusRecorder) Flush() {
 		sr.status = http.StatusOK
 	}
 	f.Flush()
+}
+
+// FlushError is what http.ResponseController calls in preference to Flush:
+// it delegates through the wrapped writer's own controller, so a
+// non-flushing underlying writer yields http.ErrNotSupported instead of
+// Flush's silent no-op — streaming handlers can trust the error to detect
+// a writer that cannot stream.
+func (sr *statusRecorder) FlushError() error {
+	err := http.NewResponseController(sr.ResponseWriter).Flush()
+	if err == nil && sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return err
 }
 
 // Hijack forwards to the underlying writer; writers that cannot hijack

@@ -11,10 +11,12 @@ import (
 type RateLimiter struct {
 	rate  float64 // tokens added per second
 	burst float64
+	ttl   time.Duration // idle buckets older than this are evicted
 	now   func() time.Time
 
-	mu      sync.Mutex
-	buckets map[string]*bucket
+	mu        sync.Mutex
+	buckets   map[string]*bucket
+	lastSweep time.Time
 }
 
 type bucket struct {
@@ -27,10 +29,24 @@ type bucket struct {
 // indistinguishable from a brand-new one.
 const maxBuckets = 8192
 
+// DefaultBucketTTL is how long an untouched bucket survives before the
+// periodic sweep reclaims it. Without a TTL the map grows one entry per
+// learner/IP ever seen — millions of learners over a server's lifetime
+// would mean millions of entries retained for a handful of active ones.
+const DefaultBucketTTL = 10 * time.Minute
+
 // NewRateLimiter builds a limiter allowing rate requests/second with the
-// given burst per key. rate <= 0 returns nil, which disables limiting.
-// now may be nil for wall-clock time.
+// given burst per key and the default idle-bucket TTL. rate <= 0 returns
+// nil, which disables limiting. now may be nil for wall-clock time.
 func NewRateLimiter(rate float64, burst int, now func() time.Time) *RateLimiter {
+	return NewRateLimiterTTL(rate, burst, DefaultBucketTTL, now)
+}
+
+// NewRateLimiterTTL is NewRateLimiter with an explicit idle-bucket TTL:
+// buckets untouched for ttl are evicted by an amortized sweep. ttl 0 means
+// DefaultBucketTTL; negative disables TTL eviction (the maxBuckets cap
+// still bounds memory).
+func NewRateLimiterTTL(rate float64, burst int, ttl time.Duration, now func() time.Time) *RateLimiter {
 	if rate <= 0 {
 		return nil
 	}
@@ -40,12 +56,25 @@ func NewRateLimiter(rate float64, burst int, now func() time.Time) *RateLimiter 
 	if now == nil {
 		now = time.Now
 	}
-	return &RateLimiter{
+	if ttl == 0 {
+		ttl = DefaultBucketTTL
+	}
+	l := &RateLimiter{
 		rate:    rate,
 		burst:   float64(burst),
+		ttl:     ttl,
 		now:     now,
 		buckets: make(map[string]*bucket),
 	}
+	l.lastSweep = now()
+	return l
+}
+
+// Len reports the current bucket count (tests and metrics).
+func (l *RateLimiter) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
 }
 
 // Allow reports whether the key may proceed, consuming one token if so.
@@ -53,6 +82,12 @@ func (l *RateLimiter) Allow(key string) bool {
 	now := l.now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	// Amortized TTL sweep: at most one O(n) pass per TTL window, so the
+	// per-request cost stays O(1) while idle buckets cannot outlive ~2x TTL.
+	if l.ttl > 0 && now.Sub(l.lastSweep) >= l.ttl {
+		l.evictIdleLocked(now)
+		l.lastSweep = now
+	}
 	b, ok := l.buckets[key]
 	if !ok {
 		if len(l.buckets) >= maxBuckets {
@@ -72,6 +107,19 @@ func (l *RateLimiter) Allow(key string) bool {
 	}
 	b.tokens--
 	return true
+}
+
+// evictIdleLocked drops buckets that have not been touched for the TTL.
+// Idleness is judged on b.last alone — a bucket still paying off a token
+// deficit but receiving traffic keeps its state (an active bucket is never
+// reset), while an abandoned one is reclaimed no matter how full it is.
+// Callers hold mu.
+func (l *RateLimiter) evictIdleLocked(now time.Time) {
+	for key, b := range l.buckets {
+		if now.Sub(b.last) >= l.ttl {
+			delete(l.buckets, key)
+		}
+	}
 }
 
 // sweepLocked drops buckets that have refilled completely, then — only if

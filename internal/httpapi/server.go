@@ -42,6 +42,8 @@
 //	GET    /v1/exams/{id}/grades       manual-grading worklist
 //	POST   /v1/grades                  assign manual credit
 //	GET    /v1/exams/{id}/results      export the response matrix
+//	GET    /v1/exams/{id}/live         SSE: exam events + live item stats
+//	GET    /v1/events:stream           SSE: every event on the bus
 //	GET    /v1/metrics                 metrics snapshot
 //	GET    /package/...                mounted SCORM package files
 package httpapi
@@ -58,6 +60,8 @@ import (
 	"mineassess/internal/bank"
 	"mineassess/internal/catdelivery"
 	"mineassess/internal/delivery"
+	"mineassess/internal/events"
+	"mineassess/internal/livestats"
 	"mineassess/internal/scorm"
 )
 
@@ -75,17 +79,30 @@ type Options struct {
 	// Adaptive enables the /v1/adaptive-sessions routes and the
 	// exams:recalibrate verb; nil leaves them answering a typed 404.
 	Adaptive *catdelivery.Engine
+	// Events enables the SSE endpoints (/v1/events:stream and
+	// /v1/exams/{id}/live); nil leaves them answering a typed 404. The
+	// server only subscribes — wiring the engines to publish onto the bus
+	// is the caller's job (SetEventBus).
+	Events *events.Bus
+	// LiveStats, when set with Events, interleaves incremental item
+	// statistics ("stats" frames) into /v1/exams/{id}/live streams.
+	LiveStats *livestats.Aggregator
+	// StreamHeartbeat is the SSE keep-alive comment interval; 0 means 15s.
+	StreamHeartbeat time.Duration
 }
 
 // Server is the LMS HTTP front end. Build with NewServer; it implements
 // http.Handler.
 type Server struct {
-	engine  *delivery.Engine
-	cat     *catdelivery.Engine
-	store   bank.Storage
-	metrics *Metrics
-	mux     *http.ServeMux
-	handler http.Handler
+	engine    *delivery.Engine
+	cat       *catdelivery.Engine
+	store     bank.Storage
+	bus       *events.Bus
+	live      *livestats.Aggregator
+	heartbeat time.Duration
+	metrics   *Metrics
+	mux       *http.ServeMux
+	handler   http.Handler
 	// pkg, when mounted, is the SCORM content package served under
 	// /package/ so launched SCOs load straight from the LMS.
 	pkg *scorm.Package
@@ -97,11 +114,14 @@ var _ http.Handler = (*Server)(nil)
 // aliases, and the middleware chain.
 func NewServer(engine *delivery.Engine, store bank.Storage, o Options) *Server {
 	s := &Server{
-		engine:  engine,
-		cat:     o.Adaptive,
-		store:   store,
-		metrics: NewMetrics(),
-		mux:     http.NewServeMux(),
+		engine:    engine,
+		cat:       o.Adaptive,
+		store:     store,
+		bus:       o.Events,
+		live:      o.LiveStats,
+		heartbeat: o.StreamHeartbeat,
+		metrics:   NewMetrics(),
+		mux:       http.NewServeMux(),
 	}
 	s.routes()
 	// The per-learner bucket shapes individual traffic; the per-IP bucket
@@ -165,6 +185,7 @@ func (s *Server) routes() {
 	s.route("/v1/exams/", s.handleExamByID)
 	s.route("/v1/grades", s.handleGrades)
 	s.route("/v1/metrics", s.handleMetrics)
+	s.route("/v1/events:stream", s.handleEventStream)
 
 	// Deprecated seed-era aliases, kept so existing SCO content and scripts
 	// keep working; they call the same cores as the /v1 routes and return

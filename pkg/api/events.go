@@ -1,0 +1,46 @@
+package api
+
+import (
+	"mineassess/internal/events"
+	"mineassess/internal/livestats"
+)
+
+// Live event-stream wire types (GET /v1/events:stream and
+// GET /v1/exams/{id}/live). Like the rest of domain payloads these are
+// aliases: an api.Event IS the bus's event type, so the SSE frames the
+// server writes and the structs the SDK decodes can never drift.
+
+// Event is one live delivery event as carried in an SSE data payload. Seq
+// is the per-exam resume token (the SSE id on /v1/exams/{id}/live);
+// GlobalSeq the bus-wide one (/v1/events:stream).
+type Event = events.Event
+
+// EventType names an event kind (the SSE event field).
+type EventType = events.Type
+
+// The event taxonomy, re-exported for callers.
+const (
+	EventSessionStarted    = events.SessionStarted
+	EventResponseSubmitted = events.ResponseSubmitted
+	EventSessionFinished   = events.SessionFinished
+	EventSessionExpired    = events.SessionExpired
+	EventAdaptiveStarted   = events.AdaptiveStarted
+	EventAdaptiveResponded = events.AdaptiveResponded
+	EventAdaptiveFinished  = events.AdaptiveFinished
+	// EventGap marks dropped events on a slow subscription: Dropped events
+	// were discarded between the previous frame and the next one. Gap
+	// frames carry no SSE id, so reconnecting with the last real id
+	// re-fetches what the live stream skipped.
+	EventGap = events.TypeGap
+)
+
+// StatsEventName is the SSE event name of live-statistics frames on
+// /v1/exams/{id}/live; their data payload is an ExamLiveStats.
+const StatsEventName = "stats"
+
+// ExamLiveStats is one exam's incremental statistics snapshot, streamed as
+// "stats" frames on /v1/exams/{id}/live.
+type ExamLiveStats = livestats.ExamLiveStats
+
+// ItemLiveStats is one item's live statistics inside ExamLiveStats.
+type ItemLiveStats = livestats.ItemStats

@@ -1,0 +1,202 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mineassess/pkg/api"
+)
+
+// sseHandler writes scripted SSE traffic and then behaves per mode.
+func sseHandler(frames []string, hang chan struct{}) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		fl := w.(http.Flusher)
+		fl.Flush()
+		for _, f := range frames {
+			fmt.Fprint(w, f)
+			fl.Flush()
+		}
+		if hang != nil {
+			// Hold the connection open, sending nothing, until released or
+			// the client goes away (so httptest.Server.Close never waits on
+			// a stuck handler).
+			select {
+			case <-hang:
+			case <-r.Context().Done():
+			}
+		}
+	}
+}
+
+func TestStreamParsesFrames(t *testing.T) {
+	frames := []string{
+		": keep-alive\n\n",
+		"event: session.started\nid: 1\ndata: {\"seq\":1,\"type\":\"session.started\",\"examId\":\"e1\",\"sessionId\":\"s1\"}\n\n",
+		"event: stats\ndata: {\"examId\":\"e1\",\"seq\":1,\"activeSessions\":1,\"items\":[],\"scoreHistogram\":[]}\n\n",
+		"event: stream.gap\ndata: {\"type\":\"stream.gap\",\"dropped\":3}\n\n",
+	}
+	srv := httptest.NewServer(sseHandler(frames, nil))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	stream, err := c.StreamEvents(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+
+	f, err := stream.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Event != "session.started" || f.ID != "1" {
+		t.Fatalf("frame 1: %+v", f)
+	}
+	ev, err := f.DecodeEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != api.EventSessionStarted || ev.SessionID != "s1" {
+		t.Fatalf("decoded event: %+v", ev)
+	}
+
+	f, err = stream.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.IsStats() {
+		t.Fatalf("frame 2 not stats: %+v", f)
+	}
+	st, err := f.DecodeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExamID != "e1" || st.ActiveSessions != 1 {
+		t.Fatalf("decoded stats: %+v", st)
+	}
+
+	f, err = stream.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.IsGap() {
+		t.Fatalf("frame 3 not gap: %+v", f)
+	}
+	ev, err = f.DecodeEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Dropped != 3 {
+		t.Fatalf("gap dropped = %d", ev.Dropped)
+	}
+
+	if _, err := stream.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("after server close: %v, want io.EOF", err)
+	}
+}
+
+// TestStreamContextCancellationTearsDownPromptly is the satellite contract:
+// a hung server (connection open, nothing arriving) must not trap the
+// client — cancelling the context unblocks Next within moments, returning
+// the context's error, and tears the connection down.
+func TestStreamContextCancellationTearsDownPromptly(t *testing.T) {
+	hang := make(chan struct{})
+	defer close(hang)
+	srv := httptest.NewServer(sseHandler([]string{
+		"event: session.started\nid: 1\ndata: {\"seq\":1}\n\n",
+	}, hang))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(srv.URL, WithLearnerID("alice"))
+	stream, err := c.StreamExamLive(ctx, "e1", "7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	if _, err := stream.Next(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Next is now blocked on a silent connection; cancel must unblock it.
+	errs := make(chan error, 1)
+	go func() {
+		_, err := stream.Next()
+		errs <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let Next block in the read
+	cancel()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Next after cancel: %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("context cancellation did not unblock the stream read")
+	}
+}
+
+// TestStreamNotBoundByClientTimeout: the SDK's default 30s whole-request
+// timeout must not apply to streams — a stream outliving the configured
+// timeout keeps delivering.
+func TestStreamNotBoundByClientTimeout(t *testing.T) {
+	gate := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.(http.Flusher).Flush()
+		<-gate
+		fmt.Fprint(w, "event: session.finished\nid: 9\ndata: {\"seq\":9}\n\n")
+		w.(http.Flusher).Flush()
+	}))
+	defer srv.Close()
+
+	// A 50ms whole-request timeout would kill the stream before the frame
+	// arrives if it applied.
+	c := New(srv.URL, WithHTTPClient(&http.Client{Timeout: 50 * time.Millisecond}))
+	stream, err := c.StreamEvents(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	time.Sleep(120 * time.Millisecond)
+	close(gate)
+	f, err := stream.Next()
+	if err != nil {
+		t.Fatalf("frame after the client timeout horizon: %v", err)
+	}
+	if f.ID != "9" {
+		t.Fatalf("frame: %+v", f)
+	}
+}
+
+// TestStreamHeadersAndErrors: Last-Event-ID and X-Learner-ID reach the
+// server; non-2xx responses decode into APIError.
+func TestStreamHeadersAndErrors(t *testing.T) {
+	var gotLast, gotLearner string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotLast = r.Header.Get("Last-Event-ID")
+		gotLearner = r.Header.Get("X-Learner-ID")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"code":"EXAM_NOT_FOUND","message":"no such exam"}`)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithLearnerID("bob"))
+	_, err := c.StreamExamLive(context.Background(), "ghost", "42")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeExamNotFound {
+		t.Fatalf("error = %v, want APIError EXAM_NOT_FOUND", err)
+	}
+	if gotLast != "42" || gotLearner != "bob" {
+		t.Fatalf("headers: last=%q learner=%q", gotLast, gotLearner)
+	}
+}
