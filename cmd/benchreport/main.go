@@ -47,11 +47,19 @@ func run(args []string) error {
 	only := fs.String("experiment", "", "run a single experiment (e.g. E8)")
 	seed := fs.Int64("seed", 7, "seed for simulated experiments")
 	baseline := fs.String("baseline", "", "measure engine throughput and write a JSON baseline to this path")
+	hotpaths := fs.String("hotpaths", "", "measure the E23 hot paths and merge a hotpaths section into this baseline file")
+	checkPath := fs.String("check-allocs", "", "re-run the allocation probes and fail if any path regressed >20% over this baseline file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *baseline != "" {
 		return writeBaseline(*baseline)
+	}
+	if *hotpaths != "" {
+		return writeHotpaths(*hotpaths)
+	}
+	if *checkPath != "" {
+		return checkAllocs(*checkPath)
 	}
 	experiments := []experiment{
 		{"E1", "Table 1: problem attribute table", runE1},
@@ -76,6 +84,7 @@ func run(args []string) error {
 		{"E20", "live adaptive (CAT) delivery vs fixed form", runE20},
 		{"E21", "group-commit WAL: journaled write throughput and commit latency", runE21},
 		{"E22", "event bus: fan-out throughput and emitter overhead", runE22},
+		{"E23", "zero-allocation hot paths: WAL codec, pooled fan-out, CAT info grid", runE23},
 		{"A1", "ablation: group fraction 25% vs Kelly 27% vs 33%", runA1},
 		{"A2", "ablation: group D vs point-biserial", runA2},
 	}

@@ -12,9 +12,10 @@
 //
 //	examserver -bank bank.json -addr :8080 [-monitor 64]
 //	           [-backend sharded] [-shards 32] [-journal DIR] [-fsync group]
-//	           [-session-shards 32] [-drain 30s]
+//	           [-wal-codec json|binary] [-session-shards 32] [-drain 30s]
 //	           [-rate 50 -burst 100] [-quiet]
 //	           [-events] [-event-log DIR] [-event-ring 1024]
+//	           [-event-log-max-bytes N]
 //
 // With -events (the default) the server runs a live event bus: engines
 // publish session/adaptive lifecycle events, a streaming aggregator keeps
@@ -30,6 +31,15 @@
 // writes into one fsync before acknowledging them, "always" fsyncs every
 // record individually, and "none" trusts the OS page cache (process-crash
 // safe, but a power failure can lose recent acknowledged writes).
+// -wal-codec selects the record format for both the WAL and the durable
+// event log: "json" (default, one object per line) or "binary"
+// (length-prefixed CRC-checked frames — smaller records, cheaper encode).
+// Replay auto-detects the format per record, so either codec reopens logs
+// written by the other and mixed-format logs are fine; switching back and
+// forth needs no migration. -event-log-max-bytes bounds the durable event
+// log by rotating the active segment at the threshold (one rotated segment
+// is retained; resumes that fall off the retained tail get a stream.gap
+// marker instead of silently missing events).
 // -rate enables per-learner token-bucket rate limiting (requests/second,
 // 0 disables) with -burst capacity; -quiet suppresses per-request access
 // logging. On SIGINT/SIGTERM the server stops accepting connections and
@@ -84,10 +94,16 @@ func run(args []string) error {
 	eventsOn := fs.Bool("events", true, "live event bus + SSE streaming endpoints")
 	eventLog := fs.String("event-log", "", "durable event-log directory (empty = in-memory replay ring only; fsync policy follows -fsync)")
 	eventRing := fs.Int("event-ring", events.DefaultRing, "per-exam event replay-ring size (Last-Event-ID resume window)")
+	walCodec := fs.String("wal-codec", "", "WAL and event-log record format: json (default) or binary; either codec replays logs written by the other")
+	eventLogMax := fs.Int64("event-log-max-bytes", 0, "rotate the durable event log when the active segment reaches this size (0 = unbounded; one rotated segment is retained)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	syncPolicy, err := bank.ParseSyncPolicy(*fsync)
+	if err != nil {
+		return err
+	}
+	codec, err := bank.ParseCodec(*walCodec)
 	if err != nil {
 		return err
 	}
@@ -96,6 +112,7 @@ func run(args []string) error {
 		Shards:  *shards,
 		Journal: *journalDir,
 		Sync:    syncPolicy,
+		Codec:   codec,
 	})
 	if err != nil {
 		return err
@@ -109,7 +126,7 @@ func run(args []string) error {
 				log.Printf("examserver: journal close: %v", cerr)
 			}
 		}()
-		log.Printf("examserver: journaling mutations under %s (fsync=%s)", j.Dir(), j.Sync())
+		log.Printf("examserver: journaling mutations under %s (fsync=%s codec=%s)", j.Dir(), j.Sync(), j.Codec())
 	}
 	exams := store.ExamIDs()
 	if len(exams) == 0 {
@@ -136,11 +153,17 @@ func run(args []string) error {
 	if *eventsOn {
 		var evlog *events.Log
 		if *eventLog != "" {
-			evlog, err = events.OpenLog(*eventLog, syncPolicy)
+			// The event log shares the WAL's fsync policy and record codec —
+			// one durability/format story for both append-only logs.
+			evlog, err = events.OpenLogWith(*eventLog, events.LogOptions{
+				Sync:     syncPolicy,
+				Codec:    codec,
+				MaxBytes: *eventLogMax,
+			})
 			if err != nil {
 				return err
 			}
-			log.Printf("examserver: durable event log under %s (fsync=%s)", *eventLog, syncPolicy)
+			log.Printf("examserver: durable event log under %s (fsync=%s codec=%s)", *eventLog, syncPolicy, codec)
 		}
 		bus = events.NewBus(events.Options{Ring: *eventRing, Log: evlog})
 		live = livestats.New(bus)

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"mineassess/internal/item"
+	"mineassess/internal/walcodec"
 )
 
 // SyncPolicy selects when acknowledged WAL appends are forced to stable
@@ -115,13 +116,19 @@ type Journal struct {
 	walPath      string
 	compactEvery int
 
+	// codec selects the WAL record encoding for appends; replay always
+	// auto-detects per record, so it never constrains what can be read.
+	codec Codec
+
 	// mu is the ordering lock: it serializes backend apply + queue append
 	// (so WAL order always matches apply order) and guards the lifecycle
 	// flags and epoch. It is never held across file I/O.
 	mu         sync.Mutex
 	queue      []*pendingCommit
-	closed     bool  // Close called; no further mutations
-	poisoned   bool  // WAL can no longer be trusted; see commitBatch
+	closed     bool // Close called; no further mutations
+	poisoned   bool // WAL can no longer be trusted; see commitBatch
+	paused     bool // compaction is stalling writers; see compactCommitter
+	pauseCond  *sync.Cond
 	epoch      int64 // counts compactions; see the epoch comment below
 	compactErr error // last automatic-compaction failure (see CompactError)
 
@@ -195,10 +202,30 @@ func OpenJournal(dir string, backend Storage, compactEvery int) (*Journal, error
 // OpenJournalSync is OpenJournal with an explicit SyncPolicy (empty means
 // SyncGroup).
 func OpenJournalSync(dir string, backend Storage, compactEvery int, policy SyncPolicy) (*Journal, error) {
-	policy, err := ParseSyncPolicy(string(policy))
+	return OpenJournalWith(dir, backend, JournalOptions{CompactEvery: compactEvery, Sync: policy})
+}
+
+// JournalOptions configures OpenJournalWith; zero values mean the defaults
+// (DefaultCompactEvery, SyncGroup, CodecJSON).
+type JournalOptions struct {
+	CompactEvery int
+	Sync         SyncPolicy
+	Codec        Codec
+}
+
+// OpenJournalWith is OpenJournal with explicit sync and codec options. The
+// codec governs appended records only: replay detects JSON lines and binary
+// frames per record, so a WAL written under either codec reopens under any.
+func OpenJournalWith(dir string, backend Storage, opts JournalOptions) (*Journal, error) {
+	policy, err := ParseSyncPolicy(string(opts.Sync))
 	if err != nil {
 		return nil, err
 	}
+	codec, err := ParseCodec(string(opts.Codec))
+	if err != nil {
+		return nil, err
+	}
+	compactEvery := opts.CompactEvery
 	if backend == nil {
 		backend = New()
 	}
@@ -216,6 +243,7 @@ func OpenJournalSync(dir string, backend Storage, compactEvery int, policy SyncP
 	j := &Journal{
 		backend:       backend,
 		policy:        policy,
+		codec:         codec,
 		dir:           dir,
 		snapshotPath:  snapshotPath,
 		walPath:       walPath,
@@ -225,6 +253,7 @@ func OpenJournalSync(dir string, backend Storage, compactEvery int, policy SyncP
 		quit:          make(chan struct{}),
 		committerDone: make(chan struct{}),
 	}
+	j.pauseCond = sync.NewCond(&j.mu)
 	if _, err := os.Stat(snapshotPath); err == nil {
 		snap, err := readSnapshotFile(snapshotPath)
 		if err != nil {
@@ -272,11 +301,13 @@ func OpenJournalSync(dir string, backend Storage, compactEvery int, policy SyncP
 	return j, nil
 }
 
-// replayWAL applies every complete record in the WAL to the backend. A
-// truncated trailing line (torn write on crash) ends the replay without
-// error; everything before it is recovered. It returns the record count and
-// the byte offset of the end of the last complete record (-1 when the WAL
-// does not exist) so the caller can truncate a torn tail.
+// replayWAL applies every complete record in the WAL to the backend. The
+// format is detected per record (JSON line or binary frame), so the replay
+// is independent of the journal's configured codec. A truncated trailing
+// record (torn write on crash) ends the replay without error; everything
+// before it is recovered. It returns the record count and the byte offset of
+// the end of the last complete record (-1 when the WAL does not exist) so
+// the caller can truncate a torn tail.
 func (j *Journal) replayWAL() (records int, validBytes int64, err error) {
 	f, err := os.Open(j.walPath)
 	if errors.Is(err, os.ErrNotExist) {
@@ -290,17 +321,22 @@ func (j *Journal) replayWAL() (records int, validBytes int64, err error) {
 	var offset int64
 	r := bufio.NewReader(f)
 	for {
-		line, err := r.ReadBytes('\n')
+		raw, isJSON, size, err := walcodec.NextRecord(r)
+		if errors.Is(err, io.EOF) || errors.Is(err, walcodec.ErrTorn) {
+			return n, offset, nil // torn final record: drop it
+		}
 		if err != nil {
-			// io.EOF with a partial line = torn final record: drop it.
-			if errors.Is(err, io.EOF) {
-				return n, offset, nil
-			}
-			return n, offset, fmt.Errorf("bank: read wal: %w", err)
+			return n, offset, fmt.Errorf("bank: read wal record %d: %w", n+1, err)
 		}
 		var rec walRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			return n, offset, fmt.Errorf("bank: wal record %d: %w", n+1, err)
+		if isJSON {
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return n, offset, fmt.Errorf("bank: wal record %d: %w", n+1, err)
+			}
+		} else {
+			if rec, err = decodeWALBinary(raw); err != nil {
+				return n, offset, fmt.Errorf("bank: wal record %d: %w", n+1, err)
+			}
 		}
 		// A record from an older epoch is already folded into the snapshot
 		// (crash between snapshot rename and WAL truncation): skip it
@@ -310,7 +346,7 @@ func (j *Journal) replayWAL() (records int, validBytes int64, err error) {
 				return n, offset, fmt.Errorf("bank: replay wal record %d: %w", n+1, err)
 			}
 		}
-		offset += int64(len(line))
+		offset += size
 		n++
 	}
 }
@@ -402,6 +438,12 @@ func ignoreRedo(err, redo error) error {
 // operations. apply returns the record to journal.
 func (j *Journal) mutate(apply func() (walRecord, error)) error {
 	j.mu.Lock()
+	// A compaction that could not observe an empty queue stalls new
+	// mutations for the length of one backend scan (see compactCommitter);
+	// Wait releases the lock, so stalled writers cost nothing.
+	for j.paused && !j.closed && !j.poisoned {
+		j.pauseCond.Wait()
+	}
 	if j.closed || j.poisoned {
 		j.mu.Unlock()
 		return errJournalClosed
@@ -417,11 +459,15 @@ func (j *Journal) mutate(apply func() (walRecord, error)) error {
 	j.mu.Unlock()
 
 	j.kickCommitter()
-	raw, merr := json.Marshal(rec)
-	if merr != nil {
-		p.marshalErr = merr
+	if j.codec == CodecBinary {
+		p.payload, p.marshalErr = encodeWALBinary(nil, &rec)
 	} else {
-		p.payload = append(raw, '\n')
+		raw, merr := json.Marshal(rec)
+		if merr != nil {
+			p.marshalErr = merr
+		} else {
+			p.payload = append(raw, '\n')
+		}
 	}
 	close(p.ready)
 	<-p.done
@@ -562,6 +608,7 @@ func (j *Journal) poisonBatch(batch []*pendingCommit, err error) {
 	j.mu.Lock()
 	already := j.poisoned
 	j.poisoned = true
+	j.pauseCond.Broadcast()
 	j.mu.Unlock()
 	if !already {
 		_ = j.wal.Close()
@@ -655,26 +702,40 @@ func (j *Journal) compactCommitter() error {
 	// would durably resurrect a mutation whose caller was told it failed.
 	// Draining first and re-checking under the lock closes that window —
 	// with the queue empty, every applied mutation is already in the WAL.
+	//
+	// Saturated writers can refill the queue faster than drainQueue empties
+	// it, starving the scan (and growing the WAL) indefinitely. After a few
+	// optimistic passes the loop sets paused, which parks new mutations on
+	// pauseCond before they can apply or enqueue; one more drain then
+	// provably empties the queue, the scan runs, and the broadcast releases
+	// the writers. The stall spans only the in-memory backend scan, never
+	// the snapshot file I/O below.
 	var snap *snapshot
-	for {
+	for attempt := 0; ; attempt++ {
 		j.drainQueue()
 		j.mu.Lock()
 		if j.poisoned {
+			j.unpauseLocked()
 			j.mu.Unlock()
 			return errJournalClosed
 		}
 		if len(j.queue) != 0 {
+			if attempt+1 >= compactStallAfter {
+				j.paused = true
+			}
 			j.mu.Unlock()
 			continue
 		}
 		var err error
 		snap, err = buildSnapshot(j.backend)
 		if err != nil {
+			j.unpauseLocked()
 			j.mu.Unlock()
 			return err
 		}
 		j.epoch++
 		snap.WalEpoch = j.epoch
+		j.unpauseLocked()
 		j.mu.Unlock()
 		break
 	}
@@ -699,11 +760,24 @@ func (j *Journal) compactCommitter() error {
 	return nil
 }
 
+// compactStallAfter is the number of optimistic drain-and-check passes a
+// compaction makes before stalling writers to guarantee progress.
+const compactStallAfter = 3
+
+// unpauseLocked releases writers stalled by a compaction. Callers hold mu.
+func (j *Journal) unpauseLocked() {
+	if j.paused {
+		j.paused = false
+		j.pauseCond.Broadcast()
+	}
+}
+
 // markPoisoned flags the journal unusable without touching the WAL handle
 // (rotation failures have already lost it).
 func (j *Journal) markPoisoned() {
 	j.mu.Lock()
 	j.poisoned = true
+	j.pauseCond.Broadcast()
 	j.mu.Unlock()
 }
 
@@ -720,6 +794,7 @@ func (j *Journal) Close() error {
 	j.mu.Lock()
 	wasClosed := j.closed
 	j.closed = true
+	j.pauseCond.Broadcast()
 	j.mu.Unlock()
 	j.stopCommitter()
 	if wasClosed {
@@ -744,6 +819,9 @@ func (j *Journal) Dir() string { return j.dir }
 
 // Sync reports the journal's sync policy.
 func (j *Journal) Sync() SyncPolicy { return j.policy }
+
+// Codec reports the journal's append codec.
+func (j *Journal) Codec() Codec { return j.codec }
 
 // Mutations: backend apply + commit-queue submit under the ordering lock,
 // durable acknowledgment via the committer (see mutate).

@@ -284,6 +284,11 @@ type Options struct {
 	// Sync selects the journal's WAL sync policy (SyncAlways, SyncGroup or
 	// SyncNone); empty means SyncGroup. Ignored without a journal.
 	Sync SyncPolicy
+	// Codec selects the journal's WAL record encoding (CodecJSON or
+	// CodecBinary); empty means CodecJSON. Replay auto-detects the format
+	// per record, so an existing WAL opens under either setting. Ignored
+	// without a journal.
+	Codec Codec
 }
 
 // Open builds a Storage from options. When journaling is enabled the
@@ -340,7 +345,11 @@ func Open(path string, o Options) (Storage, error) {
 			return nil, err
 		}
 	}
-	return OpenJournalSync(o.Journal, backend, o.CompactEvery, o.Sync)
+	return OpenJournalWith(o.Journal, backend, JournalOptions{
+		CompactEvery: o.CompactEvery,
+		Sync:         o.Sync,
+		Codec:        o.Codec,
+	})
 }
 
 // journalPaths returns the snapshot and WAL file paths inside dir.

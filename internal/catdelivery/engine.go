@@ -146,6 +146,10 @@ type Session struct {
 	problems  map[string]*item.Problem
 	responses []adaptive.ResponseRecord
 	pending   *item.Problem
+	// grid is the exam's shared precomputed information table, rows aligned
+	// with pool. Snapshotted at start like pool itself; sessions never see a
+	// mid-test recalibration.
+	grid *adaptive.InfoGrid
 }
 
 // ItemView is the learner-facing projection of the pending item: question
@@ -283,6 +287,12 @@ type Engine struct {
 	expoMu   sync.Mutex
 	exposure map[string]*examExposure
 
+	// gridMu guards grids, the per-exam cache of precomputed information
+	// tables. Entries are fingerprinted by the pool's IRT parameters and
+	// rebuilt when they change (recalibration, authoring edits).
+	gridMu sync.Mutex
+	grids  map[string]*examGrid
+
 	// recalMu serializes Recalibrate's read-modify-write of an exam
 	// record so two concurrent passes cannot overwrite each other.
 	recalMu sync.Mutex
@@ -307,6 +317,7 @@ func NewEngine(store bank.Storage, now func() time.Time, monitorCapacity int) (*
 		now:      now,
 		log:      NewResponseLog(),
 		exposure: make(map[string]*examExposure),
+		grids:    make(map[string]*examGrid),
 	}
 	for _, id := range store.AdaptiveSessionIDs() {
 		rec, err := store.AdaptiveSession(id)
@@ -437,6 +448,7 @@ func (e *Engine) Start(examID, studentID string, cfg Config, seed int64) (*Sessi
 		rec:       rec,
 		pool:      pool,
 		problems:  problems,
+		grid:      e.gridFor(examID, pool),
 	}
 	e.trackStart(examID)
 	first := e.selectNext(s, 0)
@@ -509,6 +521,48 @@ func (e *Engine) ExposureRates(examID string) (map[string]float64, error) {
 	return out, nil
 }
 
+// examGrid is one cached information table plus the pool-parameter
+// fingerprint it was built from.
+type examGrid struct {
+	params []simulate.IRTParams
+	grid   *adaptive.InfoGrid
+}
+
+// gridFor returns the exam's shared information grid, building (or
+// rebuilding, when the pool's parameters changed since it was cached) on
+// demand. Rows align with pool order.
+func (e *Engine) gridFor(examID string, pool []adaptive.PoolItem) *adaptive.InfoGrid {
+	e.gridMu.Lock()
+	defer e.gridMu.Unlock()
+	if c := e.grids[examID]; c != nil && len(c.params) == len(pool) {
+		match := true
+		for i, it := range pool {
+			if c.params[i] != it.Params {
+				match = false
+				break
+			}
+		}
+		if match {
+			return c.grid
+		}
+	}
+	params := make([]simulate.IRTParams, len(pool))
+	for i, it := range pool {
+		params[i] = it.Params
+	}
+	c := &examGrid{params: params, grid: adaptive.NewDefaultInfoGrid(pool)}
+	e.grids[examID] = c
+	return c.grid
+}
+
+// invalidateGrid drops an exam's cached information table; the next session
+// start rebuilds it from the updated parameters.
+func (e *Engine) invalidateGrid(examID string) {
+	e.gridMu.Lock()
+	delete(e.grids, examID)
+	e.gridMu.Unlock()
+}
+
 // selectNext picks the next item for the session, honouring the exposure
 // cap. Callers hold s.mu (or own the session exclusively, as Start does).
 // Returns nil when the pool is exhausted.
@@ -517,67 +571,95 @@ func (e *Engine) selectNext(s *Session, theta float64) *item.Problem {
 	for _, id := range s.rec.Administered {
 		used[id] = true
 	}
-	remaining := make([]adaptive.PoolItem, 0, len(s.pool))
-	for _, it := range s.pool {
+	rows := make([]int, 0, len(s.pool))
+	for i, it := range s.pool {
 		if !used[it.ID] {
-			remaining = append(remaining, it)
+			rows = append(rows, i)
 		}
 	}
-	if len(remaining) == 0 {
+	if len(rows) == 0 {
 		return nil
 	}
-	candidates := remaining
+	candidates := rows
 	if s.rec.MaxExposure > 0 {
-		if open := e.underCap(s.ExamID, remaining, s.rec.MaxExposure); len(open) > 0 {
+		if open := e.underCap(s.ExamID, s.pool, rows, s.rec.MaxExposure); len(open) > 0 {
 			candidates = open
 		} else {
-			candidates = []adaptive.PoolItem{e.leastExposed(s.ExamID, remaining)}
+			candidates = []int{e.leastExposed(s.ExamID, s.pool, rows)}
 		}
 	}
 	// Deterministic per-step RNG: the seed and administration count fully
 	// determine the draw, so a restarted session re-selects identically.
 	step := int64(len(s.rec.Administered) + 1)
 	rng := rand.New(rand.NewSource(s.rec.Seed + step*0x9E3779B9))
-	cfg := Config{Selector: s.rec.Selector, RandomesqueK: s.rec.RandomesqueK}
-	idx := cfg.selector()(rng, candidates, theta)
-	chosen := candidates[idx]
+	chosen := s.pool[e.pickRow(s, rng, candidates, theta)]
 	e.trackAdministration(s.ExamID, chosen.ID)
 	return s.problems[chosen.ID]
 }
 
-// underCap filters items whose administration rate is below the exposure
-// limit.
-func (e *Engine) underCap(examID string, items []adaptive.PoolItem, limit float64) []adaptive.PoolItem {
+// pickRow applies the session's selection rule over candidate pool rows.
+// The information-driven rules scan the precomputed grid — a flat array
+// walk instead of pool-size 3PL evaluations per step — and fall back to the
+// exact selectors when the session has no grid.
+func (e *Engine) pickRow(s *Session, rng *rand.Rand, candidates []int, theta float64) int {
+	switch s.rec.Selector {
+	case SelectorRandom:
+		// Same draw the exact RandomSelection selector would make.
+		return candidates[rng.Intn(len(candidates))]
+	case SelectorRandomesque:
+		if s.grid != nil {
+			k := s.rec.RandomesqueK
+			if k <= 0 {
+				k = DefaultRandomesqueK
+			}
+			return s.grid.TopK(rng, candidates, k, theta)
+		}
+	default:
+		if s.grid != nil {
+			return s.grid.ArgMax(candidates, theta)
+		}
+	}
+	items := make([]adaptive.PoolItem, len(candidates))
+	for i, row := range candidates {
+		items[i] = s.pool[row]
+	}
+	cfg := Config{Selector: s.rec.Selector, RandomesqueK: s.rec.RandomesqueK}
+	return candidates[cfg.selector()(rng, items, theta)]
+}
+
+// underCap filters candidate pool rows whose administration rate is below
+// the exposure limit.
+func (e *Engine) underCap(examID string, pool []adaptive.PoolItem, rows []int, limit float64) []int {
 	e.expoMu.Lock()
 	defer e.expoMu.Unlock()
 	ex := e.exposure[examID]
 	if ex == nil || ex.starts == 0 {
-		return items
+		return rows
 	}
-	out := make([]adaptive.PoolItem, 0, len(items))
-	for _, it := range items {
-		if float64(ex.counts[it.ID])/float64(ex.starts) < limit {
-			out = append(out, it)
+	out := make([]int, 0, len(rows))
+	for _, row := range rows {
+		if float64(ex.counts[pool[row].ID])/float64(ex.starts) < limit {
+			out = append(out, row)
 		}
 	}
 	return out
 }
 
-// leastExposed returns the item with the lowest administration count,
-// breaking ties by ID for determinism.
-func (e *Engine) leastExposed(examID string, items []adaptive.PoolItem) adaptive.PoolItem {
+// leastExposed returns the candidate pool row with the lowest administration
+// count, breaking ties by ID for determinism.
+func (e *Engine) leastExposed(examID string, pool []adaptive.PoolItem, rows []int) int {
 	e.expoMu.Lock()
 	defer e.expoMu.Unlock()
 	ex := e.exposure[examID]
-	best := items[0]
+	best := rows[0]
 	bestCount := -1
-	for _, it := range items {
+	for _, row := range rows {
 		c := 0
 		if ex != nil {
-			c = ex.counts[it.ID]
+			c = ex.counts[pool[row].ID]
 		}
-		if bestCount == -1 || c < bestCount || (c == bestCount && it.ID < best.ID) {
-			best, bestCount = it, c
+		if bestCount == -1 || c < bestCount || (c == bestCount && pool[row].ID < pool[best].ID) {
+			best, bestCount = row, c
 		}
 	}
 	return best
@@ -855,6 +937,7 @@ func (e *Engine) restore(rec *bank.AdaptiveSessionRecord) error {
 			return err
 		}
 		s.pool, s.problems = pool, problems
+		s.grid = e.gridFor(rec.ExamID, pool)
 		byID := make(map[string]adaptive.PoolItem, len(pool))
 		for _, it := range pool {
 			byID[it.ID] = it

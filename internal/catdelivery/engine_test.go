@@ -788,3 +788,65 @@ func TestPurgeForgetsMonitor(t *testing.T) {
 		t.Errorf("monitor retained capture counter %d after purge", got)
 	}
 }
+
+// TestInfoGridCacheSharedAndInvalidated: sessions on one exam share a single
+// precomputed information table; a parameter change (what Recalibrate
+// persists) rebuilds it — via explicit invalidation or the parameter
+// fingerprint alone.
+func TestInfoGridCacheSharedAndInvalidated(t *testing.T) {
+	store := bank.NewSharded(4)
+	calibratedExam(t, store, "gx", 40, 1.2, 2.5)
+	e, err := NewEngine(store, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _, err := e.Start("gx", "stu1", Config{MaxItems: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := e.Start("gx", "stu2", Config{MaxItems: 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.grid == nil || s1.grid != s2.grid {
+		t.Fatal("sessions on one exam must share the cached information grid")
+	}
+	if got := e.gridFor("gx", s1.pool); got != s1.grid {
+		t.Fatal("gridFor rebuilt despite an unchanged pool fingerprint")
+	}
+
+	// A recalibration-style parameter change must yield a fresh grid.
+	rec, err := store.Exam("gx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rec.ItemParams["gx-q001"]
+	p.B += 0.5
+	rec.ItemParams["gx-q001"] = p
+	if err := store.UpdateExam(rec); err != nil {
+		t.Fatal(err)
+	}
+	e.invalidateGrid("gx")
+	pool, _, err := e.loadPool(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := e.gridFor("gx", pool)
+	if fresh == s1.grid {
+		t.Fatal("stale grid served after invalidation")
+	}
+	// Fingerprint alone also catches staleness (no explicit invalidation).
+	p.B += 0.5
+	rec.ItemParams["gx-q001"] = p
+	pool2, _, err := e.loadPool(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.gridFor("gx", pool2) == fresh {
+		t.Fatal("fingerprint mismatch did not rebuild the grid")
+	}
+	// In-flight sessions keep their start-time snapshot.
+	if s1.grid == fresh {
+		t.Fatal("running session's grid must not change mid-test")
+	}
+}

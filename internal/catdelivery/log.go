@@ -185,6 +185,10 @@ func (e *Engine) Recalibrate(examID string, minObs int) (*adaptive.PoolCalibrati
 		if err := e.store.UpdateExam(rec); err != nil {
 			return nil, err
 		}
+		// The cached information table is now stale; new sessions rebuild it
+		// from the refit parameters. (In-flight sessions keep their start-time
+		// pool snapshot, grid included.)
+		e.invalidateGrid(examID)
 	}
 	return cal, nil
 }

@@ -26,6 +26,7 @@
 package events
 
 import (
+	"encoding/json"
 	"sync"
 	"time"
 )
@@ -87,6 +88,39 @@ type Event struct {
 	// Dropped is the number of events discarded before this TypeGap marker.
 	Dropped int       `json:"dropped,omitempty"`
 	At      time.Time `json:"at,omitempty"`
+
+	// enc caches the JSON encoding, shared by every copy of a published
+	// event (rings, subscriber queues, the durable log). Unexported, so
+	// encoding/json skips it. See AppendJSON.
+	enc *encodedEvent
+}
+
+// encodedEvent is the shared marshal-once cell attached by Publish: however
+// many subscribers, SSE frames and durable-log appends consume an event, its
+// JSON encoding is computed at most once.
+type encodedEvent struct {
+	once sync.Once
+	data []byte
+	err  error
+}
+
+// AppendJSON appends the event's JSON encoding to dst. Published events
+// carry a shared cache, so concurrent consumers (64 SSE connections, the log
+// writer) all reuse one encoding; synthetic events without the cache (gap
+// markers built per subscription) marshal directly.
+func (e *Event) AppendJSON(dst []byte) ([]byte, error) {
+	if e.enc == nil {
+		raw, err := json.Marshal(e)
+		if err != nil {
+			return dst, err
+		}
+		return append(dst, raw...), nil
+	}
+	e.enc.once.Do(func() { e.enc.data, e.enc.err = json.Marshal(e) })
+	if e.enc.err != nil {
+		return dst, e.enc.err
+	}
+	return append(dst, e.enc.data...), nil
 }
 
 // DefaultRing is the per-exam (and global) replay-ring capacity when
@@ -180,6 +214,10 @@ func (b *Bus) Publish(e Event) {
 	if e.At.IsZero() {
 		e.At = b.now()
 	}
+	// Attach the shared marshal-once cell before any copy is made: the ring
+	// entries, every subscriber's queued copy and the log's queued copy all
+	// alias it, so the whole fan-out costs one json.Marshal.
+	e.enc = &encodedEvent{}
 	if b.ringCap > 0 {
 		r := b.rings[e.ExamID]
 		if r == nil {
@@ -415,6 +453,7 @@ type Subscription struct {
 	queue   []Event
 	dropped int // dropped since the pump last drained
 	max     int
+	free    []Event // drained backing array, recycled by the pump's next swap
 
 	notify   chan struct{} // cap 1: queue became non-empty
 	done     chan struct{}
@@ -476,8 +515,12 @@ func (s *Subscription) pump() {
 		for {
 			s.mu.Lock()
 			batch, dropped := s.queue, s.dropped
-			s.queue, s.dropped = nil, 0
+			// Double-buffer: the previous batch's backing array (fully
+			// delivered by the time this swap runs) becomes the new queue,
+			// so steady-state delivery recycles two arrays, allocating none.
+			s.queue, s.dropped = s.free[:0], 0
 			s.mu.Unlock()
+			s.free = batch
 			if dropped > 0 {
 				gap := Event{Type: TypeGap, ExamID: s.examID, Dropped: dropped}
 				select {

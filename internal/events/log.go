@@ -12,23 +12,38 @@ import (
 	"sync/atomic"
 
 	"mineassess/internal/bank"
+	"mineassess/internal/walcodec"
 )
 
-// Log is the optional durable side of the bus: an append-only JSONL file of
-// every published event, written off the publish path by a dedicated writer
+// Log is the optional durable side of the bus: an append-only log of every
+// published event, written off the publish path by a dedicated writer
 // goroutine. It reuses the bank WAL's durability machinery — the same
 // bank.SyncPolicy vocabulary (always / group / none), group-commit batching
 // of concurrent appends into one write plus one fsync, and torn-tail
 // truncation on open — so an event acknowledged into the log under
 // always/group survives power loss exactly like a journaled bank mutation.
+// Records are JSON lines by default or framed binary records under
+// LogOptions.Codec; replay auto-detects the format per record, so a log may
+// freely mix both across codec changes.
 //
 // The log exists for replay: a subscriber reconnecting with a Last-Event-ID
 // older than the in-memory replay ring reads the missed events back from
 // here, including across process restarts (Open restores the sequence
 // counters so the bus keeps numbering where it left off).
+//
+// With LogOptions.MaxBytes set the log is bounded: when the active segment
+// exceeds the limit it is rotated to a single ".1" predecessor segment
+// (replacing the previous one), so retention is between one and two segments
+// of history. Resume within retention still works — ReadSince reads the
+// predecessor then the active segment — and a resume that falls off the
+// retained tail is announced by the bus as a stream.gap, never silently
+// skipped.
 type Log struct {
+	dir    string
 	path   string
 	policy bank.SyncPolicy
+	codec  bank.Codec
+	max    int64 // rotation threshold; 0 = unbounded
 
 	// Restored on Open; read by NewBus to seed the counters.
 	examSeqs  map[string]uint64
@@ -40,6 +55,7 @@ type Log struct {
 
 	mu   sync.Mutex
 	file *os.File
+	size int64 // bytes in the active segment
 	err  error // first write/sync failure; the log stops appending after it
 }
 
@@ -49,11 +65,35 @@ type Log struct {
 // durable log only — live subscribers still receive them.
 const logQueueCap = 8192
 
-// OpenLog opens (or creates) the event log in dir. Existing events are
-// scanned to restore the sequence counters; a torn final line (crash during
-// append) is truncated away so later appends cannot corrupt the file.
+// LogOptions configures OpenLogWith.
+type LogOptions struct {
+	// Sync is the fsync policy (bank vocabulary); empty means SyncGroup's
+	// parse default via bank.ParseSyncPolicy.
+	Sync bank.SyncPolicy
+	// Codec selects the on-disk record format for new appends; empty means
+	// bank.CodecJSON. Replay auto-detects per record either way.
+	Codec bank.Codec
+	// MaxBytes bounds the active segment; past it the segment rotates to a
+	// ".1" predecessor (replacing the previous one). 0 means unbounded.
+	MaxBytes int64
+}
+
+// OpenLog opens (or creates) the event log in dir with the JSON codec and no
+// size bound. See OpenLogWith.
 func OpenLog(dir string, policy bank.SyncPolicy) (*Log, error) {
-	policy, err := bank.ParseSyncPolicy(string(policy))
+	return OpenLogWith(dir, LogOptions{Sync: policy})
+}
+
+// OpenLogWith opens (or creates) the event log in dir. Existing events —
+// predecessor segment first, then the active one — are scanned to restore
+// the sequence counters; a torn final record (crash during append) on the
+// active segment is truncated away so later appends cannot corrupt the file.
+func OpenLogWith(dir string, opts LogOptions) (*Log, error) {
+	policy, err := bank.ParseSyncPolicy(string(opts.Sync))
+	if err != nil {
+		return nil, err
+	}
+	codec, err := bank.ParseCodec(string(opts.Codec))
 	if err != nil {
 		return nil, err
 	}
@@ -61,13 +101,21 @@ func OpenLog(dir string, policy bank.SyncPolicy) (*Log, error) {
 		return nil, fmt.Errorf("events: log dir %s: %w", dir, err)
 	}
 	l := &Log{
+		dir:      dir,
 		path:     filepath.Join(dir, "events.log"),
 		policy:   policy,
+		codec:    codec,
+		max:      opts.MaxBytes,
 		examSeqs: make(map[string]uint64),
 		ch:       make(chan Event, logQueueCap),
 		done:     make(chan struct{}),
 	}
-	validBytes, err := l.scan()
+	// The predecessor segment is immutable history: scan it for counters
+	// only (a torn tail there, while unexpected, just ends its scan).
+	if _, err := l.scanFile(l.prevPath()); err != nil {
+		return nil, err
+	}
+	validBytes, err := l.scanFile(l.path)
 	if err != nil {
 		return nil, err
 	}
@@ -75,6 +123,7 @@ func OpenLog(dir string, policy bank.SyncPolicy) (*Log, error) {
 		if err := os.Truncate(l.path, validBytes); err != nil {
 			return nil, fmt.Errorf("events: truncate torn log: %w", err)
 		}
+		l.size = validBytes
 	}
 	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -91,11 +140,14 @@ func OpenLog(dir string, policy bank.SyncPolicy) (*Log, error) {
 	return l, nil
 }
 
-// scan restores sequence counters from the existing log and returns the
-// byte offset of the last complete record (-1 when the file does not
-// exist).
-func (l *Log) scan() (int64, error) {
-	f, err := os.Open(l.path)
+func (l *Log) prevPath() string { return l.path + ".1" }
+
+// scanFile restores sequence counters from one log segment and returns the
+// byte offset of the last complete record (-1 when the file does not exist).
+// A torn final record ends the scan cleanly; a corrupt record mid-file
+// (CRC mismatch, bad frame, bad JSON) fails the open.
+func (l *Log) scanFile(path string) (int64, error) {
+	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return -1, nil
 	}
@@ -106,16 +158,12 @@ func (l *Log) scan() (int64, error) {
 	var offset int64
 	r := bufio.NewReader(f)
 	for {
-		line, err := r.ReadBytes('\n')
+		e, size, err := nextEvent(r)
 		if err != nil {
-			if errors.Is(err, io.EOF) {
-				return offset, nil // partial trailing line = torn append
+			if errors.Is(err, io.EOF) || errors.Is(err, walcodec.ErrTorn) {
+				return offset, nil
 			}
-			return offset, fmt.Errorf("events: read log: %w", err)
-		}
-		var e Event
-		if err := json.Unmarshal(line, &e); err != nil {
-			return offset, fmt.Errorf("events: log record at byte %d: %w", offset, err)
+			return offset, fmt.Errorf("events: log record at byte %d of %s: %w", offset, path, err)
 		}
 		if e.Seq > l.examSeqs[e.ExamID] {
 			l.examSeqs[e.ExamID] = e.Seq
@@ -123,8 +171,26 @@ func (l *Log) scan() (int64, error) {
 		if e.GlobalSeq > l.globalSeq {
 			l.globalSeq = e.GlobalSeq
 		}
-		offset += int64(len(line))
+		offset += size
 	}
+}
+
+// nextEvent reads one record in either format — JSON line or binary frame —
+// from r, returning the decoded event and the record's on-disk size.
+func nextEvent(r *bufio.Reader) (Event, int64, error) {
+	payload, isJSON, size, err := walcodec.NextRecord(r)
+	if err != nil {
+		return Event{}, 0, err
+	}
+	var e Event
+	if isJSON {
+		if err := json.Unmarshal(payload, &e); err != nil {
+			return Event{}, 0, err
+		}
+		return e, size, nil
+	}
+	e, err = decodeEventBinary(payload)
+	return e, size, err
 }
 
 // enqueue hands an event to the writer without blocking. Called by the bus
@@ -181,14 +247,19 @@ func (l *Log) writeBatch(batch []Event) {
 		return
 	}
 	var buf []byte
-	for _, e := range batch {
-		raw, err := json.Marshal(e)
-		if err != nil {
-			l.err = fmt.Errorf("events: marshal event: %w", err)
-			return
+	for i := range batch {
+		if l.codec == bank.CodecBinary {
+			buf = encodeEventBinary(buf, &batch[i])
+		} else {
+			var err error
+			// Shares the publish-time encoding with the SSE fan-out.
+			buf, err = batch[i].AppendJSON(buf)
+			if err != nil {
+				l.err = fmt.Errorf("events: marshal event: %w", err)
+				return
+			}
+			buf = append(buf, '\n')
 		}
-		buf = append(buf, raw...)
-		buf = append(buf, '\n')
 		if l.policy == bank.SyncAlways {
 			if l.err = l.flush(buf); l.err != nil {
 				return
@@ -199,11 +270,16 @@ func (l *Log) writeBatch(batch []Event) {
 	if len(buf) > 0 {
 		l.err = l.flush(buf)
 	}
+	if l.err == nil && l.max > 0 && l.size >= l.max {
+		l.err = l.rotate()
+	}
 }
 
 // flush writes one chunk and fsyncs it per policy. Callers hold l.mu.
 func (l *Log) flush(buf []byte) error {
-	if _, err := l.file.Write(buf); err != nil {
+	n, err := l.file.Write(buf)
+	l.size += int64(n)
+	if err != nil {
 		return fmt.Errorf("events: append log: %w", err)
 	}
 	if l.policy != bank.SyncNone {
@@ -214,37 +290,70 @@ func (l *Log) flush(buf []byte) error {
 	return nil
 }
 
+// rotate retires the active segment to the ".1" predecessor (dropping the
+// previous predecessor, which bounds the log to at most two segments) and
+// starts a fresh one. Runs between batches, never mid-record; callers hold
+// l.mu, so concurrent ReadSince opens either the old or the new layout,
+// both of which are complete.
+func (l *Log) rotate() error {
+	if l.policy == bank.SyncNone {
+		// Under always/group the batch flush above already synced; make the
+		// segment's bytes durable before the rename retires it.
+		if err := l.file.Sync(); err != nil {
+			return fmt.Errorf("events: sync before rotate: %w", err)
+		}
+	}
+	if err := l.file.Close(); err != nil {
+		return fmt.Errorf("events: close before rotate: %w", err)
+	}
+	if err := os.Rename(l.path, l.prevPath()); err != nil {
+		return fmt.Errorf("events: rotate log: %w", err)
+	}
+	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("events: open rotated log: %w", err)
+	}
+	if err := bank.SyncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.file = f
+	l.size = 0
+	return nil
+}
+
 // ReadSince returns logged events newer than afterSeq, oldest first —
 // filtered to one exam's Seq when examID is set, by GlobalSeq otherwise.
-// It reads a private handle, so it is safe concurrently with appends; a
-// torn final line ends the read. Events still queued for the writer are
-// not visible here — the bus's replay ring covers them, and when the ring
-// is disabled or too small, Subscribe announces the shortfall as a gap.
+// It reads private handles (predecessor segment, then the active one), so it
+// is safe concurrently with appends; a torn final record ends the read.
+// Events still queued for the writer are not visible here — the bus's replay
+// ring covers them, and when the ring is disabled or too small, Subscribe
+// announces the shortfall as a gap. Likewise events rotated out of retention
+// are gone; a resume from before the retained tail starts with a gap marker.
 func (l *Log) ReadSince(examID string, afterSeq uint64) []Event {
-	f, err := os.Open(l.path)
-	if err != nil {
-		return nil
-	}
-	defer f.Close()
 	var out []Event
-	r := bufio.NewReader(f)
-	for {
-		line, err := r.ReadBytes('\n')
+	for _, path := range []string{l.prevPath(), l.path} {
+		f, err := os.Open(path)
 		if err != nil {
-			return out
+			continue
 		}
-		var e Event
-		if err := json.Unmarshal(line, &e); err != nil {
-			return out
-		}
-		if examID != "" {
-			if e.ExamID == examID && e.Seq > afterSeq {
+		r := bufio.NewReader(f)
+		for {
+			e, _, err := nextEvent(r)
+			if err != nil {
+				break
+			}
+			if examID != "" {
+				if e.ExamID == examID && e.Seq > afterSeq {
+					out = append(out, e)
+				}
+			} else if e.GlobalSeq > afterSeq {
 				out = append(out, e)
 			}
-		} else if e.GlobalSeq > afterSeq {
-			out = append(out, e)
 		}
+		f.Close()
 	}
+	return out
 }
 
 // Close flushes queued events and releases the file. The caller must

@@ -77,7 +77,12 @@ func (s *Server) handleAdaptivePurge(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, PurgeAdaptiveSessionsResponse{Purged: n})
+	// The same pass also releases idle live-statistics aggregates — the two
+	// retention sweeps share one administrative endpoint.
+	writeJSON(w, http.StatusOK, PurgeAdaptiveSessionsResponse{
+		Purged:      n,
+		StatsPurged: s.live.PurgeIdle(),
+	})
 }
 
 // handleAdaptiveSessions routes /v1/adaptive-sessions/{id}[:verb|/next|/monitor].

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"mineassess/internal/events"
@@ -276,9 +277,38 @@ func (s *Server) tryStats(w http.ResponseWriter, examID string, delivered uint64
 	return true, true
 }
 
-// writeFrame serializes one bus event as an SSE frame.
+// framePool recycles SSE frame assembly buffers across writes and
+// connections: with the event's JSON encoding cached at publish time, a
+// frame write is pure appends into a pooled buffer plus one w.Write.
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// writeFrame serializes one bus event as an SSE frame. It assembles the
+// whole frame — event name, optional id, data line — in a pooled buffer and
+// writes it in one call, reusing the event's shared publish-time encoding
+// instead of re-marshalling per subscriber.
 func writeFrame(w http.ResponseWriter, e events.Event, id idFn) error {
-	return writeSSE(w, string(e.Type), id(e), e)
+	bp := framePool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, "event: "...)
+	buf = append(buf, e.Type...)
+	buf = append(buf, '\n')
+	if seq := id(e); seq > 0 {
+		buf = append(buf, "id: "...)
+		buf = strconv.AppendUint(buf, seq, 10)
+		buf = append(buf, '\n')
+	}
+	buf = append(buf, "data: "...)
+	buf, err := e.AppendJSON(buf)
+	if err == nil {
+		buf = append(buf, '\n', '\n')
+		_, err = w.Write(buf)
+	}
+	*bp = buf
+	framePool.Put(bp)
+	return err
 }
 
 // writeSSE writes one frame: event name, optional id, one-line JSON data.

@@ -345,6 +345,28 @@ func (a *Aggregator) Snapshot(examID string) (*ExamLiveStats, bool) {
 	return out, true
 }
 
+// PurgeIdle drops every exam aggregate with no active sessions and no open
+// (unfinished) sittings — the livestats counterpart of the adaptive engine's
+// PurgeFinished retention pass, keeping a long-lived server's statistics
+// memory from scaling with lifetime exam count. Purged exams simply start
+// from empty aggregates if events for them arrive again. Returns the number
+// of exam aggregates dropped; a nil aggregator purges nothing.
+func (a *Aggregator) PurgeIdle() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	purged := 0
+	for id, ex := range a.exams {
+		if ex.active == 0 && len(ex.open) == 0 {
+			delete(a.exams, id)
+			purged++
+		}
+	}
+	return purged
+}
+
 // pointBiserial computes Pearson r of x against the rest score from the
 // running sums; ok is false while either side has no variance.
 func (it *itemAgg) pointBiserial() (float64, bool) {

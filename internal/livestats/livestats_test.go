@@ -287,3 +287,44 @@ func TestFinishWithoutStartNeverGoesNegative(t *testing.T) {
 		t.Fatalf("finishedSessions = %d, want 2", snap.FinishedSessions)
 	}
 }
+
+// TestPurgeIdleDropsOnlyQuiescentExams: the retention pass releases exam
+// aggregates with no active sessions and no open sittings, leaves busy exams
+// alone, and lets a purged exam rebuild from empty if events return.
+func TestPurgeIdleDropsOnlyQuiescentExams(t *testing.T) {
+	bus := events.NewBus(events.Options{})
+	defer bus.Close()
+	a := New(bus)
+	defer a.Close()
+
+	// "done" runs to completion; "busy" keeps one sitting open.
+	seqDone := driveSittings(bus, "done", fourItems, testSittings)
+	bus.Publish(events.Event{Type: events.SessionStarted, ExamID: "busy",
+		SessionID: "s-open", Problems: fourItems, Total: len(fourItems)})
+	seqBusy := bus.Seq("busy")
+	waitSeq(t, a, "done", seqDone)
+	waitSeq(t, a, "busy", seqBusy)
+
+	if got := a.PurgeIdle(); got != 1 {
+		t.Fatalf("PurgeIdle = %d, want 1 (only the finished exam)", got)
+	}
+	if _, ok := a.Snapshot("done"); ok {
+		t.Fatal("idle exam aggregate survived the purge")
+	}
+	snap, ok := a.Snapshot("busy")
+	if !ok || snap.ActiveSessions != 1 {
+		t.Fatalf("busy exam lost by purge: ok=%v snap=%+v", ok, snap)
+	}
+
+	// Purged exams start over cleanly.
+	seqDone = driveSittings(bus, "done", fourItems, testSittings[:1])
+	snap = waitSeq(t, a, "done", seqDone)
+	if snap.FinishedSessions != 1 {
+		t.Fatalf("restarted aggregate finished = %d, want 1", snap.FinishedSessions)
+	}
+
+	var nilAgg *Aggregator
+	if got := nilAgg.PurgeIdle(); got != 0 {
+		t.Fatalf("nil aggregator PurgeIdle = %d, want 0", got)
+	}
+}

@@ -1,0 +1,277 @@
+// Package walcodec is the shared binary record framing used by the bank
+// journal and the durable event log. Both logs historically stored one JSON
+// object per line; the binary codec replaces the per-record JSON marshal on
+// the hot write path with a compact positional encoding while keeping every
+// existing JSON-era log replayable.
+//
+// Each binary record is one self-describing frame:
+//
+//	offset  size  field
+//	0       1     magic (0xB1 — never '{', so JSON lines are unambiguous)
+//	1       1     format version (currently 1)
+//	2       4     payload length, little endian
+//	6       4     IEEE CRC-32 of the payload, little endian
+//	10      n     payload (caller-defined positional encoding)
+//
+// Because a frame can never start with '{' and a JSON line always does,
+// readers detect the format per record: a log written under one codec and
+// reopened under the other replays seamlessly, and a mid-life codec switch
+// simply appends frames of the new format after the old ones. Torn tails
+// keep the journal's semantics — an incomplete record at EOF (partial JSON
+// line or short frame) is reported as ErrTorn so the opener can truncate it;
+// a CRC mismatch or unknown magic mid-file is corruption and fails the
+// replay.
+package walcodec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+const (
+	// Magic is the first byte of every binary frame.
+	Magic = 0xB1
+	// Version is the current frame format version.
+	Version = 1
+	// HeaderLen is the fixed frame header size preceding the payload.
+	HeaderLen = 10
+	// MaxPayload bounds a frame's declared payload length; anything larger
+	// is treated as corruption rather than an allocation request.
+	MaxPayload = 64 << 20
+)
+
+// ErrTorn marks an incomplete record at the end of a log: the write was cut
+// mid-record (power failure), everything before it is intact, and the opener
+// should truncate the tail before appending.
+var ErrTorn = errors.New("walcodec: torn record at end of log")
+
+// BeginFrame appends a placeholder frame header to dst and returns the
+// extended slice; the caller appends the payload and then calls EndFrame
+// with the offset BeginFrame started at.
+func BeginFrame(dst []byte) []byte {
+	return append(dst, make([]byte, HeaderLen)...)
+}
+
+// EndFrame fills in the header of the frame that starts at offset start in
+// buf (payload = buf[start+HeaderLen:]) and returns buf.
+func EndFrame(buf []byte, start int) []byte {
+	payload := buf[start+HeaderLen:]
+	h := buf[start : start+HeaderLen]
+	h[0] = Magic
+	h[1] = Version
+	binary.LittleEndian.PutUint32(h[2:6], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(h[6:10], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// NextRecord reads the next record from r, auto-detecting the per-record
+// format. It returns the record bytes (the JSON line including its newline,
+// or the binary payload without its header), whether the record was a JSON
+// line, and the total bytes the record occupies on disk.
+//
+// err is io.EOF at a clean end of log, ErrTorn when the final record is
+// incomplete, and a descriptive error on corruption (bad magic, version,
+// length or CRC).
+func NextRecord(r *bufio.Reader) (rec []byte, isJSON bool, size int64, err error) {
+	first, err := r.Peek(1)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, false, 0, io.EOF
+		}
+		return nil, false, 0, err
+	}
+	if first[0] == '{' {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, true, 0, ErrTorn // partial line, no newline
+			}
+			return nil, true, 0, err
+		}
+		return line, true, int64(len(line)), nil
+	}
+	var header [HeaderLen]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, false, 0, ErrTorn
+		}
+		return nil, false, 0, err
+	}
+	if header[0] != Magic {
+		return nil, false, 0, fmt.Errorf("walcodec: bad record magic 0x%02x", header[0])
+	}
+	if header[1] != Version {
+		return nil, false, 0, fmt.Errorf("walcodec: unsupported frame version %d", header[1])
+	}
+	n := binary.LittleEndian.Uint32(header[2:6])
+	if n > MaxPayload {
+		return nil, false, 0, fmt.Errorf("walcodec: frame length %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, false, 0, ErrTorn
+		}
+		return nil, false, 0, err
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(header[6:10]); got != want {
+		return nil, false, 0, fmt.Errorf("walcodec: frame CRC mismatch (got %08x want %08x)", got, want)
+	}
+	return payload, false, HeaderLen + int64(n), nil
+}
+
+// Append helpers for positional payload encodings. Integers use varints,
+// floats are little-endian IEEE-754 bits, strings and slices are
+// length-prefixed.
+
+// AppendString appends a length-prefixed string.
+func AppendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// AppendStrings appends a length-prefixed string slice.
+func AppendStrings(b []byte, ss []string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = AppendString(b, s)
+	}
+	return b
+}
+
+// AppendFloat64 appends the IEEE-754 bits of f, little endian.
+func AppendFloat64(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+// AppendBool appends one byte: 1 for true, 0 for false.
+func AppendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// Reader decodes a positional payload with a sticky error: decode the whole
+// record, then check Err once. After an error every accessor returns the
+// zero value.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader wraps a payload for decoding.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the number of unread payload bytes.
+func (r *Reader) Len() int { return len(r.b) - r.off }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = errors.New("walcodec: truncated payload")
+	}
+}
+
+// Uvarint decodes an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint decodes a signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int decodes a signed varint as an int.
+func (r *Reader) Int() int { return int(r.Varint()) }
+
+// String decodes a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if uint64(r.Len()) < n {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// Strings decodes a length-prefixed string slice; an empty slice decodes as
+// nil, matching encoding/json's omitempty round-trip.
+func (r *Reader) Strings() []string {
+	n := r.Uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if uint64(r.Len()) < n { // each element needs ≥1 byte
+		r.fail()
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.String()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Float64 decodes a little-endian IEEE-754 float.
+func (r *Reader) Float64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.Len() < 8 {
+		r.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
+// Bool decodes one byte as a boolean.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.Len() < 1 {
+		r.fail()
+		return false
+	}
+	v := r.b[r.off] != 0
+	r.off++
+	return v
+}

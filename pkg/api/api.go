@@ -138,9 +138,14 @@ type RecalibrateResponse struct {
 
 // PurgeAdaptiveSessionsResponse reports a retention pass
 // (POST /v1/adaptive-sessions:purge): how many finished sessions were
-// removed from the registry and the storage backend.
+// removed from the registry and the storage backend, and how many idle
+// live-statistics exam aggregates were dropped alongside them.
 type PurgeAdaptiveSessionsResponse struct {
 	Purged int `json:"purged"`
+	// StatsPurged counts live-statistics exam aggregates released (exams
+	// with no active sessions and no open sittings); 0 when the server runs
+	// without live statistics.
+	StatsPurged int `json:"statsPurged,omitempty"`
 }
 
 // --- Metrics ---
