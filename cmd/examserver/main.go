@@ -13,7 +13,7 @@
 //	examserver -bank bank.json -addr :8080 [-monitor 64]
 //	           [-backend sharded] [-shards 32] [-journal DIR] [-fsync group]
 //	           [-wal-codec json|binary] [-session-shards 32] [-drain 30s]
-//	           [-rate 50 -burst 100] [-quiet]
+//	           [-rate 50 -burst 100] [-quiet] [-pprof 127.0.0.1:6060]
 //	           [-events] [-event-log DIR] [-event-ring 1024]
 //	           [-event-log-max-bytes N]
 //
@@ -40,9 +40,17 @@
 // log by rotating the active segment at the threshold (one rotated segment
 // is retained; resumes that fall off the retained tail get a stream.gap
 // marker instead of silently missing events).
-// -rate enables per-learner token-bucket rate limiting (requests/second,
-// 0 disables) with -burst capacity; -quiet suppresses per-request access
-// logging. On SIGINT/SIGTERM the server stops accepting connections and
+// -rate enables per-learner token-bucket rate limiting (requests/second)
+// with -burst capacity. -rate 0 — the default — explicitly disables the
+// limiter: no token buckets are allocated and requests skip the middleware
+// entirely, which is the right mode under a load harness (cmd/loadgen)
+// where the limiter would throttle the measurement, or behind an upstream
+// gateway that already rate-limits. -quiet suppresses per-request access
+// logging. -pprof exposes net/http/pprof profiling handlers on a SEPARATE
+// listener (bind it to localhost; the main -addr listener never serves
+// profiles), so capacity investigations can grab CPU/heap/goroutine
+// profiles from a loaded server without exposing them to learners.
+// On SIGINT/SIGTERM the server stops accepting connections and
 // drains in-flight requests for up to -drain before exiting, so learners
 // mid-answer are not dropped on redeploy.
 package main
@@ -54,6 +62,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -88,7 +97,7 @@ func run(args []string) error {
 	fsync := fs.String("fsync", string(bank.SyncGroup), "WAL sync policy: always, group or none (with -journal)")
 	sessionShards := fs.Int("session-shards", delivery.DefaultSessionShards, "session registry shard count")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
-	rate := fs.Float64("rate", 0, "per-learner rate limit in requests/second (0 disables)")
+	rate := fs.Float64("rate", 0, "per-learner rate limit in requests/second (0 explicitly disables the limiter)")
 	burst := fs.Int("burst", 20, "per-learner rate-limit burst capacity")
 	quiet := fs.Bool("quiet", false, "suppress per-request access logging")
 	eventsOn := fs.Bool("events", true, "live event bus + SSE streaming endpoints")
@@ -96,6 +105,7 @@ func run(args []string) error {
 	eventRing := fs.Int("event-ring", events.DefaultRing, "per-exam event replay-ring size (Last-Event-ID resume window)")
 	walCodec := fs.String("wal-codec", "", "WAL and event-log record format: json (default) or binary; either codec replays logs written by the other")
 	eventLogMax := fs.Int64("event-log-max-bytes", 0, "rotate the durable event log when the active segment reaches this size (0 = unbounded; one rotated segment is retained)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this separate listener (e.g. 127.0.0.1:6060; empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -186,6 +196,29 @@ func run(args []string) error {
 		Events:     bus,
 		LiveStats:  live,
 	})
+	if *rate > 0 {
+		log.Printf("examserver: per-learner rate limiting at %.1f req/s (burst %d)", *rate, *burst)
+	} else {
+		log.Printf("examserver: per-learner rate limiting disabled (-rate 0)")
+	}
+	if *pprofAddr != "" {
+		// pprof gets its own mux on its own listener: the main -addr handler
+		// never routes /debug/pprof/, so profiles stay off the learner-facing
+		// surface, and an explicit mux avoids leaking whatever else may have
+		// registered on http.DefaultServeMux.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("examserver: pprof profiling on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Printf("examserver: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	examID := *contentExam
 	if examID == "" {

@@ -15,6 +15,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"mineassess/internal/delivery"
 )
 
 func TestChainOrder(t *testing.T) {
@@ -404,5 +406,51 @@ func TestMetricsSnapshot(t *testing.T) {
 	}
 	if snap.Errors5xx != 0 {
 		t.Errorf("errors5xx = %d", snap.Errors5xx)
+	}
+}
+
+// TestRateLimitDisabledPassthrough: with both limiters nil the middleware
+// must return the next handler itself — zero per-request overhead, not a
+// wrapper that checks nil on every call.
+func TestRateLimitDisabledPassthrough(t *testing.T) {
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	wrapped := RateLimit(nil, nil, func() { t.Error("onLimited fired with no limiters") })(next)
+	if fmt.Sprintf("%p", wrapped) != fmt.Sprintf("%p", next) {
+		t.Error("RateLimit(nil, nil) wrapped the handler instead of returning it")
+	}
+}
+
+// TestRateLimitDisabledEndToEnd: Options.RatePerSec 0 (examserver -rate 0)
+// must disable limiting through the whole served chain — one learner
+// hammering far past any plausible bucket sees zero 429s and the
+// rate-limited metric never ticks. Load harnesses (cmd/loadgen) point at
+// servers in exactly this mode; a latent limiter would invalidate every
+// capacity number they report.
+func TestRateLimitDisabledEndToEnd(t *testing.T) {
+	store, _ := examFixture(t, false)
+	clock := newFakeClock()
+	eng := delivery.NewEngine(store, clock.Now, 8)
+	server := NewServer(eng, store, Options{RatePerSec: 0, Burst: 1, Now: clock.Now})
+	srv := httptest.NewServer(server)
+	t.Cleanup(srv.Close)
+
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/exams", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Learner-ID", "hammer")
+	for i := 0; i < 200; i++ {
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			t.Fatalf("request %d rate limited with RatePerSec 0", i)
+		}
+	}
+	if n := server.Metrics().Snapshot().RateLimited; n != 0 {
+		t.Errorf("rateLimited metric = %d, want 0", n)
 	}
 }

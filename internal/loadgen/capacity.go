@@ -1,0 +1,125 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// CapacityConfig drives the capacity search: soak steps at a geometric
+// ladder of arrival rates until the p99 SLO (Config.SLO) or the error
+// budget is violated, reporting the last rate that passed. An open-loop
+// step either meets the SLO at its full offered rate or fails — there is
+// no middle ground where back-pressure quietly lowers the measured rate,
+// which is what makes "max sustained arrival rate" a well-defined number.
+type CapacityConfig struct {
+	// StartRate is the first step's arrival rate (learners/second);
+	// default 25.
+	StartRate float64
+	// Factor multiplies the rate between steps (default 2).
+	Factor float64
+	// StepDuration is each step's soak length (default 5s).
+	StepDuration time.Duration
+	// MaxSteps bounds the ladder (default 6).
+	MaxSteps int
+	// MaxErrorRate is the failed-operation budget per step as a fraction of
+	// operations (default 0.001).
+	MaxErrorRate float64
+	// Settle is a pause between steps letting in-flight work and journal
+	// batches drain so one step's tail does not bleed into the next
+	// (default 200ms).
+	Settle time.Duration
+}
+
+func (c CapacityConfig) withDefaults() CapacityConfig {
+	if c.StartRate <= 0 {
+		c.StartRate = 25
+	}
+	if c.Factor <= 1 {
+		c.Factor = 2
+	}
+	if c.StepDuration <= 0 {
+		c.StepDuration = 5 * time.Second
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 6
+	}
+	if c.MaxErrorRate <= 0 {
+		c.MaxErrorRate = 0.001
+	}
+	if c.Settle <= 0 {
+		c.Settle = 200 * time.Millisecond
+	}
+	return c
+}
+
+// CapacityStep is one measured ladder rung.
+type CapacityStep struct {
+	RatePerSec   float64 `json:"ratePerSec"`
+	Offered      int     `json:"offered"`
+	RequestCount int64   `json:"requestCount"`
+	RequestP99Ms float64 `json:"requestP99Ms"`
+	Errors       int64   `json:"errors"`
+	ErrorRate    float64 `json:"errorRate"`
+	Pass         bool    `json:"pass"`
+}
+
+// CapacityResult is the ladder outcome: every step measured plus the
+// capacity claim — the highest arrival rate whose step met the p99 SLO
+// with errors inside budget.
+type CapacityResult struct {
+	SLOMs            float64        `json:"sloMs"`
+	StepSeconds      float64        `json:"stepSeconds"`
+	Steps            []CapacityStep `json:"steps"`
+	MaxSustainedRate float64        `json:"maxSustainedRate"`
+	// Saturated reports that the ladder actually found the knee (a failing
+	// step); false means every step passed and the true capacity is above
+	// the last rung.
+	Saturated bool `json:"saturated"`
+}
+
+// Capacity runs the ladder. Each step reuses the runner's seeded bank and
+// shared transport; the cohort and schedule reseed per step so steps are
+// independent draws.
+func (r *Runner) Capacity(ctx context.Context, cc CapacityConfig) (*CapacityResult, error) {
+	cc = cc.withDefaults()
+	out := &CapacityResult{SLOMs: ms(r.cfg.SLO), StepSeconds: cc.StepDuration.Seconds()}
+	rate := cc.StartRate
+	for step := 0; step < cc.MaxSteps; step++ {
+		if ctx.Err() != nil {
+			return out, ctx.Err()
+		}
+		sched := RampSoak(rate, 0, cc.StepDuration, r.cfg.Seed+int64(step)*7919)
+		res, err := r.runSchedule(ctx, sched)
+		if err != nil {
+			return out, fmt.Errorf("loadgen: capacity step at %.0f/s: %w", rate, err)
+		}
+		ops := res.RequestCount + res.Errors
+		errRate := 0.0
+		if ops > 0 {
+			errRate = float64(res.Errors) / float64(ops)
+		}
+		st := CapacityStep{
+			RatePerSec:   rate,
+			Offered:      res.Offered,
+			RequestCount: res.RequestCount,
+			RequestP99Ms: res.RequestP99Ms,
+			Errors:       res.Errors,
+			ErrorRate:    errRate,
+			Pass:         res.RequestP99Ms <= out.SLOMs && errRate <= cc.MaxErrorRate && !res.Interrupted,
+		}
+		out.Steps = append(out.Steps, st)
+		if !st.Pass {
+			out.Saturated = true
+			break
+		}
+		out.MaxSustainedRate = rate
+		rate *= cc.Factor
+		select {
+		case <-time.After(cc.Settle):
+		case <-ctx.Done():
+			return out, ctx.Err()
+		}
+	}
+	return out, nil
+}

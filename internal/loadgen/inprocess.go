@@ -1,0 +1,124 @@
+package loadgen
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+
+	"mineassess/internal/bank"
+	"mineassess/internal/catdelivery"
+	"mineassess/internal/delivery"
+	"mineassess/internal/events"
+	"mineassess/internal/httpapi"
+	"mineassess/internal/livestats"
+)
+
+// InProcessConfig shapes the hermetic target server. The defaults match a
+// production examserver: sharded backend, group-commit WAL, live event bus
+// with streaming statistics, rate limiting off (a load harness measuring
+// its own token bucket would be measuring the wrong thing — run capacity
+// tests with -rate 0 on real servers too).
+type InProcessConfig struct {
+	// JournalDir enables the group-commit WAL under this directory; ""
+	// creates (and removes on Close) a temp dir. Set NoJournal to run on
+	// the bare sharded store instead.
+	JournalDir string
+	NoJournal  bool
+	// Sync is the WAL fsync policy (default bank.SyncGroup).
+	Sync bank.SyncPolicy
+	// NoEvents disables the bus + SSE endpoints (watch mixes then 404).
+	NoEvents bool
+	// EventRing overrides the replay-ring size (0 = events.DefaultRing).
+	EventRing int
+}
+
+// InProcess is a fully wired hermetic server: middleware, engines, WAL,
+// bus, livestats, SSE — the same composition cmd/examserver serves, minus
+// the listener flags. Tests and CI drive it through URL.
+type InProcess struct {
+	URL string
+
+	srv     *httptest.Server
+	store   bank.Storage
+	bus     *events.Bus
+	live    *livestats.Aggregator
+	tempDir string
+}
+
+// StartInProcess boots the hermetic target.
+func StartInProcess(cfg InProcessConfig) (*InProcess, error) {
+	ip := &InProcess{}
+	sync := cfg.Sync
+	if sync == "" {
+		sync = bank.SyncGroup
+	}
+	if cfg.NoJournal {
+		ip.store = bank.NewSharded(0)
+	} else {
+		dir := cfg.JournalDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "loadgen-wal")
+			if err != nil {
+				return nil, err
+			}
+			ip.tempDir = tmp
+			dir = tmp
+		}
+		j, err := bank.OpenJournalWith(dir, bank.NewSharded(0), bank.JournalOptions{Sync: sync})
+		if err != nil {
+			ip.cleanup()
+			return nil, fmt.Errorf("loadgen: open journal: %w", err)
+		}
+		ip.store = j
+	}
+
+	engine := delivery.NewShardedEngine(ip.store, nil, 0, delivery.DefaultSessionShards)
+	cat, err := catdelivery.NewEngine(ip.store, nil, 0)
+	if err != nil {
+		ip.cleanup()
+		return nil, fmt.Errorf("loadgen: adaptive engine: %w", err)
+	}
+	opts := httpapi.Options{Adaptive: cat}
+	if !cfg.NoEvents {
+		ip.bus = events.NewBus(events.Options{Ring: cfg.EventRing})
+		ip.live = livestats.New(ip.bus)
+		engine.SetEventBus(ip.bus)
+		cat.SetEventBus(ip.bus)
+		opts.Events = ip.bus
+		opts.LiveStats = ip.live
+	}
+	ip.srv = httptest.NewServer(httpapi.NewServer(engine, ip.store, opts))
+	ip.URL = ip.srv.URL
+	return ip, nil
+}
+
+// Close tears the server down: SSE subscribers detach first so in-flight
+// streams end, then the listener closes, then the WAL and bus flush.
+func (ip *InProcess) Close() {
+	if ip.bus != nil {
+		ip.bus.DetachSubscribers()
+	}
+	if ip.srv != nil {
+		ip.srv.Close()
+	}
+	ip.cleanup()
+}
+
+func (ip *InProcess) cleanup() {
+	if ip.bus != nil {
+		ip.bus.Close()
+		ip.bus = nil
+	}
+	if ip.live != nil {
+		ip.live.Close()
+		ip.live = nil
+	}
+	if j, ok := ip.store.(*bank.Journal); ok {
+		_ = j.Close()
+		ip.store = nil
+	}
+	if ip.tempDir != "" {
+		_ = os.RemoveAll(ip.tempDir)
+		ip.tempDir = ""
+	}
+}

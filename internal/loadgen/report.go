@@ -1,0 +1,111 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+)
+
+// Section is the "loadgen" (E24) block of BENCH_BASELINE.json: the run
+// summary for the standard ramp+soak mixed workload plus the capacity
+// ladder. It is the composed-system yardstick later scale/speed PRs are
+// judged against, next to the per-subsystem E18–E23 sections.
+type Section struct {
+	GoVersion  string          `json:"goVersion"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Mix        Mix             `json:"mix"`
+	Run        *Result         `json:"run,omitempty"`
+	Capacity   *CapacityResult `json:"capacity,omitempty"`
+}
+
+// NewSection stamps the environment around the measurements.
+func NewSection(mix Mix, run *Result, capacity *CapacityResult) *Section {
+	return &Section{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Mix:        mix,
+		Run:        run,
+		Capacity:   capacity,
+	}
+}
+
+// MergeBaseline writes the section into the baseline file under the
+// "loadgen" key, leaving every other section untouched — the same
+// section-merge flow benchreport's -hotpaths uses, so the BENCH_*.json
+// trajectory accretes experiment by experiment.
+func MergeBaseline(path string, sec *Section) error {
+	doc := map[string]json.RawMessage{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("loadgen: existing baseline %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	secRaw, err := json.Marshal(sec)
+	if err != nil {
+		return err
+	}
+	doc["loadgen"] = secRaw
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// WriteReport renders a run result for humans.
+func WriteReport(w io.Writer, res *Result) {
+	fmt.Fprintf(w, "offered %d learners over %.1fs (%.1f/s planned, generator lateness p99 %.2fms max %.2fms)\n",
+		res.Offered, res.PlannedSeconds, res.OfferedPerSec, res.Lateness.P99Ms, res.Lateness.MaxMs)
+	for _, class := range []string{ClassFixed, ClassCAT, ClassWatch} {
+		c := res.Classes[class]
+		if c == nil || c.Started == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-6s started %5d  completed %5d  failed %d\n",
+			class, c.Started, c.Completed, c.Failed)
+	}
+	for _, rt := range res.Routes {
+		fmt.Fprintf(w, "  %-13s n=%-7d p50=%8.2fms p99=%8.2fms p999=%8.2fms max=%8.2fms errors=%d\n",
+			rt.Route, rt.Count, rt.P50Ms, rt.P99Ms, rt.P999Ms, rt.MaxMs, rt.Errors)
+	}
+	if res.Frames+res.Gaps+res.StatsFrames > 0 {
+		fmt.Fprintf(w, "  watchers: %d event frames, %d stats frames, %d stream.gap markers\n",
+			res.Frames, res.StatsFrames, res.Gaps)
+	}
+	verdict := "MET"
+	if !res.SLOMet {
+		verdict = "MISSED"
+	}
+	fmt.Fprintf(w, "  requests %d, errors %d, p99 %.2fms vs SLO %.0fms: %s\n",
+		res.RequestCount, res.Errors, res.RequestP99Ms, res.SLOMs, verdict)
+}
+
+// WriteCapacityReport renders the ladder for humans.
+func WriteCapacityReport(w io.Writer, cr *CapacityResult) {
+	fmt.Fprintf(w, "capacity ladder (%.0fms p99 SLO, %.1fs soak steps):\n", cr.SLOMs, cr.StepSeconds)
+	for _, st := range cr.Steps {
+		status := "PASS"
+		if !st.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "  %8.1f/s  offered %6d  reqs %7d  p99 %8.2fms  errs %5d (%.3f%%)  %s\n",
+			st.RatePerSec, st.Offered, st.RequestCount, st.RequestP99Ms,
+			st.Errors, st.ErrorRate*100, status)
+	}
+	switch {
+	case cr.MaxSustainedRate > 0 && !cr.Saturated:
+		fmt.Fprintf(w, "  max sustained arrival rate meeting the SLO: %.1f learners/s (ladder exhausted without failing — true capacity is higher)\n",
+			cr.MaxSustainedRate)
+	case cr.MaxSustainedRate > 0:
+		fmt.Fprintf(w, "  max sustained arrival rate meeting the SLO: %.1f learners/s\n",
+			cr.MaxSustainedRate)
+	case len(cr.Steps) > 0:
+		fmt.Fprintf(w, "  no step met the SLO — capacity is below %.1f learners/s\n",
+			cr.Steps[0].RatePerSec)
+	}
+}

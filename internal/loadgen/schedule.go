@@ -1,0 +1,160 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Phase is one segment of the offered-load profile: arrivals follow a
+// Poisson process whose rate moves linearly from StartRate to EndRate
+// (arrivals/second) over Duration. A ramp is StartRate < EndRate; a soak
+// holds them equal.
+type Phase struct {
+	Name      string        `json:"name"`
+	Duration  time.Duration `json:"duration"`
+	StartRate float64       `json:"startRate"`
+	EndRate   float64       `json:"endRate"`
+}
+
+// Schedule is a deterministic open-loop arrival plan: given the same seed
+// and phases, Arrivals always returns the same offsets, so a run's offered
+// load is reproducible independent of how the server behaves.
+type Schedule struct {
+	Phases []Phase
+	Seed   int64
+}
+
+// RampSoak builds the harness's standard profile: an optional linear ramp
+// from rate/10 up to rate, then a constant soak at rate.
+func RampSoak(rate float64, ramp, soak time.Duration, seed int64) Schedule {
+	var phases []Phase
+	if ramp > 0 {
+		phases = append(phases, Phase{Name: "ramp", Duration: ramp, StartRate: rate / 10, EndRate: rate})
+	}
+	if soak > 0 {
+		phases = append(phases, Phase{Name: "soak", Duration: soak, StartRate: rate, EndRate: rate})
+	}
+	return Schedule{Phases: phases, Seed: seed}
+}
+
+// Duration is the schedule's planned wall-clock length.
+func (s Schedule) Duration() time.Duration {
+	var total time.Duration
+	for _, p := range s.Phases {
+		total += p.Duration
+	}
+	return total
+}
+
+// validate rejects unusable profiles.
+func (s Schedule) validate() error {
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("loadgen: schedule has no phases")
+	}
+	for i, p := range s.Phases {
+		if p.Duration <= 0 {
+			return fmt.Errorf("loadgen: phase %d (%s) duration %v must be positive", i, p.Name, p.Duration)
+		}
+		if p.StartRate < 0 || p.EndRate < 0 {
+			return fmt.Errorf("loadgen: phase %d (%s) rates must be non-negative", i, p.Name)
+		}
+		if p.StartRate == 0 && p.EndRate == 0 {
+			return fmt.Errorf("loadgen: phase %d (%s) offers no load", i, p.Name)
+		}
+	}
+	return nil
+}
+
+// rampSlice is the piecewise-constant approximation step for time-varying
+// rates: within each slice the rate is frozen at its midpoint value and
+// arrivals are drawn as an ordinary homogeneous Poisson process. 100ms
+// slices keep the approximation error far below Poisson noise for any
+// realistic ramp.
+const rampSlice = 100 * time.Millisecond
+
+// Arrivals precomputes every arrival offset from the schedule start.
+// Computing the full plan up front is what makes the generator open-loop:
+// the arrival times exist before the first request is sent, so nothing the
+// server does can move them.
+func (s Schedule) Arrivals() ([]time.Duration, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	var out []time.Duration
+	var phaseStart time.Duration
+	for _, p := range s.Phases {
+		for sliceStart := time.Duration(0); sliceStart < p.Duration; sliceStart += rampSlice {
+			sliceEnd := sliceStart + rampSlice
+			if sliceEnd > p.Duration {
+				sliceEnd = p.Duration
+			}
+			mid := float64(sliceStart+sliceEnd) / 2 / float64(p.Duration)
+			rate := p.StartRate + (p.EndRate-p.StartRate)*mid
+			if rate <= 0 {
+				continue
+			}
+			// Homogeneous Poisson arrivals within the slice: exponential
+			// inter-arrival gaps at the frozen rate.
+			t := sliceStart + expGap(rng, rate)
+			for t < sliceEnd {
+				out = append(out, phaseStart+t)
+				t += expGap(rng, rate)
+			}
+		}
+		phaseStart += p.Duration
+	}
+	return out, nil
+}
+
+// expGap draws one exponential inter-arrival gap for rate arrivals/second.
+func expGap(rng *rand.Rand, rate float64) time.Duration {
+	return time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+}
+
+// Run fires the schedule in real time: for each precomputed arrival it
+// sleeps until the arrival is due, then invokes fire synchronously with the
+// arrival's index and its lateness (how far behind schedule the invocation
+// is; 0 when on time).
+//
+// Run never skips, coalesces or delays-to-shed arrivals: if fire is slow or
+// the process stalls, subsequent arrivals are invoked late — and reported
+// late — rather than silently dropped. Callers that must not be slowed by
+// their own work (the Runner) spawn a goroutine inside fire; the callback
+// itself should be cheap.
+//
+// Returns the number of arrivals fired; ctx cancellation stops the
+// remainder and reports how many fired before the cut.
+func (s Schedule) Run(ctx context.Context, fire func(i int, lateness time.Duration)) (int, error) {
+	arrivals, err := s.Arrivals()
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for i, due := range arrivals {
+		wait := time.Until(start.Add(due))
+		if wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				return i, ctx.Err()
+			}
+		} else if ctx.Err() != nil {
+			return i, ctx.Err()
+		}
+		late := time.Since(start.Add(due))
+		if late < 0 {
+			late = 0
+		}
+		fire(i, late)
+	}
+	return len(arrivals), nil
+}

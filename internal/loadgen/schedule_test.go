@@ -1,0 +1,198 @@
+package loadgen
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestArrivalsDeterministic(t *testing.T) {
+	s := RampSoak(500, 2*time.Second, 8*time.Second, 42)
+	a, err := s.Arrivals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Arrivals()
+	if len(a) != len(b) {
+		t.Fatalf("same seed gave %d vs %d arrivals", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// A different seed draws a different plan.
+	c, _ := Schedule{Phases: s.Phases, Seed: 43}.Arrivals()
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+func TestArrivalsShape(t *testing.T) {
+	const rate, soak = 1000.0, 10 * time.Second
+	s := RampSoak(rate, 0, soak, 7)
+	arr, err := s.Arrivals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poisson count over 10s at 1000/s: mean 10000, sd 100. 5 sd of slack
+	// makes a flake astronomically unlikely while still catching rate bugs.
+	want := rate * soak.Seconds()
+	if got := float64(len(arr)); math.Abs(got-want) > 5*math.Sqrt(want) {
+		t.Errorf("drew %d arrivals, want ~%.0f", len(arr), want)
+	}
+	// Offsets are sorted and inside the schedule window.
+	for i, a := range arr {
+		if a < 0 || a >= soak {
+			t.Fatalf("arrival %d at %v outside [0, %v)", i, a, soak)
+		}
+		if i > 0 && a < arr[i-1] {
+			t.Fatalf("arrivals not sorted at %d", i)
+		}
+	}
+	// A ramp front-loads fewer arrivals than the soak: the first half of a
+	// rate/10 -> rate ramp must hold well under half its arrivals.
+	ramped := RampSoak(rate, soak, 0, 7)
+	rarr, _ := ramped.Arrivals()
+	half := 0
+	for _, a := range rarr {
+		if a < soak/2 {
+			half++
+		}
+	}
+	if frac := float64(half) / float64(len(rarr)); frac > 0.45 {
+		t.Errorf("ramp first half carries %.0f%% of arrivals, want well under 50%%", frac*100)
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	if _, err := (Schedule{}).Arrivals(); err == nil {
+		t.Error("empty schedule must be rejected")
+	}
+	if _, err := (Schedule{Phases: []Phase{{Duration: -time.Second, StartRate: 1, EndRate: 1}}}).Arrivals(); err == nil {
+		t.Error("negative duration must be rejected")
+	}
+	if _, err := (Schedule{Phases: []Phase{{Duration: time.Second}}}).Arrivals(); err == nil {
+		t.Error("zero-rate phase must be rejected")
+	}
+}
+
+// TestRunOpenLoopUnderSlowConsumer is the harness's core honesty property:
+// when the work triggered by each arrival is slow (a degraded server), the
+// generator must still fire every planned arrival — late and reported as
+// late — rather than skipping or rescheduling them. A closed-loop driver
+// fails exactly this: its offered load collapses to the consumer's pace.
+func TestRunOpenLoopUnderSlowConsumer(t *testing.T) {
+	s := RampSoak(200, 0, time.Second, 11)
+	planned, _ := s.Arrivals()
+
+	// Synchronous slow callback: the scheduler itself is stalled 1ms per
+	// arrival (~5x the mean 0.2ms gap), so lateness must accumulate — yet
+	// every arrival still fires.
+	var fired int
+	var maxLate time.Duration
+	n, err := s.Run(context.Background(), func(i int, late time.Duration) {
+		fired++
+		if late > maxLate {
+			maxLate = late
+		}
+		time.Sleep(time.Millisecond)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(planned) || fired != len(planned) {
+		t.Fatalf("fired %d/%d arrivals", fired, len(planned))
+	}
+	if maxLate == 0 {
+		t.Error("a stalled consumer must be visible as recorded lateness")
+	}
+}
+
+// TestRunHoldsOfferedRate: with fire dispatching to goroutines (how the
+// Runner uses it), slow per-arrival work must not stretch the schedule —
+// the wall clock of the run stays the planned duration, not
+// arrivals x work.
+func TestRunHoldsOfferedRate(t *testing.T) {
+	const work = 300 * time.Millisecond
+	s := RampSoak(100, 0, time.Second, 13)
+	planned, _ := s.Arrivals()
+
+	var wg sync.WaitGroup
+	var inFlight, peak atomic.Int64
+	start := time.Now()
+	n, err := s.Run(context.Background(), func(i int, late time.Duration) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(work) // a server stalling every learner 300ms
+			inFlight.Add(-1)
+		}()
+	})
+	elapsed := time.Since(start)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(planned) {
+		t.Fatalf("fired %d/%d", n, len(planned))
+	}
+	// The schedule is 1s; closed-loop behavior would need ~100x300ms of
+	// serialized work. Generous bound for loaded CI machines.
+	if elapsed > s.Duration()+500*time.Millisecond {
+		t.Errorf("schedule took %v, want ~%v — the generator waited on its consumers", elapsed, s.Duration())
+	}
+	// Open-loop signature: slow work piles up concurrent learners instead
+	// of thinning arrivals. 100 arrivals/s x 0.3s work ≈ 30 in flight.
+	if peak.Load() < 10 {
+		t.Errorf("peak in-flight = %d, want the backlog an open-loop generator must accumulate", peak.Load())
+	}
+}
+
+func TestRunCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := RampSoak(50, 0, 10*time.Second, 17)
+	fired := 0
+	done := make(chan struct{})
+	var n int
+	var err error
+	go func() {
+		defer close(done)
+		n, err = s.Run(ctx, func(int, time.Duration) {
+			fired++
+			if fired == 5 {
+				cancel()
+			}
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled run did not return")
+	}
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n != fired {
+		t.Errorf("reported %d fired, callback saw %d", n, fired)
+	}
+}

@@ -3,6 +3,7 @@ package simulate
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // Student is one simulated learner.
@@ -52,6 +53,58 @@ func NewPopulation(cfg PopulationConfig) (*Population, error) {
 		})
 	}
 	return pop, nil
+}
+
+// Stream is an unbounded cohort sampler: it draws students one at a time
+// from the same ability distribution NewPopulation uses, without fixing the
+// cohort size up front. Load generators use it when the number of virtual
+// learners is decided by an arrival process rather than a roster. Next is
+// safe for concurrent use.
+type Stream struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	mean   float64
+	sd     float64
+	prefix string
+	n      int
+}
+
+// NewStream builds a cohort sampler from the population config. N is
+// ignored (the stream is unbounded); SD must be non-negative.
+func NewStream(cfg PopulationConfig) (*Stream, error) {
+	if cfg.SD < 0 {
+		return nil, fmt.Errorf("simulate: ability SD %v must be non-negative", cfg.SD)
+	}
+	prefix := cfg.IDPrefix
+	if prefix == "" {
+		prefix = "s"
+	}
+	return &Stream{
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		mean:   cfg.Mean,
+		sd:     cfg.SD,
+		prefix: prefix,
+	}, nil
+}
+
+// Next draws the stream's next student. IDs are sequential and unique
+// within the stream; abilities are N(Mean, SD²) draws in a reproducible
+// order for a given seed.
+func (s *Stream) Next() Student {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	return Student{
+		ID:      fmt.Sprintf("%s%06d", s.prefix, s.n),
+		Ability: s.mean + s.sd*s.rng.NormFloat64(),
+	}
+}
+
+// Drawn reports how many students the stream has handed out.
+func (s *Stream) Drawn() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
 }
 
 // Shifted returns a copy of the population with every ability raised by
