@@ -13,6 +13,7 @@
 //	assessctl export-scorm -bank bank.json -exam final -out exam.zip
 //	assessctl export-qti   -bank bank.json -exam final -out exam.xml
 //	assessctl events tail  -addr http://host:8080 [-exam final] [-last SEQ]
+//	assessctl metrics      -addr http://host:8080 [-subsystems]
 package main
 
 import (
@@ -69,11 +70,13 @@ func run(args []string) error {
 		return cmdPreview(args[1:])
 	case "events":
 		return cmdEvents(args[1:])
+	case "metrics":
+		return cmdMetrics(args[1:])
 	case "version":
 		fmt.Println("assessctl", core.Version)
 		return nil
 	case "help":
-		fmt.Println("subcommands: seed, search, analyze, analyze-file, calibrate, coverage, history, feedback, stats, preview, events, export-scorm, export-qti, version")
+		fmt.Println("subcommands: seed, search, analyze, analyze-file, calibrate, coverage, history, feedback, stats, preview, events, metrics, export-scorm, export-qti, version")
 		return nil
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])

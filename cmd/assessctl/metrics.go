@@ -1,0 +1,76 @@
+package main
+
+// assessctl metrics — the operator's one-shot scrape of a running
+// examserver: fetches GET /v1/metrics over the Go SDK and prints the
+// per-route latency table (count, average and interpolated p50/p99/p999
+// quantiles) sorted by route, plus the process counters. With -subsystems
+// the shared registry's samples (journal commit latency, event-bus
+// fan-out, live-stats lag, ...) are listed too.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"mineassess/pkg/client"
+)
+
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "examserver base URL")
+	subsystems := fs.Bool("subsystems", false, "also print subsystem registry samples")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	snap, err := client.New(*addr).Metrics()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("uptime %.0fs  requests %d  in-flight %d  5xx %d  rate-limited %d  panics %d\n\n",
+		snap.UptimeSeconds, snap.Requests, snap.InFlight,
+		snap.Errors5xx, snap.RateLimited, snap.Panics)
+
+	routes := snap.Routes
+	sort.Slice(routes, func(i, j int) bool { return routes[i].Route < routes[j].Route })
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ROUTE\tCOUNT\tAVG ms\tP50 ms\tP99 ms\tP99.9 ms\tMAX ms")
+	for _, r := range routes {
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			r.Route, r.Count, r.AvgMs, r.P50Ms, r.P99Ms, r.P999Ms, r.MaxMs)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if *subsystems {
+		if len(snap.Subsystems) == 0 {
+			fmt.Println("\n(no subsystem samples — server runs without a process metrics registry)")
+			return nil
+		}
+		fmt.Println()
+		tw = tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		for _, s := range snap.Subsystems {
+			name := s.Name
+			if len(s.Labels) > 0 {
+				keys := make([]string, 0, len(s.Labels))
+				for k := range s.Labels {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				pairs := make([]string, len(keys))
+				for i, k := range keys {
+					pairs[i] = k + "=" + s.Labels[k]
+				}
+				name += "{" + strings.Join(pairs, ",") + "}"
+			}
+			fmt.Fprintf(tw, "%s\t%g\n", name, s.Value)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

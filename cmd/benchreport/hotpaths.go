@@ -35,6 +35,7 @@ import (
 	"mineassess/internal/bank"
 	"mineassess/internal/events"
 	"mineassess/internal/item"
+	"mineassess/internal/obs"
 	"mineassess/internal/simulate"
 )
 
@@ -140,8 +141,8 @@ func measureJournalCommitAllocs(codec bank.Codec) (HotpathResult, error) {
 // hands. testing.Benchmark cannot attribute allocations across the
 // publisher and pump goroutines per delivery, so this measures the malloc
 // counter around the whole run.
-func measureFanOutAllocs(subs, n int) HotpathResult {
-	bus := events.NewBus(events.Options{Ring: -1})
+func measureFanOutAllocs(subs, n int, reg *obs.Registry) HotpathResult {
+	bus := events.NewBus(events.Options{Ring: -1, Obs: reg})
 	defer bus.Close()
 	var wg sync.WaitGroup
 	var delivered atomic.Int64
@@ -279,7 +280,7 @@ func measureHotpathsSuite() (*HotpathsSection, error) {
 		sec.Allocs = append(sec.Allocs, res)
 	}
 	for _, subs := range []int{1, 16, 64} {
-		sec.Allocs = append(sec.Allocs, measureFanOutAllocs(subs, 50000))
+		sec.Allocs = append(sec.Allocs, measureFanOutAllocs(subs, 50000, nil))
 	}
 	for _, size := range []int{100, 1000, 10000} {
 		exact, grid, err := measureNextItem(size)
@@ -399,7 +400,7 @@ func checkAllocs(path string) error {
 		current = append(current, res)
 	}
 	for _, subs := range []int{1, 16, 64} {
-		current = append(current, measureFanOutAllocs(subs, 20000))
+		current = append(current, measureFanOutAllocs(subs, 20000, nil))
 	}
 	failed := 0
 	for _, r := range current {
@@ -416,6 +417,19 @@ func checkAllocs(path string) error {
 		}
 		fmt.Printf("  %-28s %8.2f allocs/op (baseline %.2f, allowed %.2f) %s\n",
 			r.Name, r.AllocsPerOp, want, allow, status)
+	}
+	// The obs record paths are pinned to a hard zero rather than compared
+	// against a recorded baseline: every instrumented hot path inherits
+	// whatever these allocate, so the acceptable number is none.
+	for _, r := range measureObsAllocs() {
+		allow := allocAllowance(0)
+		status := "ok"
+		if r.AllocsPerOp > allow {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("  %-28s %8.2f allocs/op (pinned zero, allowed %.2f) %s\n",
+			r.Name, r.AllocsPerOp, allow, status)
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d hot path(s) regressed beyond the allocation allowance", failed)

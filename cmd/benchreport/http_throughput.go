@@ -8,7 +8,7 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http/httptest"
 	"runtime"
 	"sync"
@@ -111,4 +111,4 @@ func runE19(int64) error {
 
 // discardLogger returns nil: httpapi treats a nil logger as logging off.
 // Kept as a function so the call site documents the intent.
-func discardLogger() *log.Logger { return nil }
+func discardLogger() *slog.Logger { return nil }

@@ -49,6 +49,7 @@ func run(args []string) error {
 	baseline := fs.String("baseline", "", "measure engine throughput and write a JSON baseline to this path")
 	hotpaths := fs.String("hotpaths", "", "measure the E23 hot paths and merge a hotpaths section into this baseline file")
 	loadgenPath := fs.String("loadgen", "", "measure the E24 load harness (run + capacity ladder) and merge a loadgen section into this baseline file")
+	obsPath := fs.String("obs", "", "measure the E25 observability overhead and merge an obs section into this baseline file")
 	checkPath := fs.String("check-allocs", "", "re-run the allocation probes and fail if any path regressed >20% over this baseline file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +62,9 @@ func run(args []string) error {
 	}
 	if *loadgenPath != "" {
 		return writeLoadgen(*loadgenPath)
+	}
+	if *obsPath != "" {
+		return writeObs(*obsPath)
 	}
 	if *checkPath != "" {
 		return checkAllocs(*checkPath)
@@ -90,6 +94,7 @@ func run(args []string) error {
 		{"E22", "event bus: fan-out throughput and emitter overhead", runE22},
 		{"E23", "zero-allocation hot paths: WAL codec, pooled fan-out, CAT info grid", runE23},
 		{"E24", "open-loop load harness: mixed learners over the composed /v1 stack", runE24},
+		{"E25", "observability overhead: journal + fan-out with the metrics registry off vs on", runE25},
 		{"A1", "ablation: group fraction 25% vs Kelly 27% vs 33%", runA1},
 		{"A2", "ablation: group D vs point-biserial", runA2},
 	}

@@ -13,7 +13,8 @@
 //	examserver -bank bank.json -addr :8080 [-monitor 64]
 //	           [-backend sharded] [-shards 32] [-journal DIR] [-fsync group]
 //	           [-wal-codec json|binary] [-session-shards 32] [-drain 30s]
-//	           [-rate 50 -burst 100] [-quiet] [-pprof 127.0.0.1:6060]
+//	           [-rate 50 -burst 100] [-quiet] [-log-format text|json]
+//	           [-slow-request 250ms] [-ops 127.0.0.1:6060]
 //	           [-events] [-event-log DIR] [-event-ring 1024]
 //	           [-event-log-max-bytes N]
 //
@@ -45,14 +46,21 @@
 // limiter: no token buckets are allocated and requests skip the middleware
 // entirely, which is the right mode under a load harness (cmd/loadgen)
 // where the limiter would throttle the measurement, or behind an upstream
-// gateway that already rate-limits. -quiet suppresses per-request access
-// logging. -pprof exposes net/http/pprof profiling handlers on a SEPARATE
-// listener (bind it to localhost; the main -addr listener never serves
-// profiles), so capacity investigations can grab CPU/heap/goroutine
-// profiles from a loaded server without exposing them to learners.
-// On SIGINT/SIGTERM the server stops accepting connections and
-// drains in-flight requests for up to -drain before exiting, so learners
-// mid-answer are not dropped on redeploy.
+// gateway that already rate-limits.
+//
+// Access logs are structured (log/slog): -log-format picks text (default)
+// or json records, -quiet suppresses them, and -slow-request D logs any
+// request taking at least D at Warn ("slow request") while arming matching
+// slow-op logs in the delivery engines and the WAL — the shared request_id
+// attribute ties the layers' lines together. -ops exposes the operations
+// listener on a SEPARATE address (bind it to localhost; the main -addr
+// listener never serves it): net/http/pprof profiling handlers under
+// /debug/pprof/ plus the process metrics registry as Prometheus text
+// exposition at /metrics (journal commit/fsync/compaction, event-bus
+// fan-out, live-stats lag, per-route HTTP latency histograms). -pprof is a
+// deprecated alias for -ops. On SIGINT/SIGTERM the server stops accepting
+// connections and drains in-flight requests for up to -drain before
+// exiting, so learners mid-answer are not dropped on redeploy.
 package main
 
 import (
@@ -61,10 +69,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -74,6 +84,7 @@ import (
 	"mineassess/internal/events"
 	"mineassess/internal/httpapi"
 	"mineassess/internal/livestats"
+	"mineassess/internal/obs"
 	"mineassess/internal/scorm"
 )
 
@@ -105,9 +116,24 @@ func run(args []string) error {
 	eventRing := fs.Int("event-ring", events.DefaultRing, "per-exam event replay-ring size (Last-Event-ID resume window)")
 	walCodec := fs.String("wal-codec", "", "WAL and event-log record format: json (default) or binary; either codec replays logs written by the other")
 	eventLogMax := fs.Int64("event-log-max-bytes", 0, "rotate the durable event log when the active segment reaches this size (0 = unbounded; one rotated segment is retained)")
-	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this separate listener (e.g. 127.0.0.1:6060; empty disables)")
+	opsAddr := fs.String("ops", "", "serve the ops listener (pprof + Prometheus /metrics) on this separate address (e.g. 127.0.0.1:6060; empty disables)")
+	pprofAddr := fs.String("pprof", "", "deprecated alias for -ops")
+	logFormat := fs.String("log-format", "text", "structured log format: text or json")
+	slowReq := fs.Duration("slow-request", 0, "log requests taking at least this long at Warn, correlated across layers by request ID (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *opsAddr == "" {
+		*opsAddr = *pprofAddr
+	}
+	var logHandler slog.Handler
+	switch *logFormat {
+	case "text":
+		logHandler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		logHandler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat)
 	}
 	syncPolicy, err := bank.ParseSyncPolicy(*fsync)
 	if err != nil {
@@ -117,12 +143,23 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// One process-wide metrics registry feeds every subsystem's counters and
+	// histograms into the ops listener's /metrics and the /v1/metrics JSON.
+	reg := obs.NewRegistry()
+	startTime := time.Now()
+	reg.GaugeFunc("process_uptime_seconds",
+		"Seconds since the server process started.",
+		func() float64 { return time.Since(startTime).Seconds() })
+	reg.GaugeFunc("go_goroutines",
+		"Live goroutine count.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
 	store, err := bank.Open(*bankPath, bank.Options{
 		Backend: *backend,
 		Shards:  *shards,
 		Journal: *journalDir,
 		Sync:    syncPolicy,
 		Codec:   codec,
+		Obs:     reg,
 	})
 	if err != nil {
 		return err
@@ -175,8 +212,8 @@ func run(args []string) error {
 			}
 			log.Printf("examserver: durable event log under %s (fsync=%s codec=%s)", *eventLog, syncPolicy, codec)
 		}
-		bus = events.NewBus(events.Options{Ring: *eventRing, Log: evlog})
-		live = livestats.New(bus)
+		bus = events.NewBus(events.Options{Ring: *eventRing, Log: evlog, Obs: reg})
+		live = livestats.NewWith(bus, reg)
 		engine.SetEventBus(bus)
 		cat.SetEventBus(bus)
 		defer func() {
@@ -184,38 +221,48 @@ func run(args []string) error {
 			live.Close()
 		}()
 	}
-	accessLog := log.Default()
+	accessLog := slog.New(logHandler)
 	if *quiet {
 		accessLog = nil
 	}
+	// -slow-request arms the WAL layer too: a slow HTTP line, the engine's
+	// slow-op line (same request ID) and the journal's slow-commit line
+	// together attribute where the time went.
+	if j, ok := store.(*bank.Journal); ok {
+		j.SetSlowOpLog(accessLog, *slowReq)
+	}
 	handler := httpapi.NewServer(engine, store, httpapi.Options{
-		Logger:     accessLog,
-		RatePerSec: *rate,
-		Burst:      *burst,
-		Adaptive:   cat,
-		Events:     bus,
-		LiveStats:  live,
+		Logger:      accessLog,
+		SlowRequest: *slowReq,
+		Obs:         reg,
+		RatePerSec:  *rate,
+		Burst:       *burst,
+		Adaptive:    cat,
+		Events:      bus,
+		LiveStats:   live,
 	})
 	if *rate > 0 {
 		log.Printf("examserver: per-learner rate limiting at %.1f req/s (burst %d)", *rate, *burst)
 	} else {
 		log.Printf("examserver: per-learner rate limiting disabled (-rate 0)")
 	}
-	if *pprofAddr != "" {
-		// pprof gets its own mux on its own listener: the main -addr handler
-		// never routes /debug/pprof/, so profiles stay off the learner-facing
-		// surface, and an explicit mux avoids leaking whatever else may have
-		// registered on http.DefaultServeMux.
+	if *opsAddr != "" {
+		// The ops surface gets its own mux on its own listener: the main
+		// -addr handler never routes /debug/pprof/ or /metrics, so profiles
+		// and raw metric series stay off the learner-facing surface, and an
+		// explicit mux avoids leaking whatever else may have registered on
+		// http.DefaultServeMux.
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/metrics", obs.Handler(reg))
 		go func() {
-			log.Printf("examserver: pprof profiling on http://%s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
-				log.Printf("examserver: pprof listener: %v", err)
+			log.Printf("examserver: ops listener on http://%s (pprof under /debug/pprof/, Prometheus metrics at /metrics)", *opsAddr)
+			if err := http.ListenAndServe(*opsAddr, mux); err != nil {
+				log.Printf("examserver: ops listener: %v", err)
 			}
 		}()
 	}

@@ -11,7 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net/http/httptest"
 	"testing"
@@ -690,7 +690,7 @@ func TestLiveEventStreamOverHTTP(t *testing.T) {
 	live := livestats.New(bus)
 	defer live.Close()
 	srv := httptest.NewServer(httpapi.NewServer(engine, store, httpapi.Options{
-		Logger:     log.New(io.Discard, "", 0), // full chain incl. statusRecorder
+		Logger:     slog.New(slog.NewTextHandler(io.Discard, nil)), // full chain incl. statusRecorder
 		RatePerSec: 1e6, Burst: 1 << 20,
 		Events:    bus,
 		LiveStats: live,

@@ -2,15 +2,19 @@ package bank
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"sync"
+	"time"
 
 	"mineassess/internal/item"
+	"mineassess/internal/obs"
 	"mineassess/internal/walcodec"
 )
 
@@ -143,6 +147,31 @@ type Journal struct {
 	quit          chan struct{}
 	committerDone chan struct{}
 	stopOnce      sync.Once
+
+	// Metrics cells, nil unless JournalOptions.Obs was set. The handles are
+	// nil-safe, but timed sections also guard on nil so the disabled path
+	// never pays a clock read.
+	mCommit     *obs.Histogram // apply → durable-ack latency, labeled by policy
+	mBatch      *obs.Histogram // records coalesced per commit batch
+	mFsync      *obs.Counter   // WAL fsync calls
+	mWALBytes   *obs.Counter   // bytes appended to the WAL
+	mCompacts   *obs.Counter   // compaction passes
+	mCompactDur *obs.Histogram // compaction pass duration
+
+	// slowOps warns about commits that exceed the configured threshold
+	// (see SetSlowOpLog); the zero value is disabled.
+	slowOps obs.SlowOpLog
+}
+
+// SetSlowOpLog arms the journal's slow-commit log: mutations whose
+// apply-to-durable-ack latency reaches threshold emit a Warn record
+// through logger, tagged layer=wal with the WAL op name. The journal has
+// no request context, so the line carries no request ID — correlate with
+// the engine layer's slow-op line (which does) by timestamp; the engine
+// line's duration includes this commit. A nil logger or non-positive
+// threshold disables it.
+func (j *Journal) SetSlowOpLog(logger *slog.Logger, threshold time.Duration) {
+	j.slowOps.Configure(logger, "wal", threshold)
 }
 
 // The epoch counts compactions. Every WAL record carries the epoch it was
@@ -206,11 +235,15 @@ func OpenJournalSync(dir string, backend Storage, compactEvery int, policy SyncP
 }
 
 // JournalOptions configures OpenJournalWith; zero values mean the defaults
-// (DefaultCompactEvery, SyncGroup, CodecJSON).
+// (DefaultCompactEvery, SyncGroup, CodecJSON, no metrics).
 type JournalOptions struct {
 	CompactEvery int
 	Sync         SyncPolicy
 	Codec        Codec
+	// Obs, when non-nil, receives the journal's metrics (commit latency per
+	// sync policy, batch-size distribution, fsync count, WAL bytes,
+	// compaction passes/duration). Nil leaves the hot paths uninstrumented.
+	Obs *obs.Registry
 }
 
 // OpenJournalWith is OpenJournal with explicit sync and codec options. The
@@ -254,6 +287,19 @@ func OpenJournalWith(dir string, backend Storage, opts JournalOptions) (*Journal
 		committerDone: make(chan struct{}),
 	}
 	j.pauseCond = sync.NewCond(&j.mu)
+	if reg := opts.Obs; reg != nil {
+		j.mCommit = reg.Histogram("journal_commit_seconds",
+			"Latency of one journaled mutation from apply to durable ack.",
+			obs.Latency, obs.L("policy", string(policy)))
+		j.mBatch = reg.Histogram("journal_batch_records",
+			"Records coalesced per WAL commit batch.", obs.Sizes)
+		j.mFsync = reg.Counter("journal_fsync_total", "WAL fsync calls.")
+		j.mWALBytes = reg.Counter("journal_wal_bytes_total", "Bytes appended to the WAL.")
+		j.mCompacts = reg.Counter("journal_compactions_total",
+			"Compaction passes, successful or not (pair with journal_compact_seconds).")
+		j.mCompactDur = reg.Histogram("journal_compact_seconds",
+			"Duration of one compaction pass.", obs.Latency)
+	}
 	if _, err := os.Stat(snapshotPath); err == nil {
 		snap, err := readSnapshotFile(snapshotPath)
 		if err != nil {
@@ -437,6 +483,11 @@ func ignoreRedo(err, redo error) error {
 // (closed check, apply, enqueue, commit wait) cannot drift between
 // operations. apply returns the record to journal.
 func (j *Journal) mutate(apply func() (walRecord, error)) error {
+	slowT := j.slowOps.Begin()
+	var start time.Time
+	if j.mCommit != nil {
+		start = time.Now()
+	}
 	j.mu.Lock()
 	// A compaction that could not observe an empty queue stalls new
 	// mutations for the length of one backend scan (see compactCommitter);
@@ -471,6 +522,10 @@ func (j *Journal) mutate(apply func() (walRecord, error)) error {
 	}
 	close(p.ready)
 	<-p.done
+	if j.mCommit != nil && p.err == nil {
+		j.mCommit.Observe(time.Since(start))
+	}
+	j.slowOps.Done(context.Background(), rec.Op, rec.ID, slowT)
 	return p.err
 }
 
@@ -543,6 +598,7 @@ func (j *Journal) drainQueue() {
 // batch errors and every subsequent mutation errors until the process
 // restarts and replays the WAL (which drops the unjournaled mutations).
 func (j *Journal) commitBatch(batch []*pendingCommit) {
+	j.mBatch.ObserveValue(int64(len(batch)))
 	if j.policy == SyncAlways {
 		for i, p := range batch {
 			<-p.ready
@@ -558,6 +614,8 @@ func (j *Journal) commitBatch(batch []*pendingCommit) {
 				j.poisonBatch(batch[i:], fmt.Errorf("bank: sync wal (journal now closed): %w", err))
 				return
 			}
+			j.mWALBytes.Add(int64(len(p.payload)))
+			j.mFsync.Inc()
 			j.dirty++
 			close(p.done)
 		}
@@ -591,7 +649,9 @@ func (j *Journal) commitBatch(batch []*pendingCommit) {
 				j.poisonBatch(batch, fmt.Errorf("bank: sync wal (journal now closed): %w", err))
 				return
 			}
+			j.mFsync.Inc()
 		}
+		j.mWALBytes.Add(int64(size))
 		j.dirty += len(good)
 		for _, p := range good {
 			close(p.done)
@@ -686,6 +746,13 @@ func (j *Journal) Compact() error {
 // snapshot poisons the journal, since the append handle can no longer be
 // trusted.
 func (j *Journal) compactCommitter() error {
+	if j.mCompactDur != nil {
+		start := time.Now()
+		defer func() {
+			j.mCompacts.Inc()
+			j.mCompactDur.Observe(time.Since(start))
+		}()
+	}
 	// The scan holds the ordering lock: writers are quiesced for the
 	// in-memory clone of the bank (no file I/O), which makes the snapshot
 	// a consistent cut containing exactly the mutations stamped with the

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 
 	"mineassess/internal/item"
+	"mineassess/internal/obs"
 )
 
 // Storage is the problem & exam database contract. The engine, the authoring
@@ -289,6 +290,9 @@ type Options struct {
 	// per record, so an existing WAL opens under either setting. Ignored
 	// without a journal.
 	Codec Codec
+	// Obs, when non-nil, receives the journal's metrics (see
+	// JournalOptions.Obs). Ignored without a journal.
+	Obs *obs.Registry
 }
 
 // Open builds a Storage from options. When journaling is enabled the
@@ -349,6 +353,7 @@ func Open(path string, o Options) (Storage, error) {
 		CompactEvery: o.CompactEvery,
 		Sync:         o.Sync,
 		Codec:        o.Codec,
+		Obs:          o.Obs,
 	})
 }
 

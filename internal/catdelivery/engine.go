@@ -38,6 +38,7 @@ import (
 	"mineassess/internal/delivery"
 	"mineassess/internal/events"
 	"mineassess/internal/item"
+	"mineassess/internal/obs"
 	"mineassess/internal/simulate"
 )
 
@@ -298,6 +299,10 @@ type Engine struct {
 	recalMu sync.Mutex
 
 	restoreSkipped int // sessions NewEngine could not rehydrate
+
+	// slowOps logs engine operations that exceed the configured threshold
+	// (see SetSlowOpLog); disabled it costs one atomic load per Ctx call.
+	slowOps obs.SlowOpLog
 }
 
 // NewEngine builds an adaptive engine over the storage and restores every

@@ -1,0 +1,47 @@
+package catdelivery
+
+import (
+	"context"
+	"log/slog"
+	"time"
+)
+
+// SetSlowOpLog arms the engine's slow-operation log: Ctx-variant calls
+// that run for at least threshold emit a Warn record through logger,
+// tagged layer=catdelivery and carrying the request ID from the context,
+// so a slow access-log line can be traced to the adaptive engine call
+// behind it. A nil logger or non-positive threshold disables it.
+func (e *Engine) SetSlowOpLog(logger *slog.Logger, threshold time.Duration) {
+	e.slowOps.Configure(logger, "catdelivery", threshold)
+}
+
+// StartCtx is Start with the request context threaded through for slow-op
+// logging. The context does not cancel the operation.
+func (e *Engine) StartCtx(ctx context.Context, examID, studentID string, cfg Config, seed int64) (*Session, *ItemView, error) {
+	t := e.slowOps.Begin()
+	sess, first, err := e.Start(examID, studentID, cfg, seed)
+	id := ""
+	if sess != nil {
+		id = sess.ID
+	}
+	e.slowOps.Done(ctx, "start", id, t)
+	return sess, first, err
+}
+
+// SubmitResponseCtx is SubmitResponse with the request context threaded
+// through for slow-op logging.
+func (e *Engine) SubmitResponseCtx(ctx context.Context, sessionID, problemID, response string) (*Progress, error) {
+	t := e.slowOps.Begin()
+	prog, err := e.SubmitResponse(sessionID, problemID, response)
+	e.slowOps.Done(ctx, "respond", sessionID, t)
+	return prog, err
+}
+
+// FinishCtx is Finish with the request context threaded through for
+// slow-op logging.
+func (e *Engine) FinishCtx(ctx context.Context, sessionID string) (*Outcome, error) {
+	t := e.slowOps.Begin()
+	out, err := e.Finish(sessionID)
+	e.slowOps.Done(ctx, "finish", sessionID, t)
+	return out, err
+}

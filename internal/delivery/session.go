@@ -26,6 +26,7 @@ import (
 	"mineassess/internal/bank"
 	"mineassess/internal/events"
 	"mineassess/internal/item"
+	"mineassess/internal/obs"
 	"mineassess/internal/scorm"
 )
 
@@ -161,6 +162,9 @@ type Engine struct {
 	// unconditional). Emission is fire-and-forget and never blocks, so it
 	// adds only memory-op cost to the learner's request.
 	bus *events.Bus
+	// slowOps logs engine operations that exceed the configured threshold
+	// (see SetSlowOpLog); disabled it costs one atomic load per Ctx call.
+	slowOps obs.SlowOpLog
 }
 
 // SetEventBus attaches a live event bus; engine operations publish

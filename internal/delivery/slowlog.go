@@ -1,0 +1,49 @@
+package delivery
+
+import (
+	"context"
+	"log/slog"
+	"time"
+
+	"mineassess/internal/analysis"
+)
+
+// SetSlowOpLog arms the engine's slow-operation log: Ctx-variant calls
+// that run for at least threshold emit a Warn record through logger,
+// tagged layer=delivery and carrying the request ID from the context, so
+// a slow access-log line can be traced to the engine call behind it.
+// A nil logger or non-positive threshold disables it.
+func (e *Engine) SetSlowOpLog(logger *slog.Logger, threshold time.Duration) {
+	e.slowOps.Configure(logger, "delivery", threshold)
+}
+
+// StartCtx is Start with the request context threaded through for slow-op
+// logging. The context does not cancel the operation.
+func (e *Engine) StartCtx(ctx context.Context, examID, studentID string, seed int64) (*Session, error) {
+	t := e.slowOps.Begin()
+	sess, err := e.Start(examID, studentID, seed)
+	id := ""
+	if sess != nil {
+		id = sess.ID
+	}
+	e.slowOps.Done(ctx, "start", id, t)
+	return sess, err
+}
+
+// AnswerCtx is Answer with the request context threaded through for
+// slow-op logging.
+func (e *Engine) AnswerCtx(ctx context.Context, sessionID, problemID, response string) error {
+	t := e.slowOps.Begin()
+	err := e.Answer(sessionID, problemID, response)
+	e.slowOps.Done(ctx, "answer", sessionID, t)
+	return err
+}
+
+// FinishCtx is Finish with the request context threaded through for
+// slow-op logging.
+func (e *Engine) FinishCtx(ctx context.Context, sessionID string) (*analysis.StudentResult, error) {
+	t := e.slowOps.Begin()
+	res, err := e.Finish(sessionID)
+	e.slowOps.Done(ctx, "finish", sessionID, t)
+	return res, err
+}

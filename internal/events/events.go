@@ -29,6 +29,8 @@ import (
 	"encoding/json"
 	"sync"
 	"time"
+
+	"mineassess/internal/obs"
 )
 
 // Type names an event kind. The values are wire-stable: they appear as SSE
@@ -145,6 +147,10 @@ type Options struct {
 	Log *Log
 	// Now is the event timestamp clock; nil means wall-clock time.
 	Now func() time.Time
+	// Obs, when non-nil, receives the bus's metrics: publish count, drops,
+	// gap emissions, per-subscriber queue high-water, active subscribers,
+	// ring occupancy. Nil leaves the fan-out path uninstrumented.
+	Obs *obs.Registry
 }
 
 // Bus is the fan-out hub. The zero value is not usable; build with NewBus.
@@ -162,6 +168,13 @@ type Bus struct {
 	allRing *ring            // global replay ring (firehose resume)
 	ringCap int
 	subs    map[*Subscription]struct{}
+
+	// Metrics cells, nil unless Options.Obs was set (handles are nil-safe,
+	// so the record sites below are unconditional).
+	mPublished *obs.Counter // events accepted by Publish
+	mDropped   *obs.Counter // drop-oldest discards across all subscriptions
+	mGaps      *obs.Counter // stream.gap markers emitted
+	mQueueHW   *obs.Gauge   // high-water mark of any subscriber queue
 }
 
 // NewBus builds a bus.
@@ -190,6 +203,29 @@ func NewBus(o Options) *Bus {
 			b.seqs[exam] = seq
 		}
 		b.global = o.Log.globalSeq
+	}
+	if reg := o.Obs; reg != nil {
+		b.mPublished = reg.Counter("events_published_total", "Events accepted by the bus.")
+		b.mDropped = reg.Counter("events_dropped_total",
+			"Events discarded by drop-oldest across all subscriber queues.")
+		b.mGaps = reg.Counter("events_gap_total", "stream.gap markers emitted to subscribers.")
+		b.mQueueHW = reg.Gauge("events_queue_highwater",
+			"Deepest any subscriber queue has ever been.")
+		reg.GaugeFunc("events_subscribers", "Registered subscriptions.",
+			func() float64 { return float64(b.Subscribers()) })
+		reg.GaugeFunc("events_ring_entries", "Events retained in the global replay ring.",
+			func() float64 {
+				b.mu.Lock()
+				defer b.mu.Unlock()
+				if b.allRing == nil {
+					return 0
+				}
+				return float64(b.allRing.count)
+			})
+		if b.log != nil {
+			reg.GaugeFunc("events_log_dropped", "Events the durable log's queue rejected.",
+				func() float64 { return float64(b.log.Dropped()) })
+		}
 	}
 	return b
 }
@@ -236,6 +272,7 @@ func (b *Bus) Publish(e Event) {
 		}
 	}
 	b.mu.Unlock()
+	b.mPublished.Inc()
 }
 
 // Subscribers reports the number of registered subscriptions (metrics,
@@ -257,6 +294,17 @@ func (b *Bus) Seq(examID string) uint64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.seqs[examID]
+}
+
+// Head reports the bus-wide (last assigned) global sequence number —
+// consumers compare it against their own position to measure lag.
+func (b *Bus) Head() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.global
 }
 
 // SubscribeOptions selects what a subscription receives.
@@ -367,6 +415,7 @@ func (sub *Subscription) seedLocked(b *Bus, o SubscribeOptions, logEvents []Even
 	for _, e := range backlog {
 		seq := seqOf(e)
 		if seq > prev+1 {
+			b.mGaps.Inc()
 			sub.queue = append(sub.queue, Event{
 				Type: TypeGap, ExamID: o.ExamID, Dropped: int(seq - prev - 1),
 			})
@@ -379,6 +428,7 @@ func (sub *Subscription) seedLocked(b *Bus, o SubscribeOptions, logEvents []Even
 		head = b.global
 	}
 	if head > prev {
+		b.mGaps.Inc()
 		sub.queue = append(sub.queue, Event{
 			Type: TypeGap, ExamID: o.ExamID, Dropped: int(head - prev),
 		})
@@ -488,9 +538,12 @@ func (s *Subscription) push(e Event) {
 		n := len(s.queue) - s.max + 1
 		s.queue = append(s.queue[:0], s.queue[n:]...)
 		s.dropped += n
+		s.bus.mDropped.Add(int64(n))
 	}
 	s.queue = append(s.queue, e)
+	depth := len(s.queue)
 	s.mu.Unlock()
+	s.bus.mQueueHW.SetMax(int64(depth))
 	s.wake()
 }
 
@@ -522,6 +575,7 @@ func (s *Subscription) pump() {
 			s.mu.Unlock()
 			s.free = batch
 			if dropped > 0 {
+				s.bus.mGaps.Inc()
 				gap := Event{Type: TypeGap, ExamID: s.examID, Dropped: dropped}
 				select {
 				case s.out <- gap:

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mineassess/internal/obs"
 	"mineassess/pkg/api"
 )
 
@@ -20,11 +21,17 @@ import (
 // the request hot path is a few atomic increments against a *routeStats
 // captured in the handler closure — no lock and no map lookup is taken per
 // request. The registry mutex guards only registration and Snapshot.
+//
+// Built with NewMetricsWith, the per-route latency histograms and the
+// process counters also live in a shared obs.Registry, so the same cells
+// feed both the JSON snapshot and the Prometheus exposition on the ops
+// listener.
 type Metrics struct {
 	start       time.Time
-	inFlight    atomic.Int64
-	rateLimited atomic.Int64
-	panics      atomic.Int64
+	inFlight    *obs.Gauge
+	rateLimited *obs.Counter
+	panics      *obs.Counter
+	reg         *obs.Registry
 
 	mu     sync.Mutex
 	routes map[string]*routeStats
@@ -37,21 +44,18 @@ const (
 	statusSlots = 500
 )
 
-// routeStats is one route's counters. All fields are atomics: observe is
-// called concurrently from every in-flight request without locking.
-// Snapshot reads the fields individually, so a scrape racing a request may
-// see a count without its duration — the skew is one request's worth and
-// irrelevant for averages.
+// routeStats is one route's counters. The latency histogram is lock-free
+// and internally consistent (obs.Histogram.CountSum never understates the
+// mean), so a scrape racing a request sees at worst one in-flight
+// observation's skew per writer.
 type routeStats struct {
-	count      atomic.Int64
-	totalNanos atomic.Int64
-	byStatus   [statusSlots]atomic.Int64
+	hist     *obs.Histogram
+	byStatus [statusSlots]atomic.Int64
 }
 
 // observe records one completed request.
 func (rs *routeStats) observe(status int, d time.Duration) {
-	rs.count.Add(1)
-	rs.totalNanos.Add(int64(d))
+	rs.hist.Observe(d)
 	slot := status - statusMin
 	if slot < 0 {
 		slot = 0
@@ -61,9 +65,30 @@ func (rs *routeStats) observe(status int, d time.Duration) {
 	rs.byStatus[slot].Add(1)
 }
 
-// NewMetrics returns an empty registry.
+// NewMetrics returns an empty standalone registry (no Prometheus export).
 func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now(), routes: make(map[string]*routeStats)}
+	return NewMetricsWith(nil)
+}
+
+// NewMetricsWith returns a registry whose cells are additionally published
+// through reg (nil reg means standalone): http_request_seconds{route=...}
+// histograms, the http_requests_inflight gauge, and the
+// http_rate_limited_total / http_panics_total counters.
+func NewMetricsWith(reg *obs.Registry) *Metrics {
+	m := &Metrics{start: time.Now(), reg: reg, routes: make(map[string]*routeStats)}
+	if reg != nil {
+		m.inFlight = reg.Gauge("http_requests_inflight",
+			"Requests currently being served.")
+		m.rateLimited = reg.Counter("http_rate_limited_total",
+			"Requests rejected by the token-bucket rate limiter.")
+		m.panics = reg.Counter("http_panics_total",
+			"Handler panics converted to 500 responses.")
+	} else {
+		m.inFlight = new(obs.Gauge)
+		m.rateLimited = new(obs.Counter)
+		m.panics = new(obs.Counter)
+	}
+	return m
 }
 
 // register returns the route's stats, creating them on first registration.
@@ -75,6 +100,13 @@ func (m *Metrics) register(route string) *routeStats {
 	rs, ok := m.routes[route]
 	if !ok {
 		rs = &routeStats{}
+		if m.reg != nil {
+			rs.hist = m.reg.Histogram("http_request_seconds",
+				"HTTP request latency by route pattern.",
+				obs.Latency, obs.L("route", route))
+		} else {
+			rs.hist = obs.NewHistogram(obs.Latency)
+		}
 		m.routes[route] = rs
 	}
 	return rs
@@ -109,18 +141,19 @@ type MetricsSnapshot = api.MetricsSnapshot
 // Snapshot exports the registry. Routes are sorted by pattern for stable
 // output; scraping the snapshot does not reset any counter. Routes that
 // have never served a request are omitted, matching the lazily-populated
-// output of earlier versions.
+// output of earlier versions. When built over an obs.Registry, every
+// subsystem sample (journal, events, live stats, ...) rides along under
+// Subsystems.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	snap := MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
-		InFlight:      m.inFlight.Load(),
-		RateLimited:   m.rateLimited.Load(),
-		Panics:        m.panics.Load(),
+		InFlight:      m.inFlight.Value(),
+		RateLimited:   m.rateLimited.Value(),
+		Panics:        m.panics.Value(),
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for route, rs := range m.routes {
-		count := rs.count.Load()
+		count, sumNanos := rs.hist.CountSum()
 		if count == 0 {
 			continue
 		}
@@ -128,6 +161,11 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 			Route:    route,
 			Count:    count,
 			ByStatus: make(map[string]int64),
+			AvgMs:    float64(sumNanos) / 1e6 / float64(count),
+			P50Ms:    obs.Ms(rs.hist.Quantile(0.50)),
+			P99Ms:    obs.Ms(rs.hist.Quantile(0.99)),
+			P999Ms:   obs.Ms(rs.hist.Quantile(0.999)),
+			MaxMs:    obs.Ms(rs.hist.Max()),
 		}
 		for slot := range rs.byStatus {
 			n := rs.byStatus[slot].Load()
@@ -140,12 +178,15 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 				snap.Errors5xx += n
 			}
 		}
-		rm.AvgMs = float64(rs.totalNanos.Load()) / 1e6 / float64(count)
 		snap.Requests += count
 		snap.Routes = append(snap.Routes, rm)
 	}
+	m.mu.Unlock()
 	sort.Slice(snap.Routes, func(i, j int) bool {
 		return snap.Routes[i].Route < snap.Routes[j].Route
 	})
+	for _, s := range m.reg.Snapshot() {
+		snap.Subsystems = append(snap.Subsystems, api.SubsystemMetric(s))
+	}
 	return snap
 }

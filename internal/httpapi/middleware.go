@@ -6,11 +6,13 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"mineassess/internal/obs"
 )
 
 // Middleware wraps a handler. The chain composes outermost-first, so
@@ -27,13 +29,11 @@ func Chain(mws ...Middleware) Middleware {
 	}
 }
 
-// requestIDKey is the context key the request ID travels under.
-type requestIDKey struct{}
-
 // RequestIDFrom returns the request's ID, or "" outside the middleware.
+// The ID travels under the obs package's context key so engine and WAL
+// layers read it without importing httpapi.
 func RequestIDFrom(ctx context.Context) string {
-	id, _ := ctx.Value(requestIDKey{}).(string)
-	return id
+	return obs.RequestIDFrom(ctx)
 }
 
 // requestIDSeq distinguishes requests within one process; the random prefix
@@ -60,7 +60,7 @@ func RequestID() Middleware {
 			}
 			w.Header().Set("X-Request-ID", id)
 			next.ServeHTTP(w, r.WithContext(
-				context.WithValue(r.Context(), requestIDKey{}, id)))
+				obs.WithRequestID(r.Context(), id)))
 		})
 	}
 }
@@ -137,9 +137,12 @@ func (sr *statusRecorder) Hijack() (net.Conn, *bufio.ReadWriter, error) {
 	return nil, nil, http.ErrNotSupported
 }
 
-// AccessLog emits one structured line per request: who asked for what, what
-// came back, and how long it took. A nil logger disables logging.
-func AccessLog(logger *log.Logger) Middleware {
+// AccessLog emits one structured record per request: who asked for what,
+// what came back, and how long it took. Requests that run for slow or
+// longer (when slow > 0) are logged at Warn as "slow request" so they
+// stand out and correlate — via request_id — with the engine- and
+// WAL-layer slow-op lines. A nil logger disables logging.
+func AccessLog(logger *slog.Logger, slow time.Duration) Middleware {
 	return func(next http.Handler) http.Handler {
 		if logger == nil {
 			return next
@@ -151,10 +154,20 @@ func AccessLog(logger *log.Logger) Middleware {
 			if sr.status == 0 {
 				sr.status = http.StatusOK
 			}
-			logger.Printf("request_id=%s method=%s path=%s status=%d bytes=%d duration_ms=%.2f learner=%s",
-				RequestIDFrom(r.Context()), r.Method, r.URL.Path,
-				sr.status, sr.bytes, float64(time.Since(start).Microseconds())/1000,
-				learnerKey(r))
+			d := time.Since(start)
+			level, msg := slog.LevelInfo, "request"
+			if slow > 0 && d >= slow {
+				level, msg = slog.LevelWarn, "slow request"
+			}
+			logger.LogAttrs(r.Context(), level, msg,
+				slog.String("request_id", RequestIDFrom(r.Context())),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sr.status),
+				slog.Int("bytes", sr.bytes),
+				slog.Float64("duration_ms", float64(d.Microseconds())/1000),
+				slog.String("learner", learnerKey(r)),
+			)
 		})
 	}
 }
@@ -162,7 +175,7 @@ func AccessLog(logger *log.Logger) Middleware {
 // Recover converts handler panics into 500 INTERNAL envelopes instead of
 // dropped connections, keeping one broken request from looking like an
 // outage to the load balancer.
-func Recover(logger *log.Logger, onPanic func()) Middleware {
+func Recover(logger *slog.Logger, onPanic func()) Middleware {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			sr := &statusRecorder{ResponseWriter: w}
@@ -172,8 +185,11 @@ func Recover(logger *log.Logger, onPanic func()) Middleware {
 						onPanic()
 					}
 					if logger != nil {
-						logger.Printf("request_id=%s panic=%v path=%s",
-							RequestIDFrom(r.Context()), rec, r.URL.Path)
+						logger.LogAttrs(r.Context(), slog.LevelError, "panic",
+							slog.String("request_id", RequestIDFrom(r.Context())),
+							slog.Any("panic", rec),
+							slog.String("path", r.URL.Path),
+						)
 					}
 					// If the handler already wrote headers the envelope
 					// cannot be sent; the truncated body signals failure.

@@ -50,7 +50,7 @@ package httpapi
 
 import (
 	"encoding/json"
-	"log"
+	"log/slog"
 	"mime"
 	"net/http"
 	"path"
@@ -62,13 +62,24 @@ import (
 	"mineassess/internal/delivery"
 	"mineassess/internal/events"
 	"mineassess/internal/livestats"
+	"mineassess/internal/obs"
 	"mineassess/internal/scorm"
 )
 
 // Options configures the server's middleware stack and optional subsystems.
 type Options struct {
-	// Logger receives access-log and panic lines; nil disables logging.
-	Logger *log.Logger
+	// Logger receives structured access-log and panic records; nil
+	// disables logging.
+	Logger *slog.Logger
+	// SlowRequest, when > 0 with Logger set, logs requests that take at
+	// least this long at Warn ("slow request") and arms the delivery and
+	// adaptive engines' slow-op logs so the layers correlate by request ID.
+	SlowRequest time.Duration
+	// Obs, when set, publishes the per-route latency histograms and
+	// process counters through the shared registry (Prometheus exposition
+	// on the ops listener) and appends every subsystem sample to the
+	// /v1/metrics JSON body.
+	Obs *obs.Registry
 	// RatePerSec is the per-learner token-bucket refill rate; <= 0 disables
 	// rate limiting.
 	RatePerSec float64
@@ -120,10 +131,21 @@ func NewServer(engine *delivery.Engine, store bank.Storage, o Options) *Server {
 		bus:       o.Events,
 		live:      o.LiveStats,
 		heartbeat: o.StreamHeartbeat,
-		metrics:   NewMetrics(),
+		metrics:   NewMetricsWith(o.Obs),
 		mux:       http.NewServeMux(),
 	}
 	s.routes()
+	// Slow requests at the HTTP layer arm matching slow-op logs in the
+	// engines, so one request ID ties the access-log line to the engine
+	// call that made it slow.
+	if o.Logger != nil && o.SlowRequest > 0 {
+		if engine != nil {
+			engine.SetSlowOpLog(o.Logger, o.SlowRequest)
+		}
+		if o.Adaptive != nil {
+			o.Adaptive.SetSlowOpLog(o.Logger, o.SlowRequest)
+		}
+	}
 	// The per-learner bucket shapes individual traffic; the per-IP bucket
 	// (ipAggregateFactor times the learner rate) caps what any one address
 	// can push regardless of the client-controlled X-Learner-ID header. The
@@ -138,9 +160,9 @@ func NewServer(engine *delivery.Engine, store bank.Storage, o Options) *Server {
 	perIP := NewRateLimiter(o.RatePerSec*ipAggregateFactor, burst*ipAggregateFactor, o.Now)
 	s.handler = Chain(
 		RequestID(),
-		AccessLog(o.Logger),
-		Recover(o.Logger, func() { s.metrics.panics.Add(1) }),
-		RateLimit(perLearner, perIP, func() { s.metrics.rateLimited.Add(1) }),
+		AccessLog(o.Logger, o.SlowRequest),
+		Recover(o.Logger, func() { s.metrics.panics.Inc() }),
+		RateLimit(perLearner, perIP, func() { s.metrics.rateLimited.Inc() }),
 	)(s.mux)
 	return s
 }
@@ -271,7 +293,7 @@ func (s *Server) sessionAction(w http.ResponseWriter, r *http.Request, id, verb 
 		if !decodeBody(w, r, &req) {
 			return
 		}
-		if err := s.engine.Answer(id, req.ProblemID, req.Response); err != nil {
+		if err := s.engine.AnswerCtx(r.Context(), id, req.ProblemID, req.Response); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -289,7 +311,7 @@ func (s *Server) sessionAction(w http.ResponseWriter, r *http.Request, id, verb 
 		}
 		writeJSON(w, http.StatusOK, ActionResponse{Status: "running"})
 	case "finish":
-		res, err := s.engine.Finish(id)
+		res, err := s.engine.FinishCtx(r.Context(), id)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -316,7 +338,7 @@ func (s *Server) startSession(w http.ResponseWriter, r *http.Request, examID str
 		badRequest(w, "missing exam ID")
 		return
 	}
-	sess, err := s.engine.Start(examID, req.StudentID, req.Seed)
+	sess, err := s.engine.StartCtx(r.Context(), examID, req.StudentID, req.Seed)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -12,7 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -127,7 +127,7 @@ func streamFixture(t *testing.T) (*httptest.Server, *delivery.Engine, string, *e
 	live := livestats.New(bus)
 	t.Cleanup(live.Close)
 	srv := httptest.NewServer(NewServer(eng, store, Options{
-		Logger:     log.New(io.Discard, "", 0),
+		Logger:     slog.New(slog.NewTextHandler(io.Discard, nil)),
 		RatePerSec: 1e6, Burst: 1 << 20,
 		Events:    bus,
 		LiveStats: live,

@@ -29,8 +29,11 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mineassess/internal/events"
+	"mineassess/internal/obs"
 )
 
 // HistogramBins is the percent-correct score histogram resolution.
@@ -115,6 +118,12 @@ type Aggregator struct {
 
 	mu    sync.RWMutex
 	exams map[string]*examAgg
+
+	// Metrics cells, nil unless built with NewWith (handles are nil-safe;
+	// the fold timing also guards on nil to spare the clock reads).
+	mFolded  *obs.Counter   // events folded
+	mFoldDur *obs.Histogram // per-event fold latency
+	lastSeq  atomic.Uint64  // GlobalSeq of the last folded event (lag probe)
 }
 
 // AggregatorBuffer is the aggregator's bus-queue depth: generous, because a
@@ -125,6 +134,13 @@ const AggregatorBuffer = 8192
 // bus yields a nil aggregator (Snapshot misses, Close no-ops), so wiring
 // can be unconditional.
 func New(bus *events.Bus) *Aggregator {
+	return NewWith(bus, nil)
+}
+
+// NewWith is New plus metrics: with a non-nil registry the aggregator
+// exports its fold count, per-event fold latency, and its lag behind the
+// bus head (how many published events it has not yet folded).
+func NewWith(bus *events.Bus, reg *obs.Registry) *Aggregator {
 	sub := bus.Subscribe(events.SubscribeOptions{Buffer: AggregatorBuffer})
 	if sub == nil {
 		return nil
@@ -134,6 +150,25 @@ func New(bus *events.Bus) *Aggregator {
 		done:  make(chan struct{}),
 		exams: make(map[string]*examAgg),
 	}
+	if reg != nil {
+		a.mFolded = reg.Counter("livestats_events_total", "Events folded into live statistics.")
+		a.mFoldDur = reg.Histogram("livestats_fold_seconds", "Per-event fold latency.", obs.Latency)
+		reg.GaugeFunc("livestats_lag_events",
+			"Published events not yet folded (bus head minus last folded GlobalSeq).",
+			func() float64 {
+				head, last := bus.Head(), a.lastSeq.Load()
+				if head <= last {
+					return 0
+				}
+				return float64(head - last)
+			})
+		reg.GaugeFunc("livestats_exams", "Exam aggregates held in memory.",
+			func() float64 {
+				a.mu.RLock()
+				defer a.mu.RUnlock()
+				return float64(len(a.exams))
+			})
+	}
 	go a.run()
 	return a
 }
@@ -141,7 +176,18 @@ func New(bus *events.Bus) *Aggregator {
 func (a *Aggregator) run() {
 	defer close(a.done)
 	for e := range a.sub.Events() {
+		var start time.Time
+		if a.mFoldDur != nil {
+			start = time.Now()
+		}
 		a.fold(e)
+		if a.mFoldDur != nil {
+			a.mFoldDur.Observe(time.Since(start))
+		}
+		a.mFolded.Inc()
+		if e.GlobalSeq != 0 {
+			a.lastSeq.Store(e.GlobalSeq)
+		}
 	}
 }
 

@@ -17,197 +17,50 @@
 package loadgen
 
 import (
-	"fmt"
-	"math"
-	"sort"
-	"sync/atomic"
 	"time"
+
+	"mineassess/internal/obs"
 )
 
-// Histogram bucket layout: log-spaced boundaries growing by histGrowth per
-// bucket from histFloor. Observations below the floor land in bucket 0;
-// observations beyond the last boundary land in the overflow bucket. The
-// layout spans ~50µs to beyond a minute (the harness's request-timeout
-// scale) in 84 buckets, giving ~19% worst-case quantile resolution —
-// plenty for p50/p99/p999 reporting while keeping Merge a flat array sum.
+// The log-bucketed latency histogram was born here in PR 7 and promoted to
+// internal/obs in PR 8 so the server interior (journal, bus, livestats,
+// HTTP routes) records into the same structure the harness reports from.
+// These aliases keep the harness API and its recorded semantics identical:
+// the obs.Latency layout is byte-for-byte the PR 7 layout (84 buckets,
+// 50µs floor, 2^0.25 growth, binary-search bucketFor, max-clamped
+// interpolated quantiles).
+type (
+	// Histogram is the shared lock-free log-bucketed latency histogram.
+	Histogram = obs.Histogram
+	// LatencySummary is the serializable digest of one histogram.
+	LatencySummary = obs.LatencySummary
+)
+
+// Layout constants, re-exported for the package's own bucket math.
 const (
 	histBuckets = 84
 	histFloor   = 50 * time.Microsecond
 )
 
-var histGrowth = math.Pow(2, 0.25) // 4 buckets per octave
+// bucketFor returns the index whose range contains d (see obs.Layout).
+func bucketFor(d time.Duration) int { return obs.Latency.BucketFor(int64(d)) }
 
-// bucketBounds[i] is the exclusive upper bound of bucket i (the last
-// bucket's bound is +Inf conceptually; the array holds its finite start).
+// bucketRange returns the [lo, hi) duration range of bucket i.
+func bucketRange(i int) (lo, hi time.Duration) {
+	l, h := obs.Latency.BucketRange(i)
+	return time.Duration(l), time.Duration(h)
+}
+
+// bucketBounds[i] is the exclusive upper bound of bucket i, rebuilt from
+// the shared layout so the harness's boundary tests keep pinning it.
 var bucketBounds = func() [histBuckets]time.Duration {
 	var b [histBuckets]time.Duration
-	bound := float64(histFloor)
 	for i := 0; i < histBuckets; i++ {
-		b[i] = time.Duration(bound)
-		bound *= histGrowth
+		lo, _ := obs.Latency.BucketRange(i + 1)
+		b[i] = time.Duration(lo)
 	}
 	return b
 }()
 
-// Histogram is a fixed-layout log-bucketed latency histogram. Observe is
-// lock-free (one atomic add per call plus min/max CAS loops), so thousands
-// of virtual learners can record into one histogram without serializing on
-// it. The zero value is ready to use.
-type Histogram struct {
-	counts [histBuckets + 1]atomic.Int64 // +1: overflow
-	count  atomic.Int64
-	sum    atomic.Int64 // nanoseconds
-	max    atomic.Int64 // nanoseconds
-}
-
-// bucketFor returns the index whose range contains d. The precomputed
-// bounds are the single source of truth (a log/exp round trip disagrees
-// with the truncated integer bounds at exact boundaries); a binary search
-// over 72 entries costs ~7 comparisons, noise next to the atomic add.
-func bucketFor(d time.Duration) int {
-	if d < histFloor {
-		return 0
-	}
-	// Smallest i with d < bounds[i] is the containing bucket (bucket i
-	// spans [bounds[i-1], bounds[i])); no such i means overflow.
-	return sort.Search(histBuckets, func(i int) bool { return d < bucketBounds[i] })
-}
-
-// Observe records one latency sample.
-func (h *Histogram) Observe(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	h.counts[bucketFor(d)].Add(1)
-	h.count.Add(1)
-	h.sum.Add(int64(d))
-	for {
-		cur := h.max.Load()
-		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
-			return
-		}
-	}
-}
-
-// Count returns the number of recorded samples.
-func (h *Histogram) Count() int64 { return h.count.Load() }
-
-// Max returns the largest recorded sample.
-func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
-
-// Mean returns the arithmetic mean of the recorded samples.
-func (h *Histogram) Mean() time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(h.sum.Load() / n)
-}
-
-// bucketRange returns the [lo, hi) duration range of bucket i.
-func bucketRange(i int) (lo, hi time.Duration) {
-	if i == 0 {
-		return 0, bucketBounds[0]
-	}
-	lo = bucketBounds[i-1]
-	if i >= histBuckets {
-		// Overflow: report its start; interpolation degrades to the bound.
-		return lo, lo
-	}
-	return lo, bucketBounds[i]
-}
-
-// Quantile returns the q-quantile (q in [0,1]) with linear interpolation
-// inside the containing bucket, clamped by the exact observed maximum so a
-// sparse tail cannot report a latency nobody experienced.
-func (h *Histogram) Quantile(q float64) time.Duration {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	rank := q * float64(total)
-	var seen float64
-	for i := 0; i <= histBuckets; i++ {
-		c := float64(h.counts[i].Load())
-		if c == 0 {
-			continue
-		}
-		if seen+c >= rank {
-			lo, hi := bucketRange(i)
-			var v time.Duration
-			if hi <= lo {
-				v = lo
-			} else {
-				frac := (rank - seen) / c
-				v = lo + time.Duration(frac*float64(hi-lo))
-			}
-			if max := h.Max(); v > max {
-				v = max
-			}
-			return v
-		}
-		seen += c
-	}
-	return h.Max()
-}
-
-// Merge folds other's samples into h. Both histograms share the package's
-// fixed bucket layout, so merging is a flat array sum.
-func (h *Histogram) Merge(other *Histogram) {
-	if other == nil {
-		return
-	}
-	for i := range other.counts {
-		if c := other.counts[i].Load(); c != 0 {
-			h.counts[i].Add(c)
-		}
-	}
-	h.count.Add(other.count.Load())
-	h.sum.Add(other.sum.Load())
-	for {
-		cur, om := h.max.Load(), other.max.Load()
-		if om <= cur || h.max.CompareAndSwap(cur, om) {
-			return
-		}
-	}
-}
-
-// LatencySummary is the serializable digest of one histogram, in
-// milliseconds for human- and JSON-friendly reporting.
-type LatencySummary struct {
-	Count  int64   `json:"count"`
-	MeanMs float64 `json:"meanMs"`
-	P50Ms  float64 `json:"p50Ms"`
-	P90Ms  float64 `json:"p90Ms"`
-	P99Ms  float64 `json:"p99Ms"`
-	P999Ms float64 `json:"p999Ms"`
-	MaxMs  float64 `json:"maxMs"`
-}
-
 // ms converts a duration to float milliseconds.
-func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
-
-// Summary digests the histogram.
-func (h *Histogram) Summary() LatencySummary {
-	return LatencySummary{
-		Count:  h.Count(),
-		MeanMs: ms(h.Mean()),
-		P50Ms:  ms(h.Quantile(0.50)),
-		P90Ms:  ms(h.Quantile(0.90)),
-		P99Ms:  ms(h.Quantile(0.99)),
-		P999Ms: ms(h.Quantile(0.999)),
-		MaxMs:  ms(h.Max()),
-	}
-}
-
-// String renders the digest for CLI output.
-func (s LatencySummary) String() string {
-	return fmt.Sprintf("n=%d p50=%.2fms p99=%.2fms p999=%.2fms max=%.2fms",
-		s.Count, s.P50Ms, s.P99Ms, s.P999Ms, s.MaxMs)
-}
+func ms(d time.Duration) float64 { return obs.Ms(d) }

@@ -11,6 +11,7 @@ import (
 	"mineassess/internal/events"
 	"mineassess/internal/httpapi"
 	"mineassess/internal/livestats"
+	"mineassess/internal/obs"
 )
 
 // InProcessConfig shapes the hermetic target server. The defaults match a
@@ -37,6 +38,10 @@ type InProcessConfig struct {
 // the listener flags. Tests and CI drive it through URL.
 type InProcess struct {
 	URL string
+	// Obs is the target's process metrics registry (journal, bus, live
+	// stats, per-route HTTP histograms) — capacity runs exercise the same
+	// instrumented composition production serves, and tests can scrape it.
+	Obs *obs.Registry
 
 	srv     *httptest.Server
 	store   bank.Storage
@@ -47,7 +52,7 @@ type InProcess struct {
 
 // StartInProcess boots the hermetic target.
 func StartInProcess(cfg InProcessConfig) (*InProcess, error) {
-	ip := &InProcess{}
+	ip := &InProcess{Obs: obs.NewRegistry()}
 	sync := cfg.Sync
 	if sync == "" {
 		sync = bank.SyncGroup
@@ -64,7 +69,7 @@ func StartInProcess(cfg InProcessConfig) (*InProcess, error) {
 			ip.tempDir = tmp
 			dir = tmp
 		}
-		j, err := bank.OpenJournalWith(dir, bank.NewSharded(0), bank.JournalOptions{Sync: sync})
+		j, err := bank.OpenJournalWith(dir, bank.NewSharded(0), bank.JournalOptions{Sync: sync, Obs: ip.Obs})
 		if err != nil {
 			ip.cleanup()
 			return nil, fmt.Errorf("loadgen: open journal: %w", err)
@@ -78,10 +83,10 @@ func StartInProcess(cfg InProcessConfig) (*InProcess, error) {
 		ip.cleanup()
 		return nil, fmt.Errorf("loadgen: adaptive engine: %w", err)
 	}
-	opts := httpapi.Options{Adaptive: cat}
+	opts := httpapi.Options{Adaptive: cat, Obs: ip.Obs}
 	if !cfg.NoEvents {
-		ip.bus = events.NewBus(events.Options{Ring: cfg.EventRing})
-		ip.live = livestats.New(ip.bus)
+		ip.bus = events.NewBus(events.Options{Ring: cfg.EventRing, Obs: ip.Obs})
+		ip.live = livestats.NewWith(ip.bus, ip.Obs)
 		engine.SetEventBus(ip.bus)
 		cat.SetEventBus(ip.bus)
 		opts.Events = ip.bus

@@ -1,0 +1,25 @@
+package obs
+
+import "context"
+
+// The request ID travels by context from the HTTP middleware down through
+// the delivery engines to the WAL-adjacent persist paths, so one slow
+// request correlates across every layer's structured log lines. The key
+// lives here — the lowest common import — so engines need not depend on
+// the HTTP package to read it.
+
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom extracts the request ID, or "" if none is set.
+func RequestIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

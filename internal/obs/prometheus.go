@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4). Families are emitted sorted
+// by name and series sorted by canonical label identity, so the output is
+// byte-stable for a given set of registered series and values — the golden
+// test relies on this.
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double-quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeLabels renders {k="v",...}; extra is appended last (used for the
+// histogram le label) and must already be escaped.
+func writeLabels(w *bufio.Writer, labels []Label, extra string) {
+	if len(labels) == 0 && extra == "" {
+		return
+	}
+	w.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(l.Key)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabelValue(l.Value))
+		w.WriteByte('"')
+	}
+	if extra != "" {
+		if len(labels) > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(extra)
+	}
+	w.WriteByte('}')
+}
+
+// WritePrometheus renders every registered series in Prometheus text
+// format. Histograms emit cumulative <name>_bucket{le=...} series plus
+// <name>_sum and <name>_count, with bucket bounds and sums divided by the
+// layout's scale (so nanosecond latency histograms expose seconds, the
+// Prometheus convention). Nil receiver writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.view() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.series {
+			switch f.kind {
+			case KindCounter:
+				bw.WriteString(f.name)
+				writeLabels(bw, s.labels, "")
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatInt(s.ctr.Value(), 10))
+				bw.WriteByte('\n')
+			case KindGauge:
+				v := float64(s.gauge.Value())
+				if fn := s.fn.Load(); fn != nil {
+					v = (*fn)()
+				}
+				bw.WriteString(f.name)
+				writeLabels(bw, s.labels, "")
+				bw.WriteByte(' ')
+				bw.WriteString(fmtFloat(v))
+				bw.WriteByte('\n')
+			case KindHistogram:
+				h := s.hist
+				lay := h.Layout()
+				scale := lay.Scale()
+				counts := h.snapshotCounts()
+				var cum int64
+				for i, c := range counts {
+					cum += c
+					le := "+Inf"
+					if i < lay.Buckets() {
+						_, hi := lay.BucketRange(i)
+						le = fmtFloat(float64(hi) / scale)
+					}
+					bw.WriteString(f.name)
+					bw.WriteString("_bucket")
+					writeLabels(bw, s.labels, `le="`+le+`"`)
+					bw.WriteByte(' ')
+					bw.WriteString(strconv.FormatInt(cum, 10))
+					bw.WriteByte('\n')
+				}
+				n, sum := h.CountSum()
+				bw.WriteString(f.name)
+				bw.WriteString("_sum")
+				writeLabels(bw, s.labels, "")
+				bw.WriteByte(' ')
+				bw.WriteString(fmtFloat(float64(sum) / scale))
+				bw.WriteByte('\n')
+				bw.WriteString(f.name)
+				bw.WriteString("_count")
+				writeLabels(bw, s.labels, "")
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatInt(n, 10))
+				bw.WriteByte('\n')
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry as Prometheus text exposition — mount it on
+// the ops listener, never on the learner-facing address.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the full exposition byte-for-byte: family
+// ordering (sorted by name), series ordering (sorted by label identity),
+// HELP/TYPE lines, cumulative histogram buckets with scaled le bounds,
+// and label escaping.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_requests_total", "Requests served.", L("route", "/v1/x")).Add(3)
+	r.Counter("app_requests_total", "Requests served.", L("route", "/v1/y")).Add(1)
+	r.Gauge("app_depth", "Queue depth.").Set(7)
+	r.GaugeFunc("app_ratio", "Computed ratio.", func() float64 { return 0.25 })
+	// Label value exercising every escape: backslash, quote, newline.
+	r.Counter("app_odd_total", "Help with \\ and\nnewline.", L("name", "a\\b\"c\nd")).Inc()
+	// Tiny layout so the golden stays readable: bounds 10,20,40, scale 10.
+	lay := ExpLayout(10, 2, 3, 10)
+	h := r.Histogram("app_size", "Sizes.", lay)
+	h.ObserveValue(5)   // bucket 0 (< 10)
+	h.ObserveValue(15)  // bucket 1 [10,20)
+	h.ObserveValue(15)  // bucket 1
+	h.ObserveValue(999) // overflow
+
+	const want = `# HELP app_depth Queue depth.
+# TYPE app_depth gauge
+app_depth 7
+# HELP app_odd_total Help with \\ and\nnewline.
+# TYPE app_odd_total counter
+app_odd_total{name="a\\b\"c\nd"} 1
+# HELP app_ratio Computed ratio.
+# TYPE app_ratio gauge
+app_ratio 0.25
+# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total{route="/v1/x"} 3
+app_requests_total{route="/v1/y"} 1
+# HELP app_size Sizes.
+# TYPE app_size histogram
+app_size_bucket{le="1"} 1
+app_size_bucket{le="2"} 3
+app_size_bucket{le="4"} 3
+app_size_bucket{le="+Inf"} 4
+app_size_sum 103.4
+app_size_count 4
+`
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	// A second scrape is byte-identical: ordering is stable.
+	var sb2 strings.Builder
+	r.WritePrometheus(&sb2)
+	if sb.String() != sb2.String() {
+		t.Error("repeated scrape changed output ordering")
+	}
+}
+
+func TestPrometheusHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "h").Add(2)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	buf := make([]byte, 1<<12)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "h_total 2") {
+		t.Errorf("body missing counter: %q", buf[:n])
+	}
+}
+
+func TestLatencyLayoutMatchesLoadgenHeritage(t *testing.T) {
+	// The promoted layout must preserve the PR 7 recording semantics:
+	// 84 buckets, 50µs floor, 4 buckets per octave, nanosecond scale 1e9.
+	if Latency.Buckets() != 84 {
+		t.Fatalf("Latency buckets = %d, want 84", Latency.Buckets())
+	}
+	if _, hi := Latency.BucketRange(0); hi != 50_000 {
+		t.Fatalf("Latency floor = %dns, want 50000", hi)
+	}
+	if Latency.BucketFor(2*50_000) != 5 {
+		t.Fatal("Latency growth is not 4 buckets per octave")
+	}
+	if Latency.Scale() != 1e9 {
+		t.Fatal("Latency must expose seconds")
+	}
+}

@@ -1,0 +1,360 @@
+// Package obs is the process-wide observability core: allocation-free
+// atomic counters, gauges and log-bucketed histograms behind a registry
+// with stable name/label identity, exported as an extended JSON snapshot
+// and Prometheus text exposition.
+//
+// Two conventions keep instrumentation free where it matters:
+//
+//   - Handles are nil-safe. A nil *Registry hands out nil *Counter /
+//     *Gauge / *Histogram handles, and every recording method on a nil
+//     handle is a no-op — subsystems instrument unconditionally and the
+//     disabled path costs one predictable branch (mirroring the nil
+//     *events.Bus pattern).
+//   - Recording never allocates and never takes the registry lock. The
+//     lock guards only registration and scraping; Observe/Add/Set are
+//     single atomic operations on pre-registered cells.
+//
+// Metric names follow <subsystem>_<what>_<unit>: counters end in _total,
+// latency histograms in _seconds (recorded in nanoseconds, scaled at
+// exposition), gauges name the quantity directly.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. Nil-safe.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. Nil-safe.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — a
+// high-water mark recorder.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Label is one name/value pair qualifying a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Kind distinguishes exposition types.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// series is one registered (name, labels) cell.
+type series struct {
+	labels []Label // sorted by key
+	key    string  // canonical label identity
+	ctr    *Counter
+	gauge  *Gauge
+	fn     atomic.Pointer[func() float64]
+	hist   *Histogram
+}
+
+// family groups every series sharing a metric name.
+type family struct {
+	name   string
+	kind   Kind
+	help   string
+	series map[string]*series
+}
+
+// Registry owns metric families and hands out recording handles with
+// stable identity: asking twice for the same name and label set returns
+// the same cell. All methods are safe for concurrent use; a nil *Registry
+// hands out nil handles so wiring is optional everywhere.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelKey canonicalizes a label set (sorting a copy) and returns the
+// sorted labels plus their identity string.
+func labelKey(labels []Label) ([]Label, string) {
+	if len(labels) == 0 {
+		return nil, ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		b.WriteString(l.Key)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+	}
+	return ls, b.String()
+}
+
+// validName reports whether name is a legal metric or label identifier.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup finds or creates the series for (name, kind, labels), creating
+// the recording cell under the registry lock so two racing registrations
+// always receive the same cell. Kind conflicts on one name are programmer
+// errors and panic at registration, never at record time.
+func (r *Registry) lookup(name string, kind Kind, help string, lay Layout, labels []Label) *series {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label key %q on %q", l.Key, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, kind: kind, help: help, series: make(map[string]*series)}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %v, requested as %v", name, f.kind, kind))
+	}
+	if f.help == "" {
+		f.help = help
+	}
+	ls, key := labelKey(labels)
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: ls, key: key}
+		switch kind {
+		case KindCounter:
+			s.ctr = new(Counter)
+		case KindGauge:
+			s.gauge = new(Gauge)
+		case KindHistogram:
+			s.hist = NewHistogram(lay)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns the counter cell for (name, labels), creating it on
+// first use. Nil receiver returns a nil (no-op) handle.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, KindCounter, help, Layout{}, labels).ctr
+}
+
+// Gauge returns the gauge cell for (name, labels). Nil receiver returns a
+// nil (no-op) handle.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, KindGauge, help, Layout{}, labels).gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time. The
+// function must not call back into the registry. Re-registering the same
+// series replaces the function (last wins). No-op on a nil receiver.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.lookup(name, KindGauge, help, Layout{}, labels).fn.Store(&fn)
+}
+
+// Histogram returns the histogram cell for (name, labels), creating it
+// with the given layout on first use (later calls keep the original
+// layout). Nil receiver returns a nil (no-op) handle.
+func (r *Registry) Histogram(name, help string, lay Layout, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, KindHistogram, help, lay, labels).hist
+}
+
+// familyView is a scrape-time snapshot of one family: name/kind/help plus
+// series pointers in deterministic order (series by canonical label key).
+// The series cells themselves are immutable after creation, so reading
+// their atomic values outside the lock is safe.
+type familyView struct {
+	name   string
+	kind   Kind
+	help   string
+	series []*series
+}
+
+// view snapshots every family and its series under the registry lock, in
+// deterministic order (families by name, series by label identity) so
+// scrapes are stable while registration proceeds concurrently.
+func (r *Registry) view() []familyView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := make([]familyView, 0, len(r.families))
+	for _, f := range r.families {
+		fv := familyView{name: f.name, kind: f.kind, help: f.help,
+			series: make([]*series, 0, len(f.series))}
+		for _, s := range f.series {
+			fv.series = append(fv.series, s)
+		}
+		sort.Slice(fv.series, func(i, j int) bool { return fv.series[i].key < fv.series[j].key })
+		fams = append(fams, fv)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// Sample is one flattened scrape value. Histogram families emit derived
+// samples (<name>_count, <name>_p50, <name>_p99, <name>_p999, <name>_max)
+// with values in the layout's exposition unit.
+type Sample struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+func (s *series) labelMap() map[string]string {
+	if len(s.labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(s.labels))
+	for _, l := range s.labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// Snapshot flattens every registered series into sorted samples for the
+// JSON metrics endpoint. Nil receiver returns nil.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	var out []Sample
+	for _, f := range r.view() {
+		for _, s := range f.series {
+			lm := s.labelMap()
+			switch f.kind {
+			case KindCounter:
+				out = append(out, Sample{Name: f.name, Labels: lm, Value: float64(s.ctr.Value())})
+			case KindGauge:
+				v := float64(s.gauge.Value())
+				if fn := s.fn.Load(); fn != nil {
+					v = (*fn)()
+				}
+				out = append(out, Sample{Name: f.name, Labels: lm, Value: v})
+			case KindHistogram:
+				h := s.hist
+				scale := h.Layout().Scale()
+				n, sum := h.CountSum()
+				out = append(out,
+					Sample{Name: f.name + "_count", Labels: lm, Value: float64(n)},
+					Sample{Name: f.name + "_sum", Labels: lm, Value: float64(sum) / scale},
+					Sample{Name: f.name + "_p50", Labels: lm, Value: float64(h.QuantileValue(0.50)) / scale},
+					Sample{Name: f.name + "_p99", Labels: lm, Value: float64(h.QuantileValue(0.99)) / scale},
+					Sample{Name: f.name + "_p999", Labels: lm, Value: float64(h.QuantileValue(0.999)) / scale},
+					Sample{Name: f.name + "_max", Labels: lm, Value: float64(h.MaxValue()) / scale},
+				)
+			}
+		}
+	}
+	return out
+}

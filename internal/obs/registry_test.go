@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryStableIdentity(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("demo_total", "a demo counter", L("route", "/v1/x"))
+	c2 := r.Counter("demo_total", "ignored later help", L("route", "/v1/x"))
+	if c1 != c2 {
+		t.Fatal("same name+labels must return the same counter cell")
+	}
+	// Label order must not matter for identity.
+	h1 := r.Histogram("demo_seconds", "h", Latency, L("a", "1"), L("b", "2"))
+	h2 := r.Histogram("demo_seconds", "h", Latency, L("b", "2"), L("a", "1"))
+	if h1 != h2 {
+		t.Fatal("label order must not change series identity")
+	}
+	// Different label values are different series.
+	c3 := r.Counter("demo_total", "", L("route", "/v1/y"))
+	if c3 == c1 {
+		t.Fatal("different label values must be distinct cells")
+	}
+	c1.Add(5)
+	if c3.Value() != 0 || c1.Value() != 5 {
+		t.Fatalf("cells leaked across series: c1=%d c3=%d", c1.Value(), c3.Value())
+	}
+	// Kind conflict on one name panics at registration.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("kind conflict must panic")
+			}
+		}()
+		r.Gauge("demo_total", "")
+	}()
+}
+
+func TestNilRegistryAndHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x_seconds", "", Latency)
+	r.GaugeFunc("y", "", func() float64 { return 1 })
+	c.Inc()
+	c.Add(3)
+	g.Set(7)
+	g.Add(-2)
+	g.SetMax(100)
+	h.Observe(time.Millisecond)
+	h.ObserveValue(42)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Error("nil handles must record nothing")
+	}
+	if h.Quantile(0.99) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Error("nil histogram must digest to zeros")
+	}
+	if n, s := h.CountSum(); n != 0 || s != 0 {
+		t.Error("nil CountSum must be zeros")
+	}
+	if got := r.Snapshot(); got != nil {
+		t.Errorf("nil registry snapshot = %v, want nil", got)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Error("nil registry must expose nothing")
+	}
+}
+
+// TestRegistryScrapeUnderLoad hammers registration, recording and both
+// scrape paths concurrently; run under -race this is the data-race guard
+// for the whole package.
+func TestRegistryScrapeUnderLoad(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("load_fn", "computed", func() float64 { return 1.5 })
+	const writers, per = 8, 2000
+	var writeWG, scrapeWG sync.WaitGroup
+	stop := make(chan struct{})
+	// Scrapers: JSON snapshot and Prometheus text, continuously.
+	for s := 0; s < 3; s++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Snapshot()
+				var sb strings.Builder
+				r.WritePrometheus(&sb)
+			}
+		}()
+	}
+	// Writers: re-lookup cells (exercising registration) and record.
+	routes := []string{"/a", "/b", "/c"}
+	for wkr := 0; wkr < writers; wkr++ {
+		writeWG.Add(1)
+		go func(wkr int) {
+			defer writeWG.Done()
+			for i := 0; i < per; i++ {
+				route := routes[i%len(routes)]
+				r.Counter("load_total", "", L("route", route)).Inc()
+				r.Gauge("load_depth", "").SetMax(int64(i))
+				r.Histogram("load_seconds", "", Latency, L("route", route)).
+					Observe(time.Duration(i) * time.Microsecond)
+			}
+		}(wkr)
+	}
+	writeWG.Wait()
+	close(stop)
+	scrapeWG.Wait()
+
+	var total int64
+	for _, route := range routes {
+		total += r.Counter("load_total", "", L("route", route)).Value()
+	}
+	if total != writers*per {
+		t.Fatalf("counted %d increments, want %d", total, writers*per)
+	}
+	var histN int64
+	for _, route := range routes {
+		histN += r.Histogram("load_seconds", "", Latency, L("route", route)).Count()
+	}
+	if histN != writers*per {
+		t.Fatalf("histogram holds %d samples, want %d", histN, writers*per)
+	}
+}
+
+// TestCountSumSkewBound verifies the documented one-observation-per-writer
+// bound: with every sample equal to d, a concurrent scrape's sum may
+// exceed count*d by at most writers*d and never fall below count*d.
+func TestCountSumSkewBound(t *testing.T) {
+	var h Histogram
+	const writers = 4
+	const d = int64(10 * time.Millisecond)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.ObserveValue(d)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 5000; i++ {
+		n, s := h.CountSum()
+		if s < n*d {
+			t.Fatalf("sum %d below count*d %d: scrape missed a counted sample", s, n*d)
+		}
+		// The stable-read path bounds the overshoot at one in-flight
+		// observation per writer; the bounded-retry fallback can admit a
+		// few completions inside one load window, so allow slack.
+		if s > (n+16*writers)*d {
+			t.Fatalf("sum %d exceeds (count+16*writers)*d %d: skew bound violated", s, (n+16*writers)*d)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	n, s := h.CountSum()
+	if s != n*d {
+		t.Fatalf("quiescent sum %d != count*d %d", s, n*d)
+	}
+}
+
+func TestSizesLayoutHistogram(t *testing.T) {
+	h := NewHistogram(Sizes)
+	for _, v := range []int64{1, 2, 3, 64, 64, 64, 500} {
+		h.ObserveValue(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.MaxValue() != 500 {
+		t.Fatalf("max = %d", h.MaxValue())
+	}
+	if got := h.QuantileValue(1); got != 500 {
+		t.Fatalf("p100 = %d, want exact max", got)
+	}
+	// Median should land in the bucket containing 64.
+	p50 := h.QuantileValue(0.5)
+	if p50 < 4 || p50 > 128 {
+		t.Fatalf("p50 = %d, want within [4,128]", p50)
+	}
+	// Power-of-two bounds: value 64 maps to the bucket whose range holds it.
+	b := Sizes.BucketFor(64)
+	lo, hi := Sizes.BucketRange(b)
+	if !(lo <= 64 && (64 < hi || hi == lo)) {
+		t.Fatalf("bucket %d range [%d,%d) does not contain 64", b, lo, hi)
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.SetMax(5)
+	g.SetMax(3)
+	if g.Value() != 5 {
+		t.Fatalf("SetMax lowered the high-water mark: %d", g.Value())
+	}
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Fatalf("SetMax failed to raise: %d", g.Value())
+	}
+	g.Set(1)
+	g.Add(2)
+	if g.Value() != 3 {
+		t.Fatalf("Set/Add = %d, want 3", g.Value())
+	}
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// SlowOpLog emits one structured warning per operation that exceeds a
+// threshold, carrying the request ID from the context so slow-request
+// lines correlate across the HTTP, engine and WAL layers. The zero value
+// is disabled; Configure arms it. All methods are safe for concurrent use
+// and free when disabled (Begin returns the zero time without reading the
+// clock).
+type SlowOpLog struct {
+	cfg atomic.Pointer[slowCfg]
+}
+
+type slowCfg struct {
+	log       *slog.Logger
+	layer     string
+	threshold time.Duration
+}
+
+// Configure arms the log: operations in layer taking >= threshold are
+// logged at Warn through logger. A nil logger or non-positive threshold
+// disables it again.
+func (s *SlowOpLog) Configure(logger *slog.Logger, layer string, threshold time.Duration) {
+	if logger == nil || threshold <= 0 {
+		s.cfg.Store(nil)
+		return
+	}
+	s.cfg.Store(&slowCfg{log: logger, layer: layer, threshold: threshold})
+}
+
+// Begin stamps the start of an operation, or returns the zero time when
+// the log is disabled (so callers skip the clock read on the fast path).
+func (s *SlowOpLog) Begin() time.Time {
+	if s == nil || s.cfg.Load() == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Done closes the operation opened by Begin; if it ran past the threshold
+// a "slow op" warning is emitted with the context's request ID.
+func (s *SlowOpLog) Done(ctx context.Context, op, session string, start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	cfg := s.cfg.Load()
+	if cfg == nil {
+		return
+	}
+	d := time.Since(start)
+	if d < cfg.threshold {
+		return
+	}
+	cfg.log.LogAttrs(ctx, slog.LevelWarn, "slow op",
+		slog.String("request_id", RequestIDFrom(ctx)),
+		slog.String("layer", cfg.layer),
+		slog.String("op", op),
+		slog.String("session", session),
+		slog.Float64("duration_ms", float64(d)/1e6),
+	)
+}

@@ -150,21 +150,39 @@ type PurgeAdaptiveSessionsResponse struct {
 
 // --- Metrics ---
 
-// RouteMetrics is one route's exported counters (GET /v1/metrics).
+// RouteMetrics is one route's exported counters (GET /v1/metrics). The
+// latency fields beyond AvgMs come from a log-bucketed histogram, so the
+// quantiles are interpolated within a bucket (~19% relative bucket width).
 type RouteMetrics struct {
 	Route    string           `json:"route"`
 	Count    int64            `json:"count"`
 	ByStatus map[string]int64 `json:"byStatus"`
 	AvgMs    float64          `json:"avgMs"`
+	P50Ms    float64          `json:"p50Ms"`
+	P99Ms    float64          `json:"p99Ms"`
+	P999Ms   float64          `json:"p999Ms"`
+	MaxMs    float64          `json:"maxMs"`
 }
 
-// MetricsSnapshot is the GET /v1/metrics response body.
+// SubsystemMetric is one named sample from the process-wide metrics
+// registry (journal, event bus, live statistics, ...). Histogram series
+// appear as <name>_count/_sum/_p50/_p99/_p999/_max samples.
+type SubsystemMetric struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// MetricsSnapshot is the GET /v1/metrics response body. Subsystems is
+// present only when the server runs with a process metrics registry; old
+// clients that ignore unknown fields are unaffected.
 type MetricsSnapshot struct {
-	UptimeSeconds float64        `json:"uptimeSeconds"`
-	InFlight      int64          `json:"inFlight"`
-	Requests      int64          `json:"requests"`
-	Errors5xx     int64          `json:"errors5xx"`
-	RateLimited   int64          `json:"rateLimited"`
-	Panics        int64          `json:"panics"`
-	Routes        []RouteMetrics `json:"routes"`
+	UptimeSeconds float64           `json:"uptimeSeconds"`
+	InFlight      int64             `json:"inFlight"`
+	Requests      int64             `json:"requests"`
+	Errors5xx     int64             `json:"errors5xx"`
+	RateLimited   int64             `json:"rateLimited"`
+	Panics        int64             `json:"panics"`
+	Routes        []RouteMetrics    `json:"routes"`
+	Subsystems    []SubsystemMetric `json:"subsystems,omitempty"`
 }
