@@ -1,0 +1,56 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mineassess/internal/lint"
+)
+
+// cmdLint runs the repo-invariant analyzer suite in-process (no stock
+// vet — use cmd/assesslint for the full CI gate).
+func cmdLint(args []string) error {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	list := fs.Bool("list", false, "list the suite's analyzers and exit")
+	dir := fs.String("dir", ".", "module directory to lint")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, a := range lint.Suite() {
+			summary, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%-20s %s\n", a.Name, summary)
+		}
+		return nil
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.Run(*dir, patterns, lint.Suite())
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			return err
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		return fmt.Errorf("%d finding(s)", len(findings))
+	}
+	return nil
+}

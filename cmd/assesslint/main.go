@@ -1,0 +1,116 @@
+// Command assesslint runs the repo-invariant analyzer suite (and, by
+// default, stock `go vet`) over the packages matched by its arguments.
+//
+// Usage:
+//
+//	assesslint [-json] [-list] [-run name,name] [-vet=false] [patterns]
+//
+// Patterns default to ./... . Exit status: 0 clean, 1 findings (or vet
+// failures), 2 the run itself failed. CI runs `go run ./cmd/assesslint
+// ./...` as a hard gate; suppress an individual finding in place with an
+// //assess:allow <analyzer>: <reason> comment.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"mineassess/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("assesslint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	list := fs.Bool("list", false, "list the suite's analyzers and exit")
+	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	vet := fs.Bool("vet", true, "also run stock `go vet` over the same patterns")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.Suite() {
+			summary, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%-20s %s\n", a.Name, summary)
+		}
+		return 0
+	}
+
+	analyzers := lint.Suite()
+	if *only != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a := lint.ByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "assesslint: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	findings, err := lint.Run(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "assesslint: %v\n", err)
+		return 2
+	}
+
+	status := 0
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "assesslint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		status = 1
+	}
+
+	if *vet {
+		if code := runVet(patterns, *jsonOut); code > status {
+			status = code
+		}
+	}
+	return status
+}
+
+// runVet shells out to the toolchain's vet; its findings go to stderr in
+// vet's own format (and are omitted from -json output, which carries only
+// suite findings).
+func runVet(patterns []string, quiet bool) int {
+	args := append([]string{"vet"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if _, ok := err.(*exec.ExitError); ok {
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "assesslint: go vet: %v\n", err)
+		return 2
+	}
+	return 0
+}

@@ -1,3 +1,10 @@
 module mineassess
 
 go 1.22
+
+// Zero third-party dependencies, deliberately: the build environment is
+// hermetic (no module proxy). internal/lint/analysis mirrors the
+// golang.org/x/tools/go/analysis API on the stdlib for the same reason;
+// when a module proxy is available, `go get golang.org/x/tools` plus
+// `go mod vendor` pins the real framework hermetically and each analyzer
+// migrates with an import swap (see DESIGN.md "Enforced invariants").

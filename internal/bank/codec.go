@@ -72,9 +72,12 @@ var opNames = func() map[byte]string {
 }()
 
 // encodeWALBinary appends rec as one framed binary record to dst.
+//
+//assess:hotpath
 func encodeWALBinary(dst []byte, rec *walRecord) ([]byte, error) {
 	code, ok := opCodes[rec.Op]
 	if !ok {
+		//assess:allow hotpathalloc: unknown-op error path, cold by construction
 		return dst, fmt.Errorf("bank: cannot binary-encode unknown op %q", rec.Op)
 	}
 	start := len(dst)

@@ -530,6 +530,8 @@ func (s *Subscription) stop() {
 
 // push enqueues one event, dropping the oldest pending event when the
 // bounded queue is full. Never blocks; called with bus.mu held.
+//
+//assess:hotpath
 func (s *Subscription) push(e Event) {
 	s.mu.Lock()
 	if len(s.queue) >= s.max {
@@ -547,6 +549,7 @@ func (s *Subscription) push(e Event) {
 	s.wake()
 }
 
+//assess:hotpath
 func (s *Subscription) wake() {
 	select {
 	case s.notify <- struct{}{}:

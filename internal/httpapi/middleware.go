@@ -160,13 +160,13 @@ func AccessLog(logger *slog.Logger, slow time.Duration) Middleware {
 				level, msg = slog.LevelWarn, "slow request"
 			}
 			logger.LogAttrs(r.Context(), level, msg,
-				slog.String("request_id", RequestIDFrom(r.Context())),
-				slog.String("method", r.Method),
-				slog.String("path", r.URL.Path),
-				slog.Int("status", sr.status),
-				slog.Int("bytes", sr.bytes),
-				slog.Float64("duration_ms", float64(d.Microseconds())/1000),
-				slog.String("learner", learnerKey(r)),
+				slog.String(obs.LogKeyRequestID, RequestIDFrom(r.Context())),
+				slog.String(obs.LogKeyMethod, r.Method),
+				slog.String(obs.LogKeyPath, r.URL.Path),
+				slog.Int(obs.LogKeyStatus, sr.status),
+				slog.Int(obs.LogKeyBytes, sr.bytes),
+				slog.Float64(obs.LogKeyDurationMS, float64(d.Microseconds())/1000),
+				slog.String(obs.LogKeyLearner, learnerKey(r)),
 			)
 		})
 	}
@@ -186,9 +186,9 @@ func Recover(logger *slog.Logger, onPanic func()) Middleware {
 					}
 					if logger != nil {
 						logger.LogAttrs(r.Context(), slog.LevelError, "panic",
-							slog.String("request_id", RequestIDFrom(r.Context())),
-							slog.Any("panic", rec),
-							slog.String("path", r.URL.Path),
+							slog.String(obs.LogKeyRequestID, RequestIDFrom(r.Context())),
+							slog.Any(obs.LogKeyPanic, rec),
+							slog.String(obs.LogKeyPath, r.URL.Path),
 						)
 					}
 					// If the handler already wrote headers the envelope

@@ -1,0 +1,183 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics.
+//
+// The repo's custom linters are written against this interface so they
+// read exactly like stock x/tools analyzers — Name/Doc/Run, Pass with
+// Fset/Files/Pkg/TypesInfo, Pass.Reportf — but the framework itself is
+// ~200 lines of stdlib-only code. The build stays hermetic (no module
+// downloads; this container has no network and an empty module cache) and
+// porting an analyzer onto the real golang.org/x/tools/go/analysis is a
+// one-line import swap; see DESIGN.md "Enforced invariants" for the
+// vendoring fallback when x/tools becomes available.
+//
+// Deliberate omissions versus x/tools: no Facts (the suite is
+// package-local), no Requires/ResultOf (no analyzer depends on another),
+// no SuggestedFixes (findings are fixed by hand).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in //assess:allow
+	// comments. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description shown by `assesslint -list`:
+	// first line is the summary, the rest elaborates.
+	Doc string
+	// Run inspects the package behind pass and reports findings through
+	// pass.Report. A returned error aborts the whole lint run (it means
+	// the analyzer itself is broken, not that the code has findings).
+	Run func(pass *Pass) error
+}
+
+// Pass connects an Analyzer to one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one finding. The runner installs a function that
+	// filters //assess:allow suppressions and collects the rest.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// AllowPrefix starts a suppression comment: //assess:allow name[,name]: reason.
+// The comment suppresses the named analyzers' findings on its own line and,
+// when it stands alone, on the line directly below it. A reason after the
+// colon is required — an unexplained suppression is itself suspicious.
+const AllowPrefix = "assess:allow"
+
+type allowKey struct {
+	file string
+	line int
+	name string
+}
+
+// AllowSet indexes every //assess:allow comment in a package's files.
+type AllowSet map[allowKey]bool
+
+// ScanAllows collects the suppression comments of files.
+func ScanAllows(fset *token.FileSet, files []*ast.File) AllowSet {
+	set := make(AllowSet)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, AllowPrefix) {
+					continue
+				}
+				spec := strings.TrimSpace(strings.TrimPrefix(text, AllowPrefix))
+				// Names end at the first colon (the reason) or whitespace.
+				if i := strings.IndexAny(spec, ": \t"); i >= 0 {
+					spec = spec[:i]
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(spec, ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					set[allowKey{pos.Filename, pos.Line, name}] = true
+					// A standalone comment line covers the next line too.
+					set[allowKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	return set
+}
+
+// Allows reports whether a finding by analyzer name at pos is suppressed.
+func (s AllowSet) Allows(fset *token.FileSet, pos token.Pos, name string) bool {
+	if len(s) == 0 {
+		return false
+	}
+	p := fset.Position(pos)
+	return s[allowKey{p.Filename, p.Line, name}]
+}
+
+// PkgPathTail reports whether the package path's last element equals name —
+// the suite's way of recognizing repo packages ("mineassess/internal/bank")
+// and their analysistest stubs ("bank") with one predicate.
+func PkgPathTail(pkg *types.Package, name string) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		path = path[i+1:]
+	}
+	return path == name
+}
+
+// IsNamed reports whether t (after pointer indirection) is the named type
+// pkgTail.name, e.g. IsNamed(typ, "obs", "Counter") matches *obs.Counter
+// from any package whose path ends in "obs".
+func IsNamed(t types.Type, pkgTail, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && PkgPathTail(obj.Pkg(), pkgTail)
+}
+
+// FuncFor resolves the called function or method behind a call expression,
+// or nil when the callee is not a static function (a func value, a type
+// conversion, a builtin).
+func FuncFor(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// ReceiverType returns the receiver type of a method object, nil for
+// plain functions.
+func ReceiverType(fn *types.Func) types.Type {
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+// IsPkgFunc reports whether fn is the package-level function pkgTail.name
+// (no receiver).
+func IsPkgFunc(fn *types.Func, pkgTail, name string) bool {
+	return fn != nil && fn.Name() == name && ReceiverType(fn) == nil &&
+		PkgPathTail(fn.Pkg(), pkgTail)
+}

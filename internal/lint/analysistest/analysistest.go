@@ -1,0 +1,299 @@
+// Package analysistest runs an analyzer over small GOPATH-style corpus
+// packages and checks its diagnostics against `// want` comments — the
+// same testdata convention as golang.org/x/tools/go/analysis/analysistest,
+// implemented on the stdlib only.
+//
+// A corpus lives under <testdata>/src/<importpath>/: the target package
+// plus any stub packages it imports (an "events" stub with a Bus and a
+// Publish method, an "obs" stub with nil-safe handles). Standard-library
+// imports resolve against the real toolchain via compiled export data, so
+// corpus code locks real sync.Mutexes and builds real slog attrs.
+//
+// Expectations attach to the flagged line:
+//
+//	http.Error(w, "boom", 500) // want `bypasses the error taxonomy`
+//
+// Each `want` carries one or more Go string literals, each a regexp that
+// must match a diagnostic reported on that line; unmatched diagnostics
+// and unmatched expectations both fail the test. //assess:allow comments
+// are honored exactly as in the real runner.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mineassess/internal/lint/analysis"
+	"mineassess/internal/lint/load"
+)
+
+// Run analyzes each corpus package under testdata/src and verifies the
+// diagnostics against the // want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, testdata string, pkgpaths ...string) {
+	t.Helper()
+	src, err := filepath.Abs(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatalf("resolve testdata: %v", err)
+	}
+	ld, err := newLoader(src)
+	if err != nil {
+		t.Fatalf("load corpus: %v", err)
+	}
+	for _, path := range pkgpaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		checkPackage(t, a, pkg)
+	}
+}
+
+// loader type-checks corpus packages, resolving local imports from
+// testdata/src and everything else from toolchain export data.
+type loader struct {
+	src    string
+	fset   *token.FileSet
+	dep    types.Importer
+	loaded map[string]*corpusPkg
+}
+
+type corpusPkg struct {
+	path  string
+	fset  *token.FileSet
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+	err   error
+}
+
+func newLoader(src string) (*loader, error) {
+	fset := token.NewFileSet()
+	external, err := externalImports(src)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	if len(external) > 0 {
+		// Resolve in the repo root (the module the tests run in) so the
+		// toolchain context matches the production lint run.
+		exports, err = load.ExportData(".", external...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &loader{
+		src:    src,
+		fset:   fset,
+		dep:    load.Importer(fset, exports),
+		loaded: make(map[string]*corpusPkg),
+	}, nil
+}
+
+// externalImports walks every corpus file and collects the import paths
+// that are not corpus packages themselves.
+func externalImports(src string) ([]string, error) {
+	local := map[string]bool{}
+	var files []string
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		rel, _ := filepath.Rel(src, filepath.Dir(path))
+		local[filepath.ToSlash(rel)] = true
+		files = append(files, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []string
+	fset := token.NewFileSet()
+	for _, file := range files {
+		f, err := parser.ParseFile(fset, file, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if !local[path] && !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Import implements types.Importer over the corpus-then-exportdata chain.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(l.src, filepath.FromSlash(path))); err == nil {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.types, nil
+	}
+	return l.dep.Import(path)
+}
+
+func (l *loader) load(path string) (*corpusPkg, error) {
+	if pkg, ok := l.loaded[path]; ok {
+		return pkg, pkg.err
+	}
+	pkg := &corpusPkg{path: path, fset: l.fset}
+	l.loaded[path] = pkg // placed before checking: import cycles fail in Check
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		pkg.err = err
+		return pkg, err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			pkg.err = err
+			return pkg, err
+		}
+		pkg.files = append(pkg.files, f)
+	}
+	pkg.info = load.NewInfo()
+	conf := types.Config{Importer: l}
+	pkg.types, pkg.err = conf.Check(path, l.fset, pkg.files, pkg.info)
+	return pkg, pkg.err
+}
+
+// checkPackage runs the analyzer on one corpus package and diffs
+// diagnostics against expectations.
+func checkPackage(t *testing.T, a *analysis.Analyzer, pkg *corpusPkg) {
+	t.Helper()
+	allows := analysis.ScanAllows(pkg.fset, pkg.files)
+	type hit struct {
+		line int
+		msg  string
+	}
+	var diags []hit
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.fset,
+		Files:     pkg.files,
+		Pkg:       pkg.types,
+		TypesInfo: pkg.info,
+	}
+	pass.Report = func(d analysis.Diagnostic) {
+		if allows.Allows(pass.Fset, d.Pos, a.Name) {
+			return
+		}
+		p := pass.Fset.Position(d.Pos)
+		diags = append(diags, hit{p.Line, d.Message})
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer error: %v", pkg.path, err)
+	}
+
+	wants := expectations(t, pass.Fset, pkg.files)
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if d.line == w.line && w.re.MatchString(d.msg) {
+				matched[i] = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", pkg.path, w.line, w.re)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pkg.path, d.line, d.msg)
+		}
+	}
+}
+
+type want struct {
+	line int
+	re   *regexp.Regexp
+}
+
+// expectations parses // want comments in the corpus files.
+func expectations(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	var out []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				for _, lit := range stringLits(text[len("want "):]) {
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", lit, err)
+					}
+					out = append(out, want{line, re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// stringLits extracts consecutive Go string literals ("..." or `...`).
+func stringLits(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				return out
+			}
+			lit, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return out
+			}
+			out = append(out, lit)
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return out
+			}
+			out = append(out, s[1:1+end])
+			s = s[end+2:]
+		default:
+			return out
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Package errtaxonomy defines the errtaxonomy analyzer: internal/httpapi
+// handlers must route every error response through the taxonomy writer.
+//
+// The v1 API contract (PR 2) is a typed {code,message,details} envelope
+// over a stable Code taxonomy — clients branch on the code, the contract
+// suite asserts byte parity, and unknown internal errors are redacted on
+// the way out. A raw http.Error or a bare WriteHeader(5xx) bypasses all
+// of that: plain-text body, no code, potential internals leak. Success
+// statuses (2xx/3xx) and the taxonomy writer itself (which passes a
+// computed status) are not findings.
+package errtaxonomy
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"mineassess/internal/lint/analysis"
+)
+
+// Analyzer flags raw error-status writes in httpapi packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "errtaxonomy",
+	Doc: `forbid http.Error and constant 4xx/5xx WriteHeader in internal/httpapi
+
+Error responses go through writeErr/writeError so every failure carries
+its taxonomy code in the JSON envelope. Scoped to packages named httpapi;
+WriteHeader with a non-error or computed status is allowed.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PkgPathTail(pass.Pkg, "httpapi") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.FuncFor(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			if analysis.IsPkgFunc(fn, "http", "Error") {
+				pass.Reportf(call.Pos(),
+					"http.Error bypasses the error taxonomy (use writeErr/writeError so the response carries a code envelope)")
+				return true
+			}
+			if analysis.IsPkgFunc(fn, "http", "NotFound") {
+				pass.Reportf(call.Pos(),
+					"http.NotFound bypasses the error taxonomy (use the CodeNotFound envelope)")
+				return true
+			}
+			if fn.Name() == "WriteHeader" && len(call.Args) == 1 {
+				if status, ok := constStatus(pass, call.Args[0]); ok && status >= 400 {
+					pass.Reportf(call.Pos(),
+						"WriteHeader(%d) bypasses the error taxonomy (error statuses must come from the taxonomy writer)", status)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// constStatus extracts a compile-time constant int argument.
+func constStatus(pass *analysis.Pass, arg ast.Expr) (int64, bool) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

@@ -1,0 +1,12 @@
+package errtaxonomy_test
+
+import (
+	"testing"
+
+	"mineassess/internal/lint/analysistest"
+	"mineassess/internal/lint/errtaxonomy"
+)
+
+func TestErrTaxonomy(t *testing.T) {
+	analysistest.Run(t, errtaxonomy.Analyzer, "testdata", "httpapi", "other")
+}

@@ -1,0 +1,23 @@
+// Corpus for the errtaxonomy analyzer: the package path tail "httpapi"
+// puts it in scope.
+package httpapi
+
+import "net/http"
+
+func flagged(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `http\.Error bypasses the error taxonomy`
+	http.NotFound(w, r)                                   // want `http\.NotFound bypasses the error taxonomy`
+	w.WriteHeader(http.StatusBadRequest)                  // want `WriteHeader\(400\) bypasses the error taxonomy`
+	w.WriteHeader(503)                                    // want `WriteHeader\(503\) bypasses the error taxonomy`
+}
+
+func fine(w http.ResponseWriter, status int) {
+	w.WriteHeader(http.StatusNoContent) // success statuses are legal
+	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(status) // computed status: the taxonomy writer itself
+}
+
+func allowed(w http.ResponseWriter) {
+	//assess:allow errtaxonomy: healthz probe contract predates the envelope
+	w.WriteHeader(http.StatusServiceUnavailable)
+}

@@ -1,0 +1,11 @@
+// Out-of-scope package: the same calls produce no findings outside
+// httpapi.
+package other
+
+import "net/http"
+
+func notFlagged(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError)
+	http.NotFound(w, r)
+	w.WriteHeader(500)
+}

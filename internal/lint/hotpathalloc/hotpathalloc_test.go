@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"mineassess/internal/lint/analysistest"
+	"mineassess/internal/lint/hotpathalloc"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, hotpathalloc.Analyzer, "testdata", "hot")
+}

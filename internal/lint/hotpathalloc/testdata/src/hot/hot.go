@@ -1,0 +1,51 @@
+// Corpus for the hotpathalloc analyzer: only //assess:hotpath functions
+// are policed.
+package hot
+
+import "fmt"
+
+type sym string
+
+func sink(v any) {}
+
+//assess:hotpath
+func flagged(name string, bs []byte, n int) string {
+	s := fmt.Sprintf("x-%s", name) // want `fmt\.Sprintf allocates`
+	m := make([]byte, n)           // want `make allocates`
+	_ = map[string]int{}           // want `map literal allocates`
+	_ = []int{1, 2}                // want `slice literal allocates`
+	t := name + s                  // want `string concatenation allocates`
+	_ = string(bs)                 // want `\[\]byte->string conversion allocates`
+	_ = []byte(name)               // want `string->\[\]byte conversion allocates`
+	sink(n)                        // want `boxes`
+	_ = m
+	return t
+}
+
+// unmarked does all the same things legally: no annotation, no findings.
+func unmarked(name string, n int) string {
+	s := fmt.Sprintf("x-%s", name)
+	_ = make([]byte, n)
+	sink(n)
+	return s + name
+}
+
+//assess:hotpath
+func fine(dst []byte, v sym, vals []int) []byte {
+	dst = append(dst, byte(len(v))) // append extends in place: legal
+	_ = string(v)                   // named-string to string: no allocation
+	const prefix = "wal:" + "v1"    // constant-folded concat: legal
+	_ = prefix
+	f := func() string { return fmt.Sprint("closure body is out of scope") }
+	_ = f
+	for _, x := range vals {
+		dst = append(dst, byte(x))
+	}
+	return dst
+}
+
+//assess:hotpath
+func allowedColdPath(name string) string {
+	//assess:allow hotpathalloc: error path, cold by construction
+	return fmt.Sprintf("corrupt frame: %s", name)
+}

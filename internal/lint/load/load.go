@@ -1,0 +1,179 @@
+// Package load type-checks the repo's packages for the lint suite using
+// only the Go toolchain and the standard library.
+//
+// One `go list -deps -export -json` invocation resolves the package graph
+// and compiles export data for every dependency (stdlib included — the
+// toolchain caches the artifacts, so repeat runs are cheap and fully
+// offline). Each target package is then parsed from source and checked
+// with go/types, importing its dependencies through go/importer's gc
+// export-data reader. This is the same division of labor as
+// golang.org/x/tools/go/packages in LoadSyntax mode, without the module
+// dependency.
+//
+// Test files are not analyzed: `go list -export` describes the non-test
+// build, and the invariants the suite polices live in production code.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Pkg is one parsed and type-checked target package.
+type Pkg struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(&out)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// ExportData resolves patterns (and every dependency) in dir and returns
+// the import-path → export-data-file map. Compiling the export data is
+// delegated to the toolchain, which caches it in the build cache.
+func ExportData(dir string, patterns ...string) (map[string]string, error) {
+	entries, err := goList(dir, append([]string{"-deps", "-export", "-json"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.Export != "" {
+			m[e.ImportPath] = e.Export
+		}
+	}
+	return m, nil
+}
+
+// Importer returns a types.Importer that reads gc export data from the
+// files in m. Lookups outside m fail with a descriptive error.
+func Importer(fset *token.FileSet, m map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := m[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// Load lists patterns in dir and returns every matched non-standard
+// package, parsed (with comments) and type-checked. Named main packages
+// are included; packages listed only as dependencies are not re-analyzed.
+func Load(dir string, patterns ...string) ([]*Pkg, error) {
+	entries, err := goList(dir, append([]string{"-deps", "-export", "-json"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := Importer(fset, exports)
+	var pkgs []*Pkg
+	for _, e := range entries {
+		if e.DepOnly || e.Standard {
+			continue
+		}
+		if e.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", e.ImportPath, e.Error.Err)
+		}
+		p, err := check(fset, imp, e)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one listed package.
+func check(fset *token.FileSet, imp types.Importer, e listEntry) (*Pkg, error) {
+	files := make([]*ast.File, 0, len(e.GoFiles))
+	for _, name := range e.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(e.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(e.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", e.ImportPath, err)
+	}
+	return &Pkg{
+		ImportPath: e.ImportPath,
+		Dir:        e.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consume.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

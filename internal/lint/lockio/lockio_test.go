@@ -1,0 +1,12 @@
+package lockio_test
+
+import (
+	"testing"
+
+	"mineassess/internal/lint/analysistest"
+	"mineassess/internal/lint/lockio"
+)
+
+func TestLockIO(t *testing.T) {
+	analysistest.Run(t, lockio.Analyzer, "testdata", "bank")
+}

@@ -1,0 +1,12 @@
+package nonblockingpublish_test
+
+import (
+	"testing"
+
+	"mineassess/internal/lint/analysistest"
+	"mineassess/internal/lint/nonblockingpublish"
+)
+
+func TestNonBlockingPublish(t *testing.T) {
+	analysistest.Run(t, nonblockingpublish.Analyzer, "testdata", "engine")
+}

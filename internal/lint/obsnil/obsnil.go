@@ -1,0 +1,116 @@
+// Package obsnil defines the obsnil analyzer: instrumentation sites must
+// lean on the obs nil-contract instead of re-checking it.
+//
+// internal/obs guarantees that a nil *Registry hands out nil handles and
+// that every recording method on a nil *Counter / *Gauge / *Histogram is
+// a no-op. Instrumentation is therefore written unconditionally —
+// `h.Observe(d)` — and the disabled path costs one predictable branch.
+// A hand-rolled `if h != nil { h.Observe(d) }` guard re-states the
+// contract at every call site, drifts (some sites guarded, some not) and
+// signals a misunderstanding that eventually produces real nil-deref
+// "fixes". Guards that protect something else — a clock read before a
+// timed section, an error check — are not findings.
+package obsnil
+
+import (
+	"go/ast"
+	"go/token"
+
+	"mineassess/internal/lint/analysis"
+)
+
+// Analyzer flags redundant nil guards around nil-safe obs record calls.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsnil",
+	Doc: `forbid redundant nil guards around nil-safe obs recording calls
+
+obs handles no-op when nil; an if-statement whose condition is only
+"handle != nil" (or "registry != nil") and whose body is nothing but
+recording calls restates the contract and must be unwrapped. Guards with
+extra conditions or non-recording statements (clock reads before timed
+sections) are intentional and pass.`,
+	Run: run,
+}
+
+// recordMethods are the nil-safe recording methods of the obs handles.
+var recordMethods = map[string]bool{
+	"Inc": true, "Add": true, "Set": true, "SetMax": true,
+	"Observe": true, "ObserveValue": true,
+}
+
+// obsHandle reports whether e's type is an obs handle (or the registry).
+func obsHandle(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	for _, name := range [...]string{"Counter", "Gauge", "Histogram", "Registry"} {
+		if analysis.IsNamed(tv.Type, "obs", name) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok || ifs.Else != nil || ifs.Init != nil {
+				return true
+			}
+			cond, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+			if !ok || cond.Op != token.NEQ {
+				return true
+			}
+			guarded := nilCheckedExpr(pass, cond)
+			if guarded == nil {
+				return true
+			}
+			for _, stmt := range ifs.Body.List {
+				if !recordCall(pass, stmt) {
+					return true
+				}
+			}
+			pass.Reportf(ifs.Pos(),
+				"redundant nil guard around obs recording call: nil handles no-op (drop the if)")
+			return true
+		})
+	}
+	return nil
+}
+
+// nilCheckedExpr returns the obs-handle operand of an `x != nil`
+// comparison, or nil when the condition is something else.
+func nilCheckedExpr(pass *analysis.Pass, cond *ast.BinaryExpr) ast.Expr {
+	for _, pair := range [...][2]ast.Expr{{cond.X, cond.Y}, {cond.Y, cond.X}} {
+		x, other := pair[0], pair[1]
+		if tv, ok := pass.TypesInfo.Types[other]; ok && tv.IsNil() && obsHandle(pass, x) {
+			return x
+		}
+	}
+	return nil
+}
+
+// recordCall reports whether stmt is exactly one obs recording call.
+func recordCall(pass *analysis.Pass, stmt ast.Stmt) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := analysis.FuncFor(pass.TypesInfo, call)
+	if fn == nil || !recordMethods[fn.Name()] {
+		return false
+	}
+	recv := analysis.ReceiverType(fn)
+	for _, name := range [...]string{"Counter", "Gauge", "Histogram"} {
+		if analysis.IsNamed(recv, "obs", name) {
+			return true
+		}
+	}
+	return false
+}

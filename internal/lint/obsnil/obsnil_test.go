@@ -1,0 +1,12 @@
+package obsnil_test
+
+import (
+	"testing"
+
+	"mineassess/internal/lint/analysistest"
+	"mineassess/internal/lint/obsnil"
+)
+
+func TestObsNil(t *testing.T) {
+	analysistest.Run(t, obsnil.Analyzer, "testdata", "site")
+}

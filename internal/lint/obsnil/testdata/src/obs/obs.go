@@ -1,0 +1,27 @@
+// Stub of mineassess/internal/obs: nil-safe handles matched by package
+// path tail.
+package obs
+
+// Counter is a monotonically increasing metric handle.
+type Counter struct{ n int64 }
+
+func (c *Counter) Inc()          {}
+func (c *Counter) Add(d int64)   {}
+
+// Gauge is a point-in-time metric handle.
+type Gauge struct{ v int64 }
+
+func (g *Gauge) Set(v int64)    {}
+func (g *Gauge) Add(d int64)    {}
+func (g *Gauge) SetMax(v int64) {}
+
+// Histogram is a distribution metric handle.
+type Histogram struct{ n int64 }
+
+func (h *Histogram) Observe(v float64)      {}
+func (h *Histogram) ObserveValue(v float64) {}
+
+// Registry hands out handles; a nil registry hands out nil handles.
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter { return nil }

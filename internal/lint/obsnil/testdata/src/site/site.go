@@ -1,0 +1,45 @@
+// Corpus for the obsnil analyzer.
+package site
+
+import (
+	"time"
+
+	"obs"
+)
+
+func flagged(c *obs.Counter, g *obs.Gauge, h *obs.Histogram) {
+	if c != nil { // want `redundant nil guard`
+		c.Inc()
+	}
+	if h != nil { // want `redundant nil guard`
+		h.Observe(1)
+		h.ObserveValue(2)
+	}
+	if nil != g { // want `redundant nil guard`
+		g.SetMax(9)
+	}
+}
+
+func fine(c *obs.Counter, h *obs.Histogram, err error) time.Time {
+	var start time.Time
+	if h != nil { // guards a clock read, not a record call: intentional
+		start = time.Now()
+	}
+	if c != nil && err == nil { // extra condition: intentional
+		c.Inc()
+	}
+	if c != nil { // body does more than record: intentional
+		c.Inc()
+		start = time.Now()
+	}
+	c.Inc() // the unconditional idiom the analyzer pushes toward
+	h.Observe(float64(time.Since(start)))
+	return start
+}
+
+func allowed(c *obs.Counter) {
+	//assess:allow obsnil: exercising the suppression syntax
+	if c != nil {
+		c.Inc()
+	}
+}

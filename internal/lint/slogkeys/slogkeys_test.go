@@ -1,0 +1,12 @@
+package slogkeys_test
+
+import (
+	"testing"
+
+	"mineassess/internal/lint/analysistest"
+	"mineassess/internal/lint/slogkeys"
+)
+
+func TestSlogKeys(t *testing.T) {
+	analysistest.Run(t, slogkeys.Analyzer, "testdata", "logging")
+}

@@ -1,0 +1,35 @@
+// Corpus for the slogkeys analyzer.
+package logging
+
+import (
+	"context"
+	"log/slog"
+)
+
+const keyRequestID = "request_id"
+
+func flagged(l *slog.Logger, id string) {
+	_ = slog.String("requestID", id)                // want `"requestID" is not snake_case`
+	l.Info("served", "Bad-Key", 1)                  // want `"Bad-Key" is not snake_case`
+	l.Warn("served", "dyn_"+id, 1)                  // want `compile-time constant`
+	slog.Info("served", slog.Int("Count", 1))       // want `"Count" is not snake_case`
+	l.Error("served", "_leading", 1)                // want `"_leading" is not snake_case`
+	l.With("SessionID", id).Info("served")          // want `"SessionID" is not snake_case`
+	_ = slog.Group("req", "Inner", 1)               // want `"Inner" is not snake_case`
+	slog.Warn("served", "trailing_", 1)             // want `"trailing_" is not snake_case`
+}
+
+func fine(ctx context.Context, l *slog.Logger, id string, args []any) {
+	_ = slog.String(keyRequestID, id) // named constant: the preferred form
+	l.Info("served", "duration_ms", 5, "op", "save")
+	l.InfoContext(ctx, "served", "layer", "bank")
+	l.Log(ctx, slog.LevelInfo, "served", "session_id", id)
+	l.Info("served", args...) // variadic passthrough: not a key site
+	l.With(slog.String("request_id", id)).Error("boom", "err_code", 7)
+	_ = slog.Group("req", slog.Int("attempt_n", 2))
+}
+
+func allowed(l *slog.Logger) {
+	//assess:allow slogkeys: mirrors an upstream collector's field name
+	l.Info("served", "UpstreamField", 1)
+}

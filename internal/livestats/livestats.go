@@ -181,9 +181,7 @@ func (a *Aggregator) run() {
 			start = time.Now()
 		}
 		a.fold(e)
-		if a.mFoldDur != nil {
-			a.mFoldDur.Observe(time.Since(start))
-		}
+		a.mFoldDur.Observe(time.Since(start))
 		a.mFolded.Inc()
 		if e.GlobalSeq != 0 {
 			a.lastSeq.Store(e.GlobalSeq)

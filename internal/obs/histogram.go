@@ -64,6 +64,8 @@ func (l Layout) Scale() float64 { return l.scale }
 // bounds are the single source of truth (a log/exp round trip disagrees
 // with the truncated integer bounds at exact boundaries); a binary search
 // over ≤84 entries costs ~7 comparisons, noise next to the atomic add.
+//
+//assess:hotpath
 func (l Layout) BucketFor(v int64) int {
 	if v < l.bounds[0] {
 		return 0
@@ -119,6 +121,8 @@ func (h *Histogram) Layout() Layout {
 // Ordering note: the sum is published before the count so that a reader
 // who loads count=n is guaranteed the sum already covers at least those n
 // samples — the foundation of CountSum's skew bound.
+//
+//assess:hotpath
 func (h *Histogram) ObserveValue(v int64) {
 	if h == nil {
 		return
@@ -138,6 +142,8 @@ func (h *Histogram) ObserveValue(v int64) {
 }
 
 // Observe records one latency sample.
+//
+//assess:hotpath
 func (h *Histogram) Observe(d time.Duration) { h.ObserveValue(int64(d)) }
 
 // Count returns the number of recorded samples.

@@ -1,0 +1,33 @@
+package obs
+
+// Structured log keys shared by every layer. The slow-request drill-down
+// workflow greps one key — request_id — across the HTTP access log, the
+// engine slow-op lines and the journal's commit warnings, so the spelling
+// must never drift between call sites. The slogkeys analyzer enforces
+// that every slog key is a compile-time snake_case constant; new keys
+// belong here, not inline, once a second call site appears.
+const (
+	// LogKeyRequestID correlates one request's lines across layers.
+	LogKeyRequestID = "request_id"
+	// LogKeyLayer names the subsystem emitting a slow-op line (http,
+	// engine, wal).
+	LogKeyLayer = "layer"
+	// LogKeyOp names the operation within the layer.
+	LogKeyOp = "op"
+	// LogKeySession carries the delivery session ID.
+	LogKeySession = "session"
+	// LogKeyDurationMS is the elapsed wall time in milliseconds.
+	LogKeyDurationMS = "duration_ms"
+	// LogKeyMethod is the HTTP request method.
+	LogKeyMethod = "method"
+	// LogKeyPath is the HTTP request path.
+	LogKeyPath = "path"
+	// LogKeyStatus is the HTTP response status code.
+	LogKeyStatus = "status"
+	// LogKeyBytes is the HTTP response body size.
+	LogKeyBytes = "bytes"
+	// LogKeyLearner is the rate-limit bucket / learner identity.
+	LogKeyLearner = "learner"
+	// LogKeyPanic carries the recovered panic value.
+	LogKeyPanic = "panic"
+)

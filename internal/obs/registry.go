@@ -33,6 +33,8 @@ type Counter struct {
 }
 
 // Add increments the counter by n.
+//
+//assess:hotpath
 func (c *Counter) Add(n int64) {
 	if c == nil {
 		return
@@ -41,6 +43,8 @@ func (c *Counter) Add(n int64) {
 }
 
 // Inc increments the counter by one.
+//
+//assess:hotpath
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count.
@@ -57,6 +61,8 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+//assess:hotpath
 func (g *Gauge) Set(v int64) {
 	if g == nil {
 		return
@@ -65,6 +71,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Add adjusts the gauge by delta (negative to decrease).
+//
+//assess:hotpath
 func (g *Gauge) Add(delta int64) {
 	if g == nil {
 		return
@@ -74,6 +82,8 @@ func (g *Gauge) Add(delta int64) {
 
 // SetMax raises the gauge to v if v exceeds the current value — a
 // high-water mark recorder.
+//
+//assess:hotpath
 func (g *Gauge) SetMax(v int64) {
 	if g == nil {
 		return

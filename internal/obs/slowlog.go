@@ -58,10 +58,10 @@ func (s *SlowOpLog) Done(ctx context.Context, op, session string, start time.Tim
 		return
 	}
 	cfg.log.LogAttrs(ctx, slog.LevelWarn, "slow op",
-		slog.String("request_id", RequestIDFrom(ctx)),
-		slog.String("layer", cfg.layer),
-		slog.String("op", op),
-		slog.String("session", session),
-		slog.Float64("duration_ms", float64(d)/1e6),
+		slog.String(LogKeyRequestID, RequestIDFrom(ctx)),
+		slog.String(LogKeyLayer, cfg.layer),
+		slog.String(LogKeyOp, op),
+		slog.String(LogKeySession, session),
+		slog.Float64(LogKeyDurationMS, float64(d)/1e6),
 	)
 }

@@ -53,12 +53,17 @@ var ErrTorn = errors.New("walcodec: torn record at end of log")
 // BeginFrame appends a placeholder frame header to dst and returns the
 // extended slice; the caller appends the payload and then calls EndFrame
 // with the offset BeginFrame started at.
+//
+//assess:hotpath
 func BeginFrame(dst []byte) []byte {
+	//assess:allow hotpathalloc: append(dst, make(...)...) is the zero-extend idiom the compiler lowers without an intermediate allocation
 	return append(dst, make([]byte, HeaderLen)...)
 }
 
 // EndFrame fills in the header of the frame that starts at offset start in
 // buf (payload = buf[start+HeaderLen:]) and returns buf.
+//
+//assess:hotpath
 func EndFrame(buf []byte, start int) []byte {
 	payload := buf[start+HeaderLen:]
 	h := buf[start : start+HeaderLen]
@@ -130,12 +135,16 @@ func NextRecord(r *bufio.Reader) (rec []byte, isJSON bool, size int64, err error
 // length-prefixed.
 
 // AppendString appends a length-prefixed string.
+//
+//assess:hotpath
 func AppendString(b []byte, s string) []byte {
 	b = binary.AppendUvarint(b, uint64(len(s)))
 	return append(b, s...)
 }
 
 // AppendStrings appends a length-prefixed string slice.
+//
+//assess:hotpath
 func AppendStrings(b []byte, ss []string) []byte {
 	b = binary.AppendUvarint(b, uint64(len(ss)))
 	for _, s := range ss {
@@ -145,11 +154,15 @@ func AppendStrings(b []byte, ss []string) []byte {
 }
 
 // AppendFloat64 appends the IEEE-754 bits of f, little endian.
+//
+//assess:hotpath
 func AppendFloat64(b []byte, f float64) []byte {
 	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
 }
 
 // AppendBool appends one byte: 1 for true, 0 for false.
+//
+//assess:hotpath
 func AppendBool(b []byte, v bool) []byte {
 	if v {
 		return append(b, 1)

@@ -79,6 +79,10 @@ type EventStream struct {
 	ctx  context.Context
 	body io.ReadCloser
 	br   *bufio.Reader
+	// pending holds parsed-but-unconsumed lines: the SSE spec terminates
+	// lines with CR, LF or CRLF, and a bare CR splits one LF-delimited read
+	// into several protocol lines.
+	pending []string
 }
 
 // StreamEvents subscribes to every event on the server
@@ -128,7 +132,7 @@ func (s *EventStream) Next() (*StreamFrame, error) {
 	f := &StreamFrame{}
 	var data []string
 	for {
-		line, err := s.br.ReadString('\n')
+		line, err := s.readLine()
 		if err != nil {
 			// Context cancellation surfaces as a closed-body read error;
 			// report the cancellation itself, which is what the caller acts
@@ -141,7 +145,6 @@ func (s *EventStream) Next() (*StreamFrame, error) {
 			}
 			return nil, err
 		}
-		line = strings.TrimRight(line, "\r\n")
 		switch {
 		case line == "":
 			if f.Event == "" && len(data) == 0 {
@@ -159,6 +162,28 @@ func (s *EventStream) Next() (*StreamFrame, error) {
 			data = append(data, strings.TrimSpace(strings.TrimPrefix(line, "data:")))
 		}
 	}
+}
+
+// readLine returns the next SSE protocol line. The spec accepts CR, LF
+// and CRLF as terminators; reading LF-delimited chunks and splitting on
+// the CRs inside keeps a stray "\r" out of the ID field — where it would
+// otherwise travel back to the server inside the Last-Event-ID header on
+// reconnect.
+func (s *EventStream) readLine() (string, error) {
+	if len(s.pending) > 0 {
+		line := s.pending[0]
+		s.pending = s.pending[1:]
+		return line, nil
+	}
+	raw, err := s.br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	raw = strings.TrimSuffix(raw, "\n")
+	raw = strings.TrimSuffix(raw, "\r")
+	parts := strings.Split(raw, "\r")
+	s.pending = parts[1:]
+	return parts[0], nil
 }
 
 // Close releases the connection. Safe to call concurrently with a blocked

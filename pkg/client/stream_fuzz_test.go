@@ -1,0 +1,58 @@
+package client
+
+// In-package fuzz coverage for the SSE frame parser: EventStream's fields
+// are unexported, so the harness builds one directly around an in-memory
+// body, exactly as c.stream does around a response body.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"strings"
+	"testing"
+)
+
+func streamOver(data []byte) *EventStream {
+	r := bytes.NewReader(data)
+	return &EventStream{
+		ctx:  context.Background(),
+		body: io.NopCloser(r),
+		br:   bufio.NewReader(r),
+	}
+}
+
+func FuzzEventStreamNext(f *testing.F) {
+	f.Add([]byte("id: 7\nevent: session.answered\ndata: {\"seq\":7}\n\n"))
+	f.Add([]byte("event: stats\ndata: {\"answered\":1}\ndata: {\"more\":2}\n\n"))
+	f.Add([]byte(": keep-alive\n\n: another\n\nid: 1\ndata: x\n\n"))
+	f.Add([]byte("id: 3\r\nevent: gap\r\ndata: {}\r\n\r\n"))
+	f.Add([]byte("data only, no frame separator"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("id:\nevent:\ndata:\n\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := streamOver(data)
+		// A finite input yields finitely many frames; every returned frame
+		// must be internally consistent and the final error must be EOF (or
+		// a frame cut off mid-assembly reported as EOF on the next call).
+		for i := 0; ; i++ {
+			if i > len(data)+2 {
+				t.Fatalf("parser failed to terminate after %d frames on %d input bytes", i, len(data))
+			}
+			frame, err := s.Next()
+			if err != nil {
+				if err != io.EOF {
+					t.Fatalf("non-EOF error from in-memory stream: %v", err)
+				}
+				return
+			}
+			if frame.Data == nil {
+				t.Fatal("frame returned with nil Data")
+			}
+			if strings.ContainsAny(frame.ID, "\r\n") || strings.ContainsAny(frame.Event, "\r\n") {
+				t.Fatalf("field leaked line terminators: id=%q event=%q", frame.ID, frame.Event)
+			}
+		}
+	})
+}
