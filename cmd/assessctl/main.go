@@ -14,6 +14,7 @@
 //	assessctl export-qti   -bank bank.json -exam final -out exam.xml
 //	assessctl events tail  -addr http://host:8080 [-exam final] [-last SEQ]
 //	assessctl metrics      -addr http://host:8080 [-subsystems]
+//	assessctl traces       -ops http://host:6060 [-id TRACEID] [-recent]
 package main
 
 import (
@@ -72,13 +73,15 @@ func run(args []string) error {
 		return cmdEvents(args[1:])
 	case "metrics":
 		return cmdMetrics(args[1:])
+	case "traces":
+		return cmdTraces(args[1:])
 	case "lint":
 		return cmdLint(args[1:])
 	case "version":
 		fmt.Println("assessctl", core.Version)
 		return nil
 	case "help":
-		fmt.Println("subcommands: seed, search, analyze, analyze-file, calibrate, coverage, history, feedback, stats, preview, events, metrics, lint, export-scorm, export-qti, version")
+		fmt.Println("subcommands: seed, search, analyze, analyze-file, calibrate, coverage, history, feedback, stats, preview, events, metrics, traces, lint, export-scorm, export-qti, version")
 		return nil
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])

@@ -1,0 +1,147 @@
+package main
+
+// assessctl traces — the operator's view of the tail-sampled trace sinks on
+// a running examserver: lists retained (and optionally recent) traces from
+// GET /debug/traces on the ops listener, or renders one trace's span tree
+// as an indented duration breakdown with -id. Pair with `assessctl metrics
+// -subsystems`: the traceId exemplar on a _p99 sample is exactly what -id
+// accepts.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"mineassess/internal/trace"
+)
+
+func cmdTraces(args []string) error {
+	fs := flag.NewFlagSet("traces", flag.ContinueOnError)
+	ops := fs.String("ops", "http://localhost:6060", "examserver ops listener base URL (-ops flag of examserver)")
+	id := fs.String("id", "", "render one trace's span tree by hex trace ID")
+	recent := fs.Bool("recent", false, "also list the recent-completion ring, not only retained traces")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id != "" {
+		var td trace.TraceData
+		if err := fetchTraceJSON(*ops, *id, &td); err != nil {
+			return err
+		}
+		printTraceTree(&td)
+		return nil
+	}
+	var list trace.TraceList
+	if err := fetchTraceJSON(*ops, "", &list); err != nil {
+		return err
+	}
+	if err := printTraceList("RETAINED", list.Retained); err != nil {
+		return err
+	}
+	if *recent {
+		fmt.Println()
+		return printTraceList("RECENT", list.Recent)
+	}
+	return nil
+}
+
+// fetchTraceJSON GETs /debug/traces (optionally ?id=) and decodes into v.
+func fetchTraceJSON(base, id string, v any) error {
+	u := strings.TrimRight(base, "/") + "/debug/traces"
+	if id != "" {
+		u += "?id=" + url.QueryEscape(id)
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("GET %s: %s", u, resp.Status)
+	}
+	return json.Unmarshal(body, v)
+}
+
+// printTraceList renders trace summaries newest-first.
+func printTraceList(header string, traces []*trace.TraceData) error {
+	if len(traces) == 0 {
+		fmt.Printf("%s: none\n", strings.ToLower(header))
+		return nil
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s TRACE\tREASON\tROOT\tDURATION ms\tSPANS\n", header)
+	for _, td := range traces {
+		reason := td.Reason
+		if reason == "" {
+			reason = "-"
+		}
+		spans := fmt.Sprintf("%d", td.Spans)
+		if td.Dropped > 0 {
+			spans += fmt.Sprintf("(+%d dropped)", td.Dropped)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.2f\t%s\n", td.TraceID, reason, td.RootName, td.DurationMS, spans)
+	}
+	return tw.Flush()
+}
+
+// printTraceTree renders one trace as an indented duration tree: each span
+// line shows its duration, name, and attrs, nested under its parent, so an
+// operator reads where a slow request's time went top-down.
+func printTraceTree(td *trace.TraceData) {
+	fmt.Printf("trace %s  root=%s  %.2fms  spans=%d", td.TraceID, td.RootName, td.DurationMS, td.Spans)
+	if td.Reason != "" {
+		fmt.Printf("  reason=%s", td.Reason)
+	}
+	if td.Dropped > 0 {
+		fmt.Printf("  dropped=%d", td.Dropped)
+	}
+	fmt.Println()
+	if td.Root != nil {
+		printSpan(td.Root, 0)
+	}
+}
+
+func printSpan(sd *trace.SpanData, depth int) {
+	indent := strings.Repeat("  ", depth)
+	line := fmt.Sprintf("%s%8.2fms  %s", indent, sd.DurationMS, sd.Name)
+	if sd.Err {
+		line += "  [error]"
+	}
+	if len(sd.Attrs) > 0 {
+		keys := make([]string, 0, len(sd.Attrs))
+		for k := range sd.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		pairs := make([]string, len(keys))
+		for i, k := range keys {
+			pairs[i] = k + "=" + sd.Attrs[k]
+		}
+		line += "  {" + strings.Join(pairs, " ") + "}"
+	}
+	fmt.Println(line)
+	// Children render in start order so phases (enqueue-wait, batch-wait,
+	// fsync) read chronologically.
+	kids := append([]*trace.SpanData(nil), sd.Children...)
+	sort.Slice(kids, func(i, j int) bool { return kids[i].Start.Before(kids[j].Start) })
+	for _, c := range kids {
+		printSpan(c, depth+1)
+	}
+}

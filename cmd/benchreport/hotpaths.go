@@ -418,10 +418,12 @@ func checkAllocs(path string) error {
 		fmt.Printf("  %-28s %8.2f allocs/op (baseline %.2f, allowed %.2f) %s\n",
 			r.Name, r.AllocsPerOp, want, allow, status)
 	}
-	// The obs record paths are pinned to a hard zero rather than compared
-	// against a recorded baseline: every instrumented hot path inherits
-	// whatever these allocate, so the acceptable number is none.
-	for _, r := range measureObsAllocs() {
+	// The obs record paths — and the trace span-record path, which every
+	// traced request runs once per span — are pinned to a hard zero rather
+	// than compared against a recorded baseline: every instrumented hot
+	// path inherits whatever these allocate, so the acceptable number is
+	// none.
+	for _, r := range append(measureObsAllocs(), measureTraceAllocs()...) {
 		allow := allocAllowance(0)
 		status := "ok"
 		if r.AllocsPerOp > allow {

@@ -50,6 +50,7 @@ func run(args []string) error {
 	hotpaths := fs.String("hotpaths", "", "measure the E23 hot paths and merge a hotpaths section into this baseline file")
 	loadgenPath := fs.String("loadgen", "", "measure the E24 load harness (run + capacity ladder) and merge a loadgen section into this baseline file")
 	obsPath := fs.String("obs", "", "measure the E25 observability overhead and merge an obs section into this baseline file")
+	tracePath := fs.String("trace", "", "measure the E26 tracing overhead and merge a trace section into this baseline file")
 	checkPath := fs.String("check-allocs", "", "re-run the allocation probes and fail if any path regressed >20% over this baseline file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +66,9 @@ func run(args []string) error {
 	}
 	if *obsPath != "" {
 		return writeObs(*obsPath)
+	}
+	if *tracePath != "" {
+		return writeTrace(*tracePath, *seed)
 	}
 	if *checkPath != "" {
 		return checkAllocs(*checkPath)
@@ -95,6 +99,7 @@ func run(args []string) error {
 		{"E23", "zero-allocation hot paths: WAL codec, pooled fan-out, CAT info grid", runE23},
 		{"E24", "open-loop load harness: mixed learners over the composed /v1 stack", runE24},
 		{"E25", "observability overhead: journal + fan-out with the metrics registry off vs on", runE25},
+		{"E26", "tracing overhead: journal + load harness with tracing off vs sampled vs always-on", runE26},
 		{"A1", "ablation: group fraction 25% vs Kelly 27% vs 33%", runA1},
 		{"A2", "ablation: group D vs point-biserial", runA2},
 	}

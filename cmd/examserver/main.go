@@ -17,6 +17,7 @@
 //	           [-slow-request 250ms] [-ops 127.0.0.1:6060]
 //	           [-events] [-event-log DIR] [-event-ring 1024]
 //	           [-event-log-max-bytes N]
+//	           [-trace] [-trace-sample 64] [-trace-retain 256]
 //
 // With -events (the default) the server runs a live event bus: engines
 // publish session/adaptive lifecycle events, a streaming aggregator keeps
@@ -52,7 +53,20 @@
 // or json records, -quiet suppresses them, and -slow-request D logs any
 // request taking at least D at Warn ("slow request") while arming matching
 // slow-op logs in the delivery engines and the WAL — the shared request_id
-// attribute ties the layers' lines together. -ops exposes the operations
+// attribute ties the layers' lines together.
+//
+// -trace turns on request-scoped distributed tracing: every request opens a
+// root span (honoring an inbound W3C traceparent header and echoing one on
+// the response), engine calls, WAL commits (split into enqueue-wait /
+// batch-wait / fsync phases), bus publishes and SSE frame writes become
+// child spans, and completed traces are tail-sampled — traces that were
+// slow (≥ -slow-request), errored, or suffered an SSE stream.gap are always
+// retained, plus one in -trace-sample of the rest. The newest -trace-retain
+// retained traces (and a ring of recent ones) are browsable at
+// GET /debug/traces on the ops listener (list, or ?id= for one span tree;
+// same JSON the `assessctl traces` tree view renders), and p99 buckets of
+// the latency histograms carry exemplar trace IDs linking /metrics numbers
+// to concrete traces. -ops exposes the operations
 // listener on a SEPARATE address (bind it to localhost; the main -addr
 // listener never serves it): net/http/pprof profiling handlers under
 // /debug/pprof/ plus the process metrics registry as Prometheus text
@@ -86,6 +100,7 @@ import (
 	"mineassess/internal/livestats"
 	"mineassess/internal/obs"
 	"mineassess/internal/scorm"
+	"mineassess/internal/trace"
 )
 
 func main() {
@@ -120,6 +135,9 @@ func run(args []string) error {
 	pprofAddr := fs.String("pprof", "", "deprecated alias for -ops")
 	logFormat := fs.String("log-format", "text", "structured log format: text or json")
 	slowReq := fs.Duration("slow-request", 0, "log requests taking at least this long at Warn, correlated across layers by request ID (0 disables)")
+	traceOn := fs.Bool("trace", false, "request-scoped distributed tracing with tail sampling (browse at /debug/traces on the ops listener)")
+	traceSample := fs.Int("trace-sample", 64, "with -trace, uniformly retain one in N traces that were not slow/errored/gapped")
+	traceRetain := fs.Int("trace-retain", 256, "with -trace, retained-trace ring capacity")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -231,6 +249,18 @@ func run(args []string) error {
 	if j, ok := store.(*bank.Journal); ok {
 		j.SetSlowOpLog(accessLog, *slowReq)
 	}
+	// The tracer's slow threshold follows -slow-request, so the tail
+	// sampler retains exactly the traces the slow-request log warns about.
+	var tracer *trace.Tracer
+	if *traceOn {
+		tracer = trace.New(trace.Options{
+			Slow:        *slowReq,
+			SampleEvery: *traceSample,
+			Retain:      *traceRetain,
+			Obs:         reg,
+		})
+		log.Printf("examserver: tracing enabled (slow=%s sample=1/%d retain=%d)", *slowReq, *traceSample, *traceRetain)
+	}
 	handler := httpapi.NewServer(engine, store, httpapi.Options{
 		Logger:      accessLog,
 		SlowRequest: *slowReq,
@@ -240,6 +270,7 @@ func run(args []string) error {
 		Adaptive:    cat,
 		Events:      bus,
 		LiveStats:   live,
+		Tracer:      tracer,
 	})
 	if *rate > 0 {
 		log.Printf("examserver: per-learner rate limiting at %.1f req/s (burst %d)", *rate, *burst)
@@ -259,6 +290,11 @@ func run(args []string) error {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		mux.Handle("/metrics", obs.Handler(reg))
+		if tracer != nil {
+			// Trace trees stay on the ops surface with the profiles and raw
+			// series — never on the learner-facing address.
+			mux.Handle("/debug/traces", trace.Handler(tracer))
+		}
 		go func() {
 			log.Printf("examserver: ops listener on http://%s (pprof under /debug/pprof/, Prometheus metrics at /metrics)", *opsAddr)
 			if err := http.ListenAndServe(*opsAddr, mux); err != nil {

@@ -16,6 +16,13 @@
 //
 //	loadgen [-rate 200] [-ramp 5s] [-soak 15s] [-mix 6,3,1] [-seed 7]
 //	        [-addr http://host:8080] [-capacity] [-baseline BENCH_BASELINE.json]
+//	        [-trace]
+//
+// -trace (hermetic mode only) mounts a tail-sampling tracer on the target
+// and, after the run, prints a per-phase latency attribution table — how the
+// p50/p99 milliseconds split across the HTTP edge, the delivery engines, the
+// WAL commit (enqueue-wait / batch-wait / fsync) and bus publishes — built
+// from the retained slow/error/gap traces plus the recent-completion ring.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"time"
 
 	"mineassess/internal/loadgen"
+	"mineassess/internal/trace"
 )
 
 func main() {
@@ -57,6 +65,7 @@ func run(args []string) error {
 	capFactor := fs.Float64("cap-factor", 2, "capacity ladder: rate multiplier between steps")
 	capStep := fs.Duration("cap-step", 5*time.Second, "capacity ladder: soak length per step")
 	capSteps := fs.Int("cap-steps", 6, "capacity ladder: maximum number of steps")
+	traceOn := fs.Bool("trace", false, "trace the hermetic target and print per-phase latency attribution (HTTP/engine/WAL/bus) after the run")
 	baseline := fs.String("baseline", "", "merge the measured loadgen (E24) section into this baseline JSON file")
 	jsonOut := fs.Bool("json", false, "print the E24 section as JSON instead of the human report")
 	if err := fs.Parse(args); err != nil {
@@ -71,14 +80,20 @@ func run(args []string) error {
 	defer stop()
 
 	base := *addr
+	var tracer *trace.Tracer
 	if base == "" {
-		ip, err := loadgen.StartInProcess(loadgen.InProcessConfig{})
+		ip, err := loadgen.StartInProcess(loadgen.InProcessConfig{Trace: *traceOn, TraceSlow: *slo})
 		if err != nil {
 			return err
 		}
 		defer ip.Close()
 		base = ip.URL
 		fmt.Fprintf(os.Stderr, "loadgen: hermetic in-process server at %s (journal + events enabled)\n", base)
+		tracer = ip.Tracer
+	} else if *traceOn {
+		// Attribution reads the tracer's in-memory sinks directly; a remote
+		// target's sinks live in its process (inspect via assessctl traces).
+		return fmt.Errorf("-trace needs the hermetic in-process target (drop -addr)")
 	}
 
 	runner, err := loadgen.NewRunner(loadgen.Config{
@@ -130,6 +145,14 @@ func run(args []string) error {
 		if cr != nil {
 			loadgen.WriteCapacityReport(os.Stdout, cr)
 		}
+	}
+	if tracer != nil {
+		// The tail sampler's retained set skews toward the ladder's final
+		// (knee-busting) steps by construction — slow and gap traces are
+		// exactly the ones retention guarantees — so the table attributes
+		// the latency at the capacity knee, not the easy early steps.
+		rep := loadgen.BuildTraceReport(tracer.Retained(), tracer.Recent())
+		loadgen.WriteTraceReport(os.Stdout, rep)
 	}
 	if *baseline != "" {
 		if err := loadgen.MergeBaseline(*baseline, sec); err != nil {

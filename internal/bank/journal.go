@@ -15,6 +15,7 @@ import (
 
 	"mineassess/internal/item"
 	"mineassess/internal/obs"
+	"mineassess/internal/trace"
 	"mineassess/internal/walcodec"
 )
 
@@ -190,6 +191,20 @@ type pendingCommit struct {
 
 	done chan struct{}
 	err  error
+
+	// Commit-phase annotations, written by the committer before done is
+	// closed and read by the waiter afterwards (the done close orders them).
+	// enqueuedAt is stamped by the writer at submit; batchStart is when the
+	// committer picked the record's batch up, writeDone when its WAL write
+	// returned, syncDone when it became durable under the sync policy. A
+	// traced mutation reconstructs its enqueue-wait / batch-wait / fsync
+	// child spans from these; untraced mutations skip the stamps entirely
+	// (enqueuedAt stays zero), so the untraced hot path pays nothing.
+	enqueuedAt time.Time
+	batchStart time.Time
+	writeDone  time.Time
+	syncDone   time.Time
+	batchSize  int32
 }
 
 // DefaultCompactEvery is the WAL length that triggers automatic compaction.
@@ -483,7 +498,19 @@ func ignoreRedo(err, redo error) error {
 // (closed check, apply, enqueue, commit wait) cannot drift between
 // operations. apply returns the record to journal.
 func (j *Journal) mutate(apply func() (walRecord, error)) error {
+	return j.mutateCtx(context.Background(), apply)
+}
+
+// mutateCtx is mutate with a request context. When ctx carries a trace
+// span, the commit records a "wal.commit" child annotated with the WAL op,
+// sync policy and the batch size the committer coalesced it into, plus
+// retroactive enqueue-wait / batch-wait / fsync phase children rebuilt from
+// the timestamps the committer stamped on the ack — the committer goroutine
+// itself never touches the trace, so the single-writer WAL pipeline stays
+// trace-free. Untraced calls take the exact pre-trace path: one nil check.
+func (j *Journal) mutateCtx(ctx context.Context, apply func() (walRecord, error)) error {
 	slowT := j.slowOps.Begin()
+	span := trace.FromContext(ctx).Child("wal.commit")
 	var start time.Time
 	if j.mCommit != nil {
 		start = time.Now()
@@ -497,15 +524,22 @@ func (j *Journal) mutate(apply func() (walRecord, error)) error {
 	}
 	if j.closed || j.poisoned {
 		j.mu.Unlock()
+		span.SetError()
+		span.End()
 		return errJournalClosed
 	}
 	rec, err := apply()
 	if err != nil {
 		j.mu.Unlock()
+		span.SetError()
+		span.End()
 		return err
 	}
 	rec.Epoch = j.epoch
 	p := &pendingCommit{ready: make(chan struct{}), done: make(chan struct{})}
+	if span.Valid() {
+		p.enqueuedAt = time.Now()
+	}
 	j.queue = append(j.queue, p)
 	j.mu.Unlock()
 
@@ -523,9 +557,26 @@ func (j *Journal) mutate(apply func() (walRecord, error)) error {
 	close(p.ready)
 	<-p.done
 	if j.mCommit != nil && p.err == nil {
-		j.mCommit.Observe(time.Since(start))
+		j.mCommit.ObserveTraced(time.Since(start), span.TraceIDHex())
 	}
-	j.slowOps.Done(context.Background(), rec.Op, rec.ID, slowT)
+	if span.Valid() {
+		span.SetStr("wal.op", rec.Op)
+		span.SetStr("wal.policy", string(j.policy))
+		span.SetInt("wal.batch", int64(p.batchSize))
+		if p.err != nil {
+			span.SetError()
+		} else if !p.batchStart.IsZero() {
+			// Phase children, reconstructed from the committer's stamps:
+			// enqueue-wait is submit → batch pickup, batch-wait is pickup →
+			// WAL write returned, fsync is write → durable (zero-length
+			// under SyncNone, where syncDone == writeDone).
+			span.ChildAt("wal.enqueue-wait", p.enqueuedAt).EndAt(p.batchStart)
+			span.ChildAt("wal.batch-wait", p.batchStart).EndAt(p.writeDone)
+			span.ChildAt("wal.fsync", p.writeDone).EndAt(p.syncDone)
+		}
+	}
+	span.End()
+	j.slowOps.Done(ctx, rec.Op, rec.ID, slowT)
 	return p.err
 }
 
@@ -606,13 +657,27 @@ func (j *Journal) commitBatch(batch []*pendingCommit) {
 				j.poisonBatch(batch[i:], fmt.Errorf("bank: marshal wal record (journal now closed): %w", p.marshalErr))
 				return
 			}
+			// Traced waiters (enqueuedAt set) get per-record phase stamps;
+			// under always-sync every record has its own write+fsync, so the
+			// clock reads only bracket syscalls it already pays for.
+			traced := !p.enqueuedAt.IsZero()
+			if traced {
+				p.batchStart = time.Now()
+				p.batchSize = int32(len(batch))
+			}
 			if _, err := j.wal.Write(p.payload); err != nil {
 				j.poisonBatch(batch[i:], fmt.Errorf("bank: append wal (journal now closed): %w", err))
 				return
 			}
+			if traced {
+				p.writeDone = time.Now()
+			}
 			if err := j.wal.Sync(); err != nil {
 				j.poisonBatch(batch[i:], fmt.Errorf("bank: sync wal (journal now closed): %w", err))
 				return
+			}
+			if traced {
+				p.syncDone = time.Now()
 			}
 			j.mWALBytes.Add(int64(len(p.payload)))
 			j.mFsync.Inc()
@@ -623,6 +688,7 @@ func (j *Journal) commitBatch(batch []*pendingCommit) {
 	}
 
 	// Group/none: coalesce the longest marshalable prefix into one write.
+	batchStart := time.Now()
 	good := batch
 	var bad []*pendingCommit
 	var marshalErr error
@@ -644,6 +710,7 @@ func (j *Journal) commitBatch(batch []*pendingCommit) {
 			j.poisonBatch(batch, fmt.Errorf("bank: append wal (journal now closed): %w", err))
 			return
 		}
+		writeDone := time.Now()
 		if j.policy != SyncNone {
 			if err := j.wal.Sync(); err != nil {
 				j.poisonBatch(batch, fmt.Errorf("bank: sync wal (journal now closed): %w", err))
@@ -651,9 +718,20 @@ func (j *Journal) commitBatch(batch []*pendingCommit) {
 			}
 			j.mFsync.Inc()
 		}
+		syncDone := time.Now()
 		j.mWALBytes.Add(int64(size))
 		j.dirty += len(good)
 		for _, p := range good {
+			// Phase stamps for traced waiters: the whole batch shares one
+			// write and (at most) one fsync, so the batch-level timestamps
+			// are each record's timestamps. Under SyncNone the fsync phase
+			// collapses to writeDone..syncDone ≈ 0, which is the truth.
+			if !p.enqueuedAt.IsZero() {
+				p.batchStart = batchStart
+				p.writeDone = writeDone
+				p.syncDone = syncDone
+				p.batchSize = int32(len(good))
+			}
 			close(p.done)
 		}
 	}
@@ -895,7 +973,13 @@ func (j *Journal) Codec() Codec { return j.codec }
 
 // AddProblem validates, stores and journals the problem.
 func (j *Journal) AddProblem(p *item.Problem) error {
-	return j.mutate(func() (walRecord, error) {
+	return j.AddProblemCtx(context.Background(), p)
+}
+
+// AddProblemCtx is AddProblem carrying a request context so a traced
+// request's span tree gains the wal.commit span and its phase children.
+func (j *Journal) AddProblemCtx(ctx context.Context, p *item.Problem) error {
+	return j.mutateCtx(ctx, func() (walRecord, error) {
 		if err := j.backend.AddProblem(p); err != nil {
 			return walRecord{}, err
 		}
@@ -970,7 +1054,14 @@ func (j *Journal) DeleteExam(id string) error {
 
 // PutAdaptiveSession stores the adaptive-session record and journals it.
 func (j *Journal) PutAdaptiveSession(rec *AdaptiveSessionRecord) error {
-	return j.mutate(func() (walRecord, error) {
+	return j.PutAdaptiveSessionCtx(context.Background(), rec)
+}
+
+// PutAdaptiveSessionCtx is PutAdaptiveSession carrying a request context;
+// the CAT engine's persist step uses it (via an interface probe) so the
+// WAL commit parents under the respond/finish span.
+func (j *Journal) PutAdaptiveSessionCtx(ctx context.Context, rec *AdaptiveSessionRecord) error {
+	return j.mutateCtx(ctx, func() (walRecord, error) {
 		if err := j.backend.PutAdaptiveSession(rec); err != nil {
 			return walRecord{}, err
 		}

@@ -23,6 +23,7 @@
 package catdelivery
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -40,7 +41,24 @@ import (
 	"mineassess/internal/item"
 	"mineassess/internal/obs"
 	"mineassess/internal/simulate"
+	"mineassess/internal/trace"
 )
+
+// sessionCtxPutter is the optional context-carrying persist that journaled
+// backends implement (bank.Journal.PutAdaptiveSessionCtx); when the store
+// provides it, a traced request's WAL commit parents under the engine span.
+type sessionCtxPutter interface {
+	PutAdaptiveSessionCtx(ctx context.Context, rec *bank.AdaptiveSessionRecord) error
+}
+
+// persistSession stores the session record, threading ctx through to the
+// journal when the backend supports it.
+func (e *Engine) persistSession(ctx context.Context, rec *bank.AdaptiveSessionRecord) error {
+	if p, ok := e.store.(sessionCtxPutter); ok {
+		return p.PutAdaptiveSessionCtx(ctx, rec)
+	}
+	return e.store.PutAdaptiveSession(rec)
+}
 
 // Errors callers may match.
 var (
@@ -410,6 +428,10 @@ func (e *Engine) loadPool(rec *bank.ExamRecord) ([]adaptive.PoolItem, map[string
 // the first item. seed drives item selection for the randomized selectors
 // (and tie-breaking determinism on restart).
 func (e *Engine) Start(examID, studentID string, cfg Config, seed int64) (*Session, *ItemView, error) {
+	return e.startCtx(context.Background(), examID, studentID, cfg, seed)
+}
+
+func (e *Engine) startCtx(ctx context.Context, examID, studentID string, cfg Config, seed int64) (*Session, *ItemView, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, nil, err
 	}
@@ -464,12 +486,12 @@ func (e *Engine) Start(examID, studentID string, cfg Config, seed int64) (*Sessi
 	}
 	s.pending = first
 	rec.PendingID = first.ID
-	if err := e.store.PutAdaptiveSession(rec); err != nil {
+	if err := e.persistSession(ctx, rec); err != nil {
 		return nil, nil, err
 	}
 	e.registry.put(s)
 	e.monitor.Capture(s.ID, e.now())
-	e.bus.Publish(events.Event{
+	e.bus.PublishCtx(trace.Detach(ctx), events.Event{
 		Type: events.AdaptiveStarted, ExamID: examID, SessionID: s.ID,
 		StudentID: studentID, Total: maxItems,
 	})
@@ -710,6 +732,10 @@ func (e *Engine) NextItem(sessionID string) (*ItemView, error) {
 // the next item or finishes the session. Every submission persists the
 // session record and triggers a monitor capture.
 func (e *Engine) SubmitResponse(sessionID, problemID, response string) (*Progress, error) {
+	return e.submitResponseCtx(context.Background(), sessionID, problemID, response)
+}
+
+func (e *Engine) submitResponseCtx(ctx context.Context, sessionID, problemID, response string) (*Progress, error) {
 	s, err := e.lock(sessionID)
 	if err != nil {
 		return nil, err
@@ -787,14 +813,17 @@ func (e *Engine) SubmitResponse(sessionID, problemID, response string) (*Progres
 		prog.StopReason = s.rec.StopReason
 		prog.Next = nil
 	}
-	if err := e.store.PutAdaptiveSession(s.rec); err != nil {
+	if err := e.persistSession(ctx, s.rec); err != nil {
 		rollback()
 		return nil, err
 	}
 	// Drain into the calibration log — and publish events — only after the
 	// finish is durable, so a rolled-back mutation never leaves a phantom
-	// log entry or a phantom event.
-	e.bus.Publish(events.Event{
+	// log entry or a phantom event. Publishes detach from the request
+	// context (cancelation must not reach subscribers) while keeping the
+	// trace span so the bus.publish spans parent correctly.
+	evctx := trace.Detach(ctx)
+	e.bus.PublishCtx(evctx, events.Event{
 		Type: events.AdaptiveResponded, ExamID: s.ExamID, SessionID: s.ID,
 		StudentID: s.StudentID, ProblemID: problemID, Correct: correct,
 		Credit: credit, Answered: len(s.rec.Administered), Total: s.rec.MaxItems,
@@ -802,7 +831,7 @@ func (e *Engine) SubmitResponse(sessionID, problemID, response string) (*Progres
 	})
 	if s.rec.State == bank.AdaptiveStateFinished {
 		e.log.Add(entryOf(s.rec))
-		e.bus.Publish(events.Event{
+		e.bus.PublishCtx(evctx, events.Event{
 			Type: events.AdaptiveFinished, ExamID: s.ExamID, SessionID: s.ID,
 			StudentID: s.StudentID, Answered: len(s.rec.Administered),
 			Theta: s.rec.Theta, SE: s.rec.SE, StopReason: s.rec.StopReason,
@@ -835,6 +864,10 @@ func (s *Session) finishLocked(reason string) {
 // Finish closes an adaptive session early (learner walked away) and returns
 // its outcome; finishing a finished session is idempotent.
 func (e *Engine) Finish(sessionID string) (*Outcome, error) {
+	return e.finishCtx(context.Background(), sessionID)
+}
+
+func (e *Engine) finishCtx(ctx context.Context, sessionID string) (*Outcome, error) {
 	s, err := e.lock(sessionID)
 	if err != nil {
 		return nil, err
@@ -843,13 +876,13 @@ func (e *Engine) Finish(sessionID string) (*Outcome, error) {
 	if s.rec.State == bank.AdaptiveStateActive {
 		prevPending, prevPendingID := s.pending, s.rec.PendingID
 		s.finishLocked(StopByCaller)
-		if err := e.store.PutAdaptiveSession(s.rec); err != nil {
+		if err := e.persistSession(ctx, s.rec); err != nil {
 			s.rec.State, s.rec.StopReason = bank.AdaptiveStateActive, ""
 			s.pending, s.rec.PendingID = prevPending, prevPendingID
 			return nil, err
 		}
 		e.log.Add(entryOf(s.rec))
-		e.bus.Publish(events.Event{
+		e.bus.PublishCtx(trace.Detach(ctx), events.Event{
 			Type: events.AdaptiveFinished, ExamID: s.ExamID, SessionID: s.ID,
 			StudentID: s.StudentID, Answered: len(s.rec.Administered),
 			Theta: s.rec.Theta, SE: s.rec.SE, StopReason: s.rec.StopReason,

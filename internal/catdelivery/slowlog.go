@@ -4,6 +4,8 @@ import (
 	"context"
 	"log/slog"
 	"time"
+
+	"mineassess/internal/trace"
 )
 
 // SetSlowOpLog arms the engine's slow-operation log: Ctx-variant calls
@@ -16,32 +18,51 @@ func (e *Engine) SetSlowOpLog(logger *slog.Logger, threshold time.Duration) {
 }
 
 // StartCtx is Start with the request context threaded through for slow-op
-// logging. The context does not cancel the operation.
+// logging and tracing: a traced request gains a cat.start child span whose
+// subtree includes the session persist (wal.commit) and the
+// adaptive.started bus publish. The context does not cancel the operation.
 func (e *Engine) StartCtx(ctx context.Context, examID, studentID string, cfg Config, seed int64) (*Session, *ItemView, error) {
 	t := e.slowOps.Begin()
-	sess, first, err := e.Start(examID, studentID, cfg, seed)
+	ctx, sp := trace.StartSpan(ctx, "cat.start")
+	sp.SetStr("exam.id", examID)
+	sess, first, err := e.startCtx(ctx, examID, studentID, cfg, seed)
 	id := ""
 	if sess != nil {
 		id = sess.ID
 	}
+	if err != nil {
+		sp.SetError()
+	}
+	sp.End()
 	e.slowOps.Done(ctx, "start", id, t)
 	return sess, first, err
 }
 
 // SubmitResponseCtx is SubmitResponse with the request context threaded
-// through for slow-op logging.
+// through for slow-op logging and tracing (cat.respond span).
 func (e *Engine) SubmitResponseCtx(ctx context.Context, sessionID, problemID, response string) (*Progress, error) {
 	t := e.slowOps.Begin()
-	prog, err := e.SubmitResponse(sessionID, problemID, response)
+	ctx, sp := trace.StartSpan(ctx, "cat.respond")
+	sp.SetStr("problem.id", problemID)
+	prog, err := e.submitResponseCtx(ctx, sessionID, problemID, response)
+	if err != nil {
+		sp.SetError()
+	}
+	sp.End()
 	e.slowOps.Done(ctx, "respond", sessionID, t)
 	return prog, err
 }
 
 // FinishCtx is Finish with the request context threaded through for
-// slow-op logging.
+// slow-op logging and tracing (cat.finish span).
 func (e *Engine) FinishCtx(ctx context.Context, sessionID string) (*Outcome, error) {
 	t := e.slowOps.Begin()
-	out, err := e.Finish(sessionID)
+	ctx, sp := trace.StartSpan(ctx, "cat.finish")
+	out, err := e.finishCtx(ctx, sessionID)
+	if err != nil {
+		sp.SetError()
+	}
+	sp.End()
 	e.slowOps.Done(ctx, "finish", sessionID, t)
 	return out, err
 }

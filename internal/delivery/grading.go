@@ -1,6 +1,7 @@
 package delivery
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -87,7 +88,7 @@ func (e *Engine) SessionSummaries(examID string) []Status {
 			continue
 		}
 		s.mu.Lock()
-		_ = e.checkTime(s, now)
+		_ = e.checkTime(context.Background(), s, now)
 		st := s.snapshotStatus(now)
 		s.mu.Unlock()
 		st.StateName = st.State.String()

@@ -15,6 +15,7 @@
 package delivery
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -28,6 +29,7 @@ import (
 	"mineassess/internal/item"
 	"mineassess/internal/obs"
 	"mineassess/internal/scorm"
+	"mineassess/internal/trace"
 )
 
 // SessionState is a session's lifecycle state.
@@ -220,6 +222,10 @@ func (e *Engine) HasSession(sessionID string) bool {
 // All assembly work happens before the session is published, so Start holds
 // no lock while reading the bank or shuffling options.
 func (e *Engine) Start(examID, studentID string, seed int64) (*Session, error) {
+	return e.startCtx(context.Background(), examID, studentID, seed)
+}
+
+func (e *Engine) startCtx(ctx context.Context, examID, studentID string, seed int64) (*Session, error) {
 	rec, err := e.store.Exam(examID)
 	if err != nil {
 		return nil, err
@@ -270,7 +276,10 @@ func (e *Engine) Start(examID, studentID string, seed int64) (*Session, error) {
 	}
 	e.registry.put(s)
 	e.monitor.Capture(s.ID, now)
-	e.bus.Publish(events.Event{
+	// Publishes detach from the request context: the event outlives the
+	// request (cancelation must not reach subscribers) but keeps the trace
+	// span and request ID so the bus.publish span parents correctly.
+	e.bus.PublishCtx(trace.Detach(ctx), events.Event{
 		Type: events.SessionStarted, ExamID: examID, SessionID: s.ID,
 		StudentID: studentID, Problems: order, Total: len(order), At: now,
 	})
@@ -290,14 +299,15 @@ func (e *Engine) lock(sessionID string) (*Session, error) {
 // checkTime expires the session once its limit is reached. The boundary is
 // inclusive (>=) so the status contract stays exact: a running session
 // always has remaining time and reports RemainingSeconds >= 1, and 0
-// appears only together with the expired state. Callers hold s.mu.
-func (e *Engine) checkTime(s *Session, now time.Time) error {
+// appears only together with the expired state. ctx scopes the expiry
+// event's publish (see startCtx). Callers hold s.mu.
+func (e *Engine) checkTime(ctx context.Context, s *Session, now time.Time) error {
 	if s.limit > 0 && s.state == StateRunning && s.elapsedActive(now) >= s.limit {
 		s.activeSpent = s.limit
 		s.state = StateExpired
 		e.finishRTE(s)
 		score, max := s.scoreLocked()
-		e.bus.Publish(events.Event{
+		e.bus.PublishCtx(trace.Detach(ctx), events.Event{
 			Type: events.SessionExpired, ExamID: s.ExamID, SessionID: s.ID,
 			StudentID: s.StudentID, Answered: len(s.answers), Total: len(s.Order),
 			Score: score, MaxScore: max, At: now,
@@ -312,13 +322,17 @@ func (e *Engine) checkTime(s *Session, now time.Time) error {
 // picture", §5). Only this learner's session is locked; grading a slow
 // problem never delays other sessions.
 func (e *Engine) Answer(sessionID, problemID, response string) error {
+	return e.answerCtx(context.Background(), sessionID, problemID, response)
+}
+
+func (e *Engine) answerCtx(ctx context.Context, sessionID, problemID, response string) error {
 	s, err := e.lock(sessionID)
 	if err != nil {
 		return err
 	}
 	defer s.mu.Unlock()
 	now := e.now()
-	if err := e.checkTime(s, now); err != nil {
+	if err := e.checkTime(ctx, s, now); err != nil {
 		return err
 	}
 	if s.state != StateRunning {
@@ -340,7 +354,7 @@ func (e *Engine) Answer(sessionID, problemID, response string) error {
 	}
 	s.api.LMSSetValue("cmi.core.lesson_location", problemID)
 	e.monitor.Capture(s.ID, now)
-	e.bus.Publish(events.Event{
+	e.bus.PublishCtx(trace.Detach(ctx), events.Event{
 		Type: events.ResponseSubmitted, ExamID: s.ExamID, SessionID: s.ID,
 		StudentID: s.StudentID, ProblemID: problemID,
 		Correct: gradable && credit >= 1-1e-9, Credit: credit,
@@ -358,7 +372,7 @@ func (e *Engine) Pause(sessionID string) error {
 	}
 	defer s.mu.Unlock()
 	now := e.now()
-	if err := e.checkTime(s, now); err != nil {
+	if err := e.checkTime(context.Background(), s, now); err != nil {
 		return err
 	}
 	if s.state != StateRunning {
@@ -395,6 +409,10 @@ func (e *Engine) Resume(sessionID string) error {
 // Finish closes the session, grades it, and writes score and status into
 // the CMI data model.
 func (e *Engine) Finish(sessionID string) (*analysis.StudentResult, error) {
+	return e.finishCtx(context.Background(), sessionID)
+}
+
+func (e *Engine) finishCtx(ctx context.Context, sessionID string) (*analysis.StudentResult, error) {
 	s, err := e.lock(sessionID)
 	if err != nil {
 		return nil, err
@@ -402,7 +420,7 @@ func (e *Engine) Finish(sessionID string) (*analysis.StudentResult, error) {
 	defer s.mu.Unlock()
 	now := e.now()
 	if s.state == StateRunning {
-		_ = e.checkTime(s, now) // expiry still produces a result
+		_ = e.checkTime(ctx, s, now) // expiry still produces a result
 	}
 	finished := false
 	switch s.state {
@@ -424,7 +442,7 @@ func (e *Engine) Finish(sessionID string) (*analysis.StudentResult, error) {
 		// Only the transition emits; an idempotent re-finish does not
 		// double-count the sitting in downstream aggregations.
 		score, max := s.scoreLocked()
-		e.bus.Publish(events.Event{
+		e.bus.PublishCtx(trace.Detach(ctx), events.Event{
 			Type: events.SessionFinished, ExamID: s.ExamID, SessionID: s.ID,
 			StudentID: s.StudentID, Answered: len(s.answers), Total: len(s.Order),
 			Score: score, MaxScore: max, At: now,
@@ -503,7 +521,7 @@ func (e *Engine) Status(sessionID string) (Status, error) {
 	}
 	defer s.mu.Unlock()
 	now := e.now()
-	_ = e.checkTime(s, now)
+	_ = e.checkTime(context.Background(), s, now)
 	st := s.snapshotStatus(now)
 	st.StateName = st.State.String()
 	return st, nil

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mineassess/internal/analysis"
+	"mineassess/internal/trace"
 )
 
 // SetSlowOpLog arms the engine's slow-operation log: Ctx-variant calls
@@ -18,32 +19,51 @@ func (e *Engine) SetSlowOpLog(logger *slog.Logger, threshold time.Duration) {
 }
 
 // StartCtx is Start with the request context threaded through for slow-op
-// logging. The context does not cancel the operation.
+// logging and tracing: a traced request gains an engine.start child span
+// whose subtree includes the session.started bus publish. The context does
+// not cancel the operation.
 func (e *Engine) StartCtx(ctx context.Context, examID, studentID string, seed int64) (*Session, error) {
 	t := e.slowOps.Begin()
-	sess, err := e.Start(examID, studentID, seed)
+	ctx, sp := trace.StartSpan(ctx, "engine.start")
+	sp.SetStr("exam.id", examID)
+	sess, err := e.startCtx(ctx, examID, studentID, seed)
 	id := ""
 	if sess != nil {
 		id = sess.ID
 	}
+	if err != nil {
+		sp.SetError()
+	}
+	sp.End()
 	e.slowOps.Done(ctx, "start", id, t)
 	return sess, err
 }
 
 // AnswerCtx is Answer with the request context threaded through for
-// slow-op logging.
+// slow-op logging and tracing (engine.answer span).
 func (e *Engine) AnswerCtx(ctx context.Context, sessionID, problemID, response string) error {
 	t := e.slowOps.Begin()
-	err := e.Answer(sessionID, problemID, response)
+	ctx, sp := trace.StartSpan(ctx, "engine.answer")
+	sp.SetStr("problem.id", problemID)
+	err := e.answerCtx(ctx, sessionID, problemID, response)
+	if err != nil {
+		sp.SetError()
+	}
+	sp.End()
 	e.slowOps.Done(ctx, "answer", sessionID, t)
 	return err
 }
 
 // FinishCtx is Finish with the request context threaded through for
-// slow-op logging.
+// slow-op logging and tracing (engine.finish span).
 func (e *Engine) FinishCtx(ctx context.Context, sessionID string) (*analysis.StudentResult, error) {
 	t := e.slowOps.Begin()
-	res, err := e.Finish(sessionID)
+	ctx, sp := trace.StartSpan(ctx, "engine.finish")
+	res, err := e.finishCtx(ctx, sessionID)
+	if err != nil {
+		sp.SetError()
+	}
+	sp.End()
 	e.slowOps.Done(ctx, "finish", sessionID, t)
 	return res, err
 }

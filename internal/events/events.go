@@ -26,11 +26,13 @@
 package events
 
 import (
+	"context"
 	"encoding/json"
 	"sync"
 	"time"
 
 	"mineassess/internal/obs"
+	"mineassess/internal/trace"
 )
 
 // Type names an event kind. The values are wire-stable: they appear as SSE
@@ -273,6 +275,18 @@ func (b *Bus) Publish(e Event) {
 	}
 	b.mu.Unlock()
 	b.mPublished.Inc()
+}
+
+// PublishCtx is Publish wrapped in a trace leaf span: on a traced context
+// the publish appears in the request's span tree as "bus.publish" with the
+// event type attached. Emit sites that fire after the persist step pass a
+// trace.Detach'd context so the span parents under the request instead of
+// orphaning. Untraced contexts cost two branches over plain Publish.
+func (b *Bus) PublishCtx(ctx context.Context, e Event) {
+	sp := trace.FromContext(ctx).Child("bus.publish")
+	sp.SetStr("event.type", string(e.Type))
+	b.Publish(e)
+	sp.End()
 }
 
 // Subscribers reports the number of registered subscriptions (metrics,

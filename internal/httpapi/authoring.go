@@ -6,6 +6,7 @@ package httpapi
 // assessctl CLI.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -129,11 +130,28 @@ func (s *Server) createProblem(w http.ResponseWriter, r *http.Request) {
 	if !checkResourceID(w, p.ID) {
 		return
 	}
-	if err := s.store.AddProblem(&p); err != nil {
+	if err := addProblemCtx(r.Context(), s.store, &p); err != nil {
 		writeAuthoringError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, &p)
+}
+
+// problemCtxAdder is the optional context-carrying insert that journaled
+// backends implement (bank.Journal.AddProblemCtx); when the store provides
+// it, a traced POST /v1/problems request's WAL commit — with its
+// enqueue-wait / batch-wait / fsync phase children — joins the span tree.
+type problemCtxAdder interface {
+	AddProblemCtx(ctx context.Context, p *item.Problem) error
+}
+
+// addProblemCtx stores the problem, threading ctx to the journal when the
+// backend supports it.
+func addProblemCtx(ctx context.Context, store bank.Storage, p *item.Problem) error {
+	if a, ok := store.(problemCtxAdder); ok {
+		return a.AddProblemCtx(ctx, p)
+	}
+	return store.AddProblem(p)
 }
 
 // handleProblemByID routes /v1/problems/{id}.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mineassess/internal/obs"
+	"mineassess/internal/trace"
 	"mineassess/pkg/api"
 )
 
@@ -53,9 +54,11 @@ type routeStats struct {
 	byStatus [statusSlots]atomic.Int64
 }
 
-// observe records one completed request.
-func (rs *routeStats) observe(status int, d time.Duration) {
-	rs.hist.Observe(d)
+// observe records one completed request. traceID, when non-empty, becomes
+// the histogram bucket's exemplar so a p99 number in /v1/metrics or the
+// Prometheus exposition resolves to a concrete trace in /debug/traces.
+func (rs *routeStats) observe(status int, d time.Duration, traceID string) {
+	rs.hist.ObserveTraced(d, traceID)
 	slot := status - statusMin
 	if slot < 0 {
 		slot = 0
@@ -126,7 +129,7 @@ func (m *Metrics) instrument(route string, next http.Handler) http.Handler {
 		if sr.status == 0 {
 			sr.status = http.StatusOK
 		}
-		rs.observe(sr.status, time.Since(start))
+		rs.observe(sr.status, time.Since(start), trace.FromContext(r.Context()).TraceIDHex())
 	})
 }
 

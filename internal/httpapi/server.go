@@ -64,6 +64,7 @@ import (
 	"mineassess/internal/livestats"
 	"mineassess/internal/obs"
 	"mineassess/internal/scorm"
+	"mineassess/internal/trace"
 )
 
 // Options configures the server's middleware stack and optional subsystems.
@@ -100,6 +101,11 @@ type Options struct {
 	LiveStats *livestats.Aggregator
 	// StreamHeartbeat is the SSE keep-alive comment interval; 0 means 15s.
 	StreamHeartbeat time.Duration
+	// Tracer, when set, opens a root span per request (W3C traceparent
+	// ingestion/emission), threads it through the engine *Ctx calls, and
+	// tail-samples completed traces (see internal/trace). Nil disables
+	// tracing with zero per-request cost.
+	Tracer *trace.Tracer
 }
 
 // Server is the LMS HTTP front end. Build with NewServer; it implements
@@ -158,8 +164,12 @@ func NewServer(engine *delivery.Engine, store bank.Storage, o Options) *Server {
 	}
 	perLearner := NewRateLimiter(o.RatePerSec, burst, o.Now)
 	perIP := NewRateLimiter(o.RatePerSec*ipAggregateFactor, burst*ipAggregateFactor, o.Now)
+	// Trace sits just inside RequestID so the root span's context carries
+	// the request ID (Detach preserves both), and outside AccessLog so the
+	// access-logged duration is what the root span records.
 	s.handler = Chain(
 		RequestID(),
+		Trace(o.Tracer),
 		AccessLog(o.Logger, o.SlowRequest),
 		Recover(o.Logger, func() { s.metrics.panics.Inc() }),
 		RateLimit(perLearner, perIP, func() { s.metrics.rateLimited.Inc() }),

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"mineassess/internal/events"
+	"mineassess/internal/trace"
 )
 
 // defaultHeartbeat is the keep-alive comment interval when
@@ -185,13 +186,17 @@ func (s *Server) streamSSE(w http.ResponseWriter, r *http.Request, sub *events.S
 	statsSent := false
 
 	ctx := r.Context()
+	// A traced stream records each frame write as an sse.frame leaf under
+	// the request's root span (zero Span when untraced — every call below
+	// is then a no-op branch).
+	root := trace.FromContext(ctx)
 	for {
 		select {
 		case e, ok := <-sub.Events():
 			if !ok {
 				return // bus shut down
 			}
-			if err := writeFrame(w, e, id); err != nil {
+			if err := writeFrameTraced(w, e, id, root); err != nil {
 				return
 			}
 			if e.Seq > delivered {
@@ -207,7 +212,7 @@ func (s *Server) streamSSE(w http.ResponseWriter, r *http.Request, sub *events.S
 						_ = rc.Flush()
 						return
 					}
-					if err := writeFrame(w, e, id); err != nil {
+					if err := writeFrameTraced(w, e, id, root); err != nil {
 						return
 					}
 					if e.Seq > delivered {
@@ -308,6 +313,24 @@ func writeFrame(w http.ResponseWriter, e events.Event, id idFn) error {
 	}
 	*bp = buf
 	framePool.Put(bp)
+	return err
+}
+
+// writeFrameTraced is writeFrame under a per-frame sse.frame leaf span. A
+// stream.gap marker frame flags the whole trace (SetGap), so the tail
+// sampler always retains traces whose stream dropped events — the
+// slow-consumer evidence survives alongside the latency evidence.
+func writeFrameTraced(w http.ResponseWriter, e events.Event, id idFn, root trace.Span) error {
+	sp := root.Child("sse.frame")
+	sp.SetStr("event.type", string(e.Type))
+	if e.Type == events.TypeGap {
+		sp.SetGap()
+	}
+	err := writeFrame(w, e, id)
+	if err != nil {
+		sp.SetError()
+	}
+	sp.End()
 	return err
 }
 

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"mineassess/internal/lint/analysistest"
+	"mineassess/internal/lint/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "testdata", "reqscope")
+}

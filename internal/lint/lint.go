@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"mineassess/internal/lint/analysis"
+	"mineassess/internal/lint/ctxflow"
 	"mineassess/internal/lint/errtaxonomy"
 	"mineassess/internal/lint/hotpathalloc"
 	"mineassess/internal/lint/load"
@@ -33,6 +34,7 @@ func Suite() []*analysis.Analyzer {
 		errtaxonomy.Analyzer,
 		slogkeys.Analyzer,
 		hotpathalloc.Analyzer,
+		ctxflow.Analyzer,
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"os"
+	"time"
 
 	"mineassess/internal/bank"
 	"mineassess/internal/catdelivery"
@@ -12,6 +13,7 @@ import (
 	"mineassess/internal/httpapi"
 	"mineassess/internal/livestats"
 	"mineassess/internal/obs"
+	"mineassess/internal/trace"
 )
 
 // InProcessConfig shapes the hermetic target server. The defaults match a
@@ -31,6 +33,15 @@ type InProcessConfig struct {
 	NoEvents bool
 	// EventRing overrides the replay-ring size (0 = events.DefaultRing).
 	EventRing int
+	// Trace mounts a tail-sampling tracer on the HTTP edge so a capacity
+	// run can attribute latency to pipeline phases afterwards (see
+	// TraceReport). TraceSlow is the slow-trace retention threshold
+	// (default 250ms — match the run's SLO so "slow" means "SLO-busting");
+	// TracePolicy overrides the retention policy (E26 measures the
+	// always-on worst case with trace.PolicyAlways).
+	Trace       bool
+	TraceSlow   time.Duration
+	TracePolicy trace.Policy
 }
 
 // InProcess is a fully wired hermetic server: middleware, engines, WAL,
@@ -42,6 +53,9 @@ type InProcess struct {
 	// stats, per-route HTTP histograms) — capacity runs exercise the same
 	// instrumented composition production serves, and tests can scrape it.
 	Obs *obs.Registry
+	// Tracer is non-nil when InProcessConfig.Trace asked for one; after a
+	// run its retained + recent trace trees feed BuildTraceReport.
+	Tracer *trace.Tracer
 
 	srv     *httptest.Server
 	store   bank.Storage
@@ -84,6 +98,20 @@ func StartInProcess(cfg InProcessConfig) (*InProcess, error) {
 		return nil, fmt.Errorf("loadgen: adaptive engine: %w", err)
 	}
 	opts := httpapi.Options{Adaptive: cat, Obs: ip.Obs}
+	if cfg.Trace {
+		slow := cfg.TraceSlow
+		if slow <= 0 {
+			slow = 250 * time.Millisecond
+		}
+		// A wide recent ring keeps an unbiased picture of ordinary requests
+		// alongside the tail sampler's slow/error/gap captures — the phase
+		// attribution report wants both populations.
+		ip.Tracer = trace.New(trace.Options{
+			Slow: slow, Policy: cfg.TracePolicy, SampleEvery: 16,
+			Recent: 256, Retain: 512, Obs: ip.Obs,
+		})
+		opts.Tracer = ip.Tracer
+	}
 	if !cfg.NoEvents {
 		ip.bus = events.NewBus(events.Options{Ring: cfg.EventRing, Obs: ip.Obs})
 		ip.live = livestats.NewWith(ip.bus, ip.Obs)

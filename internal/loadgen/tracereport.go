@@ -1,0 +1,200 @@
+package loadgen
+
+// Per-phase latency attribution from captured trace trees. A capacity run
+// tells you *when* the knee arrives; the traces tell you *where* the added
+// milliseconds live once it does. BuildTraceReport folds every retained and
+// recent trace from the in-process target's tail sampler into one table:
+// each pipeline phase (HTTP edge, engine, WAL commit with its enqueue-wait /
+// batch-wait / fsync sub-phases, bus publish, SSE frame writes) gets a
+// sample population and its p50/p99/max, so the report reads "the knee is a
+// batch-wait knee" rather than just "p99 doubled".
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"mineassess/internal/trace"
+)
+
+// PhaseStat summarizes one pipeline phase's latency population across the
+// captured traces. Sub is true for WAL sub-phases, which render indented
+// under wal.commit.
+type PhaseStat struct {
+	Phase string  `json:"phase"`
+	Sub   bool    `json:"sub,omitempty"`
+	Count int     `json:"count"`
+	P50Ms float64 `json:"p50Ms"`
+	P99Ms float64 `json:"p99Ms"`
+	MaxMs float64 `json:"maxMs"`
+}
+
+// TraceReport is the aggregated attribution across every distinct captured
+// trace (retained ∪ recent, deduplicated by trace ID).
+type TraceReport struct {
+	Traces   int         `json:"traces"`
+	Retained int         `json:"retained"`
+	Phases   []PhaseStat `json:"phases"`
+}
+
+// phaseOrder fixes the table's row order top-down along the request path.
+var phaseOrder = []struct {
+	key string
+	sub bool
+}{
+	{"http.edge", false},
+	{"engine", false},
+	{"wal.commit", false},
+	{"wal.enqueue-wait", true},
+	{"wal.batch-wait", true},
+	{"wal.fsync", true},
+	{"bus.publish", false},
+	{"sse.stream", false},
+	{"sse.frame", true},
+}
+
+// BuildTraceReport folds retained and recent trace trees (as returned by
+// trace.Tracer.Retained/Recent) into per-phase latency statistics. Traces
+// appearing in both sinks count once.
+func BuildTraceReport(retained, recent []*trace.TraceData) *TraceReport {
+	samples := make(map[string][]float64, len(phaseOrder))
+	seen := make(map[string]bool, len(retained)+len(recent))
+	n := 0
+	for _, td := range retained {
+		if td.Root == nil || seen[td.TraceID] {
+			continue
+		}
+		seen[td.TraceID] = true
+		n++
+		foldTrace(td, samples)
+	}
+	retainedN := n
+	for _, td := range recent {
+		if td.Root == nil || seen[td.TraceID] {
+			continue
+		}
+		seen[td.TraceID] = true
+		n++
+		foldTrace(td, samples)
+	}
+	rep := &TraceReport{Traces: n, Retained: retainedN}
+	for _, ph := range phaseOrder {
+		vals := samples[ph.key]
+		if len(vals) == 0 {
+			continue
+		}
+		sort.Float64s(vals)
+		rep.Phases = append(rep.Phases, PhaseStat{
+			Phase: ph.key,
+			Sub:   ph.sub,
+			Count: len(vals),
+			P50Ms: quantileMs(vals, 0.50),
+			P99Ms: quantileMs(vals, 0.99),
+			MaxMs: vals[len(vals)-1],
+		})
+	}
+	return rep
+}
+
+// foldTrace attributes one trace's time to phases. Exclusive accounting on
+// the containers: the HTTP edge sample is root minus its engine children,
+// and each engine sample is the engine span minus the WAL and bus time
+// nested inside it, so a phase's milliseconds are claimed exactly once.
+func foldTrace(td *trace.TraceData, samples map[string][]float64) {
+	root := td.Root
+	engineMs, streaming := 0.0, false
+	for _, c := range root.Children {
+		if isEngineSpan(c.Name) {
+			engineMs += c.DurationMS
+			inner := foldSpan(c, samples)
+			samples["engine"] = append(samples["engine"], max0(c.DurationMS-inner))
+			continue
+		}
+		if c.Name == "sse.frame" {
+			streaming = true
+		}
+		foldSpan(c, samples)
+	}
+	// An SSE stream's root span lasts as long as the watcher stays
+	// subscribed — that duration is subscription length, not edge latency,
+	// so streaming roots get their own row instead of skewing http.edge.
+	if streaming {
+		samples["sse.stream"] = append(samples["sse.stream"], root.DurationMS)
+		return
+	}
+	samples["http.edge"] = append(samples["http.edge"], max0(root.DurationMS-engineMs))
+}
+
+// foldSpan walks a subtree recording WAL/bus/SSE leaf phases; it returns
+// the milliseconds it attributed, so callers can subtract nested phases
+// from their own exclusive time.
+func foldSpan(sd *trace.SpanData, samples map[string][]float64) float64 {
+	switch sd.Name {
+	case "wal.commit":
+		samples["wal.commit"] = append(samples["wal.commit"], sd.DurationMS)
+		for _, c := range sd.Children {
+			if strings.HasPrefix(c.Name, "wal.") {
+				samples[c.Name] = append(samples[c.Name], c.DurationMS)
+			}
+		}
+		return sd.DurationMS
+	case "bus.publish", "sse.frame":
+		samples[sd.Name] = append(samples[sd.Name], sd.DurationMS)
+		return sd.DurationMS
+	}
+	claimed := 0.0
+	for _, c := range sd.Children {
+		claimed += foldSpan(c, samples)
+	}
+	return claimed
+}
+
+// isEngineSpan recognizes the delivery/catdelivery engine call spans.
+func isEngineSpan(name string) bool {
+	return strings.HasPrefix(name, "engine.") || strings.HasPrefix(name, "cat.")
+}
+
+func max0(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// quantileMs reads quantile q from an ascending-sorted sample slice
+// (nearest-rank, matching the obs histogram's reporting convention).
+func quantileMs(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// WriteTraceReport renders the attribution table. WAL sub-phases indent
+// under wal.commit; their sum can undershoot the parent (time between the
+// waiter's enqueue and the committer noticing) but never exceeds it.
+func WriteTraceReport(w io.Writer, rep *TraceReport) {
+	fmt.Fprintf(w, "\n--- phase attribution (%d traces, %d tail-retained) ---\n", rep.Traces, rep.Retained)
+	if rep.Traces == 0 {
+		fmt.Fprintln(w, "no traces captured (is the target traced? hermetic mode needs -trace)")
+		return
+	}
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "PHASE\tCOUNT\tP50 ms\tP99 ms\tMAX ms\t")
+	for _, ps := range rep.Phases {
+		name := ps.Phase
+		if ps.Sub {
+			name = "  " + name
+		}
+		// tabwriter right-aligns every cell; the phase name cell keeps its
+		// indent by padding on the right instead.
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\t%.2f\t\n", name, ps.Count, ps.P50Ms, ps.P99Ms, ps.MaxMs)
+	}
+	tw.Flush()
+}

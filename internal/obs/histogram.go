@@ -101,6 +101,26 @@ type Histogram struct {
 	count  atomic.Int64
 	sum    atomic.Int64
 	max    atomic.Int64
+	// ex holds per-bucket trace exemplars, allocated lazily on the first
+	// traced observation so untraced histograms stay exactly as cheap as
+	// before (one nil pointer per struct, no record-path cost).
+	ex atomic.Pointer[exemplarSet]
+	// exCtr decimates exemplar refreshes: last-write-wins semantics mean a
+	// store per observation is pure waste at high rates (each store heap-
+	// allocates an Exemplar), so an occupied bucket slot refreshes 1-in-16.
+	exCtr atomic.Uint64
+}
+
+// exemplarSet is one exemplar slot per bucket (overflow included).
+type exemplarSet [maxBuckets + 1]atomic.Pointer[Exemplar]
+
+// Exemplar links one bucket of a histogram to a retained trace: the trace
+// ID of a recent observation that landed in the bucket, plus the observed
+// raw value. Reading a p99 bucket's exemplar answers "show me one actual
+// slow request behind this number".
+type Exemplar struct {
+	TraceID string
+	Value   int64
 }
 
 // NewHistogram returns a histogram with the given layout.
@@ -145,6 +165,75 @@ func (h *Histogram) ObserveValue(v int64) {
 //
 //assess:hotpath
 func (h *Histogram) Observe(d time.Duration) { h.ObserveValue(int64(d)) }
+
+// ObserveValueTraced records one raw sample and, when traceID is
+// non-empty, stamps it as the exemplar of the sample's bucket (last write
+// wins — the exemplar is a pointer to *an* instance, not a reservoir).
+// The untraced path (traceID == "") is ObserveValue plus one branch; the
+// traced path allocates one Exemplar, which only trace-carrying requests
+// ever pay.
+func (h *Histogram) ObserveValueTraced(v int64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.ObserveValue(v)
+	if traceID == "" {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	set := h.ex.Load()
+	if set == nil {
+		set = new(exemplarSet)
+		if !h.ex.CompareAndSwap(nil, set) {
+			set = h.ex.Load()
+		}
+	}
+	// An empty bucket takes its first exemplar immediately; an occupied one
+	// refreshes 1-in-16 (keeping the linked trace recent enough to still be
+	// in the tracer's rings) so the hot record path allocates almost never.
+	slot := &set[h.Layout().BucketFor(v)]
+	if slot.Load() != nil && h.exCtr.Add(1)&15 != 0 {
+		return
+	}
+	slot.Store(&Exemplar{TraceID: traceID, Value: v})
+}
+
+// ObserveTraced records one latency sample with a trace exemplar.
+func (h *Histogram) ObserveTraced(d time.Duration, traceID string) {
+	h.ObserveValueTraced(int64(d), traceID)
+}
+
+// ExemplarAt returns bucket i's exemplar, or nil when the bucket (or the
+// whole histogram) has never seen a traced observation.
+func (h *Histogram) ExemplarAt(i int) *Exemplar {
+	if h == nil {
+		return nil
+	}
+	set := h.ex.Load()
+	if set == nil || i < 0 || i > maxBuckets {
+		return nil
+	}
+	return set[i].Load()
+}
+
+// QuantileExemplar returns the trace ID exemplifying the bucket containing
+// the q-quantile, scanning down to the nearest lower populated bucket when
+// the exact one has no exemplar (quantile interpolation and exemplar
+// stamping can disagree by a bucket). "" when nothing is linked.
+func (h *Histogram) QuantileExemplar(q float64) string {
+	if h == nil || h.ex.Load() == nil {
+		return ""
+	}
+	idx := h.Layout().BucketFor(h.QuantileValue(q))
+	for i := idx; i >= 0; i-- {
+		if e := h.ExemplarAt(i); e != nil {
+			return e.TraceID
+		}
+	}
+	return ""
+}
 
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() int64 {

@@ -139,6 +139,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 					writeLabels(bw, s.labels, `le="`+le+`"`)
 					bw.WriteByte(' ')
 					bw.WriteString(strconv.FormatInt(cum, 10))
+					// OpenMetrics exemplar suffix, only on buckets a traced
+					// observation actually hit — histograms without
+					// exemplars render byte-identically to the pre-exemplar
+					// format (the golden test's contract).
+					if e := h.ExemplarAt(i); e != nil {
+						bw.WriteString(` # {trace_id="`)
+						bw.WriteString(escapeLabelValue(e.TraceID))
+						bw.WriteString(`"} `)
+						bw.WriteString(fmtFloat(float64(e.Value) / scale))
+					}
 					bw.WriteByte('\n')
 				}
 				n, sum := h.CountSum()

@@ -319,6 +319,10 @@ type Sample struct {
 	Name   string            `json:"name"`
 	Labels map[string]string `json:"labels,omitempty"`
 	Value  float64           `json:"value"`
+	// TraceID carries the histogram exemplar on _p99 samples: the ID of a
+	// retained trace whose observation landed in the p99 bucket, tying the
+	// tail number in /v1/metrics to a concrete span tree in /debug/traces.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 func (s *series) labelMap() map[string]string {
@@ -359,7 +363,8 @@ func (r *Registry) Snapshot() []Sample {
 					Sample{Name: f.name + "_count", Labels: lm, Value: float64(n)},
 					Sample{Name: f.name + "_sum", Labels: lm, Value: float64(sum) / scale},
 					Sample{Name: f.name + "_p50", Labels: lm, Value: float64(h.QuantileValue(0.50)) / scale},
-					Sample{Name: f.name + "_p99", Labels: lm, Value: float64(h.QuantileValue(0.99)) / scale},
+					Sample{Name: f.name + "_p99", Labels: lm, Value: float64(h.QuantileValue(0.99)) / scale,
+						TraceID: h.QuantileExemplar(0.99)},
 					Sample{Name: f.name + "_p999", Labels: lm, Value: float64(h.QuantileValue(0.999)) / scale},
 					Sample{Name: f.name + "_max", Labels: lm, Value: float64(h.MaxValue()) / scale},
 				)

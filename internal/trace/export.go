@@ -1,0 +1,198 @@
+package trace
+
+// Cold-path export of finalized traces: JSON-friendly span trees for the
+// /debug/traces ops endpoint, assessctl, and the loadgen attribution
+// report. Everything here copies out of the trace buffers under the
+// tracer's sink lock, so exported data never aliases a buffer that might
+// recycle.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// SpanData is one exported span node.
+type SpanData struct {
+	SpanID     string            `json:"spanId"`
+	ParentID   string            `json:"parentId,omitempty"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationMS float64           `json:"durationMs"`
+	Err        bool              `json:"error,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []*SpanData       `json:"children,omitempty"`
+}
+
+// TraceData is one exported trace: identity, retention verdict, and the
+// span tree rooted at the HTTP (or bench) root span.
+type TraceData struct {
+	TraceID    string    `json:"traceId"`
+	Reason     string    `json:"reason,omitempty"`
+	RootName   string    `json:"rootName"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"durationMs"`
+	Spans      int       `json:"spans"`
+	Dropped    int       `json:"dropped,omitempty"`
+	Root       *SpanData `json:"root,omitempty"`
+}
+
+// export copies a finalized buffer into a TraceData tree. Spans whose
+// parent was dropped at the capacity bound reattach under the root so the
+// tree stays connected. Callers hold t.mu (or own the buffer outright).
+func (b *buf) export(withTree bool) *TraceData {
+	n := int(b.next.Load())
+	if n > MaxSpans {
+		n = MaxSpans
+	}
+	root := &b.spans[0]
+	out := &TraceData{
+		TraceID:    b.idHex,
+		Reason:     b.reason,
+		RootName:   root.Name,
+		Start:      root.Start,
+		DurationMS: ms(root.Duration),
+		Spans:      n,
+		Dropped:    int(b.dropped.Load()),
+	}
+	if !withTree {
+		return out
+	}
+	nodes := make([]*SpanData, n)
+	byID := make(map[SpanID]*SpanData, n)
+	for i := 0; i < n; i++ {
+		r := &b.spans[i]
+		sd := &SpanData{
+			SpanID:     r.ID.String(),
+			Name:       r.Name,
+			Start:      r.Start,
+			DurationMS: ms(r.Duration),
+			Err:        r.Err,
+		}
+		if !r.Parent.IsZero() {
+			sd.ParentID = r.Parent.String()
+		}
+		for a := 0; a < int(r.NAttrs); a++ {
+			at := r.Attrs[a]
+			if sd.Attrs == nil {
+				sd.Attrs = make(map[string]string, int(r.NAttrs))
+			}
+			if at.IsInt {
+				sd.Attrs[at.Key] = strconv.FormatInt(at.Int, 10)
+			} else {
+				sd.Attrs[at.Key] = at.Str
+			}
+		}
+		nodes[i] = sd
+		byID[r.ID] = sd
+	}
+	out.Root = nodes[0]
+	for i := 1; i < n; i++ {
+		parent := byID[b.spans[i].Parent]
+		if parent == nil || parent == nodes[i] {
+			parent = nodes[0]
+		}
+		parent.Children = append(parent.Children, nodes[i])
+	}
+	return out
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// snapshotRing exports a ring newest-first.
+func snapshotRing(ring []*buf, at int, withTree bool) []*TraceData {
+	var out []*TraceData
+	for i := 0; i < len(ring); i++ {
+		idx := (at - 1 - i + 2*len(ring)) % len(ring)
+		if b := ring[idx]; b != nil {
+			out = append(out, b.export(withTree))
+		}
+	}
+	return out
+}
+
+// Retained exports the tail sampler's retained traces, newest first, with
+// full span trees.
+func (t *Tracer) Retained() []*TraceData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return snapshotRing(t.retained, t.retainedAt, true)
+}
+
+// Recent exports the recent-trace ring, newest first, with full span
+// trees.
+func (t *Tracer) Recent() []*TraceData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return snapshotRing(t.recent, t.recentAt, true)
+}
+
+// Trace looks a finalized trace up by hex ID across both sinks.
+func (t *Tracer) Trace(idHex string) *TraceData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, ring := range [][]*buf{t.retained, t.recent} {
+		for _, b := range ring {
+			if b != nil && b.idHex == idHex {
+				return b.export(true)
+			}
+		}
+	}
+	return nil
+}
+
+// TraceList is the /debug/traces list response: retained (tail-sampled)
+// traces and the recent-completion ring, both newest first, as summaries
+// without span trees.
+type TraceList struct {
+	Retained []*TraceData `json:"retained"`
+	Recent   []*TraceData `json:"recent"`
+}
+
+// List builds the list view (summaries only).
+func (t *Tracer) List() *TraceList {
+	out := &TraceList{}
+	if t == nil {
+		return out
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out.Retained = snapshotRing(t.retained, t.retainedAt, false)
+	out.Recent = snapshotRing(t.recent, t.recentAt, false)
+	return out
+}
+
+// Handler serves GET /debug/traces on the ops listener: without
+// parameters the retained + recent summaries, with ?id=<32 hex> one full
+// span tree (404 when the trace has aged out of both sinks).
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if id := r.URL.Query().Get("id"); id != "" {
+			td := t.Trace(id)
+			if td == nil {
+				w.WriteHeader(http.StatusNotFound)
+				_ = json.NewEncoder(w).Encode(map[string]string{
+					"error": "trace not found (aged out or never retained)"})
+				return
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(td)
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(t.List())
+	})
+}

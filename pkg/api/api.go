@@ -171,6 +171,10 @@ type SubsystemMetric struct {
 	Name   string            `json:"name"`
 	Labels map[string]string `json:"labels,omitempty"`
 	Value  float64           `json:"value"`
+	// TraceID is the histogram exemplar on _p99 samples: a retained trace
+	// ID whose observation landed in the p99 bucket, resolvable to a span
+	// tree via GET /debug/traces?id= on the ops listener.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // MetricsSnapshot is the GET /v1/metrics response body. Subsystems is
